@@ -1,0 +1,57 @@
+//! Criterion benchmarks for Procedure 1: Definition 1 vs Definition 2
+//! construction cost — the efficiency side of the paper's Section-4
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndetect_core::estimate_detection_probabilities;
+use ndetect_core::{
+    construct_test_set_series, DetectionDefinition, Procedure1Config, WorstCaseAnalysis,
+};
+use ndetect_faults::FaultUniverse;
+
+fn bench_average_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("average_case");
+    for name in ["bbara", "opus"] {
+        let netlist = ndetect_circuits::build(name).expect("suite circuit builds");
+        let universe = FaultUniverse::build(&netlist).expect("fits");
+
+        for (label, definition) in [
+            ("def1", DetectionDefinition::Standard),
+            ("def2", DetectionDefinition::SufficientlyDifferent),
+        ] {
+            let config = Procedure1Config {
+                nmax: 10,
+                num_test_sets: 10,
+                definition,
+                ..Default::default()
+            };
+            group.bench_function(format!("procedure1_{label}/{name}"), |b| {
+                b.iter(|| construct_test_set_series(&universe, &config));
+            });
+        }
+
+        let wc = WorstCaseAnalysis::compute(&universe);
+        let tracked = wc.tail_indices(11);
+        if !tracked.is_empty() {
+            let config = Procedure1Config {
+                nmax: 10,
+                num_test_sets: 50,
+                threads: 1,
+                ..Default::default()
+            };
+            group.bench_function(format!("estimate_k50/{name}"), |b| {
+                b.iter(|| estimate_detection_probabilities(&universe, &tracked, &config));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_average_case
+}
+criterion_main!(benches);

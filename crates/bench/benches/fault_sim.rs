@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the fault-simulation substrate:
+//! good-value computation, stuck-at detection tables, bridging
+//! detection tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ndetect_faults::{all_stuck_at_faults, enumerate_four_way, FaultSimulator};
+use ndetect_sim::{GoodValues, PatternSpace};
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    for name in ["dk16", "keyb", "s1a"] {
+        let netlist = ndetect_circuits::build(name).expect("suite circuit builds");
+        let space = PatternSpace::new(netlist.num_inputs()).expect("fits");
+
+        group.bench_function(format!("good_values/{name}"), |b| {
+            b.iter(|| GoodValues::compute(&netlist, &space));
+        });
+
+        let sim = FaultSimulator::new(&netlist).expect("fits");
+        let faults = all_stuck_at_faults(&netlist);
+        group.bench_function(format!("stuck_table/{name}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &f in &faults {
+                    total += sim.detection_set_stuck(&netlist, f).len();
+                }
+                total
+            });
+        });
+
+        let bridges = enumerate_four_way(&netlist, sim.reachability());
+        let sample: Vec<_> = bridges.iter().take(512).collect();
+        group.bench_function(format!("bridge_sample512/{name}"), |b| {
+            b.iter_batched(
+                || sample.clone(),
+                |faults| {
+                    let mut total = 0usize;
+                    for f in faults {
+                        total += sim.detection_set_bridge(&netlist, f).len();
+                    }
+                    total
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_fault_sim
+}
+criterion_main!(benches);

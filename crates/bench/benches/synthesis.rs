@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the FSM-synthesis substrate: KISS2 round
+//! trips, Quine–McCluskey minimization, and direct vs minimized
+//! synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndetect_fsm::{
+    parse_kiss2, qm, synthesize, write_kiss2, MinimizeMode, StateEncoding, SynthOptions,
+};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+
+    let fsm = ndetect_circuits::spec("dk16")
+        .expect("dk16 in suite")
+        .build_fsm();
+    let text = write_kiss2(&fsm);
+    group.bench_function("kiss2_parse/dk16", |b| {
+        b.iter(|| parse_kiss2("dk16", &text).expect("round trip"));
+    });
+
+    let enc = StateEncoding::binary(fsm.num_states());
+    for (label, mode) in [
+        ("direct", MinimizeMode::Never),
+        ("minimized", MinimizeMode::Always),
+    ] {
+        group.bench_function(format!("synthesize_{label}/dk16"), |b| {
+            b.iter(|| synthesize(&fsm, &enc, SynthOptions { minimize: mode }));
+        });
+    }
+
+    // Pure QM on a dense deterministic 8-variable function.
+    let on: Vec<u32> = (0..256u32).filter(|m| (m * 37 + 11) % 5 < 2).collect();
+    let dc: Vec<u32> = (0..256u32).filter(|m| (m * 37 + 11) % 5 == 2).collect();
+    group.bench_function("qm_minimize/8var", |b| {
+        b.iter(|| qm::minimize(8, &on, &dc));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks timing the end-to-end regeneration of each
+//! paper table on a representative circuit (universe construction
+//! excluded — it is timed in `fault_sim`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndetect_core::report::{table1, table2_row, table3_row, table5_row};
+use ndetect_core::{
+    construct_test_set_series, estimate_detection_probabilities, NminDistribution,
+    Procedure1Config, WorstCaseAnalysis,
+};
+use ndetect_faults::FaultUniverse;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+
+    // Table 1 on the exact paper example.
+    let fig1 = FaultUniverse::build(&ndetect_circuits::figure1::netlist()).expect("builds");
+    let g0 = fig1.find_bridge("9", false, "10", true).expect("g0");
+    group.bench_function("table1/figure1", |b| {
+        b.iter(|| table1(&fig1, g0));
+    });
+
+    // Tables 2/3 and Figure 2 on a mid-size circuit.
+    let netlist = ndetect_circuits::build("ex2").expect("suite circuit builds");
+    let universe = FaultUniverse::build(&netlist).expect("fits");
+    group.bench_function("table2_row/ex2", |b| {
+        b.iter(|| {
+            let wc = WorstCaseAnalysis::compute(&universe);
+            (table2_row("ex2", &wc), table3_row("ex2", &wc))
+        });
+    });
+    let wc = WorstCaseAnalysis::compute(&universe);
+    group.bench_function("figure2_distribution/ex2", |b| {
+        b.iter(|| NminDistribution::collect(&wc, 1));
+    });
+
+    // Table 4 on the example circuit.
+    let config4 = Procedure1Config {
+        nmax: 2,
+        num_test_sets: 10,
+        ..Default::default()
+    };
+    group.bench_function("table4/figure1", |b| {
+        b.iter(|| construct_test_set_series(&fig1, &config4));
+    });
+
+    // Table 5 row at reduced K on a circuit with tail faults.
+    let tracked = wc.tail_indices(11);
+    if !tracked.is_empty() {
+        let config5 = Procedure1Config {
+            nmax: 10,
+            num_test_sets: 50,
+            threads: 1,
+            ..Default::default()
+        };
+        group.bench_function("table5_row_k50/ex2", |b| {
+            b.iter(|| {
+                let probs = estimate_detection_probabilities(&universe, &tracked, &config5)
+                    .expect("valid config");
+                table5_row("ex2", &probs)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmarks for the worst-case (`nmin`) analysis pass —
+//! the computation behind Tables 2 and 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndetect_core::WorstCaseAnalysis;
+use ndetect_faults::FaultUniverse;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case");
+    for name in ["dk16", "ex2", "keyb"] {
+        let netlist = ndetect_circuits::build(name).expect("suite circuit builds");
+        let universe = FaultUniverse::build(&netlist).expect("fits");
+        group.bench_function(format!("nmin_all/{name}"), |b| {
+            b.iter(|| WorstCaseAnalysis::compute(&universe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_worst_case
+}
+criterion_main!(benches);

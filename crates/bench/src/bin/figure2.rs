@@ -1,0 +1,43 @@
+//! Regenerates the paper's **Figure 2**: the distribution of `nmin(gj)`
+//! for faults with large `nmin` on one circuit (the paper uses `dvram`
+//! with a floor of 100).
+//!
+//! Usage: `figure2 [--circuits dvram] [--floor 100]`.
+
+use ndetect_bench::{build_universe, Args};
+use ndetect_core::{NminDistribution, WorstCaseAnalysis};
+
+fn main() {
+    let args = Args::parse();
+    let name = args
+        .circuits()
+        .and_then(|c| c.first().cloned())
+        .unwrap_or_else(|| "dvram".to_string());
+    let floor: u32 = args.get_or("floor", 100);
+
+    let (_netlist, universe) = build_universe(&name);
+    let wc = WorstCaseAnalysis::compute(&universe);
+    let dist = NminDistribution::collect(&wc, floor);
+
+    println!("Figure 2: distribution of nmin(gj) for {name} (nmin >= {floor})");
+    println!();
+    if dist.is_empty() && dist.num_unbounded() == 0 {
+        let fallback = NminDistribution::collect(&wc, 11);
+        println!("(no faults with nmin >= {floor}; showing the nmin >= 11 tail instead)");
+        println!();
+        print!("{}", fallback.render_ascii(30));
+        println!(
+            "\ntail faults (nmin >= 11): {}; max finite nmin = {:?}",
+            wc.tail_count(11),
+            wc.max_finite()
+        );
+    } else {
+        print!("{}", dist.render_ascii(30));
+        println!(
+            "\nfaults plotted: {} (+ {} never guaranteed); max finite nmin = {:?}",
+            dist.total(),
+            dist.num_unbounded(),
+            wc.max_finite()
+        );
+    }
+}

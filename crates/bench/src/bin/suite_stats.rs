@@ -1,0 +1,31 @@
+//! Prints structural and fault-population statistics for every suite
+//! circuit — used to calibrate the experiment harness.
+
+use ndetect_faults::FaultUniverse;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<10} {:>3} {:>3} {:>3} {:>5} {:>6} {:>7} {:>8} {:>8} {:>8}",
+        "circuit", "pi", "po", "st", "bits", "gates", "|F|", "|G|", "undet", "ms"
+    );
+    for spec in ndetect_circuits::suite() {
+        let t0 = Instant::now();
+        let netlist = spec.build().expect("suite circuits synthesize");
+        let universe = FaultUniverse::build(&netlist).expect("suite circuits fit exhaustive sim");
+        let ms = t0.elapsed().as_millis();
+        println!(
+            "{:<10} {:>3} {:>3} {:>3} {:>5} {:>6} {:>7} {:>8} {:>8} {:>8}",
+            spec.name(),
+            spec.inputs(),
+            spec.outputs(),
+            spec.states(),
+            spec.total_input_bits(),
+            netlist.num_gates(),
+            universe.targets().len(),
+            universe.bridges().len(),
+            universe.num_undetectable_bridges(),
+            ms
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's **Table 2**: worst-case percentages of
+//! untargeted (four-way bridging) faults guaranteed to be detected by
+//! any n-detection test set, for n ≤ 1, 2, 3, 4, 5, 10.
+//!
+//! Usage: `table2 [--circuits a,b,c]` (default: the full 35-circuit
+//! suite in paper order).
+
+use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_core::report::{render_table2, table2_row, Table2Row};
+use ndetect_core::WorstCaseAnalysis;
+
+fn main() {
+    let args = Args::parse();
+    let mut rows: Vec<Table2Row> = Vec::new();
+    for name in selected_circuits(&args) {
+        let (_netlist, universe) = build_universe(&name);
+        let wc = WorstCaseAnalysis::compute(&universe);
+        rows.push(table2_row(&name, &wc));
+    }
+    println!("Table 2: worst-case percentages of detected faults (small n)");
+    println!("(percent of G with nmin(gj) <= n; blank after a column reaches 100%)");
+    println!();
+    print!("{}", render_table2(&rows));
+}

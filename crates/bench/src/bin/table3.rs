@@ -1,0 +1,27 @@
+//! Regenerates the paper's **Table 3**: worst-case numbers (and
+//! percentages) of untargeted faults that require `nmin ≥ 100, 20, 11`
+//! to be guaranteed detected. Like the paper, only circuits that have
+//! faults with `nmin ≥ 11` are listed.
+//!
+//! Usage: `table3 [--circuits a,b,c]`.
+
+use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_core::report::{render_table3, table3_row, Table3Row};
+use ndetect_core::WorstCaseAnalysis;
+
+fn main() {
+    let args = Args::parse();
+    let mut rows: Vec<Table3Row> = Vec::new();
+    for name in selected_circuits(&args) {
+        let (_netlist, universe) = build_universe(&name);
+        let wc = WorstCaseAnalysis::compute(&universe);
+        if wc.tail_count(11) == 0 {
+            continue; // the paper lists only circuits with such faults
+        }
+        rows.push(table3_row(&name, &wc));
+    }
+    println!("Table 3: worst-case numbers of detected faults (large n)");
+    println!("(count (percent) of G with nmin(gj) >= n; includes faults never guaranteed)");
+    println!();
+    print!("{}", render_table3(&rows));
+}

@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Table 4**: K = 10 random n-detection test
+//! sets for the Figure 1 example circuit, at n = 1 and n = 2
+//! (Procedure 1, Definition 1).
+//!
+//! Absolute test choices depend on the RNG stream (ours is seeded and
+//! reproducible, the paper's is unspecified); the *structure* matches:
+//! every printed set is a valid n-detection set, and the n = 2 sets
+//! extend the n = 1 sets.
+//!
+//! Usage: `table4 [--k 10] [--seed 1]`.
+
+use ndetect_bench::Args;
+use ndetect_circuits::figure1;
+use ndetect_core::{construct_test_set_series, Procedure1Config};
+use ndetect_faults::FaultUniverse;
+
+fn main() {
+    let args = Args::parse();
+    let k: usize = args.get_or("k", 10);
+    let seed: u64 = args.get_or("seed", 1);
+
+    let netlist = figure1::netlist();
+    let universe = FaultUniverse::build(&netlist).expect("figure1 fits exhaustive simulation");
+    let config = Procedure1Config {
+        nmax: 2,
+        num_test_sets: k,
+        seed,
+        ..Default::default()
+    };
+    let series = construct_test_set_series(&universe, &config).expect("valid config");
+
+    println!("Table 4: test sets for example circuit (K = {k}, Procedure 1, Definition 1)");
+    println!();
+    println!("{:>2}  {:<28} {}", "k", "n=1", "n=2");
+    for ki in 0..k {
+        let t1: Vec<u32> = {
+            let mut v = series.sets[0][ki].vectors().to_vec();
+            v.sort_unstable();
+            v
+        };
+        let t2: Vec<u32> = {
+            let mut v = series.sets[1][ki].vectors().to_vec();
+            v.sort_unstable();
+            v
+        };
+        let fmt = |v: &[u32]| {
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("{ki:>2}  {:<28} {}", fmt(&t1), fmt(&t2));
+    }
+
+    // The paper then computes d(n, g6) and p(n, g6) over these sets.
+    let g6 = universe
+        .find_bridge("11", false, "9", true)
+        .expect("g6 detectable");
+    let t_g6 = universe.bridge_set(g6);
+    for n in 1..=2u32 {
+        let d = series.sets[(n - 1) as usize]
+            .iter()
+            .filter(|s| s.detects(t_g6))
+            .count();
+        println!(
+            "\nd({n},g6) = {d}, p({n},g6) = {:.1}   (g6 = (11,0,9,1), T(g6) = {:?})",
+            d as f64 / k as f64,
+            t_g6.to_vec()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every table and figure of the paper has a dedicated binary in
+//! `src/bin/` (`table1` … `table6`, `figure2`, `all_tables`), plus
+//! calibration (`suite_stats`) and ablation (`ablation_atpg`,
+//! `ablation_collapse`) tools. This library holds the tiny bits they
+//! share: argument parsing and timed suite iteration.
+
+use ndetect_faults::FaultUniverse;
+use ndetect_netlist::Netlist;
+use std::time::Instant;
+
+/// A parsed `--key value` command line.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `std::env::args` of the form `--key value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_vec(raw)
+    }
+
+    /// Parses an explicit argument vector (testable core of
+    /// [`Self::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments.
+    #[must_use]
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(key) = it.next() {
+            let Some(stripped) = key.strip_prefix("--") else {
+                panic!("expected --key value pairs, got `{key}`");
+            };
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{stripped}"));
+            pairs.push((stripped.to_string(), value));
+        }
+        Args { pairs }
+    }
+
+    /// The raw string value of a key, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A parsed value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// Comma-separated circuit list (`--circuits a,b,c`), or `None` for
+    /// the full suite.
+    #[must_use]
+    pub fn circuits(&self) -> Option<Vec<String>> {
+        self.get("circuits")
+            .map(|v| v.split(',').map(str::to_string).collect())
+    }
+}
+
+/// Builds a suite circuit and its fault universe, printing timing to
+/// stderr.
+///
+/// # Panics
+///
+/// Panics if the circuit name is unknown or the universe cannot be
+/// built (suite circuits always can).
+#[must_use]
+pub fn build_universe(name: &str) -> (Netlist, FaultUniverse) {
+    let t0 = Instant::now();
+    let netlist = ndetect_circuits::build(name)
+        .unwrap_or_else(|e| panic!("cannot build circuit `{name}`: {e}"));
+    let universe = FaultUniverse::build(&netlist)
+        .unwrap_or_else(|e| panic!("cannot build universe for `{name}`: {e}"));
+    eprintln!("# {name}: {} ({:.1?})", universe, t0.elapsed());
+    (netlist, universe)
+}
+
+/// The circuits to process: the `--circuits` selection or the full
+/// suite, in table order.
+#[must_use]
+pub fn selected_circuits(args: &Args) -> Vec<String> {
+    match args.circuits() {
+        Some(list) => list,
+        None => ndetect_circuits::suite()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_lookup() {
+        let args = Args::from_vec(vec![
+            "--k".into(),
+            "100".into(),
+            "--circuits".into(),
+            "lion,keyb".into(),
+        ]);
+        assert_eq!(args.get_or("k", 5usize), 100);
+        assert_eq!(args.get_or("nmax", 10u32), 10);
+        assert_eq!(
+            args.circuits().unwrap(),
+            vec!["lion".to_string(), "keyb".to_string()]
+        );
+        assert!(args.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key value")]
+    fn rejects_positional_arguments() {
+        let _ = Args::from_vec(vec!["oops".into()]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Small combinational circuits for tests, examples, and ablations.
+
+use ndetect_netlist::{bench_format, Netlist, NetlistBuilder, NodeId};
+
+/// The ISCAS-85 `c17` benchmark (6 NAND gates, 5 inputs, 2 outputs) —
+/// the smallest standard combinational benchmark; handy as a sanity
+/// fixture.
+///
+/// ```
+/// let c17 = ndetect_circuits::extra::c17();
+/// assert_eq!(c17.num_inputs(), 5);
+/// assert_eq!(c17.num_gates(), 6);
+/// ```
+#[must_use]
+pub fn c17() -> Netlist {
+    const SRC: &str = "
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+    bench_format::parse("c17", SRC).expect("c17 source is valid")
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..`, `cout`. A multi-level circuit with reconvergent fanout at
+/// every bit — a good stress case for cone-restricted fault simulation.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `2*bits + 1` exceeds the exhaustive limit.
+#[must_use]
+pub fn ripple_adder(bits: usize) -> Netlist {
+    assert!(bits > 0);
+    let mut b = NetlistBuilder::new(format!("add{bits}"));
+    let a: Vec<NodeId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let axb = b.xor(format!("axb{i}"), &[a[i], bb[i]]).expect("fresh");
+        let s = b.xor(format!("s{i}"), &[axb, carry]).expect("fresh");
+        let g = b.and(format!("g{i}"), &[a[i], bb[i]]).expect("fresh");
+        let p = b.and(format!("p{i}"), &[axb, carry]).expect("fresh");
+        carry = b.or(format!("c{i}"), &[g, p]).expect("fresh");
+        sums.push(s);
+    }
+    for s in sums {
+        b.output(s);
+    }
+    b.output(carry);
+    b.build().expect("adder is a valid netlist")
+}
+
+/// An `n`-input odd-parity tree built from 2-input XORs.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`.
+#[must_use]
+pub fn parity_tree(inputs: usize) -> Netlist {
+    assert!(inputs > 0);
+    let mut b = NetlistBuilder::new(format!("parity{inputs}"));
+    let mut layer: Vec<NodeId> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let name = b.fresh_name("x");
+                next.push(b.xor(name, pair).expect("fresh"));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    b.output(layer[0]);
+    b.build().expect("parity tree is a valid netlist")
+}
+
+/// A `2^sel`-way multiplexer: select inputs `s0..`, data inputs `d0..`;
+/// one output. Two-level AND/OR structure with heavy inverter fanout.
+///
+/// # Panics
+///
+/// Panics if `sel == 0` or `sel > 4`.
+#[must_use]
+pub fn mux_tree(sel: usize) -> Netlist {
+    assert!(sel > 0 && sel <= 4);
+    let ways = 1usize << sel;
+    let mut b = NetlistBuilder::new(format!("mux{ways}"));
+    let sels: Vec<NodeId> = (0..sel).map(|i| b.input(format!("s{i}"))).collect();
+    let data: Vec<NodeId> = (0..ways).map(|i| b.input(format!("d{i}"))).collect();
+    let invs: Vec<NodeId> = (0..sel)
+        .map(|i| b.not(format!("ns{i}"), sels[i]).expect("fresh"))
+        .collect();
+    let mut terms = Vec::with_capacity(ways);
+    for (w, &d) in data.iter().enumerate() {
+        let mut fanins = vec![d];
+        for (i, (&s, &inv)) in sels.iter().zip(&invs).enumerate() {
+            // Select bit i is the MSB-first bit of w.
+            if (w >> (sel - 1 - i)) & 1 == 1 {
+                fanins.push(s);
+            } else {
+                fanins.push(inv);
+            }
+        }
+        terms.push(b.and(format!("t{w}"), &fanins).expect("fresh"));
+    }
+    let y = b.or("y", &terms).expect("fresh");
+    b.output(y);
+    b.build().expect("mux is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_adds() {
+        let n = ripple_adder(3);
+        for a in 0..8u32 {
+            for c in 0..16u32 {
+                let bv = c >> 1;
+                if bv >= 8 {
+                    continue;
+                }
+                let cin = c & 1;
+                let mut bits = Vec::new();
+                for i in 0..3 {
+                    bits.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    bits.push((bv >> i) & 1 == 1);
+                }
+                bits.push(cin == 1);
+                let outs = n.eval_bool(&bits);
+                let mut sum = 0u32;
+                for (i, &s) in outs.iter().take(3).enumerate() {
+                    sum |= u32::from(s) << i;
+                }
+                let cout = u32::from(outs[3]);
+                assert_eq!(a + bv + cin, sum + 8 * cout, "a={a} b={bv} cin={cin}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_is_odd_parity() {
+        let n = parity_tree(5);
+        for v in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(n.eval_bool(&bits)[0], v.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let n = mux_tree(2);
+        // Inputs: s0 s1 d0 d1 d2 d3.
+        for sel in 0..4usize {
+            for data in 0..16usize {
+                let mut bits = vec![sel >> 1 & 1 == 1, sel & 1 == 1];
+                for i in 0..4 {
+                    bits.push((data >> i) & 1 == 1);
+                }
+                let expect = (data >> sel) & 1 == 1;
+                assert_eq!(n.eval_bool(&bits)[0], expect, "sel={sel} data={data:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn c17_known_vector() {
+        let n = c17();
+        assert_eq!(n.eval_bool(&[true; 5]), vec![true, false]);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's Figure 1 example circuit, reconstructed exactly.
+//!
+//! The netlist was reverse-engineered from the paper's Table 1 (which
+//! lists `T(f_i)` for every collapsed stuck-at fault overlapping
+//! `T(g_0)`) and is verified to reproduce **every** number in that table:
+//!
+//! * inputs: lines 1–4 (input 1 is the most significant vector bit);
+//! * input 2 fans out to branch lines 5 (→ gate 9) and 6 (→ gate 10);
+//! * input 3 fans out to branch lines 7 (→ gate 10) and 8 (→ gate 11);
+//! * gates: 9 = AND(1, 5), 10 = AND(6, 7), 11 = OR(8, 4);
+//! * all three gate outputs are primary outputs.
+//!
+//! With this structure the collapsed stuck-at list ordered by (line,
+//! value) has exactly the paper's 16 faults `f_0 = 1/1 … f_15 = 11/1`,
+//! `T(g_0) = {6,7}` for `g_0 = (9,0,10,1)`, `nmin(g_0) = 3`, and
+//! `T(g_6) = {12}`, `nmin(g_6) = 4`.
+
+use ndetect_faults::FaultUniverse;
+use ndetect_netlist::{LineId, Netlist, NetlistBuilder};
+
+/// Builds the Figure 1 circuit.
+///
+/// ```
+/// let n = ndetect_circuits::figure1::netlist();
+/// assert_eq!(n.num_inputs(), 4);
+/// assert_eq!(n.num_outputs(), 3);
+/// assert_eq!(n.lines().len(), 11); // paper lines 1..=11
+/// ```
+#[must_use]
+pub fn netlist() -> Netlist {
+    let mut b = NetlistBuilder::new("figure1");
+    let i1 = b.input("1");
+    let i2 = b.input("2");
+    let i3 = b.input("3");
+    let i4 = b.input("4");
+    let g9 = b.and("9", &[i1, i2]).expect("fresh names");
+    let g10 = b.and("10", &[i2, i3]).expect("fresh names");
+    let g11 = b.or("11", &[i3, i4]).expect("fresh names");
+    b.output(g9);
+    b.output(g10);
+    b.output(g11);
+    b.build().expect("figure1 is a valid netlist")
+}
+
+/// The paper's numeric label of a line (lines are numbered 1–11 in
+/// Figure 1; our [`LineId`]s are the same order, zero-based).
+#[must_use]
+pub fn paper_line_label(line: LineId) -> String {
+    (line.index() + 1).to_string()
+}
+
+/// Finds the index (within `universe.bridges()`) of the paper's bridging
+/// fault `(l1,a1,l2,a2)` given the *node names* of the two gate stems.
+///
+/// Returns `None` if the fault is undetectable or not enumerated.
+#[must_use]
+pub fn paper_bridge_index(
+    universe: &FaultUniverse,
+    victim: &str,
+    victim_value: bool,
+    aggressor: &str,
+    aggressor_value: bool,
+) -> Option<usize> {
+    universe.find_bridge(victim, victim_value, aggressor, aggressor_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table1_sets() {
+        let n = netlist();
+        let u = FaultUniverse::build(&n).unwrap();
+        // 16 collapsed faults, indexed f0..f15 by (line, value).
+        assert_eq!(u.targets().len(), 16);
+        let expect: &[(usize, usize, bool, &[usize])] = &[
+            (0, 1, true, &[4, 5, 6, 7]),
+            (1, 2, false, &[6, 7, 12, 13, 14, 15]),
+            (3, 3, false, &[2, 6, 7, 10, 14, 15]),
+            (9, 8, false, &[2, 6, 10, 14]),
+            (11, 9, true, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]),
+            (12, 10, false, &[6, 7, 14, 15]),
+            (14, 11, false, &[1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15]),
+        ];
+        for &(idx, paper_line, value, t_set) in expect {
+            let f = u.targets()[idx];
+            assert_eq!(f.line.index() + 1, paper_line, "f{idx} line");
+            assert_eq!(f.value, value, "f{idx} value");
+            assert_eq!(u.target_set(idx).to_vec(), t_set, "T(f{idx})");
+        }
+    }
+
+    #[test]
+    fn paper_g0_and_g6() {
+        let n = netlist();
+        let u = FaultUniverse::build(&n).unwrap();
+        let g0 = paper_bridge_index(&u, "9", false, "10", true).unwrap();
+        assert_eq!(u.bridge_set(g0).to_vec(), vec![6, 7]);
+        let g6 = paper_bridge_index(&u, "11", false, "9", true).unwrap();
+        assert_eq!(u.bridge_set(g6).to_vec(), vec![12]);
+    }
+
+    #[test]
+    fn line_labels() {
+        let n = netlist();
+        let labels: Vec<String> = n
+            .lines()
+            .lines()
+            .iter()
+            .map(|l| paper_line_label(l.id()))
+            .collect();
+        assert_eq!(labels.len(), 11);
+        assert_eq!(labels[0], "1");
+        assert_eq!(labels[10], "11");
+    }
+}

@@ -1,0 +1,209 @@
+//! Structured FSM families used as benchmark stand-ins.
+//!
+//! Where the behaviour of an MCNC benchmark is well understood (counters
+//! and sensor trackers like `lion`, `train4`, `modulo12`), the suite uses
+//! a structured machine of the same signature instead of a random one.
+//! These generators build those machines directly as [`Fsm`] values.
+
+use ndetect_fsm::{Cube, Fsm, OutputBit, Transition};
+
+/// An `n`-state saturating up/down counter (the `lion`/`lion9` family
+/// shape): inputs `(up, down)`; `10` increments, `01` decrements, `00`
+/// and `11` hold. Output 1 while the count is non-zero.
+///
+/// ```
+/// let fsm = ndetect_circuits::generators::up_down_counter("lion", 4);
+/// assert_eq!(fsm.num_states(), 4);
+/// assert_eq!(fsm.num_inputs(), 2);
+/// assert_eq!(fsm.check_deterministic(), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_states == 0`.
+#[must_use]
+pub fn up_down_counter(name: &str, num_states: usize) -> Fsm {
+    assert!(num_states > 0);
+    let states: Vec<String> = (0..num_states).map(|i| format!("c{i}")).collect();
+    let mut transitions = Vec::new();
+    let out = |s: usize| {
+        vec![if s > 0 { OutputBit::One } else { OutputBit::Zero }]
+    };
+    for s in 0..num_states {
+        let up = (s + 1).min(num_states - 1);
+        let down = s.saturating_sub(1);
+        // 10 -> up, 01 -> down, 00/11 -> hold.
+        transitions.push(Transition {
+            input: Cube::parse("10").expect("valid cube"),
+            from: s,
+            to: up,
+            outputs: out(up),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("01").expect("valid cube"),
+            from: s,
+            to: down,
+            outputs: out(down),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("00").expect("valid cube"),
+            from: s,
+            to: s,
+            outputs: out(s),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("11").expect("valid cube"),
+            from: s,
+            to: s,
+            outputs: out(s),
+        });
+    }
+    Fsm::new(name, 2, 1, states, 0, transitions)
+}
+
+/// A modulo-`m` counter with an enable input (the `modulo12` shape):
+/// while enabled, advance one state per step; the single output pulses on
+/// wrap-around.
+///
+/// # Panics
+///
+/// Panics if `modulus == 0`.
+#[must_use]
+pub fn modulo_counter(name: &str, modulus: usize) -> Fsm {
+    assert!(modulus > 0);
+    let states: Vec<String> = (0..modulus).map(|i| format!("m{i}")).collect();
+    let mut transitions = Vec::new();
+    for s in 0..modulus {
+        let next = (s + 1) % modulus;
+        let wrap = if next == 0 {
+            OutputBit::One
+        } else {
+            OutputBit::Zero
+        };
+        transitions.push(Transition {
+            input: Cube::parse("1").expect("valid cube"),
+            from: s,
+            to: next,
+            outputs: vec![wrap],
+        });
+        transitions.push(Transition {
+            input: Cube::parse("0").expect("valid cube"),
+            from: s,
+            to: s,
+            outputs: vec![OutputBit::Zero],
+        });
+    }
+    Fsm::new(name, 1, 1, states, 0, transitions)
+}
+
+/// An `n`-state bidirectional cycle tracker (the `train4`/`train11`
+/// shape): `01` steps forward around the cycle, `10` steps backward,
+/// `00`/`11` hold. Output 1 away from the home state.
+///
+/// # Panics
+///
+/// Panics if `num_states == 0`.
+#[must_use]
+pub fn cycle_tracker(name: &str, num_states: usize) -> Fsm {
+    assert!(num_states > 0);
+    let states: Vec<String> = (0..num_states).map(|i| format!("t{i}")).collect();
+    let mut transitions = Vec::new();
+    let out = |s: usize| {
+        vec![if s > 0 { OutputBit::One } else { OutputBit::Zero }]
+    };
+    for s in 0..num_states {
+        let fwd = (s + 1) % num_states;
+        let bwd = (s + num_states - 1) % num_states;
+        transitions.push(Transition {
+            input: Cube::parse("01").expect("valid cube"),
+            from: s,
+            to: fwd,
+            outputs: out(fwd),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("10").expect("valid cube"),
+            from: s,
+            to: bwd,
+            outputs: out(bwd),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("11").expect("valid cube"),
+            from: s,
+            to: s,
+            outputs: out(s),
+        });
+        transitions.push(Transition {
+            input: Cube::parse("00").expect("valid cube"),
+            from: s,
+            to: s,
+            outputs: out(s),
+        });
+    }
+    Fsm::new(name, 2, 1, states, 0, transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let f = up_down_counter("c", 4);
+        // From state 3, input 10 stays at 3.
+        let t = f.lookup(0b10, 3).unwrap();
+        assert_eq!(t.to, 3);
+        // From state 0, input 01 stays at 0.
+        let t = f.lookup(0b01, 0).unwrap();
+        assert_eq!(t.to, 0);
+        assert_eq!(f.specification_coverage(), 1.0);
+    }
+
+    #[test]
+    fn counter_is_deterministic_and_complete() {
+        for n in [1usize, 2, 4, 9, 11, 24] {
+            let f = up_down_counter("c", n);
+            assert_eq!(f.check_deterministic(), None, "{n} states");
+            assert_eq!(f.specification_coverage(), 1.0);
+        }
+    }
+
+    #[test]
+    fn modulo_counter_wraps_with_pulse() {
+        let f = modulo_counter("m", 12);
+        let t = f.lookup(1, 11).unwrap();
+        assert_eq!(t.to, 0);
+        assert_eq!(t.outputs[0], OutputBit::One);
+        let t = f.lookup(1, 5).unwrap();
+        assert_eq!(t.to, 6);
+        assert_eq!(t.outputs[0], OutputBit::Zero);
+        // Disabled: hold.
+        let t = f.lookup(0, 7).unwrap();
+        assert_eq!(t.to, 7);
+    }
+
+    #[test]
+    fn cycle_tracker_wraps_both_ways() {
+        let f = cycle_tracker("t", 11);
+        assert_eq!(f.lookup(0b01, 10).unwrap().to, 0);
+        assert_eq!(f.lookup(0b10, 0).unwrap().to, 10);
+        assert_eq!(f.check_deterministic(), None);
+        assert_eq!(f.specification_coverage(), 1.0);
+    }
+
+    #[test]
+    fn cycle_tracker_rows_are_disjoint() {
+        // Rows must be disjoint per state so that direct (OR-of-rows)
+        // synthesis is sound.
+        let f = cycle_tracker("t", 5);
+        for s in 0..5 {
+            for m in 0..4u32 {
+                let matching = f
+                    .transitions()
+                    .iter()
+                    .filter(|t| t.from == s && t.input.matches(m))
+                    .count();
+                assert_eq!(matching, 1, "state {s} input {m:02b}");
+            }
+        }
+    }
+}

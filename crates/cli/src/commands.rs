@@ -1,0 +1,329 @@
+//! Subcommand implementations for `ndet`.
+
+use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
+use ndetect_core::partition::analyze_output_cones;
+use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
+use ndetect_core::{
+    estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
+    WorstCaseAnalysis,
+};
+use ndetect_faults::FaultUniverse;
+use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  ndet list
+  ndet stats <circuit>
+  ndet worst <circuit> [--floor N]
+  ndet average <circuit> [--k K] [--nmax N] [--def 1|2] [--tail T]
+  ndet greedy <circuit> [--n N]
+  ndet synth <circuit>
+  ndet bench-file <path> <stats|worst|cones>
+  ndet pla-file <path> <stats|worst|synth>
+  ndet dot <circuit>
+  ndet cones <circuit> [--max-inputs N]
+
+<circuit>: a suite name (`ndet list`), `figure1`, or `c17`.";
+
+/// Parses and runs a command line; returns a user-facing error string on
+/// failure.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "list" => list(),
+        "stats" => with_circuit(&rest, |_, n| stats(&n)),
+        "worst" => {
+            let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
+            with_circuit(&rest, |_, n| worst(&n, floor))
+        }
+        "average" => {
+            let k = flag_value(&rest, "--k")?.unwrap_or(200);
+            let nmax = flag_value(&rest, "--nmax")?.unwrap_or(10);
+            let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
+            let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax as usize + 1);
+            with_circuit(&rest, |name, n| {
+                average(name, &n, k, nmax as u32, def, tail as u32)
+            })
+        }
+        "greedy" => {
+            let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
+            with_circuit(&rest, |_, n| greedy(&n, n_det as u32))
+        }
+        "synth" => with_circuit(&rest, |_, n| {
+            print!("{}", bench_format::write(&n));
+            Ok(())
+        }),
+        "bench-file" => bench_file(&rest),
+        "pla-file" => pla_file(&rest),
+        "dot" => with_circuit(&rest, |_, n| {
+            print!("{}", ndetect_netlist::dot::write(&n));
+            Ok(())
+        }),
+        "cones" => {
+            let max_inputs = flag_value(&rest, "--max-inputs")?.unwrap_or(14);
+            with_circuit(&rest, |_, n| cones(&n, max_inputs))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value(rest: &[&String], flag: &str) -> Result<Option<usize>, String> {
+    for (i, arg) in rest.iter().enumerate() {
+        if arg.as_str() == flag {
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for {flag}"))?;
+            return v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value for {flag}: `{v}`"));
+        }
+    }
+    Ok(None)
+}
+
+fn with_circuit(
+    rest: &[&String],
+    f: impl FnOnce(&str, Netlist) -> Result<(), String>,
+) -> Result<(), String> {
+    let name = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .ok_or("missing circuit name")?;
+    let netlist = ndetect_circuits::build(name).map_err(|e| e.to_string())?;
+    f(name, netlist)
+}
+
+fn list() -> Result<(), String> {
+    println!(
+        "{:<10} {:>6} {:>7} {:>7} {:>10} {:<14}",
+        "circuit", "inputs", "outputs", "states", "sim bits", "source"
+    );
+    for spec in ndetect_circuits::suite() {
+        println!(
+            "{:<10} {:>6} {:>7} {:>7} {:>10} {:<14}",
+            spec.name(),
+            spec.inputs(),
+            spec.outputs(),
+            spec.states(),
+            spec.total_input_bits(),
+            format!("{:?}", spec.source()),
+        );
+    }
+    println!("\nspecials: figure1 (paper example), c17 (ISCAS-85)");
+    Ok(())
+}
+
+fn universe_of(netlist: &Netlist) -> Result<FaultUniverse, String> {
+    FaultUniverse::build(netlist).map_err(|e| e.to_string())
+}
+
+fn stats(netlist: &Netlist) -> Result<(), String> {
+    println!("{netlist}");
+    println!("{}", NetlistStats::compute(netlist));
+    let universe = universe_of(netlist)?;
+    println!("{universe}");
+    Ok(())
+}
+
+fn worst(netlist: &Netlist, floor: usize) -> Result<(), String> {
+    let universe = universe_of(netlist)?;
+    let wc = WorstCaseAnalysis::compute(&universe);
+    println!("{universe}");
+    println!("{wc}");
+    println!();
+    print!(
+        "{}",
+        render_table2(&[table2_row(netlist.name(), &wc)])
+    );
+    println!();
+    print!(
+        "{}",
+        render_table3(&[table3_row(netlist.name(), &wc)])
+    );
+    let dist = NminDistribution::collect(&wc, floor as u32);
+    if !dist.is_empty() {
+        println!("\nnmin distribution (nmin >= {floor}):");
+        print!("{}", dist.render_ascii(24));
+    }
+    Ok(())
+}
+
+fn average(
+    name: &str,
+    netlist: &Netlist,
+    k: usize,
+    nmax: u32,
+    def: u32,
+    tail: u32,
+) -> Result<(), String> {
+    let definition = match def {
+        1 => DetectionDefinition::Standard,
+        2 => DetectionDefinition::SufficientlyDifferent,
+        other => return Err(format!("--def must be 1 or 2, got {other}")),
+    };
+    let universe = universe_of(netlist)?;
+    let wc = WorstCaseAnalysis::compute(&universe);
+    let tracked = wc.tail_indices(tail);
+    if tracked.is_empty() {
+        println!("{name}: no untargeted faults with nmin >= {tail}; nothing to estimate");
+        return Ok(());
+    }
+    let config = Procedure1Config {
+        nmax,
+        num_test_sets: k,
+        definition,
+        ..Default::default()
+    };
+    let probs =
+        estimate_detection_probabilities(&universe, &tracked, &config).map_err(|e| e.to_string())?;
+    println!(
+        "{name}: {} tracked faults (nmin >= {tail}), K = {k}, definition {def}",
+        tracked.len()
+    );
+    println!(
+        "p({nmax},g) >= thresholds 1.0..0.0: {:?}",
+        probs.histogram_row(nmax)
+    );
+    if let Some((pos, p)) = probs.min_probability(nmax) {
+        println!(
+            "lowest p({nmax},g) = {p:.3} for {}",
+            universe.bridges()[tracked[pos]].name(universe.netlist())
+        );
+    }
+    println!(
+        "expected escapes at n = {nmax}: {:.2} of {} tracked faults",
+        probs.expected_escapes(nmax),
+        tracked.len()
+    );
+    Ok(())
+}
+
+fn greedy(netlist: &Netlist, n: u32) -> Result<(), String> {
+    let universe = universe_of(netlist)?;
+    let set = greedy_n_detection(&universe, n);
+    println!(
+        "greedy {n}-detection set: {} tests, bridging coverage {:.2}%",
+        set.len(),
+        bridge_coverage(&universe, &set)
+    );
+    println!("{set}");
+    Ok(())
+}
+
+fn pla_file(rest: &[&String]) -> Result<(), String> {
+    let path = rest.first().ok_or("missing .pla path")?;
+    let sub = rest.get(1).map_or("stats", |s| s.as_str());
+    let text = std::fs::read_to_string(path.as_str())
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path.as_str())
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("pla");
+    let pla = ndetect_fsm::parse_pla(name, &text).map_err(|e| e.to_string())?;
+    let netlist = pla.synthesize().map_err(|e| e.to_string())?;
+    match sub {
+        "stats" => stats(&netlist),
+        "worst" => worst(&netlist, 100),
+        "synth" => {
+            print!("{}", bench_format::write(&netlist));
+            Ok(())
+        }
+        other => Err(format!("unknown pla-file subcommand `{other}`")),
+    }
+}
+
+fn bench_file(rest: &[&String]) -> Result<(), String> {
+    let path = rest.first().ok_or("missing .bench path")?;
+    let sub = rest.get(1).map_or("stats", |s| s.as_str());
+    let text = std::fs::read_to_string(path.as_str())
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path.as_str())
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    let netlist = bench_format::parse(name, &text).map_err(|e| e.to_string())?;
+    match sub {
+        "stats" => stats(&netlist),
+        "worst" => worst(&netlist, 100),
+        "cones" => cones(&netlist, 14),
+        other => Err(format!("unknown bench-file subcommand `{other}`")),
+    }
+}
+
+fn cones(netlist: &Netlist, max_inputs: usize) -> Result<(), String> {
+    let reports = analyze_output_cones(netlist, max_inputs).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} output cones analysed (cones wider than {max_inputs} inputs skipped)",
+        netlist.name(),
+        reports.len()
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>7} {:>8} {:>9} {:>8}",
+        "output", "inputs", "gates", "targets", "bridges", "cov@10", "tail11"
+    );
+    for r in reports {
+        let cov10 = r
+            .coverage
+            .iter()
+            .find(|(n, _)| *n == 10)
+            .map_or(100.0, |(_, pct)| *pct);
+        println!(
+            "{:<12} {:>6} {:>6} {:>7} {:>8} {:>8.2}% {:>8}",
+            r.output_name, r.num_inputs, r.num_gates, r.num_targets, r.num_bridges, cov10, r.tail_11
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        dispatch(&owned)
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_commands() {
+        assert!(dispatch(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn list_succeeds() {
+        assert!(run(&["list"]).is_ok());
+    }
+
+    #[test]
+    fn stats_and_worst_on_figure1() {
+        assert!(run(&["stats", "figure1"]).is_ok());
+        assert!(run(&["worst", "figure1"]).is_ok());
+        assert!(run(&["stats", "not-a-circuit"]).is_err());
+    }
+
+    #[test]
+    fn average_flag_validation() {
+        assert!(run(&["average", "figure1", "--k", "10", "--nmax", "3", "--tail", "3"]).is_ok());
+        assert!(run(&["average", "figure1", "--def", "7"]).is_err());
+        assert!(run(&["average", "figure1", "--k"]).is_err());
+        assert!(run(&["average", "figure1", "--k", "zebra"]).is_err());
+    }
+
+    #[test]
+    fn greedy_synth_dot_cones() {
+        assert!(run(&["greedy", "figure1", "--n", "2"]).is_ok());
+        assert!(run(&["synth", "figure1"]).is_ok());
+        assert!(run(&["dot", "c17"]).is_ok());
+        assert!(run(&["cones", "c17"]).is_ok());
+    }
+
+    #[test]
+    fn file_commands_validate_paths() {
+        assert!(run(&["bench-file", "/nonexistent/x.bench"]).is_err());
+        assert!(run(&["pla-file", "/nonexistent/x.pla"]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `ndet` — command-line interface to the n-detection analysis library.
+//!
+//! ```text
+//! ndet list                         # suite circuits and signatures
+//! ndet stats <circuit>              # structure + fault population
+//! ndet worst <circuit>              # worst-case nmin analysis
+//! ndet average <circuit> [opts]     # Procedure-1 detection probabilities
+//! ndet greedy <circuit> --n N       # compact greedy n-detection set
+//! ndet synth <circuit>              # print synthesized .bench netlist
+//! ndet bench-file <path> <command>  # analyze a user-provided .bench file
+//! ndet cones <circuit|path>         # per-output-cone partitioned analysis
+//! ```
+//!
+//! `<circuit>` is any suite name (see `ndet list`), `figure1`, or `c17`.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

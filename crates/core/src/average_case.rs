@@ -1,0 +1,658 @@
+//! The average-case analysis: Procedure 1 and detection-probability
+//! estimation.
+
+use crate::definition::{counts_as_new_detection, Def2Cache, DetectionDefinition};
+use crate::error::CoreError;
+use crate::test_set::TestSet;
+use ndetect_faults::FaultUniverse;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for Procedure 1 (random n-detection test set
+/// construction) and the probability estimator built on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Procedure1Config {
+    /// Largest `n` to build up to (the paper uses 10).
+    pub nmax: u32,
+    /// Number of independent random test sets `K` (the paper uses 10000
+    /// for Table 5 and 1000 for Table 6).
+    pub num_test_sets: usize,
+    /// Master seed; every test set `k` derives its own RNG stream, so
+    /// results are identical regardless of thread count.
+    pub seed: u64,
+    /// Detection-counting rule (Definition 1 or 2).
+    pub definition: DetectionDefinition,
+    /// Worker threads; 0 means use the available parallelism.
+    pub threads: usize,
+}
+
+impl Default for Procedure1Config {
+    fn default() -> Self {
+        Procedure1Config {
+            nmax: 10,
+            num_test_sets: 1000,
+            seed: 0x5EED_0001,
+            definition: DetectionDefinition::Standard,
+            threads: 0,
+        }
+    }
+}
+
+impl Procedure1Config {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.nmax == 0 {
+            return Err(CoreError::BadConfig {
+                message: "nmax must be at least 1".into(),
+            });
+        }
+        if self.num_test_sets == 0 {
+            return Err(CoreError::BadConfig {
+                message: "num_test_sets must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn rng_for_set(&self, k: usize) -> StdRng {
+        // Distinct, well-separated stream per test set.
+        let stream = (k as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x7F4A_7C15_9E37_79B9);
+        StdRng::seed_from_u64(self.seed ^ stream)
+    }
+}
+
+/// Shared read-only indices for fast Procedure-1 bookkeeping.
+struct TargetIndex {
+    /// Per target: `T(f)` as a sorted vector (for uniform sampling).
+    vectors: Vec<Vec<u32>>,
+    /// Per input vector: indices of targets it detects.
+    targets_of_vector: Vec<Vec<u32>>,
+}
+
+impl TargetIndex {
+    fn build(universe: &FaultUniverse) -> Self {
+        let num_patterns = universe.space().num_patterns();
+        let mut vectors = Vec::with_capacity(universe.targets().len());
+        let mut targets_of_vector: Vec<Vec<u32>> = vec![Vec::new(); num_patterns];
+        for (fi, set) in universe.target_sets().iter().enumerate() {
+            let vs: Vec<u32> = set.iter().map(|v| v as u32).collect();
+            for &v in &vs {
+                targets_of_vector[v as usize].push(fi as u32);
+            }
+            vectors.push(vs);
+        }
+        TargetIndex {
+            vectors,
+            targets_of_vector,
+        }
+    }
+}
+
+/// Per-test-set evolving state.
+struct RunState {
+    set: TestSet,
+    def1_counts: Vec<u32>,
+    /// Definition-2 greedy state (`counted[f]` = tests counted as
+    /// different detections, in insertion order).
+    def2_counted: Vec<Vec<u32>>,
+    def2_counts: Vec<u32>,
+    use_def2: bool,
+}
+
+/// Runs Procedure 1 for one test set `k`, invoking `on_add(n, t)` for
+/// every test added during iteration `n` and `on_iteration(n, set)` after
+/// each iteration completes.
+fn run_single(
+    universe: &FaultUniverse,
+    index: &TargetIndex,
+    config: &Procedure1Config,
+    k: usize,
+    cache: &mut Def2Cache,
+    mut on_add: impl FnMut(u32, u32),
+    mut on_iteration: impl FnMut(u32, &TestSet),
+) {
+    let netlist = universe.netlist();
+    let space = universe.space();
+    let num_targets = universe.targets().len();
+    let mut rng = config.rng_for_set(k);
+    let use_def2 = config.definition == DetectionDefinition::SufficientlyDifferent;
+
+    let mut state = RunState {
+        set: TestSet::new(space.num_patterns()),
+        def1_counts: vec![0; num_targets],
+        def2_counted: if use_def2 {
+            vec![Vec::new(); num_targets]
+        } else {
+            Vec::new()
+        },
+        def2_counts: vec![0; num_targets],
+        use_def2,
+    };
+
+    for n in 1..=config.nmax {
+        for fi in 0..num_targets {
+            let t_f = &index.vectors[fi];
+            if t_f.is_empty() {
+                continue; // undetectable target: never adds tests
+            }
+            let chosen: Option<u32> = if use_def2 {
+                if state.def2_counts[fi] >= n {
+                    None
+                } else {
+                    // Candidates not yet in the set, in random order; the
+                    // first that counts as a new Definition-2 detection
+                    // wins. If none counts, fall back to Definition 1.
+                    let mut candidates: Vec<u32> = t_f
+                        .iter()
+                        .copied()
+                        .filter(|&v| !state.set.contains(v as usize))
+                        .collect();
+                    let mut pick = None;
+                    // Incremental Fisher-Yates: draw without full shuffle.
+                    let len = candidates.len();
+                    for i in 0..len {
+                        let j = rng.gen_range(i..len);
+                        candidates.swap(i, j);
+                        let t = candidates[i];
+                        if counts_as_new_detection(
+                            netlist,
+                            space,
+                            fi,
+                            universe.targets()[fi],
+                            &state.def2_counted[fi],
+                            t,
+                            cache,
+                        ) {
+                            pick = Some(t);
+                            break;
+                        }
+                    }
+                    match pick {
+                        Some(t) => Some(t),
+                        None if state.def1_counts[fi] < n && !candidates.is_empty() => {
+                            Some(candidates[rng.gen_range(0..candidates.len())])
+                        }
+                        None => None,
+                    }
+                }
+            } else if state.def1_counts[fi] >= n {
+                None
+            } else {
+                sample_not_in_set(t_f, &state.set, &mut rng)
+            };
+
+            if let Some(t) = chosen {
+                add_test(universe, index, &mut state, t, cache);
+                on_add(n, t);
+            }
+        }
+        on_iteration(n, &state.set);
+    }
+}
+
+/// Uniformly samples an element of `t_f` not yet in `set` (rejection
+/// sampling with a bounded retry count, then exact fallback).
+fn sample_not_in_set(t_f: &[u32], set: &TestSet, rng: &mut StdRng) -> Option<u32> {
+    for _ in 0..8 {
+        let v = t_f[rng.gen_range(0..t_f.len())];
+        if !set.contains(v as usize) {
+            return Some(v);
+        }
+    }
+    let remaining: Vec<u32> = t_f
+        .iter()
+        .copied()
+        .filter(|&v| !set.contains(v as usize))
+        .collect();
+    if remaining.is_empty() {
+        None
+    } else {
+        Some(remaining[rng.gen_range(0..remaining.len())])
+    }
+}
+
+/// Adds `t` to the evolving set, updating Definition-1 counts for every
+/// target detecting `t` and the greedy Definition-2 state when enabled.
+fn add_test(
+    universe: &FaultUniverse,
+    index: &TargetIndex,
+    state: &mut RunState,
+    t: u32,
+    cache: &mut Def2Cache,
+) {
+    if !state.set.push(t as usize) {
+        return;
+    }
+    let netlist = universe.netlist();
+    let space = universe.space();
+    for &f in &index.targets_of_vector[t as usize] {
+        let fi = f as usize;
+        state.def1_counts[fi] += 1;
+        if state.use_def2
+            && counts_as_new_detection(
+                netlist,
+                space,
+                fi,
+                universe.targets()[fi],
+                &state.def2_counted[fi],
+                t,
+                cache,
+            )
+        {
+            state.def2_counted[fi].push(t);
+            state.def2_counts[fi] += 1;
+        }
+    }
+}
+
+/// All `K` test sets for every `n ≤ nmax` — the shape of the paper's
+/// Table 4. Row `sets[n-1][k]` is test set `Tk` at the end of iteration
+/// `n` (an n-detection test set under the configured definition).
+#[derive(Clone, Debug)]
+pub struct TestSetSeries {
+    /// `sets[n-1][k]`.
+    pub sets: Vec<Vec<TestSet>>,
+}
+
+/// Runs Procedure 1 and collects every intermediate test set. Intended
+/// for small `K` (the paper's Table 4 uses `K = 10`); memory grows as
+/// `K × nmax × |T|`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for zero `nmax`/`K`.
+pub fn construct_test_set_series(
+    universe: &FaultUniverse,
+    config: &Procedure1Config,
+) -> Result<TestSetSeries, CoreError> {
+    config.validate()?;
+    let index = TargetIndex::build(universe);
+    let mut sets: Vec<Vec<TestSet>> = vec![Vec::new(); config.nmax as usize];
+    let mut cache = Def2Cache::new();
+    for k in 0..config.num_test_sets {
+        run_single(
+            universe,
+            &index,
+            config,
+            k,
+            &mut cache,
+            |_, _| {},
+            |n, set| sets[(n - 1) as usize].push(set.clone()),
+        );
+    }
+    Ok(TestSetSeries { sets })
+}
+
+/// Estimated probabilities `p(n, g) = d(n, g) / K` that an arbitrary
+/// n-detection test set detects each tracked untargeted fault.
+#[derive(Clone, Debug)]
+pub struct DetectionProbabilities {
+    nmax: u32,
+    num_test_sets: usize,
+    tracked: Vec<usize>,
+    /// `d[n-1][pos]`: number of test sets whose n-detection stage
+    /// detects tracked fault `pos`.
+    d: Vec<Vec<u32>>,
+}
+
+impl DetectionProbabilities {
+    /// The tracked bridge indices (positions index into these).
+    #[must_use]
+    pub fn tracked(&self) -> &[usize] {
+        &self.tracked
+    }
+
+    /// Number of test sets `K` used for the estimate.
+    #[must_use]
+    pub fn num_test_sets(&self) -> usize {
+        self.num_test_sets
+    }
+
+    /// Largest `n` estimated.
+    #[must_use]
+    pub fn nmax(&self) -> u32 {
+        self.nmax
+    }
+
+    /// `p(n, g)` for the tracked fault at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds `nmax`, or `pos` is out of range.
+    #[must_use]
+    pub fn probability(&self, n: u32, pos: usize) -> f64 {
+        assert!(n >= 1 && n <= self.nmax);
+        f64::from(self.d[(n - 1) as usize][pos]) / self.num_test_sets as f64
+    }
+
+    /// Number of tracked faults with `p(n, g) ≥ threshold` — a Table 5
+    /// cell.
+    #[must_use]
+    pub fn count_at_least(&self, n: u32, threshold: f64) -> usize {
+        (0..self.tracked.len())
+            .filter(|&pos| self.probability(n, pos) >= threshold - 1e-12)
+            .count()
+    }
+
+    /// The paper's Table 5 row: counts at thresholds
+    /// `1, 0.9, 0.8, …, 0.1, 0`.
+    #[must_use]
+    pub fn histogram_row(&self, n: u32) -> Vec<usize> {
+        (0..=10)
+            .map(|i| self.count_at_least(n, 1.0 - 0.1 * f64::from(i)))
+            .collect()
+    }
+
+    /// The lowest probability among tracked faults at stage `n`
+    /// (`None` if nothing is tracked).
+    #[must_use]
+    pub fn min_probability(&self, n: u32) -> Option<(usize, f64)> {
+        (0..self.tracked.len())
+            .map(|pos| (pos, self.probability(n, pos)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Expected number of tracked faults escaping an n-detection test
+    /// set: `Σ (1 − p(n,g))`.
+    #[must_use]
+    pub fn expected_escapes(&self, n: u32) -> f64 {
+        (0..self.tracked.len())
+            .map(|pos| 1.0 - self.probability(n, pos))
+            .sum()
+    }
+}
+
+/// Estimates `p(n, g)` for the given tracked untargeted faults by
+/// building `K` random n-detection test sets with Procedure 1.
+///
+/// Work is distributed over threads; results are bit-for-bit identical
+/// for any thread count because each test set derives its own RNG
+/// stream from the master seed.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for zero `nmax`/`K` and
+/// [`CoreError::FaultIndex`] if a tracked index is out of range.
+pub fn estimate_detection_probabilities(
+    universe: &FaultUniverse,
+    tracked: &[usize],
+    config: &Procedure1Config,
+) -> Result<DetectionProbabilities, CoreError> {
+    config.validate()?;
+    for &j in tracked {
+        if j >= universe.bridges().len() {
+            return Err(CoreError::FaultIndex {
+                index: j,
+                len: universe.bridges().len(),
+            });
+        }
+    }
+    let index = TargetIndex::build(universe);
+
+    // Inverted index over the tracked bridges: which tracked positions
+    // does each input vector detect?
+    let num_patterns = universe.space().num_patterns();
+    let mut tracked_of_vector: Vec<Vec<u32>> = vec![Vec::new(); num_patterns];
+    for (pos, &j) in tracked.iter().enumerate() {
+        for v in universe.bridge_set(j).iter() {
+            tracked_of_vector[v].push(pos as u32);
+        }
+    }
+
+    let nmax = config.nmax as usize;
+    let num_threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        config.threads
+    }
+    .min(config.num_test_sets)
+    .max(1);
+
+    let totals: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for w in 0..num_threads {
+            let index = &index;
+            let tracked_of_vector = &tracked_of_vector;
+            let num_tracked = tracked.len();
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<Vec<u32>> = vec![vec![0; num_tracked]; nmax];
+                let mut cache = Def2Cache::new();
+                let mut detected_at: Vec<u32> = vec![0; num_tracked];
+                for k in (w..config.num_test_sets).step_by(num_threads) {
+                    detected_at.fill(0);
+                    run_single(
+                        universe,
+                        index,
+                        config,
+                        k,
+                        &mut cache,
+                        |n, t| {
+                            for &pos in &tracked_of_vector[t as usize] {
+                                let p = pos as usize;
+                                if detected_at[p] == 0 {
+                                    detected_at[p] = n;
+                                }
+                            }
+                        },
+                        |_, _| {},
+                    );
+                    for (p, &at) in detected_at.iter().enumerate() {
+                        if at > 0 {
+                            for n in at..=config.nmax {
+                                local[(n - 1) as usize][p] += 1;
+                            }
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        let mut total: Vec<Vec<u32>> = vec![vec![0; tracked.len()]; nmax];
+        for h in handles {
+            let local = h.join().expect("procedure-1 worker panicked");
+            for (trow, lrow) in total.iter_mut().zip(local) {
+                for (t, l) in trow.iter_mut().zip(lrow) {
+                    *t += l;
+                }
+            }
+        }
+        total
+    });
+
+    Ok(DetectionProbabilities {
+        nmax: config.nmax,
+        num_test_sets: config.num_test_sets,
+        tracked: tracked.to_vec(),
+        d: totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worst_case::WorstCaseAnalysis;
+    use ndetect_circuits::figure1;
+
+    fn universe() -> FaultUniverse {
+        FaultUniverse::build(&figure1::netlist()).unwrap()
+    }
+
+    #[test]
+    fn every_set_is_an_n_detection_set_under_definition_1() {
+        let u = universe();
+        let config = Procedure1Config {
+            nmax: 3,
+            num_test_sets: 5,
+            ..Default::default()
+        };
+        let series = construct_test_set_series(&u, &config).unwrap();
+        for n in 1..=3u32 {
+            for set in &series.sets[(n - 1) as usize] {
+                for (fi, t_f) in u.target_sets().iter().enumerate() {
+                    let want = (t_f.len()).min(n as usize);
+                    let got = set.detection_count(t_f);
+                    assert!(
+                        got >= want,
+                        "n={n} target {fi}: {got} < {want} in {set}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sets_grow_monotonically_with_n() {
+        let u = universe();
+        let config = Procedure1Config {
+            nmax: 4,
+            num_test_sets: 3,
+            ..Default::default()
+        };
+        let series = construct_test_set_series(&u, &config).unwrap();
+        for k in 0..3 {
+            for n in 1..4 {
+                let prev = &series.sets[n - 1][k];
+                let next = &series.sets[n][k];
+                assert!(next.len() >= prev.len());
+                // Prefix property: iteration n only appends.
+                assert_eq!(&next.vectors()[..prev.len()], prev.vectors());
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_and_seed_sensitive() {
+        let u = universe();
+        let config = Procedure1Config {
+            nmax: 2,
+            num_test_sets: 4,
+            ..Default::default()
+        };
+        let a = construct_test_set_series(&u, &config).unwrap();
+        let b = construct_test_set_series(&u, &config).unwrap();
+        assert_eq!(a.sets, b.sets);
+        let other = Procedure1Config {
+            seed: 999,
+            ..config
+        };
+        let c = construct_test_set_series(&u, &other).unwrap();
+        assert_ne!(a.sets, c.sets);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_n_and_bounded() {
+        let u = universe();
+        let wc = WorstCaseAnalysis::compute(&u);
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let config = Procedure1Config {
+            nmax: 5,
+            num_test_sets: 200,
+            ..Default::default()
+        };
+        let probs = estimate_detection_probabilities(&u, &tracked, &config).unwrap();
+        for pos in 0..tracked.len() {
+            let mut prev = 0.0;
+            for n in 1..=5 {
+                let p = probs.probability(n, pos);
+                assert!((0.0..=1.0).contains(&p));
+                assert!(p >= prev, "p must be monotone in n");
+                prev = p;
+            }
+            // Guarantee: once n >= nmin(g), p = 1.
+            if let Some(m) = wc.nmin(tracked[pos]) {
+                if m <= 5 {
+                    assert_eq!(probs.probability(5, pos), 1.0, "bridge {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let u = universe();
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let base = Procedure1Config {
+            nmax: 3,
+            num_test_sets: 50,
+            threads: 1,
+            ..Default::default()
+        };
+        let a = estimate_detection_probabilities(&u, &tracked, &base).unwrap();
+        let b = estimate_detection_probabilities(
+            &u,
+            &tracked,
+            &Procedure1Config { threads: 4, ..base },
+        )
+        .unwrap();
+        assert_eq!(a.d, b.d);
+    }
+
+    #[test]
+    fn definition2_never_reduces_detection_probability_here() {
+        let u = universe();
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let base = Procedure1Config {
+            nmax: 3,
+            num_test_sets: 300,
+            ..Default::default()
+        };
+        let d1 = estimate_detection_probabilities(&u, &tracked, &base).unwrap();
+        let d2 = estimate_detection_probabilities(
+            &u,
+            &tracked,
+            &Procedure1Config {
+                definition: DetectionDefinition::SufficientlyDifferent,
+                ..base
+            },
+        )
+        .unwrap();
+        // Definition 2 sets are supersets in spirit: on this circuit the
+        // average detection probability must not degrade.
+        let avg1: f64 = (0..tracked.len()).map(|p| d1.probability(3, p)).sum();
+        let avg2: f64 = (0..tracked.len()).map(|p| d2.probability(3, p)).sum();
+        assert!(avg2 >= avg1 - 1e-9, "avg def2 {avg2} < avg def1 {avg1}");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let u = universe();
+        let bad = Procedure1Config {
+            nmax: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            construct_test_set_series(&u, &bad),
+            Err(CoreError::BadConfig { .. })
+        ));
+        let bad = Procedure1Config {
+            num_test_sets: 0,
+            ..Default::default()
+        };
+        assert!(construct_test_set_series(&u, &bad).is_err());
+        assert!(matches!(
+            estimate_detection_probabilities(&u, &[999], &Procedure1Config::default()),
+            Err(CoreError::FaultIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn histogram_row_is_monotone_nondecreasing() {
+        let u = universe();
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let config = Procedure1Config {
+            nmax: 2,
+            num_test_sets: 100,
+            ..Default::default()
+        };
+        let probs = estimate_detection_probabilities(&u, &tracked, &config).unwrap();
+        let row = probs.histogram_row(2);
+        assert_eq!(row.len(), 11);
+        for w in row.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(row[10], tracked.len()); // p >= 0 counts everything
+    }
+}

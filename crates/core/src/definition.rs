@@ -1,0 +1,156 @@
+//! The two definitions of "detected n times" (the paper's Definitions 1
+//! and 2).
+
+use ndetect_faults::{threeval_detects_stuck, StuckAtFault};
+use ndetect_netlist::Netlist;
+use ndetect_sim::{PartialVector, PatternSpace};
+use std::collections::HashMap;
+
+/// Which counting rule Procedure 1 uses for target-fault detections.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DetectionDefinition {
+    /// **Definition 1** (standard): a fault is detected `n` times by a
+    /// test set containing `n` tests that detect it.
+    #[default]
+    Standard,
+    /// **Definition 2** (from Pomeranz & Reddy, DATE 2001): tests `ti`,
+    /// `tj` count as different detections of `f` only if `tij` — the
+    /// vector specified where `ti` and `tj` agree and unspecified
+    /// elsewhere — does **not** detect `f` under three-valued
+    /// simulation. Counting is greedy in test-insertion order.
+    SufficientlyDifferent,
+}
+
+/// Memo cache for Definition-2 similarity queries.
+///
+/// The predicate "does the common-bits vector of `(ti, tj)` detect fault
+/// `f`" is pure; Procedure 1 asks it repeatedly for the same triples
+/// across the K random test sets, so a simple hash memo removes most of
+/// the three-valued simulation cost.
+#[derive(Debug, Default)]
+pub struct Def2Cache {
+    map: HashMap<u64, bool>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Def2Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Def2Cache::default()
+    }
+
+    /// `(hits, misses)` counters — exposed for the efficiency ablation.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Whether the common-bits vector `tij` of `ti`,`tj` detects
+    /// `fault` (memoized [`threeval_detects_stuck`]).
+    pub fn tij_detects(
+        &mut self,
+        netlist: &Netlist,
+        space: &PatternSpace,
+        fault_index: usize,
+        fault: StuckAtFault,
+        ti: u32,
+        tj: u32,
+    ) -> bool {
+        let (lo, hi) = if ti <= tj { (ti, tj) } else { (tj, ti) };
+        let key = ((fault_index as u64) << 48) | (u64::from(lo) << 24) | u64::from(hi);
+        if let Some(&v) = self.map.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let tij = PartialVector::common_bits(space, lo as usize, hi as usize);
+        let v = threeval_detects_stuck(netlist, fault, &tij);
+        self.map.insert(key, v);
+        v
+    }
+}
+
+/// Whether adding `t` to a test set whose Definition-2-counted
+/// detections of `fault` are `counted` would count as a **new**
+/// detection: `t` must be "sufficiently different" from every counted
+/// test (no common-bits vector may already detect the fault).
+pub fn counts_as_new_detection(
+    netlist: &Netlist,
+    space: &PatternSpace,
+    fault_index: usize,
+    fault: StuckAtFault,
+    counted: &[u32],
+    t: u32,
+    cache: &mut Def2Cache,
+) -> bool {
+    counted
+        .iter()
+        .all(|&s| !cache.tij_detects(netlist, space, fault_index, fault, s, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_faults::FaultUniverse;
+    use ndetect_netlist::NetlistBuilder;
+
+    fn and2() -> ndetect_netlist::Netlist {
+        let mut b = NetlistBuilder::new("and2");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and("g", &[a, c]).unwrap();
+        b.output(g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn similar_tests_do_not_count_twice() {
+        // For g stuck-at-1 on AND(a,c): T = {00, 01, 10}. Tests 00 and 01
+        // share "0-" which already detects the fault (a=0 forces output 0,
+        // faulty 1) => NOT sufficiently different.
+        let n = and2();
+        let u = FaultUniverse::build(&n).unwrap();
+        let f_idx = u.find_target("g", true).unwrap();
+        let fault = u.targets()[f_idx];
+        let mut cache = Def2Cache::new();
+        assert!(cache.tij_detects(&n, u.space(), f_idx, fault, 0, 1));
+        assert!(!counts_as_new_detection(
+            &n,
+            u.space(),
+            f_idx,
+            fault,
+            &[0],
+            1,
+            &mut cache
+        ));
+        // Tests 01 and 10 share "--" (nothing specified): tij detects
+        // nothing => they are sufficiently different.
+        assert!(!cache.tij_detects(&n, u.space(), f_idx, fault, 1, 2));
+        assert!(counts_as_new_detection(
+            &n,
+            u.space(),
+            f_idx,
+            fault,
+            &[1],
+            2,
+            &mut cache
+        ));
+    }
+
+    #[test]
+    fn cache_is_symmetric_and_counts_hits() {
+        let n = and2();
+        let u = FaultUniverse::build(&n).unwrap();
+        let f_idx = u.find_target("g", true).unwrap();
+        let fault = u.targets()[f_idx];
+        let mut cache = Def2Cache::new();
+        let a = cache.tij_detects(&n, u.space(), f_idx, fault, 0, 1);
+        let b = cache.tij_detects(&n, u.space(), f_idx, fault, 1, 0);
+        assert_eq!(a, b);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+}

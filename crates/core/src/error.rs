@@ -1,0 +1,55 @@
+//! Error type for the analysis crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analyses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was invalid (e.g. `nmax == 0` or `K == 0`).
+    BadConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// A referenced fault index was out of range.
+    FaultIndex {
+        /// The offending index.
+        index: usize,
+        /// The population size.
+        len: usize,
+    },
+    /// An underlying fault-universe operation failed.
+    Faults(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig { message } => write!(f, "bad configuration: {message}"),
+            CoreError::FaultIndex { index, len } => {
+                write!(f, "fault index {index} out of range for population of {len}")
+            }
+            CoreError::Faults(msg) => write!(f, "fault universe error: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(CoreError::BadConfig {
+            message: "K must be positive".into()
+        }
+        .to_string()
+        .contains("K must be positive"));
+        assert!(CoreError::FaultIndex { index: 9, len: 3 }
+            .to_string()
+            .contains("9"));
+    }
+}

@@ -1,0 +1,198 @@
+//! One-call convenience API: run the full paper analysis on a circuit.
+
+use crate::average_case::{estimate_detection_probabilities, DetectionProbabilities};
+use crate::distribution::NminDistribution;
+use crate::error::CoreError;
+use crate::worst_case::WorstCaseAnalysis;
+use ndetect_faults::{FaultError, FaultUniverse};
+use ndetect_netlist::Netlist;
+use std::fmt;
+
+/// Configuration for [`CircuitAnalysis::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// The `n` of interest (the paper's practical bound, 10).
+    pub nmax: u32,
+    /// Random test sets for the average case (0 disables the
+    /// average-case pass entirely).
+    pub num_test_sets: usize,
+    /// Seed for the average-case pass.
+    pub seed: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            nmax: 10,
+            num_test_sets: 200,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+/// Everything the paper computes for one circuit, bundled: the fault
+/// universe, the worst-case `nmin` analysis, and (optionally) the
+/// average-case detection probabilities for the tail faults.
+pub struct CircuitAnalysis {
+    universe: FaultUniverse,
+    worst_case: WorstCaseAnalysis,
+    tail: Vec<usize>,
+    probabilities: Option<DetectionProbabilities>,
+    config: AnalysisConfig,
+}
+
+impl CircuitAnalysis {
+    /// Runs the complete analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Faults`] if the circuit cannot be simulated
+    /// exhaustively and [`CoreError::BadConfig`] for invalid settings.
+    pub fn run(netlist: &Netlist, config: AnalysisConfig) -> Result<Self, CoreError> {
+        let universe = FaultUniverse::build(netlist)
+            .map_err(|e: FaultError| CoreError::Faults(e.to_string()))?;
+        let worst_case = WorstCaseAnalysis::compute(&universe);
+        let tail = worst_case.tail_indices(config.nmax + 1);
+        let probabilities = if config.num_test_sets == 0 || tail.is_empty() {
+            None
+        } else {
+            Some(estimate_detection_probabilities(
+                &universe,
+                &tail,
+                &crate::average_case::Procedure1Config {
+                    nmax: config.nmax,
+                    num_test_sets: config.num_test_sets,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )?)
+        };
+        Ok(CircuitAnalysis {
+            universe,
+            worst_case,
+            tail,
+            probabilities,
+            config,
+        })
+    }
+
+    /// The fault universe (F, G, detection sets).
+    #[must_use]
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// The worst-case `nmin` analysis.
+    #[must_use]
+    pub fn worst_case(&self) -> &WorstCaseAnalysis {
+        &self.worst_case
+    }
+
+    /// Bridge indices with `nmin > nmax` (no guarantee at the chosen n).
+    #[must_use]
+    pub fn tail(&self) -> &[usize] {
+        &self.tail
+    }
+
+    /// Average-case probabilities for the tail (absent when the tail is
+    /// empty or the average-case pass was disabled).
+    #[must_use]
+    pub fn probabilities(&self) -> Option<&DetectionProbabilities> {
+        self.probabilities.as_ref()
+    }
+
+    /// The configuration used.
+    #[must_use]
+    pub fn config(&self) -> AnalysisConfig {
+        self.config
+    }
+
+    /// The `nmin` distribution at or above a floor (Figure 2 helper).
+    #[must_use]
+    pub fn distribution(&self, floor: u32) -> NminDistribution {
+        NminDistribution::collect(&self.worst_case, floor)
+    }
+
+    /// Expected number of untargeted faults escaping a random
+    /// nmax-detection test set: 0 for guaranteed faults, `1 − p` summed
+    /// over the tail (0 when the average-case pass was disabled but the
+    /// tail is empty; `None` when probabilities are unavailable for a
+    /// non-empty tail).
+    #[must_use]
+    pub fn expected_escapes(&self) -> Option<f64> {
+        if self.tail.is_empty() {
+            return Some(0.0);
+        }
+        self.probabilities
+            .as_ref()
+            .map(|p| p.expected_escapes(self.config.nmax))
+    }
+}
+
+impl fmt::Display for CircuitAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.universe)?;
+        writeln!(f, "{}", self.worst_case)?;
+        match (&self.probabilities, self.expected_escapes()) {
+            (Some(_), Some(esc)) => write!(
+                f,
+                "expected escapes at n = {}: {esc:.2} of {} tail faults",
+                self.config.nmax,
+                self.tail.len()
+            ),
+            _ => write!(f, "tail faults: {} (average case not estimated)", self.tail.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_circuits::figure1;
+
+    #[test]
+    fn full_run_on_figure1() {
+        let analysis = CircuitAnalysis::run(
+            &figure1::netlist(),
+            AnalysisConfig {
+                nmax: 3,
+                num_test_sets: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(analysis.universe().bridges().len(), 10);
+        // nmin(g6) = 4 > 3 puts g6 in the tail at nmax = 3.
+        assert!(!analysis.tail().is_empty());
+        let probs = analysis.probabilities().expect("tail is non-empty");
+        assert_eq!(probs.tracked().len(), analysis.tail().len());
+        assert!(analysis.expected_escapes().unwrap() >= 0.0);
+        assert!(analysis.to_string().contains("expected escapes"));
+    }
+
+    #[test]
+    fn average_case_can_be_disabled() {
+        let analysis = CircuitAnalysis::run(
+            &figure1::netlist(),
+            AnalysisConfig {
+                nmax: 3,
+                num_test_sets: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(analysis.probabilities().is_none());
+        assert!(analysis.expected_escapes().is_none());
+    }
+
+    #[test]
+    fn empty_tail_short_circuits() {
+        // At nmax = 10 the example circuit has no tail (max nmin = 4).
+        let analysis =
+            CircuitAnalysis::run(&figure1::netlist(), AnalysisConfig::default()).unwrap();
+        assert!(analysis.tail().is_empty());
+        assert_eq!(analysis.expected_escapes(), Some(0.0));
+        assert!(analysis.probabilities().is_none());
+        assert!(analysis.distribution(1).total() > 0);
+    }
+}

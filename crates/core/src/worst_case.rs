@@ -1,0 +1,283 @@
+//! The worst-case analysis: `nmin(g)` for every untargeted fault.
+
+use ndetect_faults::FaultUniverse;
+use std::fmt;
+
+/// Result of the paper's Section-2 worst-case analysis.
+///
+/// For every untargeted fault `g` (bridging fault index in the
+/// universe), `nmin(g)` is the smallest `n` such that **every**
+/// n-detection test set for the targets `F` is guaranteed to detect `g`:
+///
+/// ```text
+/// nmin(g, f) = N(f) − M(g, f) + 1       for every f with T(f) ∩ T(g) ≠ ∅
+/// nmin(g)    = min over such f
+/// ```
+///
+/// `nmin(g) == None` means no target fault's detections overlap `T(g)`
+/// at all: no n-detection test set is ever *forced* to detect `g`
+/// (conceptually `nmin = ∞`).
+#[derive(Clone, Debug)]
+pub struct WorstCaseAnalysis {
+    nmin: Vec<Option<u32>>,
+    witness: Vec<Option<usize>>,
+}
+
+impl WorstCaseAnalysis {
+    /// Computes `nmin(g)` for every bridging fault in the universe.
+    ///
+    /// Targets are scanned in ascending `N(f)` with branch-and-bound
+    /// pruning (`nmin(g,f) ≥ N(f) − N(g) + 1`), which keeps the
+    /// all-pairs pass fast on large fault populations.
+    #[must_use]
+    pub fn compute(universe: &FaultUniverse) -> Self {
+        let targets = universe.target_sets();
+        // Sort target indices by N(f): once N(f) - N(g) + 1 is no better
+        // than the best bound found, no later target can improve it.
+        let mut by_size: Vec<(usize, usize)> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.len(), i))
+            .filter(|&(n, _)| n > 0)
+            .collect();
+        by_size.sort_unstable();
+
+        let num_bridges = universe.bridges().len();
+        let mut nmin: Vec<Option<u32>> = Vec::with_capacity(num_bridges);
+        let mut witness: Vec<Option<usize>> = Vec::with_capacity(num_bridges);
+        for j in 0..num_bridges {
+            let t_g = universe.bridge_set(j);
+            let n_g = t_g.len();
+            let mut best: Option<(usize, usize)> = None; // (nmin, target idx)
+            for &(n_f, fi) in &by_size {
+                if let Some((b, _)) = best {
+                    // M ≤ min(N(f), N(g)) ⇒ nmin(g,f) ≥ N(f) − N(g) + 1.
+                    if n_f + 1 > b + n_g {
+                        break;
+                    }
+                }
+                let m = targets[fi].intersection_count(t_g);
+                if m == 0 {
+                    continue;
+                }
+                let candidate = n_f - m + 1;
+                if best.is_none_or(|(b, _)| candidate < b) {
+                    best = Some((candidate, fi));
+                }
+            }
+            nmin.push(best.map(|(b, _)| u32::try_from(b).expect("nmin fits u32")));
+            witness.push(best.map(|(_, fi)| fi));
+        }
+        WorstCaseAnalysis { nmin, witness }
+    }
+
+    /// `nmin(g)` for bridge index `j` (`None` = never guaranteed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn nmin(&self, j: usize) -> Option<u32> {
+        self.nmin[j]
+    }
+
+    /// All `nmin` values, indexed by bridge.
+    #[must_use]
+    pub fn nmin_values(&self) -> &[Option<u32>] {
+        &self.nmin
+    }
+
+    /// The target fault index achieving `nmin(g)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn witness(&self, j: usize) -> Option<usize> {
+        self.witness[j]
+    }
+
+    /// Number of analysed untargeted faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nmin.len()
+    }
+
+    /// Returns `true` if no untargeted faults were analysed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nmin.is_empty()
+    }
+
+    /// Percentage of untargeted faults with `nmin(g) ≤ n` — a Table 2
+    /// cell: the fraction *guaranteed* to be detected by any n-detection
+    /// test set.
+    #[must_use]
+    pub fn coverage_percent(&self, n: u32) -> f64 {
+        if self.nmin.is_empty() {
+            return 100.0;
+        }
+        let covered = self
+            .nmin
+            .iter()
+            .filter(|v| v.is_some_and(|m| m <= n))
+            .count();
+        100.0 * covered as f64 / self.nmin.len() as f64
+    }
+
+    /// Number of untargeted faults with `nmin(g) ≥ n` (counting
+    /// `None`/∞) — a Table 3 cell: the faults for which guaranteed
+    /// detection needs at least `n` detections.
+    #[must_use]
+    pub fn tail_count(&self, n: u32) -> usize {
+        self.nmin
+            .iter()
+            .filter(|v| v.map_or(true, |m| m >= n))
+            .count()
+    }
+
+    /// Indices of the untargeted faults with `nmin(g) ≥ n` (counting
+    /// `None`/∞) — the population tracked by the paper's average-case
+    /// analysis (Tables 5 and 6 use `n = 11`).
+    #[must_use]
+    pub fn tail_indices(&self, n: u32) -> Vec<usize> {
+        self.nmin
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.map_or(true, |m| m >= n))
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// The largest finite `nmin`, if any fault has one.
+    #[must_use]
+    pub fn max_finite(&self) -> Option<u32> {
+        self.nmin.iter().filter_map(|v| *v).max()
+    }
+}
+
+/// `nmin(g, f)` for one specific (bridge, target) pair: `None` when the
+/// detection sets do not overlap.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn nmin_pair(universe: &FaultUniverse, bridge: usize, target: usize) -> Option<u32> {
+    let t_f = universe.target_set(target);
+    let t_g = universe.bridge_set(bridge);
+    let m = t_f.intersection_count(t_g);
+    if m == 0 {
+        None
+    } else {
+        Some(u32::try_from(t_f.len() - m + 1).expect("nmin fits u32"))
+    }
+}
+
+/// All targets overlapping `T(g)` with their `nmin(g, f)` values, in
+/// target order — the content of the paper's Table 1.
+///
+/// # Panics
+///
+/// Panics if `bridge` is out of range.
+#[must_use]
+pub fn overlapping_targets(universe: &FaultUniverse, bridge: usize) -> Vec<(usize, u32)> {
+    (0..universe.targets().len())
+        .filter_map(|fi| nmin_pair(universe, bridge, fi).map(|v| (fi, v)))
+        .collect()
+}
+
+impl fmt::Display for WorstCaseAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worst-case analysis of {} untargeted faults: {:.2}% at n=1, {:.2}% at n=10, {} need n>10",
+            self.len(),
+            self.coverage_percent(1),
+            self.coverage_percent(10),
+            self.tail_count(11)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_circuits::figure1;
+    use ndetect_faults::FaultUniverse;
+
+    #[test]
+    fn paper_table1_nmin_pairs() {
+        let u = FaultUniverse::build(&figure1::netlist()).unwrap();
+        let g0 = u.find_bridge("9", false, "10", true).unwrap();
+        let pairs = overlapping_targets(&u, g0);
+        // Paper Table 1: i -> nmin(g0, f_i).
+        let expect: &[(usize, u32)] = &[
+            (0, 3),
+            (1, 5),
+            (3, 5),
+            (9, 4),
+            (11, 11),
+            (12, 3),
+            (14, 11),
+        ];
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn paper_nmin_g0_and_g6() {
+        let u = FaultUniverse::build(&figure1::netlist()).unwrap();
+        let wc = WorstCaseAnalysis::compute(&u);
+        let g0 = u.find_bridge("9", false, "10", true).unwrap();
+        assert_eq!(wc.nmin(g0), Some(3));
+        let g6 = u.find_bridge("11", false, "9", true).unwrap();
+        assert_eq!(wc.nmin(g6), Some(4));
+        // Witness for g0 achieves the bound.
+        let w = wc.witness(g0).unwrap();
+        assert_eq!(nmin_pair(&u, g0, w), Some(3));
+    }
+
+    #[test]
+    fn coverage_and_tail_are_consistent() {
+        let u = FaultUniverse::build(&figure1::netlist()).unwrap();
+        let wc = WorstCaseAnalysis::compute(&u);
+        assert_eq!(wc.len(), u.bridges().len());
+        // Coverage is monotone in n.
+        let mut prev = 0.0;
+        for n in 1..=20 {
+            let c = wc.coverage_percent(n);
+            assert!(c >= prev);
+            prev = c;
+        }
+        // tail_count(1) counts everything.
+        assert_eq!(wc.tail_count(1), wc.len());
+        // Every fault is either covered at max_finite or has no bound.
+        let nmax = wc.max_finite().unwrap();
+        let at_max = wc.coverage_percent(nmax);
+        let unbounded = wc.nmin_values().iter().filter(|v| v.is_none()).count();
+        let expect = 100.0 * (wc.len() - unbounded) as f64 / wc.len() as f64;
+        assert!((at_max - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_matches_naive_computation() {
+        let u = FaultUniverse::build(&figure1::netlist()).unwrap();
+        let wc = WorstCaseAnalysis::compute(&u);
+        for j in 0..u.bridges().len() {
+            let naive = overlapping_targets(&u, j)
+                .into_iter()
+                .map(|(_, v)| v)
+                .min();
+            assert_eq!(wc.nmin(j), naive, "bridge {j}");
+        }
+    }
+
+    #[test]
+    fn tail_indices_match_tail_count() {
+        let u = FaultUniverse::build(&figure1::netlist()).unwrap();
+        let wc = WorstCaseAnalysis::compute(&u);
+        for n in [1, 2, 3, 5, 11] {
+            assert_eq!(wc.tail_indices(n).len(), wc.tail_count(n));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for fault-universe construction.
+
+use ndetect_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building fault universes or simulating faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The underlying exhaustive simulation could not be configured
+    /// (typically: too many inputs).
+    Sim(SimError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Sim(e) => write!(f, "simulation setup failed: {e}"),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for FaultError {
+    fn from(e: SimError) -> Self {
+        FaultError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sim_error_with_source() {
+        let e = FaultError::from(SimError::TooManyInputs { got: 30, max: 24 });
+        assert!(e.to_string().contains("30"));
+        assert!(Error::source(&e).is_some());
+    }
+}

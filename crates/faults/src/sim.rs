@@ -1,0 +1,652 @@
+//! Serial fault injection over bit-parallel exhaustive simulation.
+
+use crate::bridging::BridgingFault;
+use crate::stuck_at::StuckAtFault;
+use ndetect_netlist::{
+    GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink,
+};
+use ndetect_sim::{
+    eval_gate_trit, eval_gate_word, eval_trits_all, GoodValues, PartialVector, PatternSpace,
+    Trit, VectorSet,
+};
+
+fn stuck_word(value: bool) -> u64 {
+    if value {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Computes detection sets `T(h)` by injecting one fault at a time into a
+/// cone-restricted bit-parallel exhaustive simulation.
+///
+/// Construction precomputes, once per circuit:
+///
+/// * the fault-free value of every node on every vector ([`GoodValues`]);
+/// * for every node, the topologically-sorted list of downstream gates
+///   that must be re-evaluated when that node's value changes, and the
+///   primary-output slots that can observe the change.
+///
+/// Per fault, only the fanout cone of the fault site is re-simulated;
+/// everything else is read from the good values. Bridging faults
+/// additionally skip any 64-vector block on which the activation
+/// condition never holds.
+///
+/// ```
+/// use ndetect_netlist::NetlistBuilder;
+/// use ndetect_faults::{FaultSimulator, StuckAtFault};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let g = b.and("g", &[a, c])?;
+/// b.output(g);
+/// let n = b.build()?;
+/// let sim = FaultSimulator::new(&n)?;
+/// // g stuck-at-0 is detected only when both inputs are 1 (vector 3).
+/// let stem_g = n.lines().stem(g);
+/// let t = sim.detection_set_stuck(&n, StuckAtFault::new(stem_g, false));
+/// assert_eq!(t.to_vec(), vec![3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultSimulator {
+    space: PatternSpace,
+    good: GoodValues,
+    reach: ReachabilityMatrix,
+    /// Per node: strictly-downstream gates in topological order.
+    cones: Vec<Vec<NodeId>>,
+    /// Per node: `(slot, po_node)` pairs observing the node or its cone.
+    affected_pos: Vec<Vec<(usize, NodeId)>>,
+}
+
+impl FaultSimulator {
+    /// Prepares a simulator for `netlist` over its exhaustive input space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ndetect_sim::SimError`] if the circuit has too many inputs
+    /// for exhaustive simulation.
+    pub fn new(netlist: &Netlist) -> Result<Self, ndetect_sim::SimError> {
+        let space = PatternSpace::new(netlist.num_inputs())?;
+        let good = GoodValues::compute(netlist, &space);
+        let reach = ReachabilityMatrix::compute(netlist);
+
+        let n = netlist.num_nodes();
+        let mut cones = Vec::with_capacity(n);
+        let mut affected_pos = Vec::with_capacity(n);
+        for i in 0..n {
+            let d = NodeId::new(i);
+            let cone: Vec<NodeId> = netlist
+                .topo_order()
+                .iter()
+                .copied()
+                .filter(|&g| {
+                    netlist.node(g).kind() != GateKind::Input && reach.reaches(d, g)
+                })
+                .collect();
+            let pos: Vec<(usize, NodeId)> = netlist
+                .outputs()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &po)| po == d || reach.reaches(d, po))
+                .map(|(slot, &po)| (slot, po))
+                .collect();
+            cones.push(cone);
+            affected_pos.push(pos);
+        }
+
+        Ok(FaultSimulator {
+            space,
+            good,
+            reach,
+            cones,
+            affected_pos,
+        })
+    }
+
+    /// The exhaustive pattern space this simulator runs over.
+    #[must_use]
+    pub fn space(&self) -> &PatternSpace {
+        &self.space
+    }
+
+    /// The precomputed fault-free values.
+    #[must_use]
+    pub fn good_values(&self) -> &GoodValues {
+        &self.good
+    }
+
+    /// The structural reachability matrix (shared with bridging-fault
+    /// enumeration).
+    #[must_use]
+    pub fn reachability(&self) -> &ReachabilityMatrix {
+        &self.reach
+    }
+
+    /// Re-evaluates the cone of `root` for one block. `fv` holds faulty
+    /// words (valid only where `in_cone`); operands outside the cone come
+    /// from the good values. `fv[root]` must be set by the caller.
+    fn eval_cone(
+        &self,
+        netlist: &Netlist,
+        block: usize,
+        root: NodeId,
+        fv: &mut [u64],
+        in_cone: &[bool],
+    ) {
+        let goodb = self.good.block(block);
+        for &g in &self.cones[root.index()] {
+            let node = netlist.node(g);
+            let kind = node.kind();
+            let fanins = node.fanins();
+            let operand = |f: NodeId| -> u64 {
+                if in_cone[f.index()] {
+                    fv[f.index()]
+                } else {
+                    goodb[f.index()]
+                }
+            };
+            let word = match kind {
+                GateKind::And | GateKind::Nand => {
+                    let acc = fanins.iter().fold(u64::MAX, |a, &f| a & operand(f));
+                    if kind == GateKind::Nand {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let acc = fanins.iter().fold(0u64, |a, &f| a | operand(f));
+                    if kind == GateKind::Nor {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let acc = fanins.iter().fold(0u64, |a, &f| a ^ operand(f));
+                    if kind == GateKind::Xnor {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateKind::Buf => operand(fanins[0]),
+                GateKind::Not => !operand(fanins[0]),
+                GateKind::Const0 => 0,
+                GateKind::Const1 => u64::MAX,
+                GateKind::Input => unreachable!("inputs are never in a cone"),
+            };
+            fv[g.index()] = word;
+        }
+    }
+
+    fn detection_word(
+        &self,
+        block: usize,
+        root: NodeId,
+        fv: &[u64],
+    ) -> u64 {
+        let goodb = self.good.block(block);
+        let mut det = 0u64;
+        for &(_, po) in &self.affected_pos[root.index()] {
+            det |= fv[po.index()] ^ goodb[po.index()];
+        }
+        det & self.space.block_mask(block)
+    }
+
+    /// Computes `T(f)` for a stuck-at fault (stem or branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck(&self, netlist: &Netlist, fault: StuckAtFault) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
+        let mut set = VectorSet::new(self.space.num_patterns());
+        let vword = stuck_word(fault.value);
+        let line = netlist.lines().line(fault.line);
+
+        match *line.kind() {
+            LineKind::Stem { node } => {
+                let mut in_cone = vec![false; netlist.num_nodes()];
+                in_cone[node.index()] = true;
+                for &g in &self.cones[node.index()] {
+                    in_cone[g.index()] = true;
+                }
+                let mut fv = vec![0u64; netlist.num_nodes()];
+                for block in 0..self.space.num_blocks() {
+                    fv[node.index()] = vword;
+                    self.eval_cone(netlist, block, node, &mut fv, &in_cone);
+                    set.set_word(block, self.detection_word(block, node, &fv));
+                }
+            }
+            LineKind::Branch { node, sink } => match sink {
+                Sink::GatePin { gate, pin } => {
+                    let mut in_cone = vec![false; netlist.num_nodes()];
+                    in_cone[gate.index()] = true;
+                    for &g in &self.cones[gate.index()] {
+                        in_cone[g.index()] = true;
+                    }
+                    let mut fv = vec![0u64; netlist.num_nodes()];
+                    for block in 0..self.space.num_blocks() {
+                        // Evaluate the sink gate with the overridden operand,
+                        // then its cone; finally compare observable outputs.
+                        let goodb = self.good.block(block);
+                        let gnode = netlist.node(gate);
+                        let mut operands: Vec<u64> = gnode
+                            .fanins()
+                            .iter()
+                            .map(|f| goodb[f.index()])
+                            .collect();
+                        operands[pin] = vword;
+                        let ids: Vec<NodeId> =
+                            (0..operands.len()).map(NodeId::new).collect();
+                        fv[gate.index()] = eval_gate_word(gnode.kind(), &ids, &operands);
+                        self.eval_cone(netlist, block, gate, &mut fv, &in_cone);
+                        set.set_word(block, self.detection_word(block, gate, &fv));
+                    }
+                }
+                Sink::OutputSlot { slot: _ } => {
+                    // Only this output observation is faulty: detected where
+                    // the good driver value differs from the stuck value.
+                    for block in 0..self.space.num_blocks() {
+                        let g = self.good.node_word(block, node);
+                        set.set_word(block, (g ^ vword) & self.space.block_mask(block));
+                    }
+                }
+            },
+        }
+        set
+    }
+
+    /// Computes `T(g)` for a four-way bridging fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge(&self, netlist: &Netlist, fault: &BridgingFault) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
+        let victim = netlist.lines().line(fault.victim).driver();
+        let aggressor = netlist.lines().line(fault.aggressor).driver();
+        debug_assert!(
+            netlist.lines().line(fault.victim).kind().is_stem()
+                && netlist.lines().line(fault.aggressor).kind().is_stem(),
+            "bridging faults live on stems"
+        );
+
+        let mut set = VectorSet::new(self.space.num_patterns());
+        let mut in_cone = vec![false; netlist.num_nodes()];
+        in_cone[victim.index()] = true;
+        for &g in &self.cones[victim.index()] {
+            in_cone[g.index()] = true;
+        }
+        let mut fv = vec![0u64; netlist.num_nodes()];
+
+        for block in 0..self.space.num_blocks() {
+            let gv = self.good.node_word(block, victim);
+            let ga = self.good.node_word(block, aggressor);
+            // Activation: fault-free victim == a1 and aggressor == a2.
+            let cond = (if fault.victim_value { gv } else { !gv })
+                & (if fault.aggressor_value { ga } else { !ga })
+                & self.space.block_mask(block);
+            if cond == 0 {
+                set.set_word(block, 0);
+                continue;
+            }
+            // Effect: victim flips on activated vectors.
+            fv[victim.index()] = gv ^ cond;
+            self.eval_cone(netlist, block, victim, &mut fv, &in_cone);
+            set.set_word(block, self.detection_word(block, victim, &fv));
+        }
+        set
+    }
+}
+
+/// Three-valued detection check for the paper's Definition 2.
+///
+/// Returns `true` iff the partially specified vector `tij` **definitely**
+/// detects the stuck-at fault: some primary output has definite and
+/// different values in the fault-free and faulty circuits under
+/// pessimistic three-valued simulation.
+///
+/// ```
+/// use ndetect_netlist::NetlistBuilder;
+/// use ndetect_sim::{PartialVector, PatternSpace};
+/// use ndetect_faults::{threeval_detects_stuck, StuckAtFault};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let g = b.and("g", &[a, c])?;
+/// b.output(g);
+/// let n = b.build()?;
+/// let space = PatternSpace::new(2)?;
+/// let fault = StuckAtFault::new(n.lines().stem(g), false);
+/// // 1X does not definitely detect g/0; 11 does.
+/// let t_1x = PartialVector::common_bits(&space, 2, 3);
+/// assert!(!threeval_detects_stuck(&n, fault, &t_1x));
+/// let t_11 = PartialVector::from_vector(&space, 3);
+/// assert!(threeval_detects_stuck(&n, fault, &t_11));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn threeval_detects_stuck(
+    netlist: &Netlist,
+    fault: StuckAtFault,
+    vector: &PartialVector,
+) -> bool {
+    let inputs = vector.trits();
+    let good = eval_trits_all(netlist, &inputs);
+
+    let line = netlist.lines().line(fault.line);
+    let fault_trit = Trit::from_bool(fault.value);
+
+    // Faulty levelized pass with injection.
+    let mut faulty = vec![Trit::X; netlist.num_nodes()];
+    for (&pi, &v) in netlist.inputs().iter().zip(&inputs) {
+        faulty[pi.index()] = v;
+    }
+    let (stem_forced, pin_override): (Option<NodeId>, Option<(NodeId, usize)>) =
+        match *line.kind() {
+            LineKind::Stem { node } => (Some(node), None),
+            LineKind::Branch { node: _, sink } => match sink {
+                Sink::GatePin { gate, pin } => (None, Some((gate, pin))),
+                Sink::OutputSlot { .. } => (None, None),
+            },
+        };
+    if let Some(node) = stem_forced {
+        faulty[node.index()] = fault_trit;
+    }
+    let mut operands: Vec<Trit> = Vec::new();
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        if stem_forced == Some(id) {
+            continue; // value forced, no evaluation
+        }
+        operands.clear();
+        operands.extend(node.fanins().iter().map(|f| faulty[f.index()]));
+        if let Some((gate, pin)) = pin_override {
+            if gate == id {
+                operands[pin] = fault_trit;
+            }
+        }
+        faulty[id.index()] = eval_gate_trit(node.kind(), &operands);
+    }
+    if let Some(node) = stem_forced {
+        faulty[node.index()] = fault_trit;
+    }
+
+    // Observation: definite difference on some output slot.
+    let po_branch_slot = match *line.kind() {
+        LineKind::Branch {
+            sink: Sink::OutputSlot { slot },
+            ..
+        } => Some(slot),
+        _ => None,
+    };
+    for (slot, &po) in netlist.outputs().iter().enumerate() {
+        let g = good[po.index()];
+        let f = if po_branch_slot == Some(slot) {
+            fault_trit
+        } else {
+            faulty[po.index()]
+        };
+        if let (Some(gb), Some(fb)) = (g.to_option(), f.to_option()) {
+            if gb != fb {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stuck_at::all_stuck_at_faults;
+    use ndetect_netlist::NetlistBuilder;
+
+    fn figure1() -> Netlist {
+        let mut b = NetlistBuilder::new("figure1");
+        let i1 = b.input("1");
+        let i2 = b.input("2");
+        let i3 = b.input("3");
+        let i4 = b.input("4");
+        let g9 = b.and("9", &[i1, i2]).unwrap();
+        let g10 = b.and("10", &[i2, i3]).unwrap();
+        let g11 = b.or("11", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        b.build().unwrap()
+    }
+
+    /// Oracle: detection set by brute-force scalar simulation with the
+    /// fault applied through explicit line semantics.
+    fn oracle_stuck(netlist: &Netlist, fault: StuckAtFault, space: &PatternSpace) -> Vec<usize> {
+        let mut detected = Vec::new();
+        for v in 0..space.num_patterns() {
+            let bits = space.vector_bits(v);
+            let good = netlist.eval_bool(&bits);
+            let faulty = oracle_eval_faulty(netlist, fault, &bits);
+            if good != faulty {
+                detected.push(v);
+            }
+        }
+        detected
+    }
+
+    fn oracle_eval_faulty(netlist: &Netlist, fault: StuckAtFault, bits: &[bool]) -> Vec<bool> {
+        let line = netlist.lines().line(fault.line);
+        let mut values = vec![false; netlist.num_nodes()];
+        for (pi, &v) in netlist.inputs().iter().zip(bits) {
+            values[pi.index()] = v;
+        }
+        let (stem_forced, pin_override) = match *line.kind() {
+            LineKind::Stem { node } => (Some(node), None),
+            LineKind::Branch { sink, .. } => match sink {
+                Sink::GatePin { gate, pin } => (None, Some((gate, pin))),
+                Sink::OutputSlot { .. } => (None, None),
+            },
+        };
+        for &id in netlist.topo_order() {
+            let node = netlist.node(id);
+            if node.kind() != GateKind::Input {
+                let mut ops: Vec<bool> =
+                    node.fanins().iter().map(|f| values[f.index()]).collect();
+                if let Some((g, p)) = pin_override {
+                    if g == id {
+                        ops[p] = fault.value;
+                    }
+                }
+                values[id.index()] = node.kind().eval_bool(&ops);
+            }
+            if stem_forced == Some(id) {
+                values[id.index()] = fault.value;
+            }
+        }
+        if let Some(node) = stem_forced {
+            values[node.index()] = fault.value;
+        }
+        let po_branch_slot = match *line.kind() {
+            LineKind::Branch {
+                sink: Sink::OutputSlot { slot },
+                ..
+            } => Some(slot),
+            _ => None,
+        };
+        netlist
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(slot, &po)| {
+                if po_branch_slot == Some(slot) {
+                    fault.value
+                } else {
+                    values[po.index()]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stuck_detection_sets_match_oracle_on_figure1() {
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        for fault in all_stuck_at_faults(&n) {
+            let fast = sim.detection_set_stuck(&n, fault).to_vec();
+            let slow = oracle_stuck(&n, fault, sim.space());
+            assert_eq!(fast, slow, "fault {}", fault.name(&n));
+        }
+    }
+
+    #[test]
+    fn paper_table1_detection_sets() {
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let by_paper =
+            |paper_line: usize, v: bool| -> Vec<usize> {
+                let line = ndetect_netlist::LineId::new(paper_line - 1);
+                sim.detection_set_stuck(&n, StuckAtFault::new(line, v)).to_vec()
+            };
+        assert_eq!(by_paper(1, true), vec![4, 5, 6, 7]); // f0 = 1/1
+        assert_eq!(by_paper(2, false), vec![6, 7, 12, 13, 14, 15]); // f1 = 2/0
+        assert_eq!(by_paper(3, false), vec![2, 6, 7, 10, 14, 15]); // f3 = 3/0
+        assert_eq!(by_paper(8, false), vec![2, 6, 10, 14]); // f9 = 8/0
+        assert_eq!(by_paper(9, true), (0..12).collect::<Vec<_>>()); // f11 = 9/1
+        assert_eq!(by_paper(10, false), vec![6, 7, 14, 15]); // f12 = 10/0
+        assert_eq!(
+            by_paper(11, false),
+            vec![1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15]
+        ); // f14 = 11/0
+    }
+
+    #[test]
+    fn paper_bridging_detection_sets() {
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let stem = |name: &str| n.lines().stem(n.node_by_name(name).unwrap());
+        // g0 = (9,0,10,1): T = {6,7}.
+        let g0 = BridgingFault::new(stem("9"), false, stem("10"), true);
+        assert_eq!(sim.detection_set_bridge(&n, &g0).to_vec(), vec![6, 7]);
+        // g6 = (11,0,9,1): T = {12}.
+        let g6 = BridgingFault::new(stem("11"), false, stem("9"), true);
+        assert_eq!(sim.detection_set_bridge(&n, &g6).to_vec(), vec![12]);
+    }
+
+    #[test]
+    fn bridge_oracle_cross_check() {
+        // Brute-force bridging oracle on a multi-level circuit.
+        let mut b = NetlistBuilder::new("ml");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let e = b.input("e");
+        let g1 = b.and("g1", &[a, c]).unwrap();
+        let g2 = b.or("g2", &[d, e]).unwrap();
+        let g3 = b.nand("g3", &[g1, d]).unwrap();
+        b.output(g3);
+        b.output(g2);
+        let n = b.build().unwrap();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let space = sim.space();
+        // Bridge between g1 (victim) and g2 (aggressor): non-feedback.
+        for (a1, a2) in [(false, true), (true, false)] {
+            let fault = BridgingFault::new(
+                n.lines().stem(g1),
+                a1,
+                n.lines().stem(g2),
+                a2,
+            );
+            let fast = sim.detection_set_bridge(&n, &fault).to_vec();
+            let mut slow = Vec::new();
+            for v in 0..space.num_patterns() {
+                let bits = space.vector_bits(v);
+                let all = n.eval_bool_all(&bits);
+                let gv = all[g1.index()];
+                let ga = all[g2.index()];
+                if gv != a1 || ga != a2 {
+                    continue; // not activated
+                }
+                // Victim flips; re-evaluate downstream by brute force.
+                let mut vals = all.clone();
+                vals[g1.index()] = !gv;
+                for &id in n.topo_order() {
+                    let node = n.node(id);
+                    if node.kind() == GateKind::Input || id == g1 {
+                        continue;
+                    }
+                    let ops: Vec<bool> =
+                        node.fanins().iter().map(|f| vals[f.index()]).collect();
+                    vals[id.index()] = node.kind().eval_bool(&ops);
+                }
+                let good_out: Vec<bool> =
+                    n.outputs().iter().map(|&po| all[po.index()]).collect();
+                let bad_out: Vec<bool> =
+                    n.outputs().iter().map(|&po| vals[po.index()]).collect();
+                if good_out != bad_out {
+                    slow.push(v);
+                }
+            }
+            assert_eq!(fast, slow, "bridge ({a1},{a2})");
+        }
+    }
+
+    #[test]
+    fn threeval_detection_is_conservative_wrt_completions() {
+        // If tij detects under 3-valued logic, every completion detects
+        // under 2-valued logic.
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let space = *sim.space();
+        for fault in all_stuck_at_faults(&n) {
+            let t = sim.detection_set_stuck(&n, fault);
+            for ti in 0..16 {
+                for tj in 0..16 {
+                    let tij = PartialVector::common_bits(&space, ti, tj);
+                    if threeval_detects_stuck(&n, fault, &tij) {
+                        for v in 0..16 {
+                            if tij.is_completion(v) {
+                                assert!(
+                                    t.contains(v),
+                                    "fault {} tij={tij} completion {v}",
+                                    fault.name(&n)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threeval_on_full_vector_equals_two_valued_detection() {
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let space = *sim.space();
+        for fault in all_stuck_at_faults(&n) {
+            let t = sim.detection_set_stuck(&n, fault);
+            for v in 0..16 {
+                let pv = PartialVector::from_vector(&space, v);
+                assert_eq!(
+                    threeval_detects_stuck(&n, fault, &pv),
+                    t.contains(v),
+                    "fault {} v={v}",
+                    fault.name(&n)
+                );
+            }
+        }
+    }
+}

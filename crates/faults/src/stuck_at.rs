@@ -1,0 +1,174 @@
+//! Single stuck-at faults on stems and branches.
+
+use ndetect_netlist::{LineId, Netlist, NodeId};
+use std::fmt;
+
+/// A single stuck-at fault: line `line` permanently at `value`.
+///
+/// The paper writes `l/a` for line `l` stuck at `a`; use
+/// [`StuckAtFault::name`] to render that form with the netlist's line
+/// names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StuckAtFault {
+    /// The faulty line. The `(line, value)` derive order makes the natural
+    /// sort order (line id, then s-a-0 before s-a-1) match the paper's
+    /// fault indexing.
+    pub line: LineId,
+    /// The stuck value.
+    pub value: bool,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at fault.
+    #[must_use]
+    pub fn new(line: LineId, value: bool) -> Self {
+        StuckAtFault { line, value }
+    }
+
+    /// Renders the paper's `l/a` notation using the netlist's line names,
+    /// e.g. `"9/0"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line id does not belong to `netlist`.
+    #[must_use]
+    pub fn name(&self, netlist: &Netlist) -> String {
+        format!(
+            "{}/{}",
+            netlist.lines().line(self.line).name(),
+            u8::from(self.value)
+        )
+    }
+}
+
+impl fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.line, u8::from(self.value))
+    }
+}
+
+/// Enumerates the *full* (uncollapsed) stuck-at fault universe: two faults
+/// per line, ordered by (line id, stuck value).
+///
+/// ```
+/// use ndetect_netlist::NetlistBuilder;
+/// use ndetect_faults::all_stuck_at_faults;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let g = b.not("g", a)?;
+/// b.output(g);
+/// let n = b.build()?;
+/// // Two lines (a, g) -> four faults.
+/// assert_eq!(all_stuck_at_faults(&n).len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn all_stuck_at_faults(netlist: &Netlist) -> Vec<StuckAtFault> {
+    let mut faults = Vec::with_capacity(netlist.lines().len() * 2);
+    for line in netlist.lines().lines() {
+        faults.push(StuckAtFault::new(line.id(), false));
+        faults.push(StuckAtFault::new(line.id(), true));
+    }
+    faults
+}
+
+/// The line feeding pin `pin` of gate `gate`: the driver's branch line if
+/// the driver fans out, otherwise the driver's stem.
+///
+/// This is the "gate input line" on which input stuck-at faults live and
+/// through which equivalence collapsing relates gate inputs to outputs.
+///
+/// # Panics
+///
+/// Panics if `pin` is out of range for `gate`.
+#[must_use]
+pub fn input_line_of_pin(netlist: &Netlist, gate: NodeId, pin: usize) -> LineId {
+    let driver: NodeId = netlist.node(gate).fanins()[pin];
+    let branches = netlist.lines().branches(driver);
+    if branches.is_empty() {
+        netlist.lines().stem(driver)
+    } else {
+        // Find the branch whose sink is exactly this pin.
+        let sink_index = netlist
+            .sinks(driver)
+            .iter()
+            .position(|s| {
+                matches!(s, ndetect_netlist::Sink::GatePin { gate: g, pin: p }
+                         if *g == gate && *p == pin)
+            })
+            .expect("pin must appear among driver's sinks");
+        branches[sink_index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_netlist::NetlistBuilder;
+
+    #[test]
+    fn fault_ordering_matches_paper_convention() {
+        let mut faults = vec![
+            StuckAtFault::new(LineId::new(1), true),
+            StuckAtFault::new(LineId::new(0), true),
+            StuckAtFault::new(LineId::new(1), false),
+            StuckAtFault::new(LineId::new(0), false),
+        ];
+        faults.sort();
+        let rendered: Vec<String> = faults.iter().map(|f| f.to_string()).collect();
+        assert_eq!(rendered, vec!["l0/0", "l0/1", "l1/0", "l1/1"]);
+    }
+
+    #[test]
+    fn name_uses_line_names() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("alpha");
+        let g = b.not("gout", a).unwrap();
+        b.output(g);
+        let n = b.build().unwrap();
+        let stem_a = n.lines().stem(a);
+        assert_eq!(StuckAtFault::new(stem_a, true).name(&n), "alpha/1");
+    }
+
+    #[test]
+    fn input_line_resolves_branch_vs_stem() {
+        // Input `a` fans out to two gates -> branch lines; `b` does not.
+        let mut bld = NetlistBuilder::new("t");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let g1 = bld.and("g1", &[a, b]).unwrap();
+        let g2 = bld.not("g2", a).unwrap();
+        bld.output(g1);
+        bld.output(g2);
+        let n = bld.build().unwrap();
+
+        // g1 pin 0 is fed by a branch of `a`.
+        let l = input_line_of_pin(&n, g1, 0);
+        assert!(!n.lines().line(l).kind().is_stem());
+        // g1 pin 1 is fed directly by the stem of `b`.
+        let l = input_line_of_pin(&n, g1, 1);
+        assert_eq!(l, n.lines().stem(b));
+        // g2 pin 0 is the other branch of `a`.
+        let l2 = input_line_of_pin(&n, g2, 0);
+        assert!(!n.lines().line(l2).kind().is_stem());
+        assert_ne!(l2, input_line_of_pin(&n, g1, 0));
+    }
+
+    #[test]
+    fn full_universe_counts_two_per_line() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and("g", &[a, c]).unwrap();
+        b.output(g);
+        let n = b.build().unwrap();
+        let faults = all_stuck_at_faults(&n);
+        assert_eq!(faults.len(), n.lines().len() * 2);
+        // Sorted by construction.
+        let mut sorted = faults.clone();
+        sorted.sort();
+        assert_eq!(faults, sorted);
+    }
+}

@@ -1,0 +1,350 @@
+//! The complete fault picture of one circuit: targets `F` and untargeted
+//! faults `G` with their detection sets.
+
+use crate::bridging::{enumerate_bridges, BridgeModel, BridgingFault};
+use crate::collapse::CollapsedFaults;
+use crate::error::FaultError;
+use crate::sim::FaultSimulator;
+use crate::stuck_at::{all_stuck_at_faults, StuckAtFault};
+use ndetect_netlist::Netlist;
+use ndetect_sim::{PatternSpace, VectorSet};
+use std::fmt;
+
+/// Configuration for [`FaultUniverse::build_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniverseOptions {
+    /// Apply equivalence collapsing to the target stuck-at faults (the
+    /// paper's setting). With `false`, every stuck-at fault on every line
+    /// is a target — useful for the collapsing ablation, since a larger
+    /// `F` can only lower `nmin` values.
+    pub collapse_targets: bool,
+    /// Enumerate and simulate the bridging fault population. With
+    /// `false` the universe carries only target faults (faster when only
+    /// test-set construction is needed).
+    pub include_bridges: bool,
+    /// Which bridging behaviours to enumerate (the paper's four-way
+    /// model by default; wired-AND / wired-OR subsets for the
+    /// model-sensitivity ablation).
+    pub bridge_model: BridgeModel,
+}
+
+impl Default for UniverseOptions {
+    fn default() -> Self {
+        UniverseOptions {
+            collapse_targets: true,
+            include_bridges: true,
+            bridge_model: BridgeModel::FourWay,
+        }
+    }
+}
+
+/// The target fault set `F` (collapsed single stuck-at), the untargeted
+/// fault set `G` (detectable non-feedback four-way bridging), and every
+/// detection set `T(h) ⊆ U`, for one circuit.
+///
+/// This is the single input the worst-case and average-case analyses in
+/// `ndetect-core` consume. Building it runs one exhaustive bit-parallel
+/// fault simulation per fault.
+///
+/// # Memory
+///
+/// Detection sets are dense bitsets of `2^I` bits each. For `I` inputs and
+/// `|G|` bridging faults the universe holds roughly
+/// `(|F| + |G|) * 2^I / 8` bytes — e.g. ~50 MB for `I = 13`,
+/// `|G| = 50 000`. Keep `I ≤ 14` for large bridging populations.
+pub struct FaultUniverse {
+    netlist: Netlist,
+    simulator: FaultSimulator,
+    collapsed: CollapsedFaults,
+    options: UniverseOptions,
+    targets: Vec<StuckAtFault>,
+    target_sets: Vec<VectorSet>,
+    bridges: Vec<BridgingFault>,
+    bridge_sets: Vec<VectorSet>,
+    num_undetectable_bridges: usize,
+}
+
+impl FaultUniverse {
+    /// Builds the full universe with default options (collapsed targets,
+    /// bridging faults included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
+    /// exhaustive simulation.
+    pub fn build(netlist: &Netlist) -> Result<Self, FaultError> {
+        Self::build_with(netlist, UniverseOptions::default())
+    }
+
+    /// Builds the universe with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
+    /// exhaustive simulation.
+    pub fn build_with(netlist: &Netlist, options: UniverseOptions) -> Result<Self, FaultError> {
+        let simulator = FaultSimulator::new(netlist)?;
+        let collapsed = CollapsedFaults::compute(netlist);
+
+        let targets: Vec<StuckAtFault> = if options.collapse_targets {
+            collapsed.representatives().to_vec()
+        } else {
+            all_stuck_at_faults(netlist)
+        };
+        let target_sets: Vec<VectorSet> = targets
+            .iter()
+            .map(|&f| simulator.detection_set_stuck(netlist, f))
+            .collect();
+
+        let mut bridges = Vec::new();
+        let mut bridge_sets = Vec::new();
+        let mut num_undetectable_bridges = 0;
+        if options.include_bridges {
+            for fault in enumerate_bridges(netlist, simulator.reachability(), options.bridge_model)
+            {
+                let set = simulator.detection_set_bridge(netlist, &fault);
+                if set.is_empty() {
+                    num_undetectable_bridges += 1;
+                } else {
+                    bridges.push(fault);
+                    bridge_sets.push(set);
+                }
+            }
+        }
+
+        Ok(FaultUniverse {
+            netlist: netlist.clone(),
+            simulator,
+            collapsed,
+            options,
+            targets,
+            target_sets,
+            bridges,
+            bridge_sets,
+            num_undetectable_bridges,
+        })
+    }
+
+    /// The circuit this universe was built from.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The exhaustive pattern space `U`.
+    #[must_use]
+    pub fn space(&self) -> &PatternSpace {
+        self.simulator.space()
+    }
+
+    /// The underlying fault simulator (reusable for ad-hoc faults).
+    #[must_use]
+    pub fn simulator(&self) -> &FaultSimulator {
+        &self.simulator
+    }
+
+    /// The options this universe was built with.
+    #[must_use]
+    pub fn options(&self) -> UniverseOptions {
+        self.options
+    }
+
+    /// The equivalence-collapsing result (available even when targets are
+    /// uncollapsed).
+    #[must_use]
+    pub fn collapsed(&self) -> &CollapsedFaults {
+        &self.collapsed
+    }
+
+    /// The target faults `F`, ordered by (line id, stuck value).
+    #[must_use]
+    pub fn targets(&self) -> &[StuckAtFault] {
+        &self.targets
+    }
+
+    /// `T(f_i)` for target index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn target_set(&self, i: usize) -> &VectorSet {
+        &self.target_sets[i]
+    }
+
+    /// All target detection sets, parallel to [`Self::targets`].
+    #[must_use]
+    pub fn target_sets(&self) -> &[VectorSet] {
+        &self.target_sets
+    }
+
+    /// The untargeted faults `G`: detectable non-feedback four-way
+    /// bridging faults, in enumeration order.
+    #[must_use]
+    pub fn bridges(&self) -> &[BridgingFault] {
+        &self.bridges
+    }
+
+    /// `T(g_j)` for bridge index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn bridge_set(&self, j: usize) -> &VectorSet {
+        &self.bridge_sets[j]
+    }
+
+    /// All bridging detection sets, parallel to [`Self::bridges`].
+    #[must_use]
+    pub fn bridge_sets(&self) -> &[VectorSet] {
+        &self.bridge_sets
+    }
+
+    /// Number of enumerated four-way bridging faults that turned out to be
+    /// undetectable (excluded from [`Self::bridges`]).
+    #[must_use]
+    pub fn num_undetectable_bridges(&self) -> usize {
+        self.num_undetectable_bridges
+    }
+
+    /// Finds a target fault index by the paper's `line/value` notation
+    /// (using netlist line names).
+    #[must_use]
+    pub fn find_target(&self, line_name: &str, value: bool) -> Option<usize> {
+        self.targets.iter().position(|f| {
+            f.value == value && self.netlist.lines().line(f.line).name() == line_name
+        })
+    }
+
+    /// Finds a bridging fault index by the paper's `(l1,a1,l2,a2)`
+    /// notation (using netlist line names).
+    #[must_use]
+    pub fn find_bridge(
+        &self,
+        victim_name: &str,
+        victim_value: bool,
+        aggressor_name: &str,
+        aggressor_value: bool,
+    ) -> Option<usize> {
+        let lines = self.netlist.lines();
+        self.bridges.iter().position(|b| {
+            b.victim_value == victim_value
+                && b.aggressor_value == aggressor_value
+                && lines.line(b.victim).name() == victim_name
+                && lines.line(b.aggressor).name() == aggressor_name
+        })
+    }
+}
+
+impl fmt::Debug for FaultUniverse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultUniverse")
+            .field("circuit", &self.netlist.name())
+            .field("num_targets", &self.targets.len())
+            .field("num_bridges", &self.bridges.len())
+            .field("num_undetectable_bridges", &self.num_undetectable_bridges)
+            .field("num_patterns", &self.space().num_patterns())
+            .finish()
+    }
+}
+
+impl fmt::Display for FaultUniverse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: |F| = {} collapsed stuck-at, |G| = {} bridging ({} undetectable excluded), |U| = {}",
+            self.netlist.name(),
+            self.targets.len(),
+            self.bridges.len(),
+            self.num_undetectable_bridges,
+            self.space().num_patterns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_netlist::NetlistBuilder;
+
+    fn figure1() -> Netlist {
+        let mut b = NetlistBuilder::new("figure1");
+        let i1 = b.input("1");
+        let i2 = b.input("2");
+        let i3 = b.input("3");
+        let i4 = b.input("4");
+        let g9 = b.and("9", &[i1, i2]).unwrap();
+        let g10 = b.and("10", &[i2, i3]).unwrap();
+        let g11 = b.or("11", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_universe_matches_paper() {
+        let n = figure1();
+        let u = FaultUniverse::build(&n).unwrap();
+        assert_eq!(u.targets().len(), 16);
+        // Paper's f0 = 1/1 has T = {4,5,6,7}.
+        let f0 = u.find_target("1", true).unwrap();
+        assert_eq!(f0, 0);
+        assert_eq!(u.target_set(f0).to_vec(), vec![4, 5, 6, 7]);
+        // g0 = (9,0,10,1) exists and T(g0) = {6,7}.
+        let g0 = u.find_bridge("9", false, "10", true).unwrap();
+        assert_eq!(u.bridge_set(g0).to_vec(), vec![6, 7]);
+        // Of the 12 enumerated bridges, (10,1,11,0) and (11,0,10,1) are
+        // undetectable: they require line 10 = 1 (input 3 = 1) and
+        // line 11 = 0 (input 3 = 0) simultaneously.
+        assert_eq!(u.bridges().len(), 10);
+        assert_eq!(u.num_undetectable_bridges(), 2);
+        assert!(u.find_bridge("10", true, "11", false).is_none());
+        assert!(u.find_bridge("11", false, "10", true).is_none());
+    }
+
+    #[test]
+    fn uncollapsed_universe_is_larger() {
+        let n = figure1();
+        let collapsed = FaultUniverse::build(&n).unwrap();
+        let full = FaultUniverse::build_with(
+            &n,
+            UniverseOptions {
+                collapse_targets: false,
+                include_bridges: false,
+                ..UniverseOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.targets().len(), 22); // 11 lines x 2
+        assert!(full.targets().len() > collapsed.targets().len());
+        assert!(full.bridges().is_empty());
+    }
+
+    #[test]
+    fn equivalent_faults_have_identical_detection_sets() {
+        let n = figure1();
+        let u = FaultUniverse::build(&n).unwrap();
+        let sim = u.simulator();
+        for class in u.collapsed().classes() {
+            let sets: Vec<Vec<usize>> = class
+                .iter()
+                .map(|&f| sim.detection_set_stuck(&n, f).to_vec())
+                .collect();
+            for pair in sets.windows(2) {
+                assert_eq!(pair[0], pair[1], "class {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let n = figure1();
+        let u = FaultUniverse::build(&n).unwrap();
+        let s = u.to_string();
+        assert!(s.contains("|F| = 16"));
+        assert!(s.contains("|G| = 10"));
+        assert!(format!("{u:?}").contains("figure1"));
+    }
+}

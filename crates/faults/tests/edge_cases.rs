@@ -1,0 +1,149 @@
+//! Edge-case integration tests for fault simulation: primary-output
+//! branch faults, constant nodes, and redundant logic.
+
+use ndetect_faults::{FaultSimulator, FaultUniverse, StuckAtFault};
+use ndetect_netlist::{GateKind, LineKind, NetlistBuilder, Sink};
+
+/// A node observed by a PO slot *and* feeding a gate has branch lines,
+/// one of which targets the output slot: a fault there corrupts only
+/// that observation.
+#[test]
+fn output_slot_branch_faults_affect_only_their_observation() {
+    let mut b = NetlistBuilder::new("po_branch");
+    let a = b.input("a");
+    let c = b.input("c");
+    let g1 = b.and("g1", &[a, c]).unwrap();
+    let g2 = b.not("g2", g1).unwrap();
+    b.output(g1); // g1 observed directly...
+    b.output(g2); // ...and through g2.
+    let n = b.build().unwrap();
+
+    // g1 has two sinks: pin of g2 and output slot 0 -> two branch lines.
+    let branches = n.lines().branches(g1);
+    assert_eq!(branches.len(), 2);
+    let po_branch = branches
+        .iter()
+        .copied()
+        .find(|&l| {
+            matches!(
+                n.lines().line(l).kind(),
+                LineKind::Branch { sink: Sink::OutputSlot { .. }, .. }
+            )
+        })
+        .expect("one branch feeds the PO slot");
+    let gate_branch = branches
+        .iter()
+        .copied()
+        .find(|&l| {
+            matches!(
+                n.lines().line(l).kind(),
+                LineKind::Branch { sink: Sink::GatePin { .. }, .. }
+            )
+        })
+        .expect("one branch feeds g2");
+
+    let sim = FaultSimulator::new(&n).unwrap();
+    // PO-branch stuck-at-1: output 0 reads 1; detected where g1 = 0.
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(po_branch, true));
+    assert_eq!(t.to_vec(), vec![0, 1, 2]); // g1 = a&c = 0 on 00,01,10
+    // PO-branch stuck-at-0: detected where g1 = 1.
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(po_branch, false));
+    assert_eq!(t.to_vec(), vec![3]);
+    // Gate-branch stuck-at-0: g2 sees 0, flips to 1 where g1 = 1; the
+    // direct observation of g1 is unaffected.
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(gate_branch, false));
+    assert_eq!(t.to_vec(), vec![3]);
+    // Stem stuck-at-0 corrupts both observations: same activation set.
+    let stem = n.lines().stem(g1);
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(stem, false));
+    assert_eq!(t.to_vec(), vec![3]);
+}
+
+/// Constant nodes: the same-polarity stuck-at is undetectable; the
+/// opposite polarity is detected wherever it propagates.
+#[test]
+fn constant_node_faults() {
+    let mut b = NetlistBuilder::new("consts");
+    let a = b.input("a");
+    let one = b.gate(GateKind::Const1, "one", &[]).unwrap();
+    let g = b.and("g", &[a, one]).unwrap();
+    b.output(g);
+    let n = b.build().unwrap();
+    let sim = FaultSimulator::new(&n).unwrap();
+    let stem_one = n.lines().stem(one);
+    // one stuck-at-1 == nominal: undetectable.
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(stem_one, true));
+    assert!(t.is_empty());
+    // one stuck-at-0 forces g = 0: detected where a = 1.
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(stem_one, false));
+    assert_eq!(t.to_vec(), vec![1]);
+}
+
+/// Classic redundancy: g = (a & c) | (a & !c) computes `a`, so faults
+/// inside the mux structure can be undetectable; the universe must
+/// carry them with empty detection sets without breaking the analyses.
+#[test]
+fn redundant_logic_produces_undetectable_targets() {
+    let mut b = NetlistBuilder::new("redundant");
+    let a = b.input("a");
+    let c = b.input("c");
+    let nc = b.not("nc", c).unwrap();
+    let t1 = b.and("t1", &[a, c]).unwrap();
+    let t2 = b.and("t2", &[a, nc]).unwrap();
+    let g = b.or("g", &[t1, t2]).unwrap();
+    b.output(g);
+    let n = b.build().unwrap();
+    let u = FaultUniverse::build(&n).unwrap();
+    let undetectable = u.target_sets().iter().filter(|t| t.is_empty()).count();
+    assert!(
+        undetectable > 0,
+        "the redundant mux must have undetectable faults"
+    );
+    // The analyses still run.
+    let wc = ndetect_core_smoke(&u);
+    assert!(wc <= 100.0);
+}
+
+fn ndetect_core_smoke(u: &FaultUniverse) -> f64 {
+    // Inline the nmin computation shape without depending on
+    // ndetect-core (dependency direction): fraction of bridges with
+    // some overlapping target.
+    let mut bounded = 0usize;
+    for t_g in u.bridge_sets() {
+        if u.target_sets().iter().any(|t_f| t_f.intersects(t_g)) {
+            bounded += 1;
+        }
+    }
+    if u.bridge_sets().is_empty() {
+        100.0
+    } else {
+        100.0 * bounded as f64 / u.bridge_sets().len() as f64
+    }
+}
+
+/// Multi-output observation: a fault detected through either of two
+/// outputs unions both propagation paths.
+#[test]
+fn detection_unions_across_outputs() {
+    let mut b = NetlistBuilder::new("multi_out");
+    let a = b.input("a");
+    let c = b.input("c");
+    let d = b.input("d");
+    let g1 = b.and("g1", &[a, c]).unwrap();
+    let g2 = b.or("g2", &[a, d]).unwrap();
+    b.output(g1);
+    b.output(g2);
+    let n = b.build().unwrap();
+    let sim = FaultSimulator::new(&n).unwrap();
+    // a fans out to g1 and g2; the stem fault a/0 is detected via
+    // g1 (needs c=1) or g2 (needs d=0), on vectors where a=1.
+    let stem_a = n.lines().stem(a);
+    let t = sim.detection_set_stuck(&n, StuckAtFault::new(stem_a, false));
+    let expect: Vec<usize> = (0..8)
+        .filter(|&v| {
+            let (av, cv, dv) = (v >> 2 & 1 == 1, v >> 1 & 1 == 1, v & 1 == 1);
+            av && (cv || !dv)
+        })
+        .collect();
+    assert_eq!(t.to_vec(), expect);
+}

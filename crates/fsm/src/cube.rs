@@ -1,0 +1,283 @@
+//! Cubes: products of literals over a fixed variable set.
+
+use std::fmt;
+
+/// A cube (product term) over `num_vars` Boolean variables.
+///
+/// Bit `num_vars-1-i` of `care` is set iff variable `i` is a literal of
+/// the product; `value` holds the literal polarity on care bits (0
+/// elsewhere). This is the MSB-first convention shared with
+/// `ndetect_sim::PatternSpace`, so a full-care cube's `value` equals the
+/// minterm index.
+///
+/// ```
+/// use ndetect_fsm::Cube;
+/// // "1-0" over 3 variables: v0=1, v1 free, v2=0.
+/// let c = Cube::parse("1-0").unwrap();
+/// assert!(c.matches(0b100));
+/// assert!(c.matches(0b110));
+/// assert!(!c.matches(0b001));
+/// assert_eq!(c.to_string(), "1-0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Cube {
+    num_vars: usize,
+    care: u32,
+    value: u32,
+}
+
+impl Cube {
+    /// The universal cube (matches every assignment).
+    #[must_use]
+    pub fn universe(num_vars: usize) -> Self {
+        assert!(num_vars <= 32);
+        Cube {
+            num_vars,
+            care: 0,
+            value: 0,
+        }
+    }
+
+    /// A full-care cube equal to one minterm.
+    #[must_use]
+    pub fn minterm(num_vars: usize, index: u32) -> Self {
+        assert!(num_vars <= 32);
+        let mask = if num_vars == 32 {
+            u32::MAX
+        } else {
+            (1u32 << num_vars) - 1
+        };
+        debug_assert!(index <= mask);
+        Cube {
+            num_vars,
+            care: mask,
+            value: index & mask,
+        }
+    }
+
+    /// Builds a cube from raw (care, value) masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has bits outside `care`.
+    #[must_use]
+    pub fn from_masks(num_vars: usize, care: u32, value: u32) -> Self {
+        assert!(num_vars <= 32);
+        assert_eq!(value & !care, 0, "value bits outside care set");
+        Cube {
+            num_vars,
+            care,
+            value,
+        }
+    }
+
+    /// Parses a KISS/PLA-style cube string of `0`, `1`, `-` characters
+    /// (leftmost character is variable 0).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let num_vars = text.chars().count();
+        if num_vars > 32 {
+            return None;
+        }
+        let mut care = 0u32;
+        let mut value = 0u32;
+        for (i, ch) in text.chars().enumerate() {
+            let bit = 1u32 << (num_vars - 1 - i);
+            match ch {
+                '0' => care |= bit,
+                '1' => {
+                    care |= bit;
+                    value |= bit;
+                }
+                '-' | '~' | '2' => {}
+                _ => return None,
+            }
+        }
+        Some(Cube {
+            num_vars,
+            care,
+            value,
+        })
+    }
+
+    /// Number of variables of the cube's domain.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The care mask (MSB-first).
+    #[must_use]
+    pub fn care(&self) -> u32 {
+        self.care
+    }
+
+    /// The literal polarities on care bits (MSB-first).
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Number of literals (care bits).
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Whether `assignment` (a minterm index, MSB-first) satisfies the
+    /// product.
+    #[must_use]
+    pub fn matches(&self, assignment: u32) -> bool {
+        assignment & self.care == self.value
+    }
+
+    /// The literal of variable `i`: `Some(polarity)` or `None` if free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    #[must_use]
+    pub fn literal(&self, var: usize) -> Option<bool> {
+        assert!(var < self.num_vars);
+        let bit = 1u32 << (self.num_vars - 1 - var);
+        if self.care & bit == 0 {
+            None
+        } else {
+            Some(self.value & bit != 0)
+        }
+    }
+
+    /// Concatenates two cubes over disjoint variable tails: the result
+    /// ranges over `self`'s variables followed by `other`'s.
+    #[must_use]
+    pub fn concat(&self, other: &Cube) -> Cube {
+        let num_vars = self.num_vars + other.num_vars;
+        assert!(num_vars <= 32);
+        Cube {
+            num_vars,
+            care: (self.care << other.num_vars) | other.care,
+            value: (self.value << other.num_vars) | other.value,
+        }
+    }
+
+    /// Returns `true` if every assignment matching `other` also matches
+    /// `self`.
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        // self's literals must be a subset of other's, with equal values.
+        self.care & !other.care == 0 && other.value & self.care == self.value
+    }
+
+    /// Returns `true` if the two cubes share at least one assignment.
+    #[must_use]
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let common = self.care & other.care;
+        (self.value ^ other.value) & common == 0
+    }
+
+    /// Enumerates all minterm indices covered by this cube (ascending).
+    #[must_use]
+    pub fn minterms(&self) -> Vec<u32> {
+        let free = (!self.care)
+            & if self.num_vars == 32 {
+                u32::MAX
+            } else {
+                (1u32 << self.num_vars) - 1
+            };
+        let free_bits: Vec<u32> = (0..32).filter(|&b| free >> b & 1 == 1).collect();
+        let mut out = Vec::with_capacity(1 << free_bits.len());
+        for combo in 0u32..(1 << free_bits.len()) {
+            let mut m = self.value;
+            for (k, &b) in free_bits.iter().enumerate() {
+                if combo >> k & 1 == 1 {
+                    m |= 1 << b;
+                }
+            }
+            out.push(m);
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.num_vars {
+            match self.literal(i) {
+                Some(true) => write!(f, "1")?,
+                Some(false) => write!(f, "0")?,
+                None => write!(f, "-")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-", "01-", "1-0-1", "--------"] {
+            assert_eq!(Cube::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Cube::parse("01x2?").is_none());
+    }
+
+    #[test]
+    fn minterm_matches_only_itself() {
+        let c = Cube::minterm(4, 6);
+        for m in 0..16 {
+            assert_eq!(c.matches(m), m == 6);
+        }
+        assert_eq!(c.minterms(), vec![6]);
+    }
+
+    #[test]
+    fn universe_matches_everything() {
+        let c = Cube::universe(3);
+        assert_eq!(c.minterms().len(), 8);
+        assert_eq!(c.num_literals(), 0);
+    }
+
+    #[test]
+    fn matching_respects_msb_first() {
+        // "1-0": var0 = 1 (MSB), var2 = 0 (LSB).
+        let c = Cube::parse("1-0").unwrap();
+        assert_eq!(c.minterms(), vec![0b100, 0b110]);
+    }
+
+    #[test]
+    fn concat_places_self_high() {
+        let a = Cube::parse("1-").unwrap();
+        let b = Cube::parse("01").unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.to_string(), "1-01");
+        assert!(c.matches(0b1001));
+        assert!(c.matches(0b1101));
+        assert!(!c.matches(0b0101));
+    }
+
+    #[test]
+    fn covers_and_intersects() {
+        let big = Cube::parse("1--").unwrap();
+        let small = Cube::parse("1-0").unwrap();
+        let other = Cube::parse("0--").unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.intersects(&small));
+        assert!(!big.intersects(&other));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn literal_extraction() {
+        let c = Cube::parse("0-1").unwrap();
+        assert_eq!(c.literal(0), Some(false));
+        assert_eq!(c.literal(1), None);
+        assert_eq!(c.literal(2), Some(true));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for FSM parsing and synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing KISS2 text or synthesizing an FSM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsmError {
+    /// A KISS2 line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A declared count (`.i`, `.o`, `.s`, `.p`) disagrees with the body.
+    Inconsistent {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// The FSM has no transitions.
+    Empty,
+    /// Synthesis produced a netlist that failed validation (internal
+    /// error; indicates a bug).
+    Synthesis {
+        /// The underlying netlist error, as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::Parse { line, message } => {
+                write!(f, "kiss2 parse error at line {line}: {message}")
+            }
+            FsmError::Inconsistent { message } => {
+                write!(f, "inconsistent kiss2 declaration: {message}")
+            }
+            FsmError::Empty => write!(f, "state machine has no transitions"),
+            FsmError::Synthesis { message } => write!(f, "synthesis failed: {message}"),
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = FsmError::Parse {
+            line: 7,
+            message: "bad cube".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(FsmError::Empty.to_string().contains("no transitions"));
+    }
+}

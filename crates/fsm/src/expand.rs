@@ -1,0 +1,307 @@
+//! Heuristic two-level minimization in the espresso style:
+//! **EXPAND** (greedily drop literals while staying inside the ON∪DC
+//! set) followed by **IRREDUNDANT** (drop cubes whose ON-set
+//! contribution is covered by the rest).
+//!
+//! Exact Quine–McCluskey ([`crate::qm`]) is used for small functions;
+//! this module scales to the 11–16 variable next-state/output functions
+//! of the larger benchmark machines, where exact prime generation is
+//! intractable but don't-care-driven expansion is exactly what creates
+//! the redundancy the n-detection analysis studies.
+
+use crate::cube::Cube;
+use ndetect_sim::{PatternSpace, VectorSet};
+
+/// The 64-vector word of minterms covered by `cube` in `block`
+/// (bit `b` set ⇔ the cube covers minterm `block*64 + b`).
+fn cube_word(space: &PatternSpace, cube: &Cube, block: usize) -> u64 {
+    let mut acc = space.block_mask(block);
+    for var in 0..cube.num_vars() {
+        match cube.literal(var) {
+            None => {}
+            Some(true) => acc &= space.input_word(var, block),
+            Some(false) => acc &= !space.input_word(var, block),
+        }
+    }
+    acc
+}
+
+/// Collects the minterm set of a cube as a [`VectorSet`].
+fn cube_set(space: &PatternSpace, cube: &Cube) -> VectorSet {
+    let mut set = VectorSet::new(space.num_patterns());
+    for block in 0..space.num_blocks() {
+        set.set_word(block, cube_word(space, cube, block));
+    }
+    set
+}
+
+/// Returns `true` if every minterm of `cube` lies inside `allow`.
+fn cube_within(space: &PatternSpace, cube: &Cube, allow: &VectorSet) -> bool {
+    for block in 0..space.num_blocks() {
+        if cube_word(space, cube, block) & !allow.words()[block] != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedily removes literals from `cube` (ascending variable order,
+/// repeated until a fixed point) while the cube stays inside `allow`.
+fn expand_cube(space: &PatternSpace, mut cube: Cube, allow: &VectorSet) -> Cube {
+    let num_vars = cube.num_vars();
+    loop {
+        let mut changed = false;
+        for var in 0..num_vars {
+            if cube.literal(var).is_none() {
+                continue;
+            }
+            let bit = 1u32 << (num_vars - 1 - var);
+            let candidate =
+                Cube::from_masks(num_vars, cube.care() & !bit, cube.value() & !bit);
+            if cube_within(space, &candidate, allow) {
+                cube = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return cube;
+        }
+    }
+}
+
+/// Espresso-style heuristic cover: expands every seed cube against
+/// `allow = ON ∪ DC`, deduplicates, removes cubes covered by larger
+/// ones, then drops cubes whose ON-set minterms are covered by the
+/// remaining cubes.
+///
+/// The result covers every ON minterm, covers no OFF minterm, and is
+/// deterministic. Seeds must already lie inside `allow`.
+///
+/// ```
+/// use ndetect_fsm::expand_cover;
+/// use ndetect_fsm::Cube;
+/// use ndetect_sim::{PatternSpace, VectorSet};
+///
+/// let space = PatternSpace::new(2).unwrap();
+/// // f = a·b with b don't-care when a = 1: expands to just "1-".
+/// let on = VectorSet::from_vectors(4, [3]);
+/// let allow = VectorSet::from_vectors(4, [2, 3]);
+/// let cover = expand_cover(&space, &[Cube::parse("11").unwrap()], &on, &allow);
+/// assert_eq!(cover, vec![Cube::parse("1-").unwrap()]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a seed cube covers a minterm outside `allow` (the caller
+/// built an inconsistent specification).
+#[must_use]
+pub fn expand_cover(
+    space: &PatternSpace,
+    seeds: &[Cube],
+    on: &VectorSet,
+    allow: &VectorSet,
+) -> Vec<Cube> {
+    // EXPAND.
+    let mut expanded: Vec<Cube> = seeds
+        .iter()
+        .map(|&c| {
+            assert!(
+                cube_within(space, &c, allow),
+                "seed cube {c} leaves the ON∪DC set"
+            );
+            expand_cube(space, c, allow)
+        })
+        .collect();
+    expanded.sort_unstable();
+    expanded.dedup();
+
+    // Drop cubes covered by another single cube (cheap containment).
+    let mut kept: Vec<Cube> = Vec::with_capacity(expanded.len());
+    for (i, &c) in expanded.iter().enumerate() {
+        let covered = expanded
+            .iter()
+            .enumerate()
+            .any(|(j, d)| j != i && *d != c && d.covers(&c));
+        if !covered {
+            kept.push(c);
+        }
+    }
+
+    // IRREDUNDANT: greedily drop cubes whose ON contribution is covered
+    // by the union of the others (scan in reverse size order so large
+    // cubes are preferred).
+    let sets: Vec<VectorSet> = kept.iter().map(|c| cube_set(space, c)).collect();
+    let mut alive = vec![true; kept.len()];
+    let mut order: Vec<usize> = (0..kept.len()).collect();
+    order.sort_unstable_by_key(|&i| sets[i].len()); // try to drop small cubes first
+    for &i in &order {
+        // union of other alive cubes
+        let mut union = VectorSet::new(space.num_patterns());
+        for (j, s) in sets.iter().enumerate() {
+            if j != i && alive[j] {
+                union.union_with(s);
+            }
+        }
+        // on-minterms of cube i must all be covered by the union.
+        let mut redundant = true;
+        for block in 0..space.num_blocks() {
+            let on_i = sets[i].words()[block] & on.words()[block];
+            if on_i & !union.words()[block] != 0 {
+                redundant = false;
+                break;
+            }
+        }
+        if redundant {
+            alive[i] = false;
+        }
+    }
+    let result: Vec<Cube> = kept
+        .into_iter()
+        .zip(alive)
+        .filter(|(_, a)| *a)
+        .map(|(c, _)| c)
+        .collect();
+
+    debug_assert!(verify_cover(space, &result, on, allow));
+    result
+}
+
+/// Verifies a cover: every ON minterm covered, no minterm outside
+/// ON∪DC covered.
+#[must_use]
+pub fn verify_cover(
+    space: &PatternSpace,
+    cover: &[Cube],
+    on: &VectorSet,
+    allow: &VectorSet,
+) -> bool {
+    let mut union = VectorSet::new(space.num_patterns());
+    for c in cover {
+        union.union_with(&cube_set(space, c));
+    }
+    for block in 0..space.num_blocks() {
+        let u = union.words()[block];
+        if on.words()[block] & !u != 0 {
+            return false; // uncovered ON minterm
+        }
+        if u & !allow.words()[block] != 0 {
+            return false; // covered OFF minterm
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minterms(space: &PatternSpace, cover: &[Cube]) -> Vec<usize> {
+        let mut set = VectorSet::new(space.num_patterns());
+        for c in cover {
+            set.union_with(&cube_set(space, c));
+        }
+        set.to_vec()
+    }
+
+    #[test]
+    fn expands_into_dont_cares() {
+        let space = PatternSpace::new(3).unwrap();
+        // ON = {111}, DC = {110, 101, 100}: "1--" is reachable.
+        let on = VectorSet::from_vectors(8, [7]);
+        let allow = VectorSet::from_vectors(8, [4, 5, 6, 7]);
+        let cover = expand_cover(&space, &[Cube::parse("111").unwrap()], &on, &allow);
+        assert_eq!(cover, vec![Cube::parse("1--").unwrap()]);
+    }
+
+    #[test]
+    fn no_off_minterms_ever_covered() {
+        let space = PatternSpace::new(4).unwrap();
+        let on = VectorSet::from_vectors(16, [1, 3, 5, 7, 15]);
+        let allow = VectorSet::from_vectors(16, [1, 3, 5, 7, 9, 15]);
+        let seeds: Vec<Cube> = [1u32, 3, 5, 7, 15]
+            .iter()
+            .map(|&m| Cube::minterm(4, m))
+            .collect();
+        let cover = expand_cover(&space, &seeds, &on, &allow);
+        assert!(verify_cover(&space, &cover, &on, &allow));
+        for m in minterms(&space, &cover) {
+            assert!(allow.contains(m), "minterm {m} outside ON∪DC");
+        }
+        for v in on.to_vec() {
+            assert!(minterms(&space, &cover).contains(&v));
+        }
+    }
+
+    #[test]
+    fn irredundant_removes_subsumed_work() {
+        let space = PatternSpace::new(2).unwrap();
+        // ON = all four minterms; four minterm seeds expand to "--".
+        let on = VectorSet::from_vectors(4, [0, 1, 2, 3]);
+        let allow = on.clone();
+        let seeds: Vec<Cube> = (0..4).map(|m| Cube::minterm(2, m)).collect();
+        let cover = expand_cover(&space, &seeds, &on, &allow);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].num_literals(), 0);
+    }
+
+    #[test]
+    fn agrees_with_qm_on_small_random_functions() {
+        // Same coverage semantics as exact QM (not necessarily the same
+        // cube count, but both must implement the function exactly).
+        let mut seed = 0xBEEF_u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for num_vars in 3..=5usize {
+            let space = PatternSpace::new(num_vars).unwrap();
+            for _ in 0..6 {
+                let mut on_v = Vec::new();
+                let mut dc_v = Vec::new();
+                for m in 0..(1u32 << num_vars) {
+                    match next() % 4 {
+                        0 => on_v.push(m),
+                        1 => dc_v.push(m),
+                        _ => {}
+                    }
+                }
+                if on_v.is_empty() {
+                    continue;
+                }
+                let on = VectorSet::from_vectors(
+                    space.num_patterns(),
+                    on_v.iter().map(|&m| m as usize),
+                );
+                let mut allow = on.clone();
+                allow.union_with(&VectorSet::from_vectors(
+                    space.num_patterns(),
+                    dc_v.iter().map(|&m| m as usize),
+                ));
+                let seeds: Vec<Cube> =
+                    on_v.iter().map(|&m| Cube::minterm(num_vars, m)).collect();
+                let cover = expand_cover(&space, &seeds, &on, &allow);
+                assert!(verify_cover(&space, &cover, &on, &allow));
+                let qm_cover = crate::qm::minimize(num_vars, &on_v, &dc_v);
+                // Both covers agree outside the DC set.
+                for m in 0..(1u32 << num_vars) {
+                    if dc_v.contains(&m) {
+                        continue;
+                    }
+                    let h = cover.iter().any(|c| c.matches(m));
+                    let q = qm_cover.iter().any(|c| c.matches(m));
+                    assert_eq!(h, q, "vars={num_vars} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the ON∪DC set")]
+    fn rejects_inconsistent_seeds() {
+        let space = PatternSpace::new(2).unwrap();
+        let on = VectorSet::from_vectors(4, [0]);
+        let _ = expand_cover(&space, &[Cube::parse("11").unwrap()], &on.clone(), &on);
+    }
+}

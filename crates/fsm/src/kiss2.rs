@@ -1,0 +1,309 @@
+//! KISS2 state-transition-table parsing and writing.
+//!
+//! The KISS2 format (as used by the MCNC/LGSynth benchmark suites):
+//!
+//! ```text
+//! .i 2          # number of inputs
+//! .o 1          # number of outputs
+//! .s 4          # number of states (optional; inferred)
+//! .p 14         # number of rows   (optional; checked)
+//! .r st0        # reset state      (optional; defaults to first seen)
+//! 0- st0 st1 0  # input-cube  present  next  output-bits
+//! ...
+//! .e
+//! ```
+
+use crate::cube::Cube;
+use crate::error::FsmError;
+use crate::fsm::{Fsm, OutputBit, Transition};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses KISS2 source text.
+///
+/// States are registered in order of first appearance. `.s` and `.p`
+/// declarations, when present, are validated against the body.
+///
+/// # Errors
+///
+/// Returns [`FsmError::Parse`] for malformed lines,
+/// [`FsmError::Inconsistent`] for declaration mismatches, and
+/// [`FsmError::Empty`] if no rows are present.
+pub fn parse_kiss2(name: &str, source: &str) -> Result<Fsm, FsmError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut declared_states: Option<usize> = None;
+    let mut declared_rows: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+
+    let mut states: Vec<String> = Vec::new();
+    let mut state_index: HashMap<String, usize> = HashMap::new();
+    let mut transitions: Vec<Transition> = Vec::new();
+
+    let intern =
+        |states: &mut Vec<String>, state_index: &mut HashMap<String, usize>, s: &str| -> usize {
+            if let Some(&i) = state_index.get(s) {
+                i
+            } else {
+                let i = states.len();
+                states.push(s.to_string());
+                state_index.insert(s.to_string(), i);
+                i
+            }
+        };
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let first = tokens.next().expect("non-empty line has a token");
+
+        let parse_count = |tok: Option<&str>, what: &str| -> Result<usize, FsmError> {
+            tok.and_then(|t| t.parse().ok()).ok_or(FsmError::Parse {
+                line: lineno,
+                message: format!("expected a count after {what}"),
+            })
+        };
+
+        match first {
+            ".i" => num_inputs = Some(parse_count(tokens.next(), ".i")?),
+            ".o" => num_outputs = Some(parse_count(tokens.next(), ".o")?),
+            ".s" => declared_states = Some(parse_count(tokens.next(), ".s")?),
+            ".p" => declared_rows = Some(parse_count(tokens.next(), ".p")?),
+            ".r" => {
+                reset_name = Some(
+                    tokens
+                        .next()
+                        .ok_or(FsmError::Parse {
+                            line: lineno,
+                            message: "expected a state name after .r".into(),
+                        })?
+                        .to_string(),
+                );
+            }
+            ".e" | ".end" => break,
+            ".ilb" | ".ob" | ".latch" | ".type" => { /* informational; ignored */ }
+            _ => {
+                // A transition row: cube present next outputs.
+                let cube_text = first;
+                let present = tokens.next().ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: "missing present-state".into(),
+                })?;
+                let next = tokens.next().ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: "missing next-state".into(),
+                })?;
+                let out_text = tokens.next().ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: "missing output bits".into(),
+                })?;
+                if tokens.next().is_some() {
+                    return Err(FsmError::Parse {
+                        line: lineno,
+                        message: "trailing tokens after output bits".into(),
+                    });
+                }
+                let input = Cube::parse(cube_text).ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: format!("bad input cube `{cube_text}`"),
+                })?;
+                if let Some(ni) = num_inputs {
+                    if input.num_vars() != ni {
+                        return Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!(
+                                "input cube has {} bits, .i declared {ni}",
+                                input.num_vars()
+                            ),
+                        });
+                    }
+                } else {
+                    num_inputs = Some(input.num_vars());
+                }
+                let outputs: Vec<OutputBit> = out_text
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(OutputBit::Zero),
+                        '1' => Ok(OutputBit::One),
+                        '-' | '~' | '2' => Ok(OutputBit::DontCare),
+                        _ => Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!("bad output bit `{c}`"),
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if let Some(no) = num_outputs {
+                    if outputs.len() != no {
+                        return Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!(
+                                "row has {} output bits, .o declared {no}",
+                                outputs.len()
+                            ),
+                        });
+                    }
+                } else {
+                    num_outputs = Some(outputs.len());
+                }
+                let from = intern(&mut states, &mut state_index, present);
+                let to = intern(&mut states, &mut state_index, next);
+                transitions.push(Transition {
+                    input,
+                    from,
+                    to,
+                    outputs,
+                });
+            }
+        }
+    }
+
+    if transitions.is_empty() {
+        return Err(FsmError::Empty);
+    }
+    if let Some(s) = declared_states {
+        if s != states.len() {
+            return Err(FsmError::Inconsistent {
+                message: format!(".s declared {s} states, body uses {}", states.len()),
+            });
+        }
+    }
+    if let Some(p) = declared_rows {
+        if p != transitions.len() {
+            return Err(FsmError::Inconsistent {
+                message: format!(".p declared {p} rows, body has {}", transitions.len()),
+            });
+        }
+    }
+    let reset = match reset_name {
+        Some(r) => *state_index.get(&r).ok_or(FsmError::Inconsistent {
+            message: format!("reset state `{r}` never appears in the body"),
+        })?,
+        None => 0,
+    };
+
+    Ok(Fsm::new(
+        name,
+        num_inputs.unwrap_or(0),
+        num_outputs.unwrap_or(0),
+        states,
+        reset,
+        transitions,
+    ))
+}
+
+/// Serializes an FSM back to KISS2 text (round-trips through
+/// [`parse_kiss2`]).
+#[must_use]
+pub fn write_kiss2(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", fsm.name());
+    let _ = writeln!(out, ".i {}", fsm.num_inputs());
+    let _ = writeln!(out, ".o {}", fsm.num_outputs());
+    let _ = writeln!(out, ".p {}", fsm.transitions().len());
+    let _ = writeln!(out, ".s {}", fsm.num_states());
+    let _ = writeln!(out, ".r {}", fsm.states()[fsm.reset_state()]);
+    for t in fsm.transitions() {
+        let outputs: String = t.outputs.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            t.input,
+            fsm.states()[t.from],
+            fsm.states()[t.to],
+            outputs
+        );
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LION_LIKE: &str = "
+.i 2
+.o 1
+.s 4
+.p 11
+.r st0
+-0 st0 st0 0
+11 st0 st0 0
+01 st0 st1 0
+-1 st1 st1 1
+00 st1 st0 1
+10 st1 st2 1
+1- st2 st2 1
+00 st2 st1 1
+01 st2 st3 1
+0- st3 st3 1
+11 st3 st2 1
+.e
+";
+
+    #[test]
+    fn parses_counts_and_states() {
+        let f = parse_kiss2("lionish", LION_LIKE).unwrap();
+        assert_eq!(f.num_inputs(), 2);
+        assert_eq!(f.num_outputs(), 1);
+        assert_eq!(f.num_states(), 4);
+        assert_eq!(f.transitions().len(), 11);
+        assert_eq!(f.reset_state(), 0);
+        assert_eq!(f.states()[3], "st3");
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let f = parse_kiss2("lionish", LION_LIKE).unwrap();
+        let text = write_kiss2(&f);
+        let f2 = parse_kiss2("lionish", &text).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn rejects_declaration_mismatches() {
+        let bad = ".i 2\n.o 1\n.s 9\n-0 a a 0\n.e\n";
+        assert!(matches!(
+            parse_kiss2("bad", bad),
+            Err(FsmError::Inconsistent { .. })
+        ));
+        let bad = ".i 3\n.o 1\n-0 a a 0\n.e\n";
+        assert!(matches!(parse_kiss2("bad", bad), Err(FsmError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_reset_state() {
+        let bad = ".i 1\n.o 1\n.r ghost\n0 a a 0\n.e\n";
+        assert!(matches!(
+            parse_kiss2("bad", bad),
+            Err(FsmError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_machines() {
+        assert!(matches!(parse_kiss2("e", ".i 1\n.o 1\n.e\n"), Err(FsmError::Empty)));
+    }
+
+    #[test]
+    fn output_dont_cares_accepted() {
+        let src = ".i 1\n.o 2\n0 a b 1-\n1 b a -0\n.e\n";
+        let f = parse_kiss2("dc", src).unwrap();
+        assert_eq!(f.transitions()[0].outputs[1], OutputBit::DontCare);
+    }
+
+    #[test]
+    fn comments_and_headers_ignored() {
+        let src = "# header\n.i 1\n.o 1\n.ilb x\n.ob z\n0 a a 0 # row comment\n1 a a 1\n.e\n";
+        let f = parse_kiss2("c", src).unwrap();
+        assert_eq!(f.transitions().len(), 2);
+    }
+}

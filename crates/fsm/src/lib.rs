@@ -1,0 +1,72 @@
+//! Finite-state-machine substrate: KISS2 parsing, state encoding,
+//! two-level minimization, and synthesis to combinational gate-level logic.
+//!
+//! The benchmark circuits of Pomeranz & Reddy (DATE 2005) are "the
+//! combinational logic of MCNC finite-state machine benchmarks". This
+//! crate rebuilds that flow from scratch:
+//!
+//! 1. parse a state-transition table in **KISS2** format ([`parse_kiss2`]);
+//! 2. assign binary codes to the symbolic states ([`StateEncoding`]);
+//! 3. extract the two-level next-state/output logic, optionally minimized
+//!    with **Quine–McCluskey** + greedy covering ([`qm`]);
+//! 4. synthesize an AND/OR/NOT netlist whose inputs are the primary
+//!    inputs plus the present-state bits, and whose outputs are the
+//!    primary outputs plus the next-state bits ([`synthesize`]).
+//!
+//! A seeded random-FSM generator ([`random_fsm`]) provides stand-ins for
+//! benchmark machines whose exact state tables are not publicly
+//! available (see `DESIGN.md` for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use ndetect_fsm::{parse_kiss2, StateEncoding, synthesize, SynthOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! .i 1
+//! .o 1
+//! .s 2
+//! .p 4
+//! .r off
+//! 0 off off 0
+//! 1 off on  1
+//! 0 on  on  1
+//! 1 on  off 0
+//! .e
+//! ";
+//! let fsm = parse_kiss2("toggle", src)?;
+//! let enc = StateEncoding::binary(fsm.num_states());
+//! let netlist = synthesize(&fsm, &enc, SynthOptions::default())?;
+//! // 1 PI + 1 state bit in; 1 PO + 1 next-state bit out.
+//! assert_eq!(netlist.num_inputs(), 2);
+//! assert_eq!(netlist.num_outputs(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod encoding;
+pub mod expand;
+mod error;
+mod fsm;
+mod kiss2;
+pub mod pla;
+pub mod qm;
+mod random;
+mod synth;
+pub mod two_level;
+
+pub use cube::Cube;
+pub use expand::{expand_cover, verify_cover};
+pub use encoding::StateEncoding;
+pub use error::FsmError;
+pub use fsm::{Fsm, OutputBit, Transition};
+pub use kiss2::{parse_kiss2, write_kiss2};
+pub use pla::{parse_pla, write_pla, Pla, PlaRow};
+pub use random::{random_fsm, RandomFsmConfig};
+pub use synth::{synthesize, MinimizeMode, SynthOptions};
+pub use two_level::emit_two_level;

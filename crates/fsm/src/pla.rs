@@ -1,0 +1,346 @@
+//! Berkeley PLA format (`.pla`, espresso interchange) parsing, writing,
+//! and synthesis.
+//!
+//! Multi-output two-level covers come and go in this format throughout
+//! the classic synthesis flow; supporting it lets users bring their own
+//! espresso-minimized logic into the n-detection analysis.
+//!
+//! ```text
+//! .i 3
+//! .o 2
+//! .p 2
+//! 1-0 10
+//! 011 01
+//! .e
+//! ```
+//!
+//! Output-plane characters: `1` (cube in this output's cover), `0` or
+//! `~` (not in cover), `-` (don't care; treated as not-in-cover for
+//! synthesis, preserved on round trips as `-`... see [`PlaRow`]).
+
+use crate::cube::Cube;
+use crate::error::FsmError;
+use crate::fsm::OutputBit;
+use crate::two_level::emit_two_level;
+use ndetect_netlist::Netlist;
+use std::fmt::Write as _;
+
+/// One PLA row: an input cube plus one [`OutputBit`] per output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlaRow {
+    /// The product term.
+    pub input: Cube,
+    /// Output-plane entries, one per output.
+    pub outputs: Vec<OutputBit>,
+}
+
+/// A parsed PLA: a multi-output two-level cover.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pla {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    rows: Vec<PlaRow>,
+}
+
+impl Pla {
+    /// Assembles a PLA from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's shape disagrees with the declared counts.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        rows: Vec<PlaRow>,
+    ) -> Self {
+        for row in &rows {
+            assert_eq!(row.input.num_vars(), num_inputs, "row cube width");
+            assert_eq!(row.outputs.len(), num_outputs, "row output width");
+        }
+        Pla {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            rows,
+        }
+    }
+
+    /// The PLA's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input variables.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The rows, in file order.
+    #[must_use]
+    pub fn rows(&self) -> &[PlaRow] {
+        &self.rows
+    }
+
+    /// The cube cover of output `j` (`1` entries only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn cover(&self, j: usize) -> Vec<Cube> {
+        assert!(j < self.num_outputs);
+        self.rows
+            .iter()
+            .filter(|r| r.outputs[j] == OutputBit::One)
+            .map(|r| r.input)
+            .collect()
+    }
+
+    /// Synthesizes the PLA as an AND/OR/NOT netlist with inputs
+    /// `x0..x{i-1}` and outputs `z0..z{o-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::Synthesis`] on internal netlist errors.
+    pub fn synthesize(&self) -> Result<Netlist, FsmError> {
+        let input_names: Vec<String> = (0..self.num_inputs).map(|i| format!("x{i}")).collect();
+        let output_names: Vec<String> = (0..self.num_outputs).map(|j| format!("z{j}")).collect();
+        let covers: Vec<Vec<Cube>> = (0..self.num_outputs).map(|j| self.cover(j)).collect();
+        emit_two_level(&self.name, &input_names, &covers, &output_names)
+    }
+
+    /// Evaluates the PLA on a minterm: output `j` is 1 iff some row with
+    /// a `1` in that output plane matches.
+    #[must_use]
+    pub fn eval(&self, minterm: u32) -> Vec<bool> {
+        (0..self.num_outputs)
+            .map(|j| {
+                self.rows
+                    .iter()
+                    .any(|r| r.outputs[j] == OutputBit::One && r.input.matches(minterm))
+            })
+            .collect()
+    }
+}
+
+/// Parses PLA source text.
+///
+/// Handles `.i`, `.o`, `.p` (checked), `.ilb`/`.ob`/`.type` (ignored),
+/// `.e`/`.end`, comments (`#`), and cube rows.
+///
+/// # Errors
+///
+/// Returns [`FsmError::Parse`] for malformed lines and
+/// [`FsmError::Inconsistent`] for declaration mismatches.
+pub fn parse_pla(name: &str, source: &str) -> Result<Pla, FsmError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut declared_rows: Option<usize> = None;
+    let mut rows: Vec<PlaRow> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let first = tokens.next().expect("non-empty");
+        let parse_count = |tok: Option<&str>, what: &str| -> Result<usize, FsmError> {
+            tok.and_then(|t| t.parse().ok()).ok_or(FsmError::Parse {
+                line: lineno,
+                message: format!("expected a count after {what}"),
+            })
+        };
+        match first {
+            ".i" => num_inputs = Some(parse_count(tokens.next(), ".i")?),
+            ".o" => num_outputs = Some(parse_count(tokens.next(), ".o")?),
+            ".p" => declared_rows = Some(parse_count(tokens.next(), ".p")?),
+            ".e" | ".end" => break,
+            ".ilb" | ".ob" | ".type" | ".phase" => {}
+            _ if first.starts_with('.') => {
+                return Err(FsmError::Parse {
+                    line: lineno,
+                    message: format!("unknown directive `{first}`"),
+                });
+            }
+            cube_text => {
+                let out_text = tokens.next().ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: "missing output plane".into(),
+                })?;
+                if tokens.next().is_some() {
+                    return Err(FsmError::Parse {
+                        line: lineno,
+                        message: "trailing tokens after output plane".into(),
+                    });
+                }
+                let input = Cube::parse(cube_text).ok_or(FsmError::Parse {
+                    line: lineno,
+                    message: format!("bad input cube `{cube_text}`"),
+                })?;
+                if let Some(ni) = num_inputs {
+                    if input.num_vars() != ni {
+                        return Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!(
+                                "cube has {} variables, .i declared {ni}",
+                                input.num_vars()
+                            ),
+                        });
+                    }
+                } else {
+                    num_inputs = Some(input.num_vars());
+                }
+                let outputs: Vec<OutputBit> = out_text
+                    .chars()
+                    .map(|c| match c {
+                        '1' | '4' => Ok(OutputBit::One),
+                        '0' | '~' => Ok(OutputBit::Zero),
+                        '-' | '2' | '3' => Ok(OutputBit::DontCare),
+                        _ => Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!("bad output character `{c}`"),
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if let Some(no) = num_outputs {
+                    if outputs.len() != no {
+                        return Err(FsmError::Parse {
+                            line: lineno,
+                            message: format!(
+                                "output plane has {} bits, .o declared {no}",
+                                outputs.len()
+                            ),
+                        });
+                    }
+                } else {
+                    num_outputs = Some(outputs.len());
+                }
+                rows.push(PlaRow { input, outputs });
+            }
+        }
+    }
+
+    if let Some(p) = declared_rows {
+        if p != rows.len() {
+            return Err(FsmError::Inconsistent {
+                message: format!(".p declared {p} rows, body has {}", rows.len()),
+            });
+        }
+    }
+    let num_inputs = num_inputs.ok_or(FsmError::Inconsistent {
+        message: "no .i declaration and no rows to infer it from".into(),
+    })?;
+    let num_outputs = num_outputs.ok_or(FsmError::Inconsistent {
+        message: "no .o declaration and no rows to infer it from".into(),
+    })?;
+    Ok(Pla::new(name, num_inputs, num_outputs, rows))
+}
+
+/// Serializes a PLA to `.pla` text (round-trips through [`parse_pla`]).
+#[must_use]
+pub fn write_pla(pla: &Pla) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", pla.name());
+    let _ = writeln!(out, ".i {}", pla.num_inputs());
+    let _ = writeln!(out, ".o {}", pla.num_outputs());
+    let _ = writeln!(out, ".p {}", pla.rows().len());
+    for row in pla.rows() {
+        let outputs: String = row
+            .outputs
+            .iter()
+            .map(|b| match b {
+                OutputBit::One => '1',
+                OutputBit::Zero => '0',
+                OutputBit::DontCare => '-',
+            })
+            .collect();
+        let _ = writeln!(out, "{} {}", row.input, outputs);
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# a 2-output sample
+.i 3
+.o 2
+.p 3
+1-0 10
+011 01
+11- 1-
+.e
+";
+
+    #[test]
+    fn parses_and_evaluates() {
+        let pla = parse_pla("sample", SAMPLE).unwrap();
+        assert_eq!(pla.num_inputs(), 3);
+        assert_eq!(pla.num_outputs(), 2);
+        assert_eq!(pla.rows().len(), 3);
+        // Minterm 100 matches row 1 only: outputs 10.
+        assert_eq!(pla.eval(0b100), vec![true, false]);
+        // Minterm 011 matches row 2: outputs 01.
+        assert_eq!(pla.eval(0b011), vec![false, true]);
+        // Minterm 110 matches rows 1 and 3: outputs 1-,10 -> [true,false].
+        assert_eq!(pla.eval(0b110), vec![true, false]);
+        // Minterm 001 matches nothing.
+        assert_eq!(pla.eval(0b001), vec![false, false]);
+    }
+
+    #[test]
+    fn synthesized_netlist_matches_pla_semantics() {
+        let pla = parse_pla("sample", SAMPLE).unwrap();
+        let netlist = pla.synthesize().unwrap();
+        assert_eq!(netlist.num_inputs(), 3);
+        assert_eq!(netlist.num_outputs(), 2);
+        for m in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> (2 - i)) & 1 == 1).collect();
+            assert_eq!(netlist.eval_bool(&bits), pla.eval(m), "minterm {m:03b}");
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let pla = parse_pla("sample", SAMPLE).unwrap();
+        let text = write_pla(&pla);
+        let back = parse_pla("sample", &text).unwrap();
+        assert_eq!(pla, back);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(parse_pla("bad", ".i 2\n.o 1\n111 1\n.e\n").is_err());
+        assert!(parse_pla("bad", ".i 3\n.o 2\n111 111\n.e\n").is_err());
+        assert!(parse_pla("bad", ".i 3\n.o 2\n.p 5\n111 11\n.e\n").is_err());
+        assert!(parse_pla("bad", ".quux 3\n").is_err());
+        assert!(parse_pla("empty", "").is_err());
+    }
+
+    #[test]
+    fn infers_counts_from_rows() {
+        let pla = parse_pla("inferred", "10 1\n01 0\n.e\n").unwrap();
+        assert_eq!(pla.num_inputs(), 2);
+        assert_eq!(pla.num_outputs(), 1);
+    }
+}

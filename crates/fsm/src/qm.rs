@@ -1,0 +1,253 @@
+//! Quine–McCluskey two-level minimization with greedy covering.
+//!
+//! Classic exact prime-implicant generation followed by essential-prime
+//! extraction and greedy set covering (Petrick's method is exponential;
+//! greedy covers are within a log factor and deterministic). Intended for
+//! the function sizes that arise when synthesizing FSM benchmark logic
+//! (≤ ~14 variables); larger functions should use the direct (unminimized)
+//! synthesis mode.
+
+use crate::cube::Cube;
+use std::collections::{HashMap, HashSet};
+
+/// Minimizes a single-output function given by on-set and don't-care
+/// minterms over `num_vars` variables (MSB-first indices, matching
+/// [`Cube`]).
+///
+/// Returns a set of prime implicants covering every on-set minterm and no
+/// off-set minterm. The result is deterministic.
+///
+/// ```
+/// use ndetect_fsm::qm::minimize;
+/// // f(a,b) = a'b + ab + ab' = a + b.
+/// let cover = minimize(2, &[1, 2, 3], &[]);
+/// assert_eq!(cover.len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_vars > 20` (exact QM is intractable far earlier than
+/// the representation limit) or if minterm indices exceed the domain.
+#[must_use]
+pub fn minimize(num_vars: usize, on_set: &[u32], dc_set: &[u32]) -> Vec<Cube> {
+    assert!(num_vars <= 20, "exact QM limited to 20 variables");
+    let domain: u64 = 1u64 << num_vars;
+    for &m in on_set.iter().chain(dc_set) {
+        assert!((u64::from(m)) < domain, "minterm {m} outside domain");
+    }
+    if on_set.is_empty() {
+        return Vec::new();
+    }
+
+    let primes = prime_implicants(num_vars, on_set, dc_set);
+    cover(on_set, &primes)
+}
+
+/// Generates all prime implicants of the function (on ∪ dc used for
+/// merging; primality judged within that union).
+#[must_use]
+pub fn prime_implicants(num_vars: usize, on_set: &[u32], dc_set: &[u32]) -> Vec<Cube> {
+    let full_mask: u32 = if num_vars == 32 {
+        u32::MAX
+    } else {
+        ((1u64 << num_vars) - 1) as u32
+    };
+
+    // Current generation of implicants keyed by (care, value); value bool =
+    // "was merged into something larger".
+    let mut current: HashMap<(u32, u32), bool> = HashMap::new();
+    for &m in on_set.iter().chain(dc_set) {
+        current.insert((full_mask, m), false);
+    }
+
+    let mut primes: HashSet<(u32, u32)> = HashSet::new();
+    while !current.is_empty() {
+        let mut next: HashMap<(u32, u32), bool> = HashMap::new();
+        // Group by care mask; only implicants with identical care masks and
+        // Hamming-distance-1 values merge.
+        let mut by_care: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(care, value) in current.keys() {
+            by_care.entry(care).or_default().push(value);
+        }
+        let mut merged_keys: HashSet<(u32, u32)> = HashSet::new();
+        for (&care, values) in &by_care {
+            for (i, &a) in values.iter().enumerate() {
+                for &b in &values[i + 1..] {
+                    let diff = a ^ b;
+                    if diff.count_ones() == 1 {
+                        let new_care = care & !diff;
+                        let new_value = a & new_care;
+                        next.entry((new_care, new_value)).or_insert(false);
+                        merged_keys.insert((care, a));
+                        merged_keys.insert((care, b));
+                    }
+                }
+            }
+        }
+        for (key, _) in current {
+            if !merged_keys.contains(&key) {
+                primes.insert(key);
+            }
+        }
+        current = next;
+    }
+
+    let mut out: Vec<Cube> = primes
+        .into_iter()
+        .map(|(care, value)| Cube::from_masks(num_vars, care, value))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Selects a deterministic cover of `on_set` from candidate implicants:
+/// essential primes first, then greedy by coverage count (ties broken by
+/// cube order).
+#[must_use]
+pub fn cover(on_set: &[u32], primes: &[Cube]) -> Vec<Cube> {
+    let mut uncovered: HashSet<u32> = on_set.iter().copied().collect();
+    let mut chosen: Vec<Cube> = Vec::new();
+
+    // Essential primes: the only cover of some minterm.
+    loop {
+        let mut essential: Option<Cube> = None;
+        'search: for &m in &uncovered {
+            let mut covering = primes.iter().filter(|p| p.matches(m));
+            if let (Some(&first), None) = (covering.next(), covering.next()) {
+                essential = Some(first);
+                break 'search;
+            }
+        }
+        match essential {
+            Some(p) => {
+                uncovered.retain(|&m| !p.matches(m));
+                chosen.push(p);
+            }
+            None => break,
+        }
+        if uncovered.is_empty() {
+            break;
+        }
+    }
+
+    // Greedy: repeatedly take the prime covering the most uncovered
+    // minterms (first in sorted order on ties).
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .map(|p| {
+                let n = uncovered.iter().filter(|&&m| p.matches(m)).count();
+                (n, p)
+            })
+            .max_by(|(na, pa), (nb, pb)| na.cmp(nb).then_with(|| pb.cmp(pa)))
+            .map(|(n, p)| (n, *p))
+            .expect("primes cover all on-set minterms");
+        assert!(best.0 > 0, "prime implicants must cover the on-set");
+        uncovered.retain(|&m| !best.1.matches(m));
+        chosen.push(best.1);
+    }
+
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// Evaluates a cover on a minterm (true if any cube matches) — the oracle
+/// used to verify minimization.
+#[must_use]
+pub fn cover_matches(cover: &[Cube], minterm: u32) -> bool {
+    cover.iter().any(|c| c.matches(minterm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn verify(num_vars: usize, on: &[u32], dc: &[u32]) -> Vec<Cube> {
+        let result = minimize(num_vars, on, dc);
+        let on_set: HashSet<u32> = on.iter().copied().collect();
+        let dc_set: HashSet<u32> = dc.iter().copied().collect();
+        for m in 0..(1u32 << num_vars) {
+            let val = cover_matches(&result, m);
+            if on_set.contains(&m) {
+                assert!(val, "on-set minterm {m} uncovered");
+            } else if !dc_set.contains(&m) {
+                assert!(!val, "off-set minterm {m} covered");
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn textbook_example() {
+        // f = Σm(0,1,2,5,6,7) over 3 vars: minimal SOP has 3 terms
+        // (a'b' + bc' is not enough; classic answer: a'c' ... ) -- just
+        // check correctness and that size <= 4.
+        let cover = verify(3, &[0, 1, 2, 5, 6, 7], &[]);
+        assert!(cover.len() <= 4);
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // f = Σm(1,3) dc(0,2) over 2 vars reduces to the single cube "-1"
+        // ... wait: minterms 1,3 are b=1; dc lets nothing shrink further.
+        let cover = verify(2, &[1, 3], &[0, 2]);
+        assert_eq!(cover.len(), 1);
+        // Without dc the same single cube works; with dc covering 0,2 is allowed.
+        let with_dc = minimize(2, &[1], &[3]);
+        assert_eq!(with_dc.len(), 1);
+    }
+
+    #[test]
+    fn full_function_minimizes_to_universe() {
+        let cover = verify(3, &(0..8).collect::<Vec<_>>(), &[]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].num_literals(), 0);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        assert!(minimize(3, &[], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn xor_does_not_minimize() {
+        // Parity has no mergeable implicants: 4 minterms stay 4 cubes.
+        let on: Vec<u32> = (0..16).filter(|m: &u32| m.count_ones() % 2 == 1).collect();
+        let cover = verify(4, &on, &[]);
+        assert_eq!(cover.len(), 8);
+        assert!(cover.iter().all(|c| c.num_literals() == 4));
+    }
+
+    #[test]
+    fn random_functions_are_covered_exactly() {
+        // Deterministic pseudo-random functions over 4..6 vars.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for num_vars in 4..=6usize {
+            for _ in 0..8 {
+                let mut on = Vec::new();
+                let mut dc = Vec::new();
+                for m in 0..(1u32 << num_vars) {
+                    match next() % 4 {
+                        0 => on.push(m),
+                        1 => dc.push(m),
+                        _ => {}
+                    }
+                }
+                verify(num_vars, &on, &dc);
+            }
+        }
+    }
+
+    #[test]
+    fn essential_primes_selected_first() {
+        // f = Σm(0,1,5,7): prime a'b' is essential for 0.
+        let cover = verify(3, &[0, 1, 5, 7], &[]);
+        assert!(cover.iter().any(|c| c.matches(0)));
+    }
+}

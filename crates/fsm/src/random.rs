@@ -1,0 +1,238 @@
+//! Seeded pseudo-random FSM generation.
+//!
+//! Benchmark stand-ins: when a paper circuit's exact state table is not
+//! publicly available, the suite substitutes a random machine with the
+//! same signature (inputs, outputs, states). Generation is fully
+//! deterministic given the seed, so every experiment is reproducible
+//! bit-for-bit.
+
+use crate::cube::Cube;
+use crate::fsm::{Fsm, OutputBit, Transition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_fsm`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomFsmConfig {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of states.
+    pub num_states: usize,
+    /// RNG seed; same seed ⇒ same machine.
+    pub seed: u64,
+    /// Minimum input-cube rows per state (≥ 1).
+    pub min_rows_per_state: usize,
+    /// Maximum input-cube rows per state (before dropping).
+    pub max_rows_per_state: usize,
+    /// Probability of dropping a generated row, leaving that part of the
+    /// input space unspecified (don't-care freedom during minimization —
+    /// the source of redundancy that makes untargeted faults hard to
+    /// detect).
+    pub unspecified_prob: f64,
+    /// Probability of an output bit being `-` instead of 0/1.
+    pub output_dc_prob: f64,
+}
+
+impl Default for RandomFsmConfig {
+    fn default() -> Self {
+        RandomFsmConfig {
+            num_inputs: 2,
+            num_outputs: 2,
+            num_states: 4,
+            seed: 0,
+            min_rows_per_state: 2,
+            max_rows_per_state: 6,
+            unspecified_prob: 0.10,
+            output_dc_prob: 0.05,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random FSM.
+///
+/// For each state the input space is recursively split into disjoint
+/// cubes (so rows never conflict), each given a random next state and
+/// random outputs; a fraction of rows is dropped to leave unspecified
+/// entries.
+///
+/// ```
+/// use ndetect_fsm::{random_fsm, RandomFsmConfig};
+/// let cfg = RandomFsmConfig { num_inputs: 3, num_states: 5, seed: 42, ..Default::default() };
+/// let a = random_fsm("demo", &cfg);
+/// let b = random_fsm("demo", &cfg);
+/// assert_eq!(a, b); // fully reproducible
+/// assert_eq!(a.num_states(), 5);
+/// assert_eq!(a.check_deterministic(), None); // disjoint rows
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_states == 0`, `num_inputs > 20`, or
+/// `min_rows_per_state == 0`.
+#[must_use]
+pub fn random_fsm(name: &str, config: &RandomFsmConfig) -> Fsm {
+    assert!(config.num_states > 0, "need at least one state");
+    assert!(config.num_inputs <= 20, "input count out of range");
+    assert!(config.min_rows_per_state >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6e64_6574_6563_7421);
+
+    let states: Vec<String> = (0..config.num_states).map(|i| format!("st{i}")).collect();
+    let mut transitions: Vec<Transition> = Vec::new();
+
+    for from in 0..config.num_states {
+        let target_rows = rng.gen_range(
+            config.min_rows_per_state..=config.max_rows_per_state.max(config.min_rows_per_state),
+        );
+        let cubes = split_input_space(config.num_inputs, target_rows, &mut rng);
+        for cube in cubes {
+            if transitions.len() > config.num_states && rng.gen_bool(config.unspecified_prob) {
+                continue; // leave unspecified
+            }
+            let to = rng.gen_range(0..config.num_states);
+            let outputs: Vec<OutputBit> = (0..config.num_outputs)
+                .map(|_| {
+                    if rng.gen_bool(config.output_dc_prob) {
+                        OutputBit::DontCare
+                    } else if rng.gen_bool(0.5) {
+                        OutputBit::One
+                    } else {
+                        OutputBit::Zero
+                    }
+                })
+                .collect();
+            transitions.push(Transition {
+                input: cube,
+                from,
+                to,
+                outputs,
+            });
+        }
+    }
+
+    // Guarantee non-emptiness even under aggressive dropping.
+    if transitions.is_empty() {
+        transitions.push(Transition {
+            input: Cube::universe(config.num_inputs),
+            from: 0,
+            to: 0,
+            outputs: vec![OutputBit::Zero; config.num_outputs],
+        });
+    }
+
+    Fsm::new(name, config.num_inputs, config.num_outputs, states, 0, transitions)
+}
+
+/// Splits the full input space into roughly `target` disjoint cubes by
+/// repeatedly bisecting a random cube on a random free variable.
+fn split_input_space(num_inputs: usize, target: usize, rng: &mut StdRng) -> Vec<Cube> {
+    let mut cubes = vec![Cube::universe(num_inputs)];
+    let max_cubes = target.min(1 << num_inputs.min(20));
+    while cubes.len() < max_cubes {
+        // Pick a splittable cube (one with a free variable).
+        let splittable: Vec<usize> = cubes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.num_literals() < num_inputs)
+            .map(|(i, _)| i)
+            .collect();
+        let Some(&pick) = splittable.get(rng.gen_range(0..splittable.len().max(1))) else {
+            break;
+        };
+        let cube = cubes.swap_remove(pick);
+        let free_vars: Vec<usize> = (0..num_inputs)
+            .filter(|&v| cube.literal(v).is_none())
+            .collect();
+        let var = free_vars[rng.gen_range(0..free_vars.len())];
+        let bit = 1u32 << (num_inputs - 1 - var);
+        cubes.push(Cube::from_masks(
+            num_inputs,
+            cube.care() | bit,
+            cube.value(),
+        ));
+        cubes.push(Cube::from_masks(
+            num_inputs,
+            cube.care() | bit,
+            cube.value() | bit,
+        ));
+    }
+    cubes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomFsmConfig {
+            num_inputs: 4,
+            num_outputs: 3,
+            num_states: 7,
+            seed: 99,
+            ..Default::default()
+        };
+        assert_eq!(random_fsm("x", &cfg), random_fsm("x", &cfg));
+        let other = RandomFsmConfig { seed: 100, ..cfg };
+        assert_ne!(random_fsm("x", &cfg), random_fsm("x", &other));
+    }
+
+    #[test]
+    fn rows_are_disjoint_per_state() {
+        for seed in 0..20 {
+            let cfg = RandomFsmConfig {
+                num_inputs: 3,
+                num_outputs: 2,
+                num_states: 5,
+                seed,
+                ..Default::default()
+            };
+            let fsm = random_fsm("d", &cfg);
+            assert_eq!(fsm.check_deterministic(), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_covers_space_disjointly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for target in [1usize, 2, 3, 5, 8] {
+            let cubes = split_input_space(4, target, &mut rng);
+            // Every minterm covered exactly once.
+            for m in 0..16u32 {
+                let count = cubes.iter().filter(|c| c.matches(m)).count();
+                assert_eq!(count, 1, "minterm {m} target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_signature() {
+        let cfg = RandomFsmConfig {
+            num_inputs: 5,
+            num_outputs: 4,
+            num_states: 11,
+            seed: 3,
+            ..Default::default()
+        };
+        let fsm = random_fsm("sig", &cfg);
+        assert_eq!(fsm.num_inputs(), 5);
+        assert_eq!(fsm.num_outputs(), 4);
+        assert_eq!(fsm.num_states(), 11);
+        assert!(!fsm.transitions().is_empty());
+    }
+
+    #[test]
+    fn unspecified_fraction_leaves_holes() {
+        let cfg = RandomFsmConfig {
+            num_inputs: 3,
+            num_outputs: 1,
+            num_states: 8,
+            seed: 5,
+            unspecified_prob: 0.5,
+            ..Default::default()
+        };
+        let fsm = random_fsm("holes", &cfg);
+        assert!(fsm.specification_coverage() < 1.0);
+    }
+}

@@ -1,0 +1,443 @@
+//! Synthesis of an FSM's combinational logic into a gate-level netlist.
+//!
+//! The synthesized circuit is the classic "combinational logic of the
+//! FSM": inputs are the primary inputs `x0..` followed by the
+//! present-state bits `s0..`; outputs are the primary outputs `z0..`
+//! followed by the next-state bits `ns0..`. The logic is two-level
+//! AND/OR with shared input inverters and shared product terms —
+//! PLA-style, mirroring the two-level flow used for the MCNC benchmark
+//! suite.
+
+use crate::cube::Cube;
+use crate::encoding::StateEncoding;
+use crate::error::FsmError;
+use crate::fsm::{Fsm, OutputBit};
+use crate::qm;
+use ndetect_netlist::Netlist;
+
+/// When and how to apply two-level minimization during synthesis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MinimizeMode {
+    /// Exact Quine–McCluskey up to
+    /// [`SynthOptions::AUTO_MINIMIZE_LIMIT`] total inputs, the
+    /// espresso-style EXPAND/IRREDUNDANT heuristic up to
+    /// [`SynthOptions::AUTO_HEURISTIC_LIMIT`], direct row synthesis
+    /// beyond that.
+    #[default]
+    Auto,
+    /// Always minimize exactly (QM; practical up to ~14 total inputs).
+    Always,
+    /// Always minimize heuristically (EXPAND/IRREDUNDANT against the
+    /// ON∪DC set; scales to the exhaustive-simulation limit). Requires
+    /// a deterministic table (falls back to direct synthesis
+    /// otherwise).
+    Heuristic,
+    /// Never minimize: one product term per table row.
+    Never,
+}
+
+/// Options for [`synthesize`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SynthOptions {
+    /// Minimization policy. Minimized synthesis treats unspecified
+    /// `(state, input)` pairs, unused state codes, and `-` output bits as
+    /// don't-cares (like the original MCNC flow); direct synthesis
+    /// grounds them to 0.
+    pub minimize: MinimizeMode,
+}
+
+impl SynthOptions {
+    /// Input-count threshold below which [`MinimizeMode::Auto`] uses
+    /// exact Quine–McCluskey.
+    pub const AUTO_MINIMIZE_LIMIT: usize = 10;
+    /// Input-count threshold below which [`MinimizeMode::Auto`] uses
+    /// the EXPAND/IRREDUNDANT heuristic (beyond QM's reach).
+    pub const AUTO_HEURISTIC_LIMIT: usize = 16;
+}
+
+/// Synthesizes the combinational logic of `fsm` under `encoding`.
+///
+/// # Errors
+///
+/// Returns [`FsmError::Synthesis`] if netlist construction fails
+/// (indicates an internal bug) and [`FsmError::Inconsistent`] if the
+/// encoding does not cover the FSM's states.
+pub fn synthesize(
+    fsm: &Fsm,
+    encoding: &StateEncoding,
+    options: SynthOptions,
+) -> Result<Netlist, FsmError> {
+    if encoding.num_states() != fsm.num_states() {
+        return Err(FsmError::Inconsistent {
+            message: format!(
+                "encoding covers {} states, fsm has {}",
+                encoding.num_states(),
+                fsm.num_states()
+            ),
+        });
+    }
+    let ni = fsm.num_inputs();
+    let nb = encoding.num_bits();
+    let total_vars = ni + nb;
+    #[derive(PartialEq)]
+    enum Plan {
+        Exact,
+        Heuristic,
+        Direct,
+    }
+    let plan = match options.minimize {
+        MinimizeMode::Always => Plan::Exact,
+        MinimizeMode::Never => Plan::Direct,
+        MinimizeMode::Heuristic => Plan::Heuristic,
+        MinimizeMode::Auto => {
+            if total_vars <= SynthOptions::AUTO_MINIMIZE_LIMIT {
+                Plan::Exact
+            } else if total_vars <= SynthOptions::AUTO_HEURISTIC_LIMIT {
+                Plan::Heuristic
+            } else {
+                Plan::Direct
+            }
+        }
+    };
+    // The heuristic expands the direct row cubes, which is only sound
+    // for deterministic tables (overlapping rows that agree).
+    let plan = if plan == Plan::Heuristic && fsm.check_deterministic().is_some() {
+        Plan::Direct
+    } else {
+        plan
+    };
+
+    // Build the cube cover of every output function: primary outputs
+    // first, then next-state bits.
+    let num_functions = fsm.num_outputs() + nb;
+    let covers: Vec<Vec<Cube>> = match plan {
+        Plan::Exact => minimized_covers(fsm, encoding, total_vars, num_functions),
+        Plan::Heuristic => heuristic_covers(fsm, encoding, total_vars, num_functions),
+        Plan::Direct => direct_covers(fsm, encoding, num_functions),
+    };
+
+    // Emit the two-level netlist via the shared PLA-style emitter.
+    let mut input_names: Vec<String> = Vec::with_capacity(ni + nb);
+    for i in 0..ni {
+        input_names.push(format!("x{i}"));
+    }
+    for j in 0..nb {
+        input_names.push(format!("s{j}"));
+    }
+    let mut output_names: Vec<String> = Vec::with_capacity(num_functions);
+    for j in 0..fsm.num_outputs() {
+        output_names.push(format!("z{j}"));
+    }
+    for j in 0..nb {
+        output_names.push(format!("nst{j}"));
+    }
+    crate::two_level::emit_two_level(fsm.name(), &input_names, &covers, &output_names)
+}
+
+/// One cube per table row, per function (sound for deterministic tables;
+/// overlapping rows that agree OR together harmlessly). Unspecified
+/// behaviour grounds to 0.
+fn direct_covers(fsm: &Fsm, encoding: &StateEncoding, num_functions: usize) -> Vec<Vec<Cube>> {
+    let nb = encoding.num_bits();
+    let mut covers: Vec<Vec<Cube>> = vec![Vec::new(); num_functions];
+    for t in fsm.transitions() {
+        let state_cube = Cube::minterm(nb, encoding.code(t.from));
+        let full = t.input.concat(&state_cube);
+        for (j, bit) in t.outputs.iter().enumerate() {
+            if *bit == OutputBit::One {
+                covers[j].push(full);
+            }
+        }
+        let to_code = encoding.code(t.to);
+        for j in 0..nb {
+            if (to_code >> (nb - 1 - j)) & 1 == 1 {
+                covers[fsm.num_outputs() + j].push(full);
+            }
+        }
+    }
+    for c in &mut covers {
+        c.sort_unstable();
+        c.dedup();
+    }
+    covers
+}
+
+/// Exhaustive expansion to minterms (first-match-wins), with don't-cares
+/// for unused codes and unspecified pairs, then QM minimization.
+fn minimized_covers(
+    fsm: &Fsm,
+    encoding: &StateEncoding,
+    total_vars: usize,
+    num_functions: usize,
+) -> Vec<Vec<Cube>> {
+    let ni = fsm.num_inputs();
+    let nb = encoding.num_bits();
+    let mut on_sets: Vec<Vec<u32>> = vec![Vec::new(); num_functions];
+    let mut dc_sets: Vec<Vec<u32>> = vec![Vec::new(); num_functions];
+
+    for code in 0..(1u32 << nb) {
+        let state = encoding.state_of_code(code);
+        for m in 0..(1u32 << ni) {
+            let full = (m << nb) | code;
+            match state.and_then(|s| fsm.lookup(m, s).map(|t| (s, t))) {
+                None => {
+                    // Unused code or unspecified pair: every function free.
+                    for f in 0..num_functions {
+                        dc_sets[f].push(full);
+                    }
+                }
+                Some((_, t)) => {
+                    for (j, bit) in t.outputs.iter().enumerate() {
+                        match bit {
+                            OutputBit::One => on_sets[j].push(full),
+                            OutputBit::DontCare => dc_sets[j].push(full),
+                            OutputBit::Zero => {}
+                        }
+                    }
+                    let to_code = encoding.code(t.to);
+                    for j in 0..nb {
+                        if (to_code >> (nb - 1 - j)) & 1 == 1 {
+                            on_sets[fsm.num_outputs() + j].push(full);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    (0..num_functions)
+        .map(|f| qm::minimize(total_vars, &on_sets[f], &dc_sets[f]))
+        .collect()
+}
+
+/// EXPAND/IRREDUNDANT heuristic covers: the direct row cubes are
+/// expanded against the exact ON∪DC sets obtained by a semantic walk
+/// of the table (first-match-wins), then made irredundant. Scales to
+/// the full exhaustive-simulation width.
+fn heuristic_covers(
+    fsm: &Fsm,
+    encoding: &StateEncoding,
+    total_vars: usize,
+    num_functions: usize,
+) -> Vec<Vec<Cube>> {
+    use ndetect_sim::{PatternSpace, VectorSet};
+    let ni = fsm.num_inputs();
+    let nb = encoding.num_bits();
+    let space = PatternSpace::new(total_vars).expect("synthesis width within exhaustive limit");
+    let num_patterns = space.num_patterns();
+
+    let mut on: Vec<VectorSet> = (0..num_functions)
+        .map(|_| VectorSet::new(num_patterns))
+        .collect();
+    let mut allow: Vec<VectorSet> = (0..num_functions)
+        .map(|_| VectorSet::new(num_patterns))
+        .collect();
+
+    for code in 0..(1u32 << nb) {
+        let state = encoding.state_of_code(code);
+        for m in 0..(1u32 << ni) {
+            let full = (((m << nb) | code) as usize) & (num_patterns - 1);
+            match state.and_then(|s| fsm.lookup(m, s)) {
+                None => {
+                    for f in 0..num_functions {
+                        allow[f].insert(full);
+                    }
+                }
+                Some(t) => {
+                    for (j, bit) in t.outputs.iter().enumerate() {
+                        match bit {
+                            OutputBit::One => {
+                                on[j].insert(full);
+                                allow[j].insert(full);
+                            }
+                            OutputBit::DontCare => {
+                                allow[j].insert(full);
+                            }
+                            OutputBit::Zero => {}
+                        }
+                    }
+                    let to_code = encoding.code(t.to);
+                    for j in 0..nb {
+                        if (to_code >> (nb - 1 - j)) & 1 == 1 {
+                            on[fsm.num_outputs() + j].insert(full);
+                            allow[fsm.num_outputs() + j].insert(full);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let seeds = direct_covers(fsm, encoding, num_functions);
+    (0..num_functions)
+        .map(|f| crate::expand::expand_cover(&space, &seeds[f], &on[f], &allow[f]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kiss2::parse_kiss2;
+
+    const TOGGLE: &str = "
+.i 1
+.o 1
+.s 2
+.r off
+0 off off 0
+1 off on  1
+0 on  on  1
+1 on  off 0
+.e
+";
+
+    fn check_against_fsm(fsm: &Fsm, enc: &StateEncoding, netlist: &Netlist, strict_zero: bool) {
+        let ni = fsm.num_inputs();
+        let nb = enc.num_bits();
+        for code in 0..(1u32 << nb) {
+            let state = enc.state_of_code(code);
+            for m in 0..(1u32 << ni) {
+                let mut bits: Vec<bool> = Vec::with_capacity(ni + nb);
+                for i in 0..ni {
+                    bits.push((m >> (ni - 1 - i)) & 1 == 1);
+                }
+                for j in 0..nb {
+                    bits.push((code >> (nb - 1 - j)) & 1 == 1);
+                }
+                let outs = netlist.eval_bool(&bits);
+                match state.and_then(|s| fsm.lookup(m, s)) {
+                    Some(t) => {
+                        for (j, bit) in t.outputs.iter().enumerate() {
+                            match bit {
+                                OutputBit::One => assert!(outs[j], "z{j} m={m} code={code}"),
+                                OutputBit::Zero => {
+                                    assert!(!outs[j], "z{j} m={m} code={code}")
+                                }
+                                OutputBit::DontCare => {}
+                            }
+                        }
+                        let to_code = enc.code(t.to);
+                        for j in 0..nb {
+                            let expect = (to_code >> (nb - 1 - j)) & 1 == 1;
+                            assert_eq!(
+                                outs[fsm.num_outputs() + j],
+                                expect,
+                                "ns{j} m={m} code={code}"
+                            );
+                        }
+                    }
+                    None => {
+                        if strict_zero {
+                            assert!(
+                                outs.iter().all(|&o| !o),
+                                "unspecified pair must ground to 0 in direct mode"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_direct_synthesis_matches_table() {
+        let fsm = parse_kiss2("toggle", TOGGLE).unwrap();
+        let enc = StateEncoding::binary(fsm.num_states());
+        let n = synthesize(
+            &fsm,
+            &enc,
+            SynthOptions {
+                minimize: MinimizeMode::Never,
+            },
+        )
+        .unwrap();
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 2);
+        check_against_fsm(&fsm, &enc, &n, true);
+    }
+
+    #[test]
+    fn toggle_minimized_synthesis_matches_table() {
+        let fsm = parse_kiss2("toggle", TOGGLE).unwrap();
+        let enc = StateEncoding::binary(fsm.num_states());
+        let n = synthesize(
+            &fsm,
+            &enc,
+            SynthOptions {
+                minimize: MinimizeMode::Always,
+            },
+        )
+        .unwrap();
+        check_against_fsm(&fsm, &enc, &n, false);
+        // toggle is an XOR: z = x ^ s. Two-level cover has 2 terms; the
+        // netlist stays small.
+        assert!(n.num_gates() <= 8);
+    }
+
+    #[test]
+    fn gray_encoding_also_correct() {
+        let fsm = parse_kiss2("toggle", TOGGLE).unwrap();
+        let enc = StateEncoding::gray(fsm.num_states());
+        let n = synthesize(&fsm, &enc, SynthOptions::default()).unwrap();
+        check_against_fsm(&fsm, &enc, &n, false);
+    }
+
+    #[test]
+    fn multi_state_machine_with_dont_cares() {
+        let src = "
+.i 2
+.o 2
+.s 3
+.r a
+0- a b 1-
+1- a c 01
+-- b a 10
+00 c c -0
+11 c a 11
+.e
+";
+        let fsm = parse_kiss2("m", src).unwrap();
+        let enc = StateEncoding::binary(fsm.num_states());
+        for mode in [
+            MinimizeMode::Never,
+            MinimizeMode::Always,
+            MinimizeMode::Heuristic,
+        ] {
+            let n = synthesize(&fsm, &enc, SynthOptions { minimize: mode }).unwrap();
+            check_against_fsm(&fsm, &enc, &n, mode == MinimizeMode::Never);
+        }
+    }
+
+    #[test]
+    fn shared_terms_are_reused() {
+        // Both outputs use the same product term: it must appear once.
+        let src = ".i 2\n.o 2\n11 a a 11\n.e\n";
+        let fsm = parse_kiss2("s", src).unwrap();
+        let enc = StateEncoding::binary(fsm.num_states());
+        let n = synthesize(
+            &fsm,
+            &enc,
+            SynthOptions {
+                minimize: MinimizeMode::Never,
+            },
+        )
+        .unwrap();
+        // Gates: one AND term (x0&x1&s-inverter? state bit 0 = code 0 so
+        // inverted), inverter, two output buffers, one const0 for ns.
+        let and_count = n
+            .node_ids()
+            .filter(|&id| n.node(id).kind() == ndetect_netlist::GateKind::And)
+            .count();
+        assert_eq!(and_count, 1, "term sharing failed: {}", ndetect_netlist::bench_format::write(&n));
+    }
+
+    #[test]
+    fn encoding_mismatch_rejected() {
+        let fsm = parse_kiss2("toggle", TOGGLE).unwrap();
+        let enc = StateEncoding::binary(5);
+        assert!(matches!(
+            synthesize(&fsm, &enc, SynthOptions::default()),
+            Err(FsmError::Inconsistent { .. })
+        ));
+    }
+}

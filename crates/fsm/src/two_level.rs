@@ -1,0 +1,192 @@
+//! Shared AND/OR/NOT two-level netlist emitter.
+//!
+//! Used by the FSM synthesizer ([`crate::synthesize`]) and the PLA
+//! synthesizer ([`crate::pla`]): given one cube cover per output
+//! function, emit a netlist with shared input inverters and shared
+//! product terms (the classic PLA structure).
+
+use crate::cube::Cube;
+use crate::error::FsmError;
+use ndetect_netlist::{GateKind, Netlist, NetlistBuilder, NodeId};
+use std::collections::HashMap;
+
+fn synth_err(e: ndetect_netlist::NetlistError) -> FsmError {
+    FsmError::Synthesis {
+        message: e.to_string(),
+    }
+}
+
+/// Emits a two-level netlist.
+///
+/// * `input_names[i]` names input variable `i` (cube variable order);
+/// * `covers[f]` is the cube cover of output `f`;
+/// * `output_names[f]` names the output node (one output slot each).
+///
+/// Inverters are shared per variable (named `n_<input>`), identical
+/// product terms are shared across outputs (named `t0`, `t1`, …), and
+/// degenerate covers become constants or buffers.
+///
+/// # Errors
+///
+/// Returns [`FsmError::Synthesis`] on netlist-construction failures
+/// (duplicate names in the caller-supplied lists) and
+/// [`FsmError::Inconsistent`] if a cube's variable count differs from
+/// the input count or the cover/output name lengths differ.
+pub fn emit_two_level(
+    circuit_name: &str,
+    input_names: &[String],
+    covers: &[Vec<Cube>],
+    output_names: &[String],
+) -> Result<Netlist, FsmError> {
+    if covers.len() != output_names.len() {
+        return Err(FsmError::Inconsistent {
+            message: format!(
+                "{} covers for {} outputs",
+                covers.len(),
+                output_names.len()
+            ),
+        });
+    }
+    for cover in covers {
+        for cube in cover {
+            if cube.num_vars() != input_names.len() {
+                return Err(FsmError::Inconsistent {
+                    message: format!(
+                        "cube {cube} has {} variables, circuit has {} inputs",
+                        cube.num_vars(),
+                        input_names.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut b = NetlistBuilder::new(circuit_name);
+    let inputs: Vec<NodeId> = input_names
+        .iter()
+        .map(|name| b.try_input(name.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(synth_err)?;
+
+    let mut inverters: HashMap<usize, NodeId> = HashMap::new();
+    let mut terms: HashMap<Cube, NodeId> = HashMap::new();
+    let mut const1: Option<NodeId> = None;
+
+    let mut term_node = |b: &mut NetlistBuilder, cube: Cube| -> Result<NodeId, FsmError> {
+        if let Some(&node) = terms.get(&cube) {
+            return Ok(node);
+        }
+        let mut literals: Vec<NodeId> = Vec::new();
+        for var in 0..cube.num_vars() {
+            match cube.literal(var) {
+                None => {}
+                Some(true) => literals.push(inputs[var]),
+                Some(false) => {
+                    let inv = match inverters.get(&var) {
+                        Some(&n) => n,
+                        None => {
+                            let name = format!("n_{}", input_names[var]);
+                            let n = b.not(name, inputs[var]).map_err(synth_err)?;
+                            inverters.insert(var, n);
+                            n
+                        }
+                    };
+                    literals.push(inv);
+                }
+            }
+        }
+        let node = match literals.len() {
+            0 => match const1 {
+                Some(n) => n,
+                None => {
+                    let name = b.fresh_name("one");
+                    let n = b.gate(GateKind::Const1, name, &[]).map_err(synth_err)?;
+                    const1 = Some(n);
+                    n
+                }
+            },
+            1 => literals[0],
+            _ => {
+                let name = b.fresh_name("t");
+                b.and(name, &literals).map_err(synth_err)?
+            }
+        };
+        terms.insert(cube, node);
+        Ok(node)
+    };
+
+    for (cover, out_name) in covers.iter().zip(output_names) {
+        let mut term_nodes = Vec::with_capacity(cover.len());
+        for &cube in cover {
+            term_nodes.push(term_node(&mut b, cube)?);
+        }
+        let out_node = match term_nodes.len() {
+            0 => b
+                .gate(GateKind::Const0, out_name.clone(), &[])
+                .map_err(synth_err)?,
+            1 => b.buf(out_name.clone(), term_nodes[0]).map_err(synth_err)?,
+            _ => b.or(out_name.clone(), &term_nodes).map_err(synth_err)?,
+        };
+        b.output(out_node);
+    }
+
+    b.build().map_err(synth_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_shared_terms_and_inverters() {
+        let cover_a = vec![Cube::parse("10").unwrap(), Cube::parse("01").unwrap()];
+        let cover_b = vec![Cube::parse("10").unwrap()];
+        let n = emit_two_level(
+            "xorish",
+            &["a".into(), "b".into()],
+            &[cover_a, cover_b],
+            &["y".into(), "z".into()],
+        )
+        .unwrap();
+        // XOR truth table on output y; shared term on z.
+        assert_eq!(n.eval_bool(&[false, false]), vec![false, false]);
+        assert_eq!(n.eval_bool(&[false, true]), vec![true, false]);
+        assert_eq!(n.eval_bool(&[true, false]), vec![true, true]);
+        assert_eq!(n.eval_bool(&[true, true]), vec![false, false]);
+        // Two terms, not three (the "10" term is shared).
+        let and_count = n
+            .node_ids()
+            .filter(|&id| n.node(id).kind() == GateKind::And)
+            .count();
+        assert_eq!(and_count, 2);
+    }
+
+    #[test]
+    fn degenerate_covers() {
+        // Empty cover -> constant 0; universal cube -> constant 1.
+        let n = emit_two_level(
+            "consts",
+            &["a".into()],
+            &[vec![], vec![Cube::universe(1)]],
+            &["zero".into(), "one".into()],
+        )
+        .unwrap();
+        for v in [false, true] {
+            assert_eq!(n.eval_bool(&[v]), vec![false, true]);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let err = emit_two_level("bad", &["a".into()], &[vec![]], &[]).unwrap_err();
+        assert!(matches!(err, FsmError::Inconsistent { .. }));
+        let err = emit_two_level(
+            "bad2",
+            &["a".into()],
+            &[vec![Cube::parse("11").unwrap()]],
+            &["y".into()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsmError::Inconsistent { .. }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Structural analysis: reachability, cones.
+
+use crate::id::NodeId;
+use crate::netlist::Netlist;
+
+/// Transitive-fanout reachability over a netlist's node graph.
+///
+/// `reaches(a, b)` answers "is there a directed path of gate connections
+/// from `a`'s output to `b`?" — the query needed to classify a bridging
+/// fault between two stems as *feedback* (a path exists in either
+/// direction) or *non-feedback*.
+///
+/// The matrix is computed once in reverse topological order using one
+/// bitset row per node; memory is `O(n²/64)`, which is trivial at the
+/// circuit sizes exhaustive analysis permits.
+///
+/// ```
+/// use ndetect_netlist::{GateKind, NetlistBuilder, ReachabilityMatrix};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("chain");
+/// let a = b.input("a");
+/// let g1 = b.not("g1", a)?;
+/// let g2 = b.not("g2", g1)?;
+/// b.output(g2);
+/// let n = b.build()?;
+/// let reach = ReachabilityMatrix::compute(&n);
+/// assert!(reach.reaches(a, g2));
+/// assert!(!reach.reaches(g2, a));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReachabilityMatrix {
+    words_per_row: usize,
+    rows: Vec<u64>,
+    num_nodes: usize,
+}
+
+impl ReachabilityMatrix {
+    /// Computes the full transitive-fanout matrix for a netlist.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.num_nodes();
+        let words_per_row = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words_per_row];
+
+        // In reverse topological order, a node reaches the union of what its
+        // direct consumers reach, plus the consumers themselves.
+        for &id in netlist.topo_order().iter().rev() {
+            let i = id.index();
+            for sink in netlist.sinks(id) {
+                if let crate::line::Sink::GatePin { gate, .. } = *sink {
+                    let g = gate.index();
+                    // self |= row(g); set bit g.
+                    let (lo, hi) = if i < g { (i, g) } else { (g, i) };
+                    let (first, rest) = rows.split_at_mut(hi * words_per_row);
+                    let (dst, src) = if i < g {
+                        (
+                            &mut first[lo * words_per_row..lo * words_per_row + words_per_row],
+                            &rest[..words_per_row],
+                        )
+                    } else {
+                        (
+                            &mut rest[..words_per_row],
+                            &first[lo * words_per_row..lo * words_per_row + words_per_row],
+                        )
+                    };
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d |= *s;
+                    }
+                    rows[i * words_per_row + g / 64] |= 1u64 << (g % 64);
+                }
+            }
+        }
+
+        ReachabilityMatrix {
+            words_per_row,
+            rows,
+            num_nodes: n,
+        }
+    }
+
+    /// Returns `true` if there is a directed path from `from`'s output to
+    /// node `to` (strict: a node does not reach itself unless through a
+    /// cycle, which validated netlists cannot contain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.num_nodes && to.index() < self.num_nodes);
+        let w = self.rows[from.index() * self.words_per_row + to.index() / 64];
+        (w >> (to.index() % 64)) & 1 == 1
+    }
+
+    /// Returns `true` if a path exists in either direction between the two
+    /// nodes — the *feedback* condition for a bridging fault between their
+    /// stems.
+    #[must_use]
+    pub fn connected_either_direction(&self, a: NodeId, b: NodeId) -> bool {
+        self.reaches(a, b) || self.reaches(b, a)
+    }
+}
+
+/// Returns the transitive fanin cone of `root` (including `root` itself),
+/// as node ids in ascending order.
+///
+/// ```
+/// use ndetect_netlist::{fanin_cone, GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let g = b.and("g", &[a, c])?;
+/// let h = b.not("h", a)?;
+/// b.output(g);
+/// b.output(h);
+/// let n = b.build()?;
+/// assert_eq!(fanin_cone(&n, g).len(), 3); // a, c, g
+/// assert_eq!(fanin_cone(&n, h).len(), 2); // a, h
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn fanin_cone(netlist: &Netlist, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; netlist.num_nodes()];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(id) = stack.pop() {
+        for &f in netlist.node(id).fanins() {
+            if !seen[f.index()] {
+                seen[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    (0..netlist.num_nodes())
+        .filter(|&i| seen[i])
+        .map(NodeId::new)
+        .collect()
+}
+
+/// Returns the transitive fanout cone of `root` (including `root` itself),
+/// as node ids in ascending order.
+#[must_use]
+pub fn fanout_cone(netlist: &Netlist, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; netlist.num_nodes()];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(id) = stack.pop() {
+        for sink in netlist.sinks(id) {
+            if let crate::line::Sink::GatePin { gate, .. } = *sink {
+                if !seen[gate.index()] {
+                    seen[gate.index()] = true;
+                    stack.push(gate);
+                }
+            }
+        }
+    }
+    (0..netlist.num_nodes())
+        .filter(|&i| seen[i])
+        .map(NodeId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn diamond() -> (Netlist, [NodeId; 5]) {
+        // a -> g1 -> g3, a -> g2 -> g3; b unused by g3's cone.
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g1 = b.not("g1", a).unwrap();
+        let g2 = b.buf("g2", a).unwrap();
+        let g3 = b.and("g3", &[g1, g2]).unwrap();
+        let g4 = b.not("g4", x).unwrap();
+        b.output(g3);
+        b.output(g4);
+        (b.build().unwrap(), [a, x, g1, g2, g3])
+    }
+
+    #[test]
+    fn reachability_diamond() {
+        let (n, [a, x, g1, g2, g3]) = diamond();
+        let r = ReachabilityMatrix::compute(&n);
+        assert!(r.reaches(a, g1));
+        assert!(r.reaches(a, g2));
+        assert!(r.reaches(a, g3));
+        assert!(r.reaches(g1, g3));
+        assert!(!r.reaches(g3, a));
+        assert!(!r.reaches(g1, g2));
+        assert!(!r.reaches(x, g3));
+        assert!(!r.reaches(a, x));
+        assert!(r.connected_either_direction(g3, a));
+        assert!(!r.connected_either_direction(g1, g2));
+    }
+
+    #[test]
+    fn nodes_do_not_reach_themselves() {
+        let (n, [a, _, _, _, g3]) = diamond();
+        let r = ReachabilityMatrix::compute(&n);
+        assert!(!r.reaches(a, a));
+        assert!(!r.reaches(g3, g3));
+    }
+
+    #[test]
+    fn cones() {
+        let (n, [a, x, g1, g2, g3]) = diamond();
+        assert_eq!(fanin_cone(&n, g3), vec![a, g1, g2, g3]);
+        let fo = fanout_cone(&n, a);
+        assert_eq!(fo, vec![a, g1, g2, g3]);
+        let fo_x = fanout_cone(&n, x);
+        assert_eq!(fo_x.len(), 2);
+    }
+
+    #[test]
+    fn reachability_on_wide_netlist_crosses_word_boundary() {
+        // Chain of >64 buffers to exercise multi-word rows.
+        let mut b = NetlistBuilder::new("chain");
+        let mut prev = b.input("a");
+        let first = prev;
+        for i in 0..70 {
+            prev = b.buf(format!("g{i}"), prev).unwrap();
+        }
+        b.output(prev);
+        let n = b.build().unwrap();
+        let r = ReachabilityMatrix::compute(&n);
+        assert!(r.reaches(first, prev));
+        assert!(!r.reaches(prev, first));
+    }
+}

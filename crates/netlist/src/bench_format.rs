@@ -1,0 +1,302 @@
+//! ISCAS-89 style `.bench` netlist parsing and writing.
+//!
+//! The grammar handled here is the common combinational subset:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! y = NAND(a, b)
+//! z = NOT(y)
+//! ```
+//!
+//! Gate definitions may appear in any order (forward references are
+//! resolved at build time). Sequential primitives (`DFF`) are rejected with
+//! [`NetlistError::Sequential`] — this workspace analyses the combinational
+//! logic of circuits, so sequential benchmarks must be unrolled by the
+//! caller (the `ndetect-fsm` crate does exactly that for FSM benchmarks).
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Parses `.bench` source text into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::Sequential`] for `DFF` elements, plus any builder
+/// validation error (duplicate names, unknown references, bad arity,
+/// cycles, no outputs).
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let netlist = ndetect_netlist::bench_format::parse("frag", src)?;
+/// assert_eq!(netlist.num_gates(), 1);
+/// # Ok::<(), ndetect_netlist::NetlistError>(())
+/// ```
+pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    let mut output_names: Vec<String> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            let pin = rest.trim();
+            validate_identifier(pin, lineno)?;
+            builder.try_input(pin).map_err(|e| parse_ctx(e, lineno))?;
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            let pin = rest.trim();
+            validate_identifier(pin, lineno)?;
+            output_names.push(pin.to_string());
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            validate_identifier(target, lineno)?;
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("expected `kind(args)` after `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: "missing closing parenthesis".into(),
+                });
+            }
+            let kw = rhs[..open].trim();
+            if kw.eq_ignore_ascii_case("DFF") || kw.eq_ignore_ascii_case("DFFSR") {
+                return Err(NetlistError::Sequential { line: lineno });
+            }
+            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("unknown gate kind `{kw}`"),
+            })?;
+            if kind == GateKind::Input {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: "INPUT cannot appear on the right-hand side".into(),
+                });
+            }
+            let args_str = rhs[open + 1..rhs.len() - 1].trim();
+            let args: Vec<&str> = if args_str.is_empty() {
+                Vec::new()
+            } else {
+                args_str.split(',').map(str::trim).collect()
+            };
+            for a in &args {
+                validate_identifier(a, lineno)?;
+            }
+            builder
+                .gate_by_name(kind, target, &args)
+                .map_err(|e| parse_ctx(e, lineno))?;
+        } else {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: format!("unrecognized line `{line}`"),
+            });
+        }
+    }
+
+    for out in output_names {
+        builder.output_by_name(out);
+    }
+    builder.build()
+}
+
+fn parse_ctx(err: NetlistError, line: usize) -> NetlistError {
+    match err {
+        NetlistError::Parse { .. } => err,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line
+        .strip_prefix(keyword)
+        .or_else(|| line.strip_prefix(&keyword.to_lowercase()))?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+fn validate_identifier(s: &str, line: usize) -> Result<(), NetlistError> {
+    if s.is_empty()
+        || !s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '[' | ']' | '-'))
+    {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("invalid identifier `{s}`"),
+        });
+    }
+    Ok(())
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// The output round-trips through [`parse`] to an equivalent netlist
+/// (same structure, names, and I/O ordering).
+///
+/// # Example
+///
+/// ```
+/// # use ndetect_netlist::{NetlistBuilder, GateKind};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let g = b.not("g", a)?;
+/// b.output(g);
+/// let n = b.build()?;
+/// let text = ndetect_netlist::bench_format::write(&n);
+/// let back = ndetect_netlist::bench_format::parse("t", &text)?;
+/// assert_eq!(back.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &pi in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node_name(pi));
+    }
+    for &po in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node_name(po));
+    }
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|&f| netlist.node_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.node_name(id),
+            node.kind().bench_keyword(),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "
+# c17 benchmark (ISCAS-85 translated to bench format)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let n = parse("c17", C17).unwrap();
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_gates(), 6);
+        // Known vector: all ones -> both outputs computed by hand.
+        // 10 = !(1&3)=0, 11 = !(3&6)=0, 16 = !(2&11)=1, 19 = !(11&7)=1,
+        // 22 = !(10&16)=1, 23 = !(16&19)=0.
+        let outs = n.eval_bool(&[true; 5]);
+        assert_eq!(outs, vec![true, false]);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n = parse("c17", C17).unwrap();
+        let text = write(&n);
+        let n2 = parse("c17", &text).unwrap();
+        assert_eq!(n.num_inputs(), n2.num_inputs());
+        assert_eq!(n.num_outputs(), n2.num_outputs());
+        assert_eq!(n.num_gates(), n2.num_gates());
+        // Behavioural equivalence on all 32 vectors.
+        for v in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| (v >> (4 - i)) & 1 == 1).collect();
+            assert_eq!(n.eval_bool(&bits), n2.eval_bool(&bits));
+        }
+    }
+
+    #[test]
+    fn rejects_dff() {
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        assert!(matches!(
+            parse("seq", src),
+            Err(NetlistError::Sequential { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let src = "INPUT(a)\nOUTPUT(q)\nq = MAJ3(a, a, a)\n";
+        let err = parse("bad", src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["garbage", "x = AND(a", "INPUT a", "y == OR(a,b)"] {
+            let src = format!("INPUT(a)\nOUTPUT(y)\n{bad}\n");
+            assert!(parse("bad", &src).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# full comment\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = NOT(a)\n\n";
+        let n = parse("c", src).unwrap();
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn buff_alias_accepted() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n";
+        let n = parse("b", src).unwrap();
+        assert_eq!(n.eval_bool(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn duplicate_input_rejected_with_line_number() {
+        let src = "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let err = parse("dup", src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+}

@@ -1,0 +1,473 @@
+//! Incremental construction of [`Netlist`]s.
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::id::NodeId;
+use crate::netlist::{Netlist, Node};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Clone, Debug)]
+enum FaninRef {
+    Id(NodeId),
+    Name(String),
+}
+
+#[derive(Clone, Debug)]
+struct PendingNode {
+    kind: GateKind,
+    fanins: Vec<FaninRef>,
+}
+
+/// Builder for [`Netlist`].
+///
+/// Nodes may be added either with already-known fanin ids ([`Self::gate`])
+/// or with by-name forward references ([`Self::gate_by_name`], used by the
+/// `.bench` parser, where a gate may be defined before its fanins).
+/// [`Self::build`] resolves names, validates arities, rejects cycles, and
+/// computes all derived structure.
+///
+/// ```
+/// use ndetect_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("mux");
+/// let s = b.input("s");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let ns = b.not("ns", s)?;
+/// let t0 = b.and("t0", &[ns, a])?;
+/// let t1 = b.and("t1", &[s, c])?;
+/// let y = b.or("y", &[t0, t1])?;
+/// b.output(y);
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.num_gates(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<PendingNode>,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    output_names: Vec<String>,
+    fresh_counter: usize,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a netlist with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            fresh_counter: 0,
+        }
+    }
+
+    fn add_node(
+        &mut self,
+        kind: GateKind,
+        name: String,
+        fanins: Vec<FaninRef>,
+    ) -> Result<NodeId, NetlistError> {
+        if self.name_index.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let (lo, hi) = kind.arity();
+        if fanins.len() < lo || fanins.len() > hi {
+            return Err(NetlistError::BadArity {
+                gate: name,
+                kind: kind.to_string(),
+                got: fanins.len(),
+            });
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.name_index.insert(name.clone(), id);
+        self.names.push(name);
+        self.nodes.push(PendingNode { kind, fanins });
+        Ok(id)
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use (inputs are usually the first
+    /// nodes added; use [`Self::try_input`] to handle the error).
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        self.try_input(name).expect("duplicate input name")
+    }
+
+    /// Adds a primary input, reporting a duplicate name as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let id = self.add_node(GateKind::Input, name.into(), Vec::new())?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate whose fanins are already-created nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadArity`].
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        let refs = fanins.iter().map(|&f| FaninRef::Id(f)).collect();
+        self.add_node(kind, name.into(), refs)
+    }
+
+    /// Adds a gate whose fanins are referenced by name and may not exist
+    /// yet; names are resolved at [`Self::build`] time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadArity`].
+    pub fn gate_by_name(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanin_names: &[&str],
+    ) -> Result<NodeId, NetlistError> {
+        let refs = fanin_names
+            .iter()
+            .map(|f| FaninRef::Name((*f).to_string()))
+            .collect();
+        self.add_node(kind, name.into(), refs)
+    }
+
+    /// Marks a node as a primary output. A node may be marked several times;
+    /// each call adds a new output slot. Returns the slot index.
+    pub fn output(&mut self, node: NodeId) -> usize {
+        let slot = self.outputs.len();
+        self.outputs.push(node);
+        self.output_names.push(String::new());
+        slot
+    }
+
+    /// Marks a node as a primary output by name, deferring resolution to
+    /// [`Self::build`]. Returns the slot index.
+    pub fn output_by_name(&mut self, name: impl Into<String>) -> usize {
+        let slot = self.outputs.len();
+        // Placeholder id; patched during build.
+        self.outputs.push(NodeId::new(0));
+        self.output_names.push(name.into());
+        slot
+    }
+
+    /// Convenience: adds an AND gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn and(
+        &mut self,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::And, name, fanins)
+    }
+
+    /// Convenience: adds an OR gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn or(
+        &mut self,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Or, name, fanins)
+    }
+
+    /// Convenience: adds a NAND gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn nand(
+        &mut self,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Nand, name, fanins)
+    }
+
+    /// Convenience: adds a NOR gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn nor(
+        &mut self,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Nor, name, fanins)
+    }
+
+    /// Convenience: adds an XOR gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn xor(
+        &mut self,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Xor, name, fanins)
+    }
+
+    /// Convenience: adds an inverter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn not(
+        &mut self,
+        name: impl Into<String>,
+        fanin: NodeId,
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Not, name, &[fanin])
+    }
+
+    /// Convenience: adds a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::gate`].
+    pub fn buf(
+        &mut self,
+        name: impl Into<String>,
+        fanin: NodeId,
+    ) -> Result<NodeId, NetlistError> {
+        self.gate(GateKind::Buf, name, &[fanin])
+    }
+
+    /// Returns a name of the form `"{prefix}{k}"` guaranteed not to collide
+    /// with any name added so far.
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = format!("{prefix}{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.name_index.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnknownNode`] for unresolved by-name references,
+    /// * [`NetlistError::Cycle`] if the gate graph is cyclic,
+    /// * [`NetlistError::NoOutputs`] if no output was declared.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+
+        // Resolve by-name references.
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        for pending in &self.nodes {
+            let mut fanins = Vec::with_capacity(pending.fanins.len());
+            for r in &pending.fanins {
+                let id = match r {
+                    FaninRef::Id(id) => *id,
+                    FaninRef::Name(name) => *self
+                        .name_index
+                        .get(name)
+                        .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?,
+                };
+                fanins.push(id);
+            }
+            nodes.push(Node::new(pending.kind, fanins));
+        }
+        let mut outputs = self.outputs;
+        for (slot, name) in self.output_names.iter().enumerate() {
+            if !name.is_empty() {
+                outputs[slot] = *self
+                    .name_index
+                    .get(name)
+                    .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+            }
+        }
+
+        // Deterministic Kahn topological sort (smallest ready id first);
+        // also the cycle check.
+        let n = nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (gi, node) in nodes.iter().enumerate() {
+            indegree[gi] = node.fanins().len();
+            for f in node.fanins() {
+                consumers[f.index()].push(NodeId::new(gi));
+            }
+        }
+        let mut ready: BinaryHeap<Reverse<NodeId>> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(|i| Reverse(NodeId::new(i)))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(Reverse(id)) = ready.pop() {
+            topo.push(id);
+            for &c in &consumers[id.index()] {
+                indegree[c.index()] -= 1;
+                if indegree[c.index()] == 0 {
+                    ready.push(Reverse(c));
+                }
+            }
+        }
+        if topo.len() != n {
+            let via = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.names[i].clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cycle { via });
+        }
+
+        Ok(Netlist::from_parts(
+            self.name,
+            nodes,
+            self.names,
+            self.inputs,
+            outputs,
+            topo,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        assert_eq!(
+            b.try_input("a"),
+            Err(NetlistError::DuplicateName("a".into()))
+        );
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let err = b.gate(GateKind::Not, "g", &[a, a]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+        let err = b.gate(GateKind::And, "h", &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    fn unresolved_forward_reference_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.gate_by_name(GateKind::Buf, "g", &["missing"]).unwrap();
+        b.output_by_name("g");
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::UnknownNode("missing".into())
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetlistBuilder::new("t");
+        // Define the consumer before its fanin exists.
+        b.gate_by_name(GateKind::Not, "g", &["a"]).unwrap();
+        b.input("a");
+        b.output_by_name("g");
+        let n = b.build().unwrap();
+        assert_eq!(n.eval_bool(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.gate_by_name(GateKind::And, "x", &["a", "y"]).unwrap();
+        b.gate_by_name(GateKind::And, "y", &["a", "x"]).unwrap();
+        b.output_by_name("x");
+        assert!(matches!(b.build(), Err(NetlistError::Cycle { .. })));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("tmp0");
+        let n1 = b.fresh_name("tmp");
+        assert_ne!(n1, "tmp0");
+        let n2 = b.fresh_name("tmp");
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g1 = b.and("g1", &[a, c]).unwrap();
+        let g2 = b.not("g2", g1).unwrap();
+        b.output(g2);
+        let n = b.build().unwrap();
+        let topo = n.topo_order();
+        let pos = |id: crate::NodeId| topo.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(g1));
+        assert!(pos(c) < pos(g1));
+        assert!(pos(g1) < pos(g2));
+    }
+
+    #[test]
+    fn multiple_output_slots_on_one_node() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.buf("g", a).unwrap();
+        assert_eq!(b.output(g), 0);
+        assert_eq!(b.output(g), 1);
+        let n = b.build().unwrap();
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.eval_bool(&[true]), vec![true, true]);
+        // The buffer's stem now has two sinks, so it has branch lines.
+        assert_eq!(n.lines().branches(g).len(), 2);
+    }
+}

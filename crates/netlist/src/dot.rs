@@ -1,0 +1,100 @@
+//! Graphviz DOT export for netlists.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz digraph: inputs as diamonds,
+/// gates as boxes labelled with their kind, primary outputs marked
+/// with a double border.
+///
+/// ```
+/// use ndetect_netlist::{NetlistBuilder, dot};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let g = b.not("g", a)?;
+/// b.output(g);
+/// let text = dot::write(&b.build()?);
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("NOT"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let is_output: Vec<bool> = {
+        let mut v = vec![false; netlist.num_nodes()];
+        for &po in netlist.outputs() {
+            v[po.index()] = true;
+        }
+        v
+    };
+    for id in netlist.node_ids() {
+        let node = netlist.node(id);
+        let name = netlist.node_name(id);
+        let (shape, label) = match node.kind() {
+            GateKind::Input => ("diamond", name.to_string()),
+            kind => ("box", format!("{name}\\n{kind}")),
+        };
+        let peripheries = if is_output[id.index()] { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  \"{name}\" [shape={shape}, peripheries={peripheries}, label=\"{label}\"];"
+        );
+    }
+    for id in netlist.node_ids() {
+        for &f in netlist.node(id).fanins() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                netlist.node_name(f),
+                netlist.node_name(id)
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn emits_nodes_edges_and_output_marks() {
+        let mut b = NetlistBuilder::new("demo");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and("g", &[a, c]).unwrap();
+        b.output(g);
+        let text = write(&b.build().unwrap());
+        assert!(text.contains("digraph \"demo\""));
+        assert!(text.contains("\"a\" -> \"g\""));
+        assert!(text.contains("\"c\" -> \"g\""));
+        assert!(text.contains("peripheries=2")); // output marked
+        assert!(text.contains("shape=diamond")); // inputs
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn every_node_and_edge_appears() {
+        let mut b = NetlistBuilder::new("full");
+        let a = b.input("a");
+        let g1 = b.not("g1", a).unwrap();
+        let g2 = b.xor("g2", &[a, g1]).unwrap();
+        b.output(g2);
+        let n = b.build().unwrap();
+        let text = write(&n);
+        for id in n.node_ids() {
+            assert!(text.contains(&format!("\"{}\"", n.node_name(id))));
+        }
+        let edge_count = text.matches(" -> ").count();
+        let expect: usize = n.node_ids().map(|id| n.node(id).fanins().len()).sum();
+        assert_eq!(edge_count, expect);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node name was used twice.
+    DuplicateName(String),
+    /// A gate referenced a node id that does not exist.
+    UnknownNode(String),
+    /// A gate was given a fanin count outside its kind's arity range.
+    BadArity {
+        /// The offending gate's name.
+        gate: String,
+        /// The gate kind.
+        kind: String,
+        /// The number of fanins supplied.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    Cycle {
+        /// Name of a node on the cycle.
+        via: String,
+    },
+    /// The netlist has no primary outputs.
+    NoOutputs,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The `.bench` source used a sequential element (e.g. `DFF`), which is
+    /// not supported by this combinational-only representation.
+    Sequential {
+        /// 1-based line number in the source text.
+        line: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(name) => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            NetlistError::UnknownNode(name) => {
+                write!(f, "reference to unknown node `{name}`")
+            }
+            NetlistError::BadArity { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} given {got} fanins")
+            }
+            NetlistError::Cycle { via } => {
+                write!(f, "combinational cycle through node `{via}`")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Sequential { line } => {
+                write!(
+                    f,
+                    "sequential element at line {line}: only combinational circuits are supported"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = NetlistError::DuplicateName("x".into());
+        assert_eq!(e.to_string(), "duplicate node name `x`");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

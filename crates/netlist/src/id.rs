@@ -1,0 +1,111 @@
+//! Typed identifiers for netlist entities.
+
+use std::fmt;
+
+/// Identifier of a node (primary input or gate) within a [`crate::Netlist`].
+///
+/// Node ids are dense indices assigned in creation order by
+/// [`crate::NetlistBuilder`]; they index directly into the netlist's node
+/// table.
+///
+/// ```
+/// use ndetect_netlist::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a fault-site line (a stem or a fanout branch).
+///
+/// Line ids are dense indices into [`crate::Netlist::lines`]. The numbering
+/// convention is documented on [`crate::Netlist::lines`]; it reproduces the
+/// line numbering of the paper's Figure 1 example.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LineId(u32);
+
+impl LineId {
+    /// Creates a line id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        LineId(u32::try_from(index).expect("line index overflows u32"))
+    }
+
+    /// Returns the dense index of this line.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 17, 65535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn line_id_round_trip() {
+        for i in [0usize, 1, 17, 65535] {
+            assert_eq!(LineId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        set.insert(NodeId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(LineId::new(0) < LineId::new(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(LineId::new(7).to_string(), "l7");
+    }
+}

@@ -1,0 +1,64 @@
+//! Gate-level combinational netlist representation for n-detection test set
+//! analysis.
+//!
+//! This crate provides the structural substrate used by the rest of the
+//! `ndetect` workspace:
+//!
+//! * [`Netlist`] — an immutable, validated, levelized gate-level circuit,
+//!   built through [`NetlistBuilder`].
+//! * An explicit **line** model ([`Line`], [`LineKind`]): fault sites are
+//!   both gate-output *stems* and fanout *branches*, exactly as in the
+//!   classical single stuck-at fault literature. Line numbering follows the
+//!   convention of the paper's Figure 1 (primary-input stems first, then
+//!   branches of primary-input stems, then gate stems in topological order,
+//!   each followed by its own branches).
+//! * ISCAS-89 style `.bench` parsing and writing ([`bench_format`]).
+//! * Structural analysis: topological ordering, levelization, transitive
+//!   fanout [`ReachabilityMatrix`] (used to exclude feedback bridging
+//!   faults), fanin cones, and summary [`NetlistStats`].
+//!
+//! # Example
+//!
+//! Build a two-gate circuit and inspect its lines:
+//!
+//! ```
+//! use ndetect_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input("a");
+//! let c = b.input("c");
+//! let g = b.gate(GateKind::And, "g", &[a, c])?;
+//! b.output(g);
+//! let netlist = b.build()?;
+//!
+//! assert_eq!(netlist.num_inputs(), 2);
+//! assert_eq!(netlist.num_outputs(), 1);
+//! // Three stems (a, c, g); no stem fans out, so there are no branches.
+//! assert_eq!(netlist.lines().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod bench_format;
+pub mod dot;
+mod builder;
+mod error;
+mod gate;
+mod id;
+mod line;
+mod netlist;
+mod stats;
+
+pub use analysis::{fanin_cone, fanout_cone, ReachabilityMatrix};
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use id::{LineId, NodeId};
+pub use line::{Line, LineKind, LineTable, Sink};
+pub use netlist::{Netlist, Node};
+pub use stats::NetlistStats;

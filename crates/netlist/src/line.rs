@@ -1,0 +1,214 @@
+//! The fault-site line model: stems and fanout branches.
+
+use crate::id::{LineId, NodeId};
+use std::fmt;
+
+/// A consumer of a stem's value: either a specific gate input pin or a
+/// primary-output observation slot.
+///
+/// Sinks identify fanout branches. A stem with two or more sinks has one
+/// branch line per sink; a stem with a single sink has no branch lines (the
+/// stem itself is the only fault site on that connection).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sink {
+    /// The `pin`-th fanin of gate `gate`.
+    GatePin {
+        /// The consuming gate.
+        gate: NodeId,
+        /// Zero-based fanin position within the consuming gate.
+        pin: usize,
+    },
+    /// The `slot`-th primary output of the netlist.
+    OutputSlot {
+        /// Zero-based index into the netlist's output list.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::GatePin { gate, pin } => write!(f, "{gate}.{pin}"),
+            Sink::OutputSlot { slot } => write!(f, "po{slot}"),
+        }
+    }
+}
+
+/// What a [`Line`] is: a gate-output stem or a fanout branch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LineKind {
+    /// The output stem of node `node`.
+    Stem {
+        /// The node whose output this stem carries.
+        node: NodeId,
+    },
+    /// A fanout branch of the stem of `node`, feeding `sink`.
+    Branch {
+        /// The node whose stem this branch splits from.
+        node: NodeId,
+        /// The sink this branch feeds.
+        sink: Sink,
+    },
+}
+
+impl LineKind {
+    /// The node whose output value this line carries (the driver).
+    #[must_use]
+    pub fn driver(&self) -> NodeId {
+        match *self {
+            LineKind::Stem { node } | LineKind::Branch { node, .. } => node,
+        }
+    }
+
+    /// Returns `true` if this line is a stem.
+    #[must_use]
+    pub fn is_stem(&self) -> bool {
+        matches!(self, LineKind::Stem { .. })
+    }
+}
+
+/// A single fault-site line of a netlist.
+///
+/// Lines are the atoms on which stuck-at faults are defined. Every node
+/// output is a *stem* line; every stem with fanout ≥ 2 additionally has one
+/// *branch* line per sink.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Line {
+    id: LineId,
+    kind: LineKind,
+    name: String,
+}
+
+impl Line {
+    pub(crate) fn new(id: LineId, kind: LineKind, name: String) -> Self {
+        Line { id, kind, name }
+    }
+
+    /// This line's id (dense index into [`crate::Netlist::lines`]).
+    #[must_use]
+    pub fn id(&self) -> LineId {
+        self.id
+    }
+
+    /// Whether this line is a stem or branch, and of which node.
+    #[must_use]
+    pub fn kind(&self) -> &LineKind {
+        &self.kind
+    }
+
+    /// Human-readable name. Stems are named after their node; branches are
+    /// named `"<stem>-><sink>"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node driving this line.
+    #[must_use]
+    pub fn driver(&self) -> NodeId {
+        self.kind.driver()
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Immutable table of all lines in a netlist, with lookup indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineTable {
+    lines: Vec<Line>,
+    /// For each node index: the id of its stem line.
+    stem_of_node: Vec<LineId>,
+    /// For each node index: ids of its branch lines in sink order (empty if
+    /// fanout < 2).
+    branches_of_node: Vec<Vec<LineId>>,
+}
+
+impl LineTable {
+    pub(crate) fn new(
+        lines: Vec<Line>,
+        stem_of_node: Vec<LineId>,
+        branches_of_node: Vec<Vec<LineId>>,
+    ) -> Self {
+        LineTable {
+            lines,
+            stem_of_node,
+            branches_of_node,
+        }
+    }
+
+    /// All lines, ordered by id.
+    #[must_use]
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// The line with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn line(&self, id: LineId) -> &Line {
+        &self.lines[id.index()]
+    }
+
+    /// The stem line of `node`.
+    #[must_use]
+    pub fn stem(&self, node: NodeId) -> LineId {
+        self.stem_of_node[node.index()]
+    }
+
+    /// The branch lines of `node`'s stem, in sink order (empty if the stem
+    /// has fewer than two sinks).
+    #[must_use]
+    pub fn branches(&self, node: NodeId) -> &[LineId] {
+        &self.branches_of_node[node.index()]
+    }
+
+    /// Number of lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if the table contains no lines (only possible for an
+    /// empty netlist).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_display() {
+        let s = Sink::GatePin {
+            gate: NodeId::new(4),
+            pin: 1,
+        };
+        assert_eq!(s.to_string(), "n4.1");
+        assert_eq!(Sink::OutputSlot { slot: 2 }.to_string(), "po2");
+    }
+
+    #[test]
+    fn line_kind_driver() {
+        let stem = LineKind::Stem {
+            node: NodeId::new(7),
+        };
+        assert_eq!(stem.driver(), NodeId::new(7));
+        assert!(stem.is_stem());
+        let branch = LineKind::Branch {
+            node: NodeId::new(7),
+            sink: Sink::OutputSlot { slot: 0 },
+        };
+        assert_eq!(branch.driver(), NodeId::new(7));
+        assert!(!branch.is_stem());
+    }
+}

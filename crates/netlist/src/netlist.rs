@@ -1,0 +1,490 @@
+//! The immutable, validated [`Netlist`] type.
+
+use crate::gate::GateKind;
+use crate::id::{LineId, NodeId};
+use crate::line::{Line, LineKind, LineTable, Sink};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single node of a netlist: a primary input or a gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    kind: GateKind,
+    fanins: Vec<NodeId>,
+}
+
+impl Node {
+    pub(crate) fn new(kind: GateKind, fanins: Vec<NodeId>) -> Self {
+        Node { kind, fanins }
+    }
+
+    /// The logic function of this node.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Fanin node ids, in pin order.
+    #[must_use]
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+}
+
+/// An immutable, validated, levelized combinational netlist.
+///
+/// Construct via [`crate::NetlistBuilder`] or [`crate::bench_format::parse`].
+/// All derived structure (topological order, levels, fanout sinks, and the
+/// fault-site [`LineTable`]) is computed once at build time.
+///
+/// # Line numbering
+///
+/// [`Netlist::lines`] enumerates fault sites in the order used by the
+/// paper's Figure 1 example:
+///
+/// 1. primary-input stems, in input order;
+/// 2. branches of primary-input stems (only for stems with fanout ≥ 2),
+///    grouped per input, in sink order;
+/// 3. for each non-input node in topological order: its output stem,
+///    followed by its branches (if fanout ≥ 2) in sink order.
+///
+/// Sink order is: gate pins in consuming-gate creation order (then pin
+/// order), followed by primary-output slots in output order.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    topo: Vec<NodeId>,
+    levels: Vec<u32>,
+    sinks: Vec<Vec<Sink>>,
+    lines: LineTable,
+}
+
+impl Netlist {
+    /// Assembles a netlist from validated parts. Only called by the builder,
+    /// which has already checked names, arities, and acyclicity.
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        names: Vec<String>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<NodeId>,
+        topo: Vec<NodeId>,
+    ) -> Self {
+        let name_index: HashMap<String, NodeId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), NodeId::new(i)))
+            .collect();
+
+        // Levelization: inputs and constants at level 0, gates one past
+        // their deepest fanin.
+        let mut levels = vec![0u32; nodes.len()];
+        for &id in &topo {
+            let node = &nodes[id.index()];
+            levels[id.index()] = node
+                .fanins()
+                .iter()
+                .map(|f| levels[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+
+        // Fanout sinks, in deterministic order: gate pins by consuming-gate
+        // creation order then pin order, followed by output slots.
+        let mut sinks: Vec<Vec<Sink>> = vec![Vec::new(); nodes.len()];
+        for (gi, node) in nodes.iter().enumerate() {
+            for (pin, fanin) in node.fanins().iter().enumerate() {
+                sinks[fanin.index()].push(Sink::GatePin {
+                    gate: NodeId::new(gi),
+                    pin,
+                });
+            }
+        }
+        for (slot, out) in outputs.iter().enumerate() {
+            sinks[out.index()].push(Sink::OutputSlot { slot });
+        }
+
+        let lines = Self::build_lines(&nodes, &names, &inputs, &topo, &sinks);
+
+        Netlist {
+            name,
+            nodes,
+            names,
+            name_index,
+            inputs,
+            outputs,
+            topo,
+            levels,
+            sinks,
+            lines,
+        }
+    }
+
+    fn build_lines(
+        nodes: &[Node],
+        names: &[String],
+        inputs: &[NodeId],
+        topo: &[NodeId],
+        sinks: &[Vec<Sink>],
+    ) -> LineTable {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut stem_of_node = vec![LineId::new(0); nodes.len()];
+        let mut branches_of_node: Vec<Vec<LineId>> = vec![Vec::new(); nodes.len()];
+
+        let push_stem = |lines: &mut Vec<Line>, stems: &mut Vec<LineId>, node: NodeId| {
+            let id = LineId::new(lines.len());
+            stems[node.index()] = id;
+            lines.push(Line::new(
+                id,
+                LineKind::Stem { node },
+                names[node.index()].clone(),
+            ));
+        };
+        let push_branches =
+            |lines: &mut Vec<Line>, branches: &mut Vec<Vec<LineId>>, node: NodeId| {
+                let node_sinks = &sinks[node.index()];
+                if node_sinks.len() < 2 {
+                    return;
+                }
+                for &sink in node_sinks {
+                    let id = LineId::new(lines.len());
+                    let sink_desc = match sink {
+                        Sink::GatePin { gate, pin } => {
+                            format!("{}.{}", names[gate.index()], pin)
+                        }
+                        Sink::OutputSlot { slot } => format!("po{slot}"),
+                    };
+                    let name = format!("{}->{}", names[node.index()], sink_desc);
+                    branches[node.index()].push(id);
+                    lines.push(Line::new(id, LineKind::Branch { node, sink }, name));
+                }
+            };
+
+        // Phase 1: primary-input stems.
+        for &pi in inputs {
+            push_stem(&mut lines, &mut stem_of_node, pi);
+        }
+        // Phase 2: branches of primary-input stems.
+        for &pi in inputs {
+            push_branches(&mut lines, &mut branches_of_node, pi);
+        }
+        // Phase 3: non-input nodes in topological order, stem then branches.
+        for &id in topo {
+            if nodes[id.index()].kind() == GateKind::Input {
+                continue;
+            }
+            push_stem(&mut lines, &mut stem_of_node, id);
+            push_branches(&mut lines, &mut branches_of_node, id);
+        }
+
+        LineTable::new(lines, stem_of_node, branches_of_node)
+    }
+
+    /// The netlist's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The name of the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Total number of nodes (inputs + gates).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of non-input nodes (gates and constants).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// Primary input node ids, in input order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output node ids, in output order. A node may appear more than
+    /// once if it is observed on several output slots.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All node ids, in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Nodes in a deterministic topological order (fanins always precede
+    /// fanouts; ties broken by node id).
+    #[must_use]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The logic level of a node: 0 for inputs and constants, one past the
+    /// deepest fanin otherwise.
+    #[must_use]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// The maximum logic level over all nodes (0 for an all-input netlist).
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The sinks consuming a node's output, in the deterministic order
+    /// documented on [`Netlist`].
+    #[must_use]
+    pub fn sinks(&self, id: NodeId) -> &[Sink] {
+        &self.sinks[id.index()]
+    }
+
+    /// Fanout count of a node (gate pins plus output slots).
+    #[must_use]
+    pub fn fanout(&self, id: NodeId) -> usize {
+        self.sinks[id.index()].len()
+    }
+
+    /// The fault-site line table. See the type-level documentation for the
+    /// numbering convention.
+    #[must_use]
+    pub fn lines(&self) -> &LineTable {
+        &self.lines
+    }
+
+    /// Stems of all gates with two or more fanins, in topological order.
+    ///
+    /// These are the candidate lines for four-way bridging faults ("outputs
+    /// of multi-input gates" in the paper).
+    #[must_use]
+    pub fn multi_input_gate_stems(&self) -> Vec<LineId> {
+        self.topo
+            .iter()
+            .filter(|id| self.nodes[id.index()].fanins().len() >= 2)
+            .map(|&id| self.lines.stem(id))
+            .collect()
+    }
+
+    /// Reference scalar evaluation of the fault-free circuit.
+    ///
+    /// Returns the primary output values for the given input assignment.
+    /// This is the slow, obviously-correct evaluator used as an oracle by
+    /// the bit-parallel simulator's tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn eval_bool(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.num_inputs(),
+            "expected {} input values",
+            self.num_inputs()
+        );
+        let values = self.eval_bool_all(input_values);
+        self.outputs
+            .iter()
+            .map(|out| values[out.index()])
+            .collect()
+    }
+
+    /// Like [`Self::eval_bool`] but returns the value of every node, indexed
+    /// by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn eval_bool_all(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(input_values.len(), self.num_inputs());
+        let mut values = vec![false; self.nodes.len()];
+        for (pi, &v) in self.inputs.iter().zip(input_values) {
+            values[pi.index()] = v;
+        }
+        let mut operands = Vec::new();
+        for &id in &self.topo {
+            let node = &self.nodes[id.index()];
+            if node.kind() == GateKind::Input {
+                continue;
+            }
+            operands.clear();
+            operands.extend(node.fanins().iter().map(|f| values[f.index()]));
+            values[id.index()] = node.kind().eval_bool(&operands);
+        }
+        values
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, {} lines",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_gates(),
+            self.lines.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+    use crate::line::LineKind;
+
+    /// The paper's Figure 1 circuit: the canonical fixture for line
+    /// numbering. Inputs 1..4; input 2 fans out to branches 5,6; input 3 to
+    /// branches 7,8; gates 9=AND(1,5), 10=AND(6,7), 11=OR(8,4); outputs
+    /// 9,10,11.
+    fn figure1() -> crate::Netlist {
+        let mut b = NetlistBuilder::new("figure1");
+        let i1 = b.input("1");
+        let i2 = b.input("2");
+        let i3 = b.input("3");
+        let i4 = b.input("4");
+        let g9 = b.gate(GateKind::And, "9", &[i1, i2]).unwrap();
+        let g10 = b.gate(GateKind::And, "10", &[i2, i3]).unwrap();
+        let g11 = b.gate(GateKind::Or, "11", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_line_numbering_matches_paper() {
+        let n = figure1();
+        let lines = n.lines();
+        assert_eq!(lines.len(), 11);
+        // Lines 0..=3 are PI stems named 1..4.
+        for (i, expect) in ["1", "2", "3", "4"].iter().enumerate() {
+            assert_eq!(lines.lines()[i].name(), *expect);
+            assert!(lines.lines()[i].kind().is_stem());
+        }
+        // Lines 4,5 are branches of input 2; lines 6,7 branches of input 3.
+        for i in 4..8 {
+            assert!(matches!(
+                lines.lines()[i].kind(),
+                LineKind::Branch { .. }
+            ));
+        }
+        let i2 = n.node_by_name("2").unwrap();
+        let i3 = n.node_by_name("3").unwrap();
+        assert_eq!(
+            lines.branches(i2).iter().map(|l| l.index()).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(
+            lines.branches(i3).iter().map(|l| l.index()).collect::<Vec<_>>(),
+            vec![6, 7]
+        );
+        // Lines 8..=10 are gate stems 9,10,11.
+        for (i, expect) in ["9", "10", "11"].iter().enumerate() {
+            assert_eq!(lines.lines()[8 + i].name(), *expect);
+        }
+    }
+
+    #[test]
+    fn figure1_levels_and_counts() {
+        let n = figure1();
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.num_outputs(), 3);
+        assert_eq!(n.num_gates(), 3);
+        assert_eq!(n.max_level(), 1);
+        let g9 = n.node_by_name("9").unwrap();
+        assert_eq!(n.level(g9), 1);
+        assert_eq!(n.fanout(g9), 1); // only its PO slot
+        let i2 = n.node_by_name("2").unwrap();
+        assert_eq!(n.fanout(i2), 2);
+    }
+
+    #[test]
+    fn figure1_eval_matches_hand_computation() {
+        let n = figure1();
+        // Vector 6 = 0110: inputs (1,2,3,4) = (0,1,1,0).
+        let outs = n.eval_bool(&[false, true, true, false]);
+        // 9 = 0&1 = 0; 10 = 1&1 = 1; 11 = 1|0 = 1.
+        assert_eq!(outs, vec![false, true, true]);
+        // Vector 12 = 1100.
+        let outs = n.eval_bool(&[true, true, false, false]);
+        assert_eq!(outs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn multi_input_gate_stems_are_the_three_gates() {
+        let n = figure1();
+        let stems = n.multi_input_gate_stems();
+        let names: Vec<&str> = stems
+            .iter()
+            .map(|&l| n.lines().line(l).name())
+            .collect();
+        assert_eq!(names, vec!["9", "10", "11"]);
+    }
+
+    #[test]
+    fn eval_all_exposes_internal_nodes() {
+        let n = figure1();
+        let all = n.eval_bool_all(&[true, true, true, true]);
+        let g9 = n.node_by_name("9").unwrap();
+        assert!(all[g9.index()]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let n = figure1();
+        let s = n.to_string();
+        assert!(s.contains("figure1"));
+        assert!(s.contains("4 inputs"));
+    }
+}

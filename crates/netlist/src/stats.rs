@@ -1,0 +1,139 @@
+//! Summary statistics over a netlist's structure.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Structural summary of a netlist: node counts by kind, depth, fanout
+/// profile, and line counts.
+///
+/// ```
+/// use ndetect_netlist::{GateKind, NetlistBuilder, NetlistStats};
+/// # fn main() -> Result<(), ndetect_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let g = b.and("g", &[a, c])?;
+/// b.output(g);
+/// let stats = NetlistStats::compute(&b.build()?);
+/// assert_eq!(stats.num_inputs, 2);
+/// assert_eq!(stats.kind_counts[&GateKind::And], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of non-input nodes.
+    pub num_gates: usize,
+    /// Count of nodes per gate kind.
+    pub kind_counts: BTreeMap<GateKind, usize>,
+    /// Maximum logic level.
+    pub max_level: u32,
+    /// Number of stems with fanout ≥ 2.
+    pub num_fanout_stems: usize,
+    /// Largest fanout of any stem.
+    pub max_fanout: usize,
+    /// Total number of fault-site lines (stems + branches).
+    pub num_lines: usize,
+    /// Number of gates with two or more inputs (bridging-fault candidates).
+    pub num_multi_input_gates: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> Self {
+        let mut kind_counts = BTreeMap::new();
+        let mut num_fanout_stems = 0;
+        let mut max_fanout = 0;
+        let mut num_multi_input_gates = 0;
+        for id in netlist.node_ids() {
+            let node = netlist.node(id);
+            *kind_counts.entry(node.kind()).or_insert(0) += 1;
+            let fo = netlist.fanout(id);
+            if fo >= 2 {
+                num_fanout_stems += 1;
+            }
+            max_fanout = max_fanout.max(fo);
+            if node.fanins().len() >= 2 {
+                num_multi_input_gates += 1;
+            }
+        }
+        NetlistStats {
+            num_inputs: netlist.num_inputs(),
+            num_outputs: netlist.num_outputs(),
+            num_gates: netlist.num_gates(),
+            kind_counts,
+            max_level: netlist.max_level(),
+            num_fanout_stems,
+            max_fanout,
+            num_lines: netlist.lines().len(),
+            num_multi_input_gates,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "inputs={} outputs={} gates={} lines={} depth={}",
+            self.num_inputs, self.num_outputs, self.num_gates, self.num_lines, self.max_level
+        )?;
+        write!(
+            f,
+            "fanout stems={} max fanout={} multi-input gates={}",
+            self.num_fanout_stems, self.max_fanout, self.num_multi_input_gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn figure1_stats() {
+        let mut b = NetlistBuilder::new("figure1");
+        let i1 = b.input("1");
+        let i2 = b.input("2");
+        let i3 = b.input("3");
+        let i4 = b.input("4");
+        let g9 = b.and("9", &[i1, i2]).unwrap();
+        let g10 = b.and("10", &[i2, i3]).unwrap();
+        let g11 = b.or("11", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        let stats = NetlistStats::compute(&b.build().unwrap());
+        assert_eq!(stats.num_inputs, 4);
+        assert_eq!(stats.num_outputs, 3);
+        assert_eq!(stats.num_gates, 3);
+        assert_eq!(stats.num_lines, 11);
+        assert_eq!(stats.num_fanout_stems, 2);
+        assert_eq!(stats.max_fanout, 2);
+        assert_eq!(stats.num_multi_input_gates, 3);
+        assert_eq!(stats.max_level, 1);
+        assert_eq!(stats.kind_counts[&GateKind::And], 2);
+        assert_eq!(stats.kind_counts[&GateKind::Or], 1);
+        assert_eq!(stats.kind_counts[&GateKind::Input], 4);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.not("g", a).unwrap();
+        b.output(g);
+        let stats = NetlistStats::compute(&b.build().unwrap());
+        let s = stats.to_string();
+        assert!(s.contains("inputs=1"));
+        assert!(s.contains("depth=1"));
+    }
+}

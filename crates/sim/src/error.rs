@@ -1,0 +1,61 @@
+//! Error type for simulation setup.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit has too many inputs for exhaustive enumeration of its
+    /// input space.
+    TooManyInputs {
+        /// The number of inputs requested.
+        got: usize,
+        /// The maximum supported ([`crate::MAX_EXHAUSTIVE_INPUTS`]).
+        max: usize,
+    },
+    /// A vector index was outside the pattern space.
+    VectorOutOfRange {
+        /// The offending vector index.
+        vector: usize,
+        /// The number of vectors in the space.
+        num_patterns: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyInputs { got, max } => write!(
+                f,
+                "circuit has {got} inputs; exhaustive simulation supports at most {max} \
+                 (partition the circuit into output cones instead)"
+            ),
+            SimError::VectorOutOfRange {
+                vector,
+                num_patterns,
+            } => write!(f, "vector {vector} outside pattern space of {num_patterns}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_partitioning_advice() {
+        let e = SimError::TooManyInputs { got: 40, max: 24 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("partition"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault-free circuit values over the whole pattern space.
+
+use crate::space::PatternSpace;
+use crate::twoval::eval_gate_word;
+use ndetect_netlist::{GateKind, Netlist, NodeId};
+
+/// Fault-free ("good") values of every node on every vector of a pattern
+/// space, stored block-major for cache-friendly reuse during serial fault
+/// injection.
+///
+/// Computed once per circuit by a single levelized bit-parallel pass; the
+/// fault simulators in `ndetect-faults` read (never recompute) these words
+/// when evaluating activation conditions and when comparing faulty outputs
+/// against good outputs.
+///
+/// ```
+/// use ndetect_netlist::NetlistBuilder;
+/// use ndetect_sim::{GoodValues, PatternSpace};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("xor2");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let g = b.xor("g", &[a, c])?;
+/// b.output(g);
+/// let n = b.build()?;
+/// let space = PatternSpace::new(2)?;
+/// let good = GoodValues::compute(&n, &space);
+/// // Vectors 0..4 = (00,01,10,11); XOR = (0,1,1,0).
+/// let outs: Vec<bool> = (0..4).map(|v| good.node_value(&space, g, v)).collect();
+/// assert_eq!(outs, vec![false, true, true, false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GoodValues {
+    /// `words[block * num_nodes + node]`.
+    words: Vec<u64>,
+    num_nodes: usize,
+    num_blocks: usize,
+}
+
+impl GoodValues {
+    /// Simulates the fault-free circuit over the entire space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's input count disagrees with the space.
+    #[must_use]
+    pub fn compute(netlist: &Netlist, space: &PatternSpace) -> Self {
+        assert_eq!(
+            netlist.num_inputs(),
+            space.num_inputs(),
+            "netlist has {} inputs but space was built for {}",
+            netlist.num_inputs(),
+            space.num_inputs()
+        );
+        let num_nodes = netlist.num_nodes();
+        let num_blocks = space.num_blocks();
+        let mut words = vec![0u64; num_nodes * num_blocks];
+        for block in 0..num_blocks {
+            let buf = &mut words[block * num_nodes..(block + 1) * num_nodes];
+            for (i, &pi) in netlist.inputs().iter().enumerate() {
+                buf[pi.index()] = space.input_word(i, block);
+            }
+            for &id in netlist.topo_order() {
+                let node = netlist.node(id);
+                if node.kind() == GateKind::Input {
+                    continue;
+                }
+                buf[id.index()] = eval_gate_word(node.kind(), node.fanins(), buf);
+            }
+        }
+        GoodValues {
+            words,
+            num_nodes,
+            num_blocks,
+        }
+    }
+
+    /// Number of simulation blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of nodes per block.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The 64 values of `node` across `block` (bit `b` is vector
+    /// `block*64+b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` or `node` is out of range.
+    #[must_use]
+    pub fn node_word(&self, block: usize, node: NodeId) -> u64 {
+        self.words[block * self.num_nodes + node.index()]
+    }
+
+    /// All node words of one block (indexed by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn block(&self, block: usize) -> &[u64] {
+        &self.words[block * self.num_nodes..(block + 1) * self.num_nodes]
+    }
+
+    /// The good value of `node` on a single vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is outside the space.
+    #[must_use]
+    pub fn node_value(&self, space: &PatternSpace, node: NodeId, vector: usize) -> bool {
+        space.check_vector(vector).expect("vector out of range");
+        (self.node_word(vector / 64, node) >> (vector % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_netlist::NetlistBuilder;
+
+    fn figure1() -> Netlist {
+        let mut b = NetlistBuilder::new("figure1");
+        let i1 = b.input("1");
+        let i2 = b.input("2");
+        let i3 = b.input("3");
+        let i4 = b.input("4");
+        let g9 = b.and("9", &[i1, i2]).unwrap();
+        let g10 = b.and("10", &[i2, i3]).unwrap();
+        let g11 = b.or("11", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_scalar_oracle_on_every_vector() {
+        let n = figure1();
+        let space = PatternSpace::new(4).unwrap();
+        let good = GoodValues::compute(&n, &space);
+        for v in 0..16 {
+            let oracle = n.eval_bool_all(&space.vector_bits(v));
+            for id in n.node_ids() {
+                assert_eq!(
+                    good.node_value(&space, id, v),
+                    oracle[id.index()],
+                    "node {} vector {v}",
+                    n.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_space_matches_oracle() {
+        // 8-input parity chain => 4 blocks.
+        let mut b = NetlistBuilder::new("parity8");
+        let inputs: Vec<_> = (0..8).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.xor("p", &inputs).unwrap();
+        b.output(g);
+        let n = b.build().unwrap();
+        let space = PatternSpace::new(8).unwrap();
+        let good = GoodValues::compute(&n, &space);
+        assert_eq!(good.num_blocks(), 4);
+        for v in 0..256 {
+            let expect = (v as u32).count_ones() % 2 == 1;
+            assert_eq!(good.node_value(&space, g, v), expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn small_space_single_partial_block() {
+        let mut b = NetlistBuilder::new("not1");
+        let a = b.input("a");
+        let g = b.not("g", a).unwrap();
+        b.output(g);
+        let n = b.build().unwrap();
+        let space = PatternSpace::new(1).unwrap();
+        let good = GoodValues::compute(&n, &space);
+        assert!(good.node_value(&space, g, 0));
+        assert!(!good.node_value(&space, g, 1));
+    }
+}

@@ -1,0 +1,445 @@
+//! Three-valued (0/1/X) logic for partially specified vectors.
+//!
+//! The paper's Definition 2 asks whether the *common bits* of two tests
+//! already detect a fault: the partial vector `tij` is specified where
+//! `ti` and `tj` agree and unknown elsewhere, and is simulated with
+//! pessimistic three-valued logic. This module supplies the value domain
+//! ([`Trit`]), partial-vector construction ([`PartialVector`]), and
+//! levelized evaluation ([`eval_trits_all`]).
+
+use crate::space::PatternSpace;
+use ndetect_netlist::{GateKind, Netlist};
+use std::fmt;
+
+/// A three-valued logic value: 0, 1, or unknown.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unspecified.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Converts a Boolean into a definite trit.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Returns the Boolean value if definite, `None` for `X`.
+    #[must_use]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Returns `true` if the value is `0` or `1`.
+    #[must_use]
+    pub fn is_definite(self) -> bool {
+        self != Trit::X
+    }
+
+    /// Three-valued complement (`X` maps to `X`).
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(b: bool) -> Self {
+        Trit::from_bool(b)
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Trit::Zero => "0",
+            Trit::One => "1",
+            Trit::X => "X",
+        })
+    }
+}
+
+/// Evaluates one gate in pessimistic three-valued logic.
+///
+/// ```
+/// use ndetect_netlist::GateKind;
+/// use ndetect_sim::{eval_gate_trit, Trit};
+/// // A controlling 0 forces an AND output even with an X present.
+/// assert_eq!(eval_gate_trit(GateKind::And, &[Trit::Zero, Trit::X]), Trit::Zero);
+/// assert_eq!(eval_gate_trit(GateKind::And, &[Trit::One, Trit::X]), Trit::X);
+/// assert_eq!(eval_gate_trit(GateKind::Xor, &[Trit::One, Trit::X]), Trit::X);
+/// ```
+#[must_use]
+pub fn eval_gate_trit(kind: GateKind, operands: &[Trit]) -> Trit {
+    match kind {
+        GateKind::Input => Trit::X,
+        GateKind::Const0 => Trit::Zero,
+        GateKind::Const1 => Trit::One,
+        GateKind::Buf => operands[0],
+        GateKind::Not => operands[0].not(),
+        GateKind::And | GateKind::Nand => {
+            let mut out = Trit::One;
+            for &v in operands {
+                match v {
+                    Trit::Zero => {
+                        out = Trit::Zero;
+                        break;
+                    }
+                    Trit::X => out = Trit::X,
+                    Trit::One => {}
+                }
+            }
+            if kind == GateKind::Nand {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut out = Trit::Zero;
+            for &v in operands {
+                match v {
+                    Trit::One => {
+                        out = Trit::One;
+                        break;
+                    }
+                    Trit::X => out = Trit::X,
+                    Trit::Zero => {}
+                }
+            }
+            if kind == GateKind::Nor {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut parity = false;
+            let mut any_x = false;
+            for &v in operands {
+                match v {
+                    Trit::X => any_x = true,
+                    Trit::One => parity = !parity,
+                    Trit::Zero => {}
+                }
+            }
+            if any_x {
+                Trit::X
+            } else {
+                let out = Trit::from_bool(parity);
+                if kind == GateKind::Xnor {
+                    out.not()
+                } else {
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Levelized three-valued evaluation of a whole netlist.
+///
+/// Returns the trit of every node, indexed by node id.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != netlist.num_inputs()`.
+#[must_use]
+pub fn eval_trits_all(netlist: &Netlist, inputs: &[Trit]) -> Vec<Trit> {
+    assert_eq!(inputs.len(), netlist.num_inputs());
+    let mut values = vec![Trit::X; netlist.num_nodes()];
+    for (&pi, &v) in netlist.inputs().iter().zip(inputs) {
+        values[pi.index()] = v;
+    }
+    let mut operands: Vec<Trit> = Vec::new();
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        operands.clear();
+        operands.extend(node.fanins().iter().map(|f| values[f.index()]));
+        values[id.index()] = eval_gate_trit(node.kind(), &operands);
+    }
+    values
+}
+
+/// A partially specified input vector: each input is 0, 1, or unspecified.
+///
+/// The backing encoding follows the vector-integer convention of
+/// [`PatternSpace`]: input `i`'s bit is bit `I-1-i`, so a fully specified
+/// partial vector's `values` equal the vector index.
+///
+/// ```
+/// use ndetect_sim::{PartialVector, PatternSpace, Trit};
+/// let space = PatternSpace::new(4)?;
+/// // Common bits of vectors 6 (0110) and 7 (0111): 011X.
+/// let tij = PartialVector::common_bits(&space, 6, 7);
+/// assert_eq!(tij.trit(0), Trit::Zero);
+/// assert_eq!(tij.trit(1), Trit::One);
+/// assert_eq!(tij.trit(2), Trit::One);
+/// assert_eq!(tij.trit(3), Trit::X);
+/// assert_eq!(tij.num_specified(), 3);
+/// # Ok::<(), ndetect_sim::SimError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PartialVector {
+    num_inputs: usize,
+    /// Bit `I-1-i` set ⇔ input `i` is specified.
+    cares: u64,
+    /// Values on specified bits (0 elsewhere).
+    values: u64,
+}
+
+impl PartialVector {
+    /// The fully unspecified vector (all X).
+    #[must_use]
+    pub fn all_x(space: &PatternSpace) -> Self {
+        PartialVector {
+            num_inputs: space.num_inputs(),
+            cares: 0,
+            values: 0,
+        }
+    }
+
+    /// A fully specified partial vector equal to `vector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector` is outside the space.
+    #[must_use]
+    pub fn from_vector(space: &PatternSpace, vector: usize) -> Self {
+        space.check_vector(vector).expect("vector out of range");
+        let mask = if space.num_inputs() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << space.num_inputs()) - 1
+        };
+        PartialVector {
+            num_inputs: space.num_inputs(),
+            cares: mask,
+            values: vector as u64,
+        }
+    }
+
+    /// The paper's `tij`: specified where `ti` and `tj` agree (with their
+    /// common value), unspecified elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector is outside the space.
+    #[must_use]
+    pub fn common_bits(space: &PatternSpace, ti: usize, tj: usize) -> Self {
+        space.check_vector(ti).expect("ti out of range");
+        space.check_vector(tj).expect("tj out of range");
+        let mask = if space.num_inputs() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << space.num_inputs()) - 1
+        };
+        let agree = !((ti ^ tj) as u64) & mask;
+        PartialVector {
+            num_inputs: space.num_inputs(),
+            cares: agree,
+            values: ti as u64 & agree,
+        }
+    }
+
+    /// Number of inputs of the underlying space.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The trit assigned to input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    #[must_use]
+    pub fn trit(&self, input: usize) -> Trit {
+        assert!(input < self.num_inputs);
+        let bit = self.num_inputs - 1 - input;
+        if (self.cares >> bit) & 1 == 0 {
+            Trit::X
+        } else if (self.values >> bit) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// All input trits, in input order (ready for [`eval_trits_all`]).
+    #[must_use]
+    pub fn trits(&self) -> Vec<Trit> {
+        (0..self.num_inputs).map(|i| self.trit(i)).collect()
+    }
+
+    /// Number of specified (non-X) inputs.
+    #[must_use]
+    pub fn num_specified(&self) -> usize {
+        self.cares.count_ones() as usize
+    }
+
+    /// Returns `true` if `vector` is consistent with every specified bit
+    /// (i.e. `vector` is a completion of this partial vector).
+    #[must_use]
+    pub fn is_completion(&self, vector: usize) -> bool {
+        (vector as u64 ^ self.values) & self.cares == 0
+    }
+}
+
+impl fmt::Display for PartialVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.num_inputs {
+            write!(f, "{}", self.trit(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_netlist::NetlistBuilder;
+
+    #[test]
+    fn trit_basics() {
+        assert_eq!(Trit::from_bool(true), Trit::One);
+        assert_eq!(Trit::One.not(), Trit::Zero);
+        assert_eq!(Trit::X.not(), Trit::X);
+        assert_eq!(Trit::X.to_option(), None);
+        assert!(Trit::Zero.is_definite());
+        assert!(!Trit::X.is_definite());
+        assert_eq!(Trit::default(), Trit::X);
+    }
+
+    #[test]
+    fn three_valued_eval_is_consistent_with_two_valued_on_definite_inputs() {
+        for &kind in GateKind::all() {
+            if kind.is_source() {
+                continue;
+            }
+            let arity = if matches!(kind, GateKind::Buf | GateKind::Not) {
+                1
+            } else {
+                3
+            };
+            for assign in 0..(1 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|j| (assign >> j) & 1 == 1).collect();
+                let trits: Vec<Trit> = bools.iter().map(|&b| Trit::from_bool(b)).collect();
+                assert_eq!(
+                    eval_gate_trit(kind, &trits),
+                    Trit::from_bool(kind.eval_bool(&bools)),
+                    "{kind} {bools:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pessimism_is_sound_for_single_x() {
+        // If the 3-valued result is definite, both completions of the X
+        // must agree with it.
+        for &kind in GateKind::all() {
+            if kind.is_source() || matches!(kind, GateKind::Buf | GateKind::Not) {
+                continue;
+            }
+            for fixed in 0..4u8 {
+                let a = fixed & 1 == 1;
+                let b = fixed >> 1 & 1 == 1;
+                let trits = [Trit::from_bool(a), Trit::from_bool(b), Trit::X];
+                let out = eval_gate_trit(kind, &trits);
+                if let Some(v) = out.to_option() {
+                    for x in [false, true] {
+                        assert_eq!(kind.eval_bool(&[a, b, x]), v, "{kind} a={a} b={b} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_bits_matches_paper_convention() {
+        let space = PatternSpace::new(4).unwrap();
+        // 6 = 0110, 12 = 1100 agree on inputs 1 (=1) and 3 (=0).
+        let tij = PartialVector::common_bits(&space, 6, 12);
+        assert_eq!(tij.trit(0), Trit::X);
+        assert_eq!(tij.trit(1), Trit::One);
+        assert_eq!(tij.trit(2), Trit::X);
+        assert_eq!(tij.trit(3), Trit::Zero);
+        assert!(tij.is_completion(6));
+        assert!(tij.is_completion(12));
+        assert!(!tij.is_completion(0));
+        assert_eq!(tij.to_string(), "X1X0");
+    }
+
+    #[test]
+    fn full_vector_is_fully_specified() {
+        let space = PatternSpace::new(5).unwrap();
+        let pv = PartialVector::from_vector(&space, 19);
+        assert_eq!(pv.num_specified(), 5);
+        assert!(pv.is_completion(19));
+        assert!(!pv.is_completion(18));
+        let space4 = PatternSpace::new(4).unwrap();
+        let pv = PartialVector::from_vector(&space4, 6);
+        assert_eq!(pv.trits(), vec![Trit::Zero, Trit::One, Trit::One, Trit::Zero]);
+    }
+
+    #[test]
+    fn netlist_eval_with_x_inputs() {
+        // g = AND(a, OR(b, c)): with a=0 the output is 0 regardless of X.
+        let mut bld = NetlistBuilder::new("t");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let c = bld.input("c");
+        let o = bld.or("o", &[b, c]).unwrap();
+        let g = bld.and("g", &[a, o]).unwrap();
+        bld.output(g);
+        let n = bld.build().unwrap();
+        let vals = eval_trits_all(&n, &[Trit::Zero, Trit::X, Trit::X]);
+        assert_eq!(vals[g.index()], Trit::Zero);
+        let vals = eval_trits_all(&n, &[Trit::One, Trit::X, Trit::Zero]);
+        assert_eq!(vals[g.index()], Trit::X);
+        let vals = eval_trits_all(&n, &[Trit::One, Trit::One, Trit::X]);
+        assert_eq!(vals[g.index()], Trit::One);
+    }
+
+    #[test]
+    fn eval_trits_matches_bool_eval_when_fully_specified() {
+        let mut bld = NetlistBuilder::new("t");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let g1 = bld.nand("g1", &[a, b]).unwrap();
+        let g2 = bld.xor("g2", &[g1, a]).unwrap();
+        bld.output(g2);
+        let n = bld.build().unwrap();
+        for v in 0..4usize {
+            let bits = [v >> 1 & 1 == 1, v & 1 == 1];
+            let trits: Vec<Trit> = bits.iter().map(|&x| Trit::from_bool(x)).collect();
+            let tv = eval_trits_all(&n, &trits);
+            let bv = n.eval_bool_all(&bits);
+            for id in n.node_ids() {
+                assert_eq!(tv[id.index()], Trit::from_bool(bv[id.index()]));
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Two-valued bit-parallel gate evaluation.
+
+use ndetect_netlist::{GateKind, NodeId};
+
+/// Evaluates one gate over 64 vectors at once.
+///
+/// `values` is the per-node word buffer for the current block; `fanins`
+/// selects the operand words. Sources (`Input`) must never be evaluated —
+/// their words are filled from the pattern space by the caller.
+///
+/// ```
+/// use ndetect_netlist::{GateKind, NodeId};
+/// use ndetect_sim::eval_gate_word;
+/// let values = [0b1100u64, 0b1010u64];
+/// let fanins = [NodeId::new(0), NodeId::new(1)];
+/// assert_eq!(eval_gate_word(GateKind::And, &fanins, &values) & 0xF, 0b1000);
+/// assert_eq!(eval_gate_word(GateKind::Xor, &fanins, &values) & 0xF, 0b0110);
+/// ```
+///
+/// # Panics
+///
+/// Panics (debug) if called for a source kind.
+#[must_use]
+pub fn eval_gate_word(kind: GateKind, fanins: &[NodeId], values: &[u64]) -> u64 {
+    let mut ops = fanins.iter().map(|f| values[f.index()]);
+    match kind {
+        GateKind::Input => {
+            debug_assert!(false, "inputs are filled by the pattern space");
+            0
+        }
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Buf => ops.next().unwrap_or(0),
+        GateKind::Not => !ops.next().unwrap_or(0),
+        GateKind::And => ops.fold(u64::MAX, |acc, w| acc & w),
+        GateKind::Nand => !ops.fold(u64::MAX, |acc, w| acc & w),
+        GateKind::Or => ops.fold(0, |acc, w| acc | w),
+        GateKind::Nor => !ops.fold(0, |acc, w| acc | w),
+        GateKind::Xor => ops.fold(0, |acc, w| acc ^ w),
+        GateKind::Xnor => !ops.fold(0, |acc, w| acc ^ w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_netlist::GateKind;
+
+    fn ids(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn word_eval_matches_bool_eval_for_all_kinds_and_operands() {
+        // Exhaustive check: for every gate kind with 1..=3 operands, every
+        // combination of operand bits in a 8-bit window must match the
+        // scalar oracle.
+        for &kind in GateKind::all() {
+            if kind.is_source() {
+                continue;
+            }
+            for arity in 1..=3usize {
+                if kind == GateKind::Buf || kind == GateKind::Not {
+                    if arity != 1 {
+                        continue;
+                    }
+                } else if arity < 1 {
+                    continue;
+                }
+                // Operand words: operand j's bit p = bit j of p (so the 2^arity
+                // possible operand combinations all appear among p values).
+                let values: Vec<u64> = (0..arity)
+                    .map(|j| {
+                        let mut w = 0u64;
+                        for p in 0..64u64 {
+                            if (p >> j) & 1 == 1 {
+                                w |= 1 << p;
+                            }
+                        }
+                        w
+                    })
+                    .collect();
+                let word = eval_gate_word(kind, &ids(arity), &values);
+                for p in 0..64usize {
+                    let operands: Vec<bool> = (0..arity).map(|j| (p >> j) & 1 == 1).collect();
+                    let expect = kind.eval_bool(&operands);
+                    assert_eq!(
+                        (word >> p) & 1 == 1,
+                        expect,
+                        "{kind} arity={arity} p={p:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(eval_gate_word(GateKind::Const0, &[], &[]), 0);
+        assert_eq!(eval_gate_word(GateKind::Const1, &[], &[]), u64::MAX);
+    }
+}

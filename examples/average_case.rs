@@ -1,0 +1,63 @@
+//! Average-case analysis: build K random n-detection test sets with the
+//! paper's Procedure 1 and estimate the probability that an *arbitrary*
+//! n-detection test set detects each hard untargeted fault.
+//!
+//! Run with: `cargo run --release --example average_case [circuit] [K]`
+
+use ndetect::analysis::{
+    estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis,
+};
+use ndetect::faults::FaultUniverse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "cse".to_string());
+    let k: usize = args.next().map_or(1000, |s| s.parse().expect("K"));
+
+    let netlist = ndetect::circuits::build(&name)?;
+    let universe = FaultUniverse::build(&netlist)?;
+    let wc = WorstCaseAnalysis::compute(&universe);
+    println!("{universe}");
+
+    // The faults the paper tracks: not guaranteed detected by any
+    // 10-detection test set.
+    let tracked = wc.tail_indices(11);
+    println!(
+        "{} of {} bridging faults have nmin >= 11 (no guarantee at n = 10)",
+        tracked.len(),
+        universe.bridges().len()
+    );
+    if tracked.is_empty() {
+        println!("nothing to estimate; try `keyb`, `cse`, `dvram`, or `s1a`");
+        return Ok(());
+    }
+
+    let config = Procedure1Config {
+        nmax: 10,
+        num_test_sets: k,
+        ..Default::default()
+    };
+    let probs = estimate_detection_probabilities(&universe, &tracked, &config)?;
+
+    println!("\np(n,g) histogram across the tracked faults (count with p >= threshold):");
+    println!("{:>4} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "n", "1.0", "0.9", "0.7", "0.5", "0.3", "0.1");
+    for n in 1..=10u32 {
+        let row = probs.histogram_row(n);
+        println!(
+            "{n:>4} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            row[0], row[1], row[3], row[5], row[7], row[9]
+        );
+    }
+
+    if let Some((pos, p)) = probs.min_probability(10) {
+        println!(
+            "\nhardest fault: {} with p(10,g) = {p:.3}",
+            universe.bridges()[tracked[pos]].name(universe.netlist())
+        );
+    }
+    println!(
+        "expected number of tracked faults escaping a random 10-detection set: {:.2}",
+        probs.expected_escapes(10)
+    );
+    Ok(())
+}

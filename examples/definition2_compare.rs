@@ -1,0 +1,86 @@
+//! Definition 1 vs Definition 2 (the paper's Section 4): the stricter
+//! "sufficiently different tests" counting rule produces more diverse
+//! n-detection test sets and raises the detection probability of
+//! untargeted faults.
+//!
+//! Run with: `cargo run --release --example definition2_compare [circuit] [K]`
+
+use ndetect::analysis::{
+    construct_test_set_series, estimate_detection_probabilities, DetectionDefinition,
+    Procedure1Config, WorstCaseAnalysis,
+};
+use ndetect::faults::FaultUniverse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "cse".to_string());
+    let k: usize = args.next().map_or(200, |s| s.parse().expect("K"));
+
+    let netlist = ndetect::circuits::build(&name)?;
+    let universe = FaultUniverse::build(&netlist)?;
+    let wc = WorstCaseAnalysis::compute(&universe);
+    let tracked = wc.tail_indices(11);
+    println!("{universe}");
+    println!("tracked tail faults: {}\n", tracked.len());
+
+    // Compare average test-set sizes first: Definition 2 must work
+    // harder to call two detections "different".
+    let small = Procedure1Config {
+        nmax: 10,
+        num_test_sets: 10,
+        ..Default::default()
+    };
+    for (label, definition) in [
+        ("Definition 1", DetectionDefinition::Standard),
+        ("Definition 2", DetectionDefinition::SufficientlyDifferent),
+    ] {
+        let series = construct_test_set_series(
+            &universe,
+            &Procedure1Config {
+                definition,
+                ..small
+            },
+        )?;
+        let avg: f64 = series.sets[9].iter().map(|s| s.len() as f64).sum::<f64>() / 10.0;
+        println!("{label}: average 10-detection test set size = {avg:.1} vectors");
+    }
+
+    if tracked.is_empty() {
+        println!("\nno tail faults to compare probabilities on; try `cse` or `dvram`");
+        return Ok(());
+    }
+
+    let base = Procedure1Config {
+        nmax: 10,
+        num_test_sets: k,
+        ..Default::default()
+    };
+    let d1 = estimate_detection_probabilities(&universe, &tracked, &base)?;
+    let d2 = estimate_detection_probabilities(
+        &universe,
+        &tracked,
+        &Procedure1Config {
+            definition: DetectionDefinition::SufficientlyDifferent,
+            ..base
+        },
+    )?;
+
+    println!("\ncount of tail faults with p(10,g) >= threshold (K = {k}):");
+    println!("{:>12} | {:>6} {:>6} {:>6} {:>6} {:>6}", "", "1.0", "0.8", "0.6", "0.4", "0.2");
+    let row1 = d1.histogram_row(10);
+    let row2 = d2.histogram_row(10);
+    println!(
+        "{:>12} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Definition 1", row1[0], row1[2], row1[4], row1[6], row1[8]
+    );
+    println!(
+        "{:>12} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Definition 2", row2[0], row2[2], row2[4], row2[6], row2[8]
+    );
+    println!(
+        "\nexpected escapes at n=10: {:.2} (def 1) vs {:.2} (def 2)",
+        d1.expected_escapes(10),
+        d2.expected_escapes(10)
+    );
+    Ok(())
+}

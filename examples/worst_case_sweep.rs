@@ -1,0 +1,59 @@
+//! Worst-case analysis sweep: Tables 2 and 3 of the paper on a
+//! selection of benchmark circuits, plus the Figure-2 style `nmin`
+//! distribution for the circuit with the heaviest tail.
+//!
+//! Run with: `cargo run --release --example worst_case_sweep`
+//! (pass circuit names as CLI arguments to override the default set).
+
+use ndetect::analysis::report::{render_table2, render_table3, table2_row, table3_row};
+use ndetect::analysis::{NminDistribution, WorstCaseAnalysis};
+use ndetect::faults::FaultUniverse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["lion", "dk16", "modulo12", "donfile", "keyb", "s1a"]
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    } else {
+        args
+    };
+
+    let mut rows2 = Vec::new();
+    let mut rows3 = Vec::new();
+    let mut heaviest: Option<(String, WorstCaseAnalysis)> = None;
+
+    for name in &names {
+        let netlist = ndetect::circuits::build(name)?;
+        let universe = FaultUniverse::build(&netlist)?;
+        let wc = WorstCaseAnalysis::compute(&universe);
+        println!("{universe}");
+        rows2.push(table2_row(name, &wc));
+        if wc.tail_count(11) > 0 {
+            rows3.push(table3_row(name, &wc));
+        }
+        let is_heavier = heaviest
+            .as_ref()
+            .is_none_or(|(_, best)| wc.tail_count(11) > best.tail_count(11));
+        if is_heavier {
+            heaviest = Some((name.clone(), wc));
+        }
+    }
+
+    println!("\nworst-case coverage (Table 2 shape):\n");
+    print!("{}", render_table2(&rows2));
+    if !rows3.is_empty() {
+        println!("\nlarge-n tails (Table 3 shape):\n");
+        print!("{}", render_table3(&rows3));
+    }
+
+    if let Some((name, wc)) = heaviest {
+        let dist = NminDistribution::collect(&wc, 11);
+        if !dist.is_empty() {
+            println!("\nnmin distribution for {name} (Figure 2 shape, nmin >= 11):\n");
+            print!("{}", dist.render_ascii(20));
+        }
+    }
+    Ok(())
+}

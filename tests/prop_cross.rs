@@ -1,0 +1,105 @@
+//! Cross-crate property tests on randomly generated circuits: the
+//! oracles here are slow scalar computations, the subjects are the
+//! production bit-parallel/cone-optimized paths.
+
+use ndetect::analysis::WorstCaseAnalysis;
+use ndetect::faults::{FaultUniverse, UniverseOptions};
+use ndetect::sim::{GoodValues, PatternSpace};
+use ndetect_testutil::arb_netlist;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-parallel good simulation equals the scalar oracle on every
+    /// node and vector.
+    #[test]
+    fn good_values_match_scalar_oracle(netlist in arb_netlist(6)) {
+        let space = PatternSpace::new(netlist.num_inputs()).expect("small");
+        let good = GoodValues::compute(&netlist, &space);
+        for v in 0..space.num_patterns() {
+            let oracle = netlist.eval_bool_all(&space.vector_bits(v));
+            for id in netlist.node_ids() {
+                prop_assert_eq!(
+                    good.node_value(&space, id, v),
+                    oracle[id.index()],
+                    "node {} vector {}", netlist.node_name(id), v
+                );
+            }
+        }
+    }
+
+    /// Structurally equivalent (collapsed-together) faults always have
+    /// identical detection sets.
+    #[test]
+    fn collapsing_is_sound(netlist in arb_netlist(6)) {
+        let universe = FaultUniverse::build_with(
+            &netlist,
+            UniverseOptions { collapse_targets: true, include_bridges: false, ..UniverseOptions::default() },
+        ).expect("small");
+        let sim = universe.simulator();
+        for class in universe.collapsed().classes() {
+            let reference = sim.detection_set_stuck(&netlist, class[0]);
+            for &f in &class[1..] {
+                let set = sim.detection_set_stuck(&netlist, f);
+                prop_assert_eq!(
+                    reference.to_vec(),
+                    set.to_vec(),
+                    "class {:?}",
+                    class
+                );
+            }
+        }
+    }
+
+    /// Enlarging the target set (collapsing off) never increases any
+    /// nmin value: more constraints can only force detection earlier.
+    #[test]
+    fn nmin_is_monotone_in_target_population(netlist in arb_netlist(5)) {
+        let collapsed = FaultUniverse::build(&netlist).expect("small");
+        let full = FaultUniverse::build_with(
+            &netlist,
+            UniverseOptions { collapse_targets: false, include_bridges: true, ..UniverseOptions::default() },
+        ).expect("small");
+        let wc_c = WorstCaseAnalysis::compute(&collapsed);
+        let wc_f = WorstCaseAnalysis::compute(&full);
+        for j in 0..collapsed.bridges().len() {
+            match (wc_c.nmin(j), wc_f.nmin(j)) {
+                (Some(c), Some(f)) => prop_assert!(f <= c, "bridge {}: {} > {}", j, f, c),
+                (Some(_), None) => prop_assert!(false, "bound lost with more targets"),
+                _ => {}
+            }
+        }
+    }
+
+    /// Detection sets of bridging faults only contain vectors where the
+    /// activation condition holds in the fault-free circuit.
+    #[test]
+    fn bridge_detection_implies_activation(netlist in arb_netlist(6)) {
+        let universe = FaultUniverse::build(&netlist).expect("small");
+        let space = universe.space();
+        for (j, fault) in universe.bridges().iter().enumerate() {
+            let victim = netlist.lines().line(fault.victim).driver();
+            let aggressor = netlist.lines().line(fault.aggressor).driver();
+            for v in universe.bridge_set(j).iter() {
+                let values = netlist.eval_bool_all(&space.vector_bits(v));
+                prop_assert_eq!(values[victim.index()], fault.victim_value);
+                prop_assert_eq!(values[aggressor.index()], fault.aggressor_value);
+            }
+        }
+    }
+
+    /// `.bench` writing then parsing yields a behaviourally identical
+    /// netlist.
+    #[test]
+    fn bench_round_trip_preserves_behaviour(netlist in arb_netlist(6)) {
+        let text = ndetect::netlist::bench_format::write(&netlist);
+        let back = ndetect::netlist::bench_format::parse(netlist.name(), &text)
+            .expect("own output parses");
+        let space = PatternSpace::new(netlist.num_inputs()).expect("small");
+        for v in 0..space.num_patterns() {
+            let bits = space.vector_bits(v);
+            prop_assert_eq!(netlist.eval_bool(&bits), back.eval_bool(&bits));
+        }
+    }
+}
