@@ -6,8 +6,8 @@
 
 use ndetect_bench::{build_universe, selected_circuits, Args};
 use ndetect_core::report::{
-    render_table2, render_table3, render_table5, render_table6, table2_row, table3_row,
-    table5_row, table6_row,
+    render_table2, render_table3, render_table5, render_table6, table2_row, table3_row, table5_row,
+    table6_row,
 };
 use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
@@ -58,15 +58,15 @@ fn main() {
             num_test_sets: k5,
             ..Default::default()
         };
-        let d1 = estimate_detection_probabilities(&universe, &tracked, &base)
-            .expect("valid config");
+        let d1 =
+            estimate_detection_probabilities(&universe, &tracked, &base).expect("valid config");
         rows5.push(table5_row(&name, &d1));
         let base6 = Procedure1Config {
             num_test_sets: k6,
             ..base
         };
-        let d1s = estimate_detection_probabilities(&universe, &tracked, &base6)
-            .expect("valid config");
+        let d1s =
+            estimate_detection_probabilities(&universe, &tracked, &base6).expect("valid config");
         let d2s = estimate_detection_probabilities(
             &universe,
             &tracked,

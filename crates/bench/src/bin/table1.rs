@@ -23,7 +23,7 @@ fn main() {
     println!("Table 1: faults with test vectors that overlap with T(g0) = {t_g0:?}");
     println!("(paper line labels; g0 = (9,0,10,1))");
     println!();
-    println!("{:>3}  {:<6} {:<42} {}", "i", "f_i", "T(f_i)", "nmin(g0,f_i)");
+    println!("{:>3}  {:<6} {:<42} nmin(g0,f_i)", "i", "f_i", "T(f_i)");
     for row in report::table1(&universe, g0) {
         // Render with the paper's numeric line labels instead of our
         // branch names.

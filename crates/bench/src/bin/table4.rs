@@ -31,7 +31,7 @@ fn main() {
 
     println!("Table 4: test sets for example circuit (K = {k}, Procedure 1, Definition 1)");
     println!();
-    println!("{:>2}  {:<28} {}", "k", "n=1", "n=2");
+    println!("{:>2}  {:<28} n=2", "k", "n=1");
     for ki in 0..k {
         let t1: Vec<u32> = {
             let mut v = series.sets[0][ki].vectors().to_vec();

@@ -33,8 +33,8 @@ fn main() {
             seed,
             ..Default::default()
         };
-        let probs = estimate_detection_probabilities(&universe, &tracked, &config)
-            .expect("valid config");
+        let probs =
+            estimate_detection_probabilities(&universe, &tracked, &config).expect("valid config");
         rows.push(table5_row(&name, &probs));
         if let Some((pos, p)) = probs.min_probability(nmax) {
             eprintln!(
@@ -44,7 +44,10 @@ fn main() {
         }
     }
     println!("Table 5: average-case probabilities of detection (K = {k}, n = {nmax})");
-    println!("(faults with nmin >= {}; count with p(n,gj) >= threshold)", nmax + 1);
+    println!(
+        "(faults with nmin >= {}; count with p(n,gj) >= threshold)",
+        nmax + 1
+    );
     println!();
     print!("{}", render_table5(&rows));
 }

@@ -36,8 +36,8 @@ fn main() {
             seed,
             ..Default::default()
         };
-        let d1 = estimate_detection_probabilities(&universe, &tracked, &base)
-            .expect("valid config");
+        let d1 =
+            estimate_detection_probabilities(&universe, &tracked, &base).expect("valid config");
         let d2 = estimate_detection_probabilities(
             &universe,
             &tracked,
@@ -49,9 +49,7 @@ fn main() {
         .expect("valid config");
         rows.push(table6_row(&name, &d1, &d2));
     }
-    println!(
-        "Table 6: average-case probabilities under Definitions 1 and 2 (K = {k}, n = {nmax})"
-    );
+    println!("Table 6: average-case probabilities under Definitions 1 and 2 (K = {k}, n = {nmax})");
     println!();
     print!("{}", render_table6(&rows));
 }

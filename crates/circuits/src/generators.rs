@@ -27,7 +27,11 @@ pub fn up_down_counter(name: &str, num_states: usize) -> Fsm {
     let states: Vec<String> = (0..num_states).map(|i| format!("c{i}")).collect();
     let mut transitions = Vec::new();
     let out = |s: usize| {
-        vec![if s > 0 { OutputBit::One } else { OutputBit::Zero }]
+        vec![if s > 0 {
+            OutputBit::One
+        } else {
+            OutputBit::Zero
+        }]
     };
     for s in 0..num_states {
         let up = (s + 1).min(num_states - 1);
@@ -109,7 +113,11 @@ pub fn cycle_tracker(name: &str, num_states: usize) -> Fsm {
     let states: Vec<String> = (0..num_states).map(|i| format!("t{i}")).collect();
     let mut transitions = Vec::new();
     let out = |s: usize| {
-        vec![if s > 0 { OutputBit::One } else { OutputBit::Zero }]
+        vec![if s > 0 {
+            OutputBit::One
+        } else {
+            OutputBit::Zero
+        }]
     };
     for s in 0..num_states {
         let fwd = (s + 1) % num_states;

@@ -233,11 +233,7 @@ mod tests {
         for name in ["lion", "train4", "modulo12", "bbtas", "dk15", "tav"] {
             let spec = spec(name).unwrap();
             let n = spec.build().unwrap();
-            assert_eq!(
-                n.num_inputs(),
-                spec.total_input_bits(),
-                "{name}: PI count"
-            );
+            assert_eq!(n.num_inputs(), spec.total_input_bits(), "{name}: PI count");
             assert_eq!(
                 n.num_outputs(),
                 spec.outputs() + spec.state_bits(),

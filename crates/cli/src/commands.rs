@@ -42,7 +42,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             let k = flag_value(&rest, "--k")?.unwrap_or(200);
             let nmax = flag_value(&rest, "--nmax")?.unwrap_or(10);
             let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
-            let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax as usize + 1);
+            let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax + 1);
             with_circuit(&rest, |name, n| {
                 average(name, &n, k, nmax as u32, def, tail as u32)
             })
@@ -134,15 +134,9 @@ fn worst(netlist: &Netlist, floor: usize) -> Result<(), String> {
     println!("{universe}");
     println!("{wc}");
     println!();
-    print!(
-        "{}",
-        render_table2(&[table2_row(netlist.name(), &wc)])
-    );
+    print!("{}", render_table2(&[table2_row(netlist.name(), &wc)]));
     println!();
-    print!(
-        "{}",
-        render_table3(&[table3_row(netlist.name(), &wc)])
-    );
+    print!("{}", render_table3(&[table3_row(netlist.name(), &wc)]));
     let dist = NminDistribution::collect(&wc, floor as u32);
     if !dist.is_empty() {
         println!("\nnmin distribution (nmin >= {floor}):");
@@ -177,8 +171,8 @@ fn average(
         definition,
         ..Default::default()
     };
-    let probs =
-        estimate_detection_probabilities(&universe, &tracked, &config).map_err(|e| e.to_string())?;
+    let probs = estimate_detection_probabilities(&universe, &tracked, &config)
+        .map_err(|e| e.to_string())?;
     println!(
         "{name}: {} tracked faults (nmin >= {tail}), K = {k}, definition {def}",
         tracked.len()
@@ -216,8 +210,8 @@ fn greedy(netlist: &Netlist, n: u32) -> Result<(), String> {
 fn pla_file(rest: &[&String]) -> Result<(), String> {
     let path = rest.first().ok_or("missing .pla path")?;
     let sub = rest.get(1).map_or("stats", |s| s.as_str());
-    let text = std::fs::read_to_string(path.as_str())
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
     let name = std::path::Path::new(path.as_str())
         .file_stem()
         .and_then(|s| s.to_str())
@@ -238,8 +232,8 @@ fn pla_file(rest: &[&String]) -> Result<(), String> {
 fn bench_file(rest: &[&String]) -> Result<(), String> {
     let path = rest.first().ok_or("missing .bench path")?;
     let sub = rest.get(1).map_or("stats", |s| s.as_str());
-    let text = std::fs::read_to_string(path.as_str())
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
     let name = std::path::Path::new(path.as_str())
         .file_stem()
         .and_then(|s| s.to_str())
@@ -272,7 +266,13 @@ fn cones(netlist: &Netlist, max_inputs: usize) -> Result<(), String> {
             .map_or(100.0, |(_, pct)| *pct);
         println!(
             "{:<12} {:>6} {:>6} {:>7} {:>8} {:>8.2}% {:>8}",
-            r.output_name, r.num_inputs, r.num_gates, r.num_targets, r.num_bridges, cov10, r.tail_11
+            r.output_name,
+            r.num_inputs,
+            r.num_gates,
+            r.num_targets,
+            r.num_bridges,
+            cov10,
+            r.tail_11
         );
     }
     Ok(())

@@ -1,1 +1,9 @@
-//! placeholder
+//! Library side of the `ndet` command-line interface.
+//!
+//! The binary in `main.rs` is a thin shell around [`commands::dispatch`]
+//! so integration tests can drive the full argument-parsing and
+//! execution path in-process.
+
+#![forbid(unsafe_code)]
+
+pub mod commands;

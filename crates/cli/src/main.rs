@@ -13,8 +13,7 @@
 //!
 //! `<circuit>` is any suite name (see `ndet list`), `figure1`, or `c17`.
 
-mod commands;
-
+use ndetect_cli::commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -1,0 +1,91 @@
+//! Integration tests for the `ndet` CLI: drives `commands::dispatch`
+//! in-process for exit-status checks, and the compiled binary for
+//! output checks (the commands print to the process stdout).
+
+use ndetect_cli::commands;
+use std::process::Command;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(ToString::to_string).collect()
+}
+
+fn run_binary(parts: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ndet"))
+        .args(parts)
+        .output()
+        .expect("ndet binary runs");
+    (
+        out.status.success(),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn dispatch_succeeds_on_core_commands() {
+    assert_eq!(commands::dispatch(&args(&["list"])), Ok(()));
+    assert_eq!(commands::dispatch(&args(&["stats", "figure1"])), Ok(()));
+    assert_eq!(commands::dispatch(&args(&["worst", "figure1"])), Ok(()));
+}
+
+#[test]
+fn dispatch_rejects_bad_invocations() {
+    assert!(commands::dispatch(&args(&[])).is_err());
+    assert!(commands::dispatch(&args(&["frobnicate"])).is_err());
+    assert!(commands::dispatch(&args(&["stats", "no-such-circuit"])).is_err());
+    assert!(commands::dispatch(&args(&["worst", "figure1", "--floor", "NaN"])).is_err());
+}
+
+#[test]
+fn list_shows_the_suite_and_figure1_is_buildable() {
+    let (ok, stdout, _) = run_binary(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("circuit"), "header line:\n{stdout}");
+    // A few paper-suite members that must always be present.
+    for name in ["lion", "dk27", "bbtas", "cse"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn stats_reports_figure1_fault_population() {
+    let (ok, stdout, _) = run_binary(&["stats", "figure1"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("figure1: 4 inputs, 3 outputs, 3 gates, 11 lines"),
+        "structure line:\n{stdout}"
+    );
+    // The paper's collapsed fault list has 16 entries and 10 detectable
+    // bridging faults g0..g9 (2 undetectable excluded).
+    assert!(
+        stdout.contains("|F| = 16 collapsed stuck-at, |G| = 10 bridging"),
+        "fault population:\n{stdout}"
+    );
+}
+
+#[test]
+fn worst_reports_the_papers_figure1_nmin_profile() {
+    let (ok, stdout, _) = run_binary(&["worst", "figure1"]);
+    assert!(ok);
+    // nmin values from the paper: 4 of 10 faults at nmin <= 1,
+    // nmin(g0) = 3 lifts coverage to 80% at n <= 3, and nmin(g6) = 4 is
+    // the maximum, reaching 100% at n <= 4.
+    assert!(stdout.contains("40.00% at n=1"), "n=1 coverage:\n{stdout}");
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("figure1") && l.contains('|') && l.contains("80.00"))
+        .unwrap_or_else(|| panic!("missing coverage row:\n{stdout}"));
+    let cells: Vec<&str> = row.split_whitespace().collect();
+    assert_eq!(
+        &cells[cells.len() - 4..],
+        &["40.00", "40.00", "80.00", "100.00"],
+        "coverage profile must match nmin(g0)=3, nmin(g6)=4:\n{stdout}"
+    );
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let (ok, _, stderr) = run_binary(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "usage on stderr:\n{stderr}");
+}

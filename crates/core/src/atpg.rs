@@ -117,10 +117,7 @@ mod tests {
             let set = greedy_n_detection(&u, n);
             for (fi, t_f) in u.target_sets().iter().enumerate() {
                 let want = (t_f.len()).min(n as usize);
-                assert!(
-                    set.detection_count(t_f) >= want,
-                    "n={n} target {fi}"
-                );
+                assert!(set.detection_count(t_f) >= want, "n={n} target {fi}");
             }
         }
     }

@@ -494,10 +494,7 @@ mod tests {
                 for (fi, t_f) in u.target_sets().iter().enumerate() {
                     let want = (t_f.len()).min(n as usize);
                     let got = set.detection_count(t_f);
-                    assert!(
-                        got >= want,
-                        "n={n} target {fi}: {got} < {want} in {set}"
-                    );
+                    assert!(got >= want, "n={n} target {fi}: {got} < {want} in {set}");
                 }
             }
         }
@@ -553,7 +550,7 @@ mod tests {
             ..Default::default()
         };
         let probs = estimate_detection_probabilities(&u, &tracked, &config).unwrap();
-        for pos in 0..tracked.len() {
+        for (pos, &j) in tracked.iter().enumerate() {
             let mut prev = 0.0;
             for n in 1..=5 {
                 let p = probs.probability(n, pos);
@@ -562,7 +559,7 @@ mod tests {
                 prev = p;
             }
             // Guarantee: once n >= nmin(g), p = 1.
-            if let Some(m) = wc.nmin(tracked[pos]) {
+            if let Some(m) = wc.nmin(j) {
                 if m <= 5 {
                     assert_eq!(probs.probability(5, pos), 1.0, "bridge {pos}");
                 }

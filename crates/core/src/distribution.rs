@@ -99,7 +99,11 @@ impl NminDistribution {
             );
         }
         if self.num_unbounded > 0 {
-            let _ = writeln!(out, "{:>13} | (never guaranteed)  {}", "inf", self.num_unbounded);
+            let _ = writeln!(
+                out,
+                "{:>13} | (never guaranteed)  {}",
+                "inf", self.num_unbounded
+            );
         }
         out
     }

@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::BadConfig { message } => write!(f, "bad configuration: {message}"),
             CoreError::FaultIndex { index, len } => {
-                write!(f, "fault index {index} out of range for population of {len}")
+                write!(
+                    f,
+                    "fault index {index} out of range for population of {len}"
+                )
             }
             CoreError::Faults(msg) => write!(f, "fault universe error: {msg}"),
         }

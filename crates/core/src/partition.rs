@@ -50,12 +50,7 @@ pub fn cone_netlist(netlist: &Netlist, slot: usize) -> Netlist {
         if !in_cone.contains(&id) || netlist.node(id).kind() == GateKind::Input {
             continue;
         }
-        let fanins: Vec<NodeId> = netlist
-            .node(id)
-            .fanins()
-            .iter()
-            .map(|f| map[f])
-            .collect();
+        let fanins: Vec<NodeId> = netlist.node(id).fanins().iter().map(|f| map[f]).collect();
         let new_id = b
             .gate(netlist.node(id).kind(), netlist.node_name(id), &fanins)
             .expect("cone extraction preserves validity");
@@ -104,8 +99,7 @@ pub fn analyze_output_cones(
         if cone.num_inputs() > max_cone_inputs {
             continue;
         }
-        let universe =
-            FaultUniverse::build(&cone).map_err(|e| CoreError::Faults(e.to_string()))?;
+        let universe = FaultUniverse::build(&cone).map_err(|e| CoreError::Faults(e.to_string()))?;
         let wc = WorstCaseAnalysis::compute(&universe);
         reports.push(ConeReport {
             output_name: netlist.node_name(netlist.outputs()[slot]).to_string(),
@@ -136,8 +130,7 @@ mod tests {
             assert_eq!(cone.num_outputs(), 1);
             // Exhaustively compare against the parent on the cone's inputs
             // (free parent inputs set to 0).
-            let cone_inputs: Vec<&str> =
-                cone.inputs().iter().map(|&i| cone.node_name(i)).collect();
+            let cone_inputs: Vec<&str> = cone.inputs().iter().map(|&i| cone.node_name(i)).collect();
             for v in 0..(1usize << cone.num_inputs()) {
                 let cone_bits: Vec<bool> = (0..cone.num_inputs())
                     .map(|i| (v >> (cone.num_inputs() - 1 - i)) & 1 == 1)

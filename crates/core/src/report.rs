@@ -160,7 +160,7 @@ pub fn render_table1(rows: &[Table1Row], g_name: &str, t_g: &[usize]) -> String 
         out,
         "faults with test vectors that overlap with T({g_name}) = {t_g:?}"
     );
-    let _ = writeln!(out, "{:>3}  {:<8} {:<42} {}", "i", "f_i", "T(f_i)", "nmin(g,f_i)");
+    let _ = writeln!(out, "{:>3}  {:<8} {:<42} nmin(g,f_i)", "i", "f_i", "T(f_i)");
     for row in rows {
         let ts = row
             .t_set
@@ -168,7 +168,11 @@ pub fn render_table1(rows: &[Table1Row], g_name: &str, t_g: &[usize]) -> String 
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(" ");
-        let _ = writeln!(out, "{:>3}  {:<8} {:<42} {}", row.index, row.fault, ts, row.nmin);
+        let _ = writeln!(
+            out,
+            "{:>3}  {:<8} {:<42} {}",
+            row.index, row.fault, ts, row.nmin
+        );
     }
     out
 }

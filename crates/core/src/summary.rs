@@ -140,7 +140,11 @@ impl fmt::Display for CircuitAnalysis {
                 self.config.nmax,
                 self.tail.len()
             ),
-            _ => write!(f, "tail faults: {} (average case not estimated)", self.tail.len()),
+            _ => write!(
+                f,
+                "tail faults: {} (average case not estimated)",
+                self.tail.len()
+            ),
         }
     }
 }

@@ -132,7 +132,7 @@ impl WorstCaseAnalysis {
     pub fn tail_count(&self, n: u32) -> usize {
         self.nmin
             .iter()
-            .filter(|v| v.map_or(true, |m| m >= n))
+            .filter(|v| v.is_none_or(|m| m >= n))
             .count()
     }
 
@@ -144,7 +144,7 @@ impl WorstCaseAnalysis {
         self.nmin
             .iter()
             .enumerate()
-            .filter(|(_, v)| v.map_or(true, |m| m >= n))
+            .filter(|(_, v)| v.is_none_or(|m| m >= n))
             .map(|(j, _)| j)
             .collect()
     }
@@ -212,15 +212,8 @@ mod tests {
         let g0 = u.find_bridge("9", false, "10", true).unwrap();
         let pairs = overlapping_targets(&u, g0);
         // Paper Table 1: i -> nmin(g0, f_i).
-        let expect: &[(usize, u32)] = &[
-            (0, 3),
-            (1, 5),
-            (3, 5),
-            (9, 4),
-            (11, 11),
-            (12, 3),
-            (14, 11),
-        ];
+        let expect: &[(usize, u32)] =
+            &[(0, 3), (1, 5), (3, 5), (9, 4), (11, 11), (12, 3), (14, 11)];
         assert_eq!(pairs, expect);
     }
 
@@ -264,10 +257,7 @@ mod tests {
         let u = FaultUniverse::build(&figure1::netlist()).unwrap();
         let wc = WorstCaseAnalysis::compute(&u);
         for j in 0..u.bridges().len() {
-            let naive = overlapping_targets(&u, j)
-                .into_iter()
-                .map(|(_, v)| v)
-                .min();
+            let naive = overlapping_targets(&u, j).into_iter().map(|(_, v)| v).min();
             assert_eq!(wc.nmin(j), naive, "bridge {j}");
         }
     }

@@ -3,9 +3,7 @@
 //! stricter counting.
 
 use ndetect_circuits::figure1;
-use ndetect_core::{
-    construct_test_set_series, DetectionDefinition, Procedure1Config,
-};
+use ndetect_core::{construct_test_set_series, DetectionDefinition, Procedure1Config};
 use ndetect_faults::FaultUniverse;
 use ndetect_netlist::NetlistBuilder;
 
@@ -36,9 +34,10 @@ fn definition2_falls_back_to_definition1() {
     };
     let series = construct_test_set_series(&u, &config).unwrap();
     for k in 0..16 {
-        let set = &series.sets[2][k]; // n = 3 stage
-        // Definition-1 requirement is still met thanks to the fallback:
-        // every fault detected min(n, N(f)) times.
+        // The n = 3 stage: the Definition-1 requirement is still met
+        // thanks to the fallback — every fault detected min(n, N(f))
+        // times.
+        let set = &series.sets[2][k];
         for t_f in u.target_sets() {
             assert!(set.detection_count(t_f) >= 3.min(t_f.len()), "set {k}");
         }

@@ -29,7 +29,12 @@ pub struct BridgingFault {
 impl BridgingFault {
     /// Creates a bridging fault `(victim, a1, aggressor, a2)`.
     #[must_use]
-    pub fn new(victim: LineId, victim_value: bool, aggressor: LineId, aggressor_value: bool) -> Self {
+    pub fn new(
+        victim: LineId,
+        victim_value: bool,
+        aggressor: LineId,
+        aggressor_value: bool,
+    ) -> Self {
         BridgingFault {
             victim,
             victim_value,

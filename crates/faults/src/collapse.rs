@@ -42,7 +42,7 @@ impl CollapsedFaults {
 
         // Union-find over fault indices.
         let mut parent: Vec<usize> = (0..faults.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];
@@ -240,8 +240,8 @@ mod tests {
         assert_eq!(
             by_paper_number,
             vec![
-                "1/1", "2/0", "2/1", "3/0", "3/1", "4/0", "5/1", "6/1", "7/1", "8/0", "9/0",
-                "9/1", "10/0", "10/1", "11/0", "11/1"
+                "1/1", "2/0", "2/1", "3/0", "3/1", "4/0", "5/1", "6/1", "7/1", "8/0", "9/0", "9/1",
+                "10/0", "10/1", "11/0", "11/1"
             ],
             "collapsed list was {names:?}"
         );

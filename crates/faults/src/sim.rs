@@ -2,12 +2,10 @@
 
 use crate::bridging::BridgingFault;
 use crate::stuck_at::StuckAtFault;
-use ndetect_netlist::{
-    GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink,
-};
+use ndetect_netlist::{GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink};
 use ndetect_sim::{
-    eval_gate_trit, eval_gate_word, eval_trits_all, GoodValues, PartialVector, PatternSpace,
-    Trit, VectorSet,
+    eval_gate_trit, eval_gate_word, eval_trits_all, GoodValues, PartialVector, PatternSpace, Trit,
+    VectorSet,
 };
 
 fn stuck_word(value: bool) -> u64 {
@@ -83,9 +81,7 @@ impl FaultSimulator {
                 .topo_order()
                 .iter()
                 .copied()
-                .filter(|&g| {
-                    netlist.node(g).kind() != GateKind::Input && reach.reaches(d, g)
-                })
+                .filter(|&g| netlist.node(g).kind() != GateKind::Input && reach.reaches(d, g))
                 .collect();
             let pos: Vec<(usize, NodeId)> = netlist
                 .outputs()
@@ -184,12 +180,7 @@ impl FaultSimulator {
         }
     }
 
-    fn detection_word(
-        &self,
-        block: usize,
-        root: NodeId,
-        fv: &[u64],
-    ) -> u64 {
+    fn detection_word(&self, block: usize, root: NodeId, fv: &[u64]) -> u64 {
         let goodb = self.good.block(block);
         let mut det = 0u64;
         for &(_, po) in &self.affected_pos[root.index()] {
@@ -238,14 +229,10 @@ impl FaultSimulator {
                         // then its cone; finally compare observable outputs.
                         let goodb = self.good.block(block);
                         let gnode = netlist.node(gate);
-                        let mut operands: Vec<u64> = gnode
-                            .fanins()
-                            .iter()
-                            .map(|f| goodb[f.index()])
-                            .collect();
+                        let mut operands: Vec<u64> =
+                            gnode.fanins().iter().map(|f| goodb[f.index()]).collect();
                         operands[pin] = vword;
-                        let ids: Vec<NodeId> =
-                            (0..operands.len()).map(NodeId::new).collect();
+                        let ids: Vec<NodeId> = (0..operands.len()).map(NodeId::new).collect();
                         fv[gate.index()] = eval_gate_word(gnode.kind(), &ids, &operands);
                         self.eval_cone(netlist, block, gate, &mut fv, &in_cone);
                         set.set_word(block, self.detection_word(block, gate, &fv));
@@ -354,14 +341,14 @@ pub fn threeval_detects_stuck(
     for (&pi, &v) in netlist.inputs().iter().zip(&inputs) {
         faulty[pi.index()] = v;
     }
-    let (stem_forced, pin_override): (Option<NodeId>, Option<(NodeId, usize)>) =
-        match *line.kind() {
-            LineKind::Stem { node } => (Some(node), None),
-            LineKind::Branch { node: _, sink } => match sink {
-                Sink::GatePin { gate, pin } => (None, Some((gate, pin))),
-                Sink::OutputSlot { .. } => (None, None),
-            },
-        };
+    let (stem_forced, pin_override): (Option<NodeId>, Option<(NodeId, usize)>) = match *line.kind()
+    {
+        LineKind::Stem { node } => (Some(node), None),
+        LineKind::Branch { node: _, sink } => match sink {
+            Sink::GatePin { gate, pin } => (None, Some((gate, pin))),
+            Sink::OutputSlot { .. } => (None, None),
+        },
+    };
     if let Some(node) = stem_forced {
         faulty[node.index()] = fault_trit;
     }
@@ -463,8 +450,7 @@ mod tests {
         for &id in netlist.topo_order() {
             let node = netlist.node(id);
             if node.kind() != GateKind::Input {
-                let mut ops: Vec<bool> =
-                    node.fanins().iter().map(|f| values[f.index()]).collect();
+                let mut ops: Vec<bool> = node.fanins().iter().map(|f| values[f.index()]).collect();
                 if let Some((g, p)) = pin_override {
                     if g == id {
                         ops[p] = fault.value;
@@ -515,11 +501,11 @@ mod tests {
     fn paper_table1_detection_sets() {
         let n = figure1();
         let sim = FaultSimulator::new(&n).unwrap();
-        let by_paper =
-            |paper_line: usize, v: bool| -> Vec<usize> {
-                let line = ndetect_netlist::LineId::new(paper_line - 1);
-                sim.detection_set_stuck(&n, StuckAtFault::new(line, v)).to_vec()
-            };
+        let by_paper = |paper_line: usize, v: bool| -> Vec<usize> {
+            let line = ndetect_netlist::LineId::new(paper_line - 1);
+            sim.detection_set_stuck(&n, StuckAtFault::new(line, v))
+                .to_vec()
+        };
         assert_eq!(by_paper(1, true), vec![4, 5, 6, 7]); // f0 = 1/1
         assert_eq!(by_paper(2, false), vec![6, 7, 12, 13, 14, 15]); // f1 = 2/0
         assert_eq!(by_paper(3, false), vec![2, 6, 7, 10, 14, 15]); // f3 = 3/0
@@ -563,12 +549,7 @@ mod tests {
         let space = sim.space();
         // Bridge between g1 (victim) and g2 (aggressor): non-feedback.
         for (a1, a2) in [(false, true), (true, false)] {
-            let fault = BridgingFault::new(
-                n.lines().stem(g1),
-                a1,
-                n.lines().stem(g2),
-                a2,
-            );
+            let fault = BridgingFault::new(n.lines().stem(g1), a1, n.lines().stem(g2), a2);
             let fast = sim.detection_set_bridge(&n, &fault).to_vec();
             let mut slow = Vec::new();
             for v in 0..space.num_patterns() {
@@ -587,14 +568,11 @@ mod tests {
                     if node.kind() == GateKind::Input || id == g1 {
                         continue;
                     }
-                    let ops: Vec<bool> =
-                        node.fanins().iter().map(|f| vals[f.index()]).collect();
+                    let ops: Vec<bool> = node.fanins().iter().map(|f| vals[f.index()]).collect();
                     vals[id.index()] = node.kind().eval_bool(&ops);
                 }
-                let good_out: Vec<bool> =
-                    n.outputs().iter().map(|&po| all[po.index()]).collect();
-                let bad_out: Vec<bool> =
-                    n.outputs().iter().map(|&po| vals[po.index()]).collect();
+                let good_out: Vec<bool> = n.outputs().iter().map(|&po| all[po.index()]).collect();
+                let bad_out: Vec<bool> = n.outputs().iter().map(|&po| vals[po.index()]).collect();
                 if good_out != bad_out {
                     slow.push(v);
                 }

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn fault_ordering_matches_paper_convention() {
-        let mut faults = vec![
+        let mut faults = [
             StuckAtFault::new(LineId::new(1), true),
             StuckAtFault::new(LineId::new(0), true),
             StuckAtFault::new(LineId::new(1), false),

@@ -212,9 +212,9 @@ impl FaultUniverse {
     /// (using netlist line names).
     #[must_use]
     pub fn find_target(&self, line_name: &str, value: bool) -> Option<usize> {
-        self.targets.iter().position(|f| {
-            f.value == value && self.netlist.lines().line(f.line).name() == line_name
-        })
+        self.targets
+            .iter()
+            .position(|f| f.value == value && self.netlist.lines().line(f.line).name() == line_name)
     }
 
     /// Finds a bridging fault index by the paper's `(l1,a1,l2,a2)`

@@ -27,7 +27,10 @@ fn output_slot_branch_faults_affect_only_their_observation() {
         .find(|&l| {
             matches!(
                 n.lines().line(l).kind(),
-                LineKind::Branch { sink: Sink::OutputSlot { .. }, .. }
+                LineKind::Branch {
+                    sink: Sink::OutputSlot { .. },
+                    ..
+                }
             )
         })
         .expect("one branch feeds the PO slot");
@@ -37,7 +40,10 @@ fn output_slot_branch_faults_affect_only_their_observation() {
         .find(|&l| {
             matches!(
                 n.lines().line(l).kind(),
-                LineKind::Branch { sink: Sink::GatePin { .. }, .. }
+                LineKind::Branch {
+                    sink: Sink::GatePin { .. },
+                    ..
+                }
             )
         })
         .expect("one branch feeds g2");
@@ -46,6 +52,7 @@ fn output_slot_branch_faults_affect_only_their_observation() {
     // PO-branch stuck-at-1: output 0 reads 1; detected where g1 = 0.
     let t = sim.detection_set_stuck(&n, StuckAtFault::new(po_branch, true));
     assert_eq!(t.to_vec(), vec![0, 1, 2]); // g1 = a&c = 0 on 00,01,10
+
     // PO-branch stuck-at-0: detected where g1 = 1.
     let t = sim.detection_set_stuck(&n, StuckAtFault::new(po_branch, false));
     assert_eq!(t.to_vec(), vec![3]);

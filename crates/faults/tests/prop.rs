@@ -1,9 +1,7 @@
 //! Property tests for the fault substrate: the cone-optimized
 //! bit-parallel fault simulator against brute-force scalar oracles.
 
-use ndetect_faults::{
-    all_stuck_at_faults, threeval_detects_stuck, FaultSimulator, StuckAtFault,
-};
+use ndetect_faults::{all_stuck_at_faults, threeval_detects_stuck, FaultSimulator, StuckAtFault};
 use ndetect_netlist::{GateKind, LineKind, Netlist, NetlistBuilder, NodeId, Sink};
 use ndetect_sim::PartialVector;
 use proptest::prelude::*;

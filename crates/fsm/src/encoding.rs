@@ -54,11 +54,11 @@ impl StateEncoding {
         assert!(!codes.is_empty());
         let limit = 1u64 << num_bits;
         for (i, &c) in codes.iter().enumerate() {
-            assert!((u64::from(c)) < limit, "code {c} of state {i} needs more bits");
             assert!(
-                !codes[..i].contains(&c),
-                "code {c} assigned to two states"
+                (u64::from(c)) < limit,
+                "code {c} of state {i} needs more bits"
             );
+            assert!(!codes[..i].contains(&c), "code {c} assigned to two states");
         }
         StateEncoding { codes, num_bits }
     }

@@ -56,8 +56,7 @@ fn expand_cube(space: &PatternSpace, mut cube: Cube, allow: &VectorSet) -> Cube 
                 continue;
             }
             let bit = 1u32 << (num_vars - 1 - var);
-            let candidate =
-                Cube::from_masks(num_vars, cube.care() & !bit, cube.value() & !bit);
+            let candidate = Cube::from_masks(num_vars, cube.care() & !bit, cube.value() & !bit);
             if cube_within(space, &candidate, allow) {
                 cube = candidate;
                 changed = true;
@@ -270,17 +269,14 @@ mod tests {
                 if on_v.is_empty() {
                     continue;
                 }
-                let on = VectorSet::from_vectors(
-                    space.num_patterns(),
-                    on_v.iter().map(|&m| m as usize),
-                );
+                let on =
+                    VectorSet::from_vectors(space.num_patterns(), on_v.iter().map(|&m| m as usize));
                 let mut allow = on.clone();
                 allow.union_with(&VectorSet::from_vectors(
                     space.num_patterns(),
                     dc_v.iter().map(|&m| m as usize),
                 ));
-                let seeds: Vec<Cube> =
-                    on_v.iter().map(|&m| Cube::minterm(num_vars, m)).collect();
+                let seeds: Vec<Cube> = on_v.iter().map(|&m| Cube::minterm(num_vars, m)).collect();
                 let cover = expand_cover(&space, &seeds, &on, &allow);
                 assert!(verify_cover(&space, &cover, &on, &allow));
                 let qm_cover = crate::qm::minimize(num_vars, &on_v, &dc_v);

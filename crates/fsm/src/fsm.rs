@@ -158,8 +158,11 @@ impl Fsm {
     #[must_use]
     pub fn check_deterministic(&self) -> Option<(usize, u32)> {
         for state in 0..self.states.len() {
-            let rows: Vec<&Transition> =
-                self.transitions.iter().filter(|t| t.from == state).collect();
+            let rows: Vec<&Transition> = self
+                .transitions
+                .iter()
+                .filter(|t| t.from == state)
+                .collect();
             for (i, a) in rows.iter().enumerate() {
                 for b in &rows[i + 1..] {
                     if !a.input.intersects(&b.input) {

@@ -276,7 +276,10 @@ mod tests {
             Err(FsmError::Inconsistent { .. })
         ));
         let bad = ".i 3\n.o 1\n-0 a a 0\n.e\n";
-        assert!(matches!(parse_kiss2("bad", bad), Err(FsmError::Parse { .. })));
+        assert!(matches!(
+            parse_kiss2("bad", bad),
+            Err(FsmError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -290,7 +293,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_machines() {
-        assert!(matches!(parse_kiss2("e", ".i 1\n.o 1\n.e\n"), Err(FsmError::Empty)));
+        assert!(matches!(
+            parse_kiss2("e", ".i 1\n.o 1\n.e\n"),
+            Err(FsmError::Empty)
+        ));
     }
 
     #[test]

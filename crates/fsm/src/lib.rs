@@ -50,8 +50,8 @@
 
 mod cube;
 mod encoding;
-pub mod expand;
 mod error;
+pub mod expand;
 mod fsm;
 mod kiss2;
 pub mod pla;
@@ -61,9 +61,9 @@ mod synth;
 pub mod two_level;
 
 pub use cube::Cube;
-pub use expand::{expand_cover, verify_cover};
 pub use encoding::StateEncoding;
 pub use error::FsmError;
+pub use expand::{expand_cover, verify_cover};
 pub use fsm::{Fsm, OutputBit, Transition};
 pub use kiss2::{parse_kiss2, write_kiss2};
 pub use pla::{parse_pla, write_pla, Pla, PlaRow};

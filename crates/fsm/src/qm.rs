@@ -225,7 +225,9 @@ mod tests {
         // Deterministic pseudo-random functions over 4..6 vars.
         let mut seed = 0x1234_5678_u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for num_vars in 4..=6usize {

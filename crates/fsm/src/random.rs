@@ -121,7 +121,14 @@ pub fn random_fsm(name: &str, config: &RandomFsmConfig) -> Fsm {
         });
     }
 
-    Fsm::new(name, config.num_inputs, config.num_outputs, states, 0, transitions)
+    Fsm::new(
+        name,
+        config.num_inputs,
+        config.num_outputs,
+        states,
+        0,
+        transitions,
+    )
 }
 
 /// Splits the full input space into roughly `target` disjoint cubes by

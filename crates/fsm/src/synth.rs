@@ -182,8 +182,8 @@ fn minimized_covers(
             match state.and_then(|s| fsm.lookup(m, s).map(|t| (s, t))) {
                 None => {
                     // Unused code or unspecified pair: every function free.
-                    for f in 0..num_functions {
-                        dc_sets[f].push(full);
+                    for set in &mut dc_sets[..num_functions] {
+                        set.push(full);
                     }
                 }
                 Some((_, t)) => {
@@ -239,8 +239,8 @@ fn heuristic_covers(
             let full = (((m << nb) | code) as usize) & (num_patterns - 1);
             match state.and_then(|s| fsm.lookup(m, s)) {
                 None => {
-                    for f in 0..num_functions {
-                        allow[f].insert(full);
+                    for set in &mut allow[..num_functions] {
+                        set.insert(full);
                     }
                 }
                 Some(t) => {
@@ -428,7 +428,12 @@ mod tests {
             .node_ids()
             .filter(|&id| n.node(id).kind() == ndetect_netlist::GateKind::And)
             .count();
-        assert_eq!(and_count, 1, "term sharing failed: {}", ndetect_netlist::bench_format::write(&n));
+        assert_eq!(
+            and_count,
+            1,
+            "term sharing failed: {}",
+            ndetect_netlist::bench_format::write(&n)
+        );
     }
 
     #[test]

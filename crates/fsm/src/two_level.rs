@@ -40,11 +40,7 @@ pub fn emit_two_level(
 ) -> Result<Netlist, FsmError> {
     if covers.len() != output_names.len() {
         return Err(FsmError::Inconsistent {
-            message: format!(
-                "{} covers for {} outputs",
-                covers.len(),
-                output_names.len()
-            ),
+            message: format!("{} covers for {} outputs", covers.len(), output_names.len()),
         });
     }
     for cover in covers {

@@ -2,8 +2,8 @@
 //! KISS2/PLA round trips, and synthesis equivalence.
 
 use ndetect_fsm::{
-    parse_kiss2, parse_pla, qm, random_fsm, synthesize, write_kiss2, write_pla, Cube,
-    MinimizeMode, RandomFsmConfig, StateEncoding, SynthOptions,
+    parse_kiss2, parse_pla, qm, random_fsm, synthesize, write_kiss2, write_pla, Cube, MinimizeMode,
+    RandomFsmConfig, StateEncoding, SynthOptions,
 };
 use proptest::prelude::*;
 

@@ -240,11 +240,7 @@ impl NetlistBuilder {
     /// # Errors
     ///
     /// Same as [`Self::gate`].
-    pub fn not(
-        &mut self,
-        name: impl Into<String>,
-        fanin: NodeId,
-    ) -> Result<NodeId, NetlistError> {
+    pub fn not(&mut self, name: impl Into<String>, fanin: NodeId) -> Result<NodeId, NetlistError> {
         self.gate(GateKind::Not, name, &[fanin])
     }
 
@@ -253,11 +249,7 @@ impl NetlistBuilder {
     /// # Errors
     ///
     /// Same as [`Self::gate`].
-    pub fn buf(
-        &mut self,
-        name: impl Into<String>,
-        fanin: NodeId,
-    ) -> Result<NodeId, NetlistError> {
+    pub fn buf(&mut self, name: impl Into<String>, fanin: NodeId) -> Result<NodeId, NetlistError> {
         self.gate(GateKind::Buf, name, &[fanin])
     }
 

@@ -45,8 +45,8 @@
 
 mod analysis;
 pub mod bench_format;
-pub mod dot;
 mod builder;
+pub mod dot;
 mod error;
 mod gate;
 mod id;

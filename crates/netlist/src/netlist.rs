@@ -330,10 +330,7 @@ impl Netlist {
             self.num_inputs()
         );
         let values = self.eval_bool_all(input_values);
-        self.outputs
-            .iter()
-            .map(|out| values[out.index()])
-            .collect()
+        self.outputs.iter().map(|out| values[out.index()]).collect()
     }
 
     /// Like [`Self::eval_bool`] but returns the value of every node, indexed
@@ -414,19 +411,24 @@ mod tests {
         }
         // Lines 4,5 are branches of input 2; lines 6,7 branches of input 3.
         for i in 4..8 {
-            assert!(matches!(
-                lines.lines()[i].kind(),
-                LineKind::Branch { .. }
-            ));
+            assert!(matches!(lines.lines()[i].kind(), LineKind::Branch { .. }));
         }
         let i2 = n.node_by_name("2").unwrap();
         let i3 = n.node_by_name("3").unwrap();
         assert_eq!(
-            lines.branches(i2).iter().map(|l| l.index()).collect::<Vec<_>>(),
+            lines
+                .branches(i2)
+                .iter()
+                .map(|l| l.index())
+                .collect::<Vec<_>>(),
             vec![4, 5]
         );
         assert_eq!(
-            lines.branches(i3).iter().map(|l| l.index()).collect::<Vec<_>>(),
+            lines
+                .branches(i3)
+                .iter()
+                .map(|l| l.index())
+                .collect::<Vec<_>>(),
             vec![6, 7]
         );
         // Lines 8..=10 are gate stems 9,10,11.
@@ -465,10 +467,7 @@ mod tests {
     fn multi_input_gate_stems_are_the_three_gates() {
         let n = figure1();
         let stems = n.multi_input_gate_stems();
-        let names: Vec<&str> = stems
-            .iter()
-            .map(|&l| n.lines().line(l).name())
-            .collect();
+        let names: Vec<&str> = stems.iter().map(|&l| n.lines().line(l).name()).collect();
         assert_eq!(names, vec!["9", "10", "11"]);
     }
 

@@ -50,8 +50,10 @@ impl Trit {
         self != Trit::X
     }
 
-    /// Three-valued complement (`X` maps to `X`).
+    /// Three-valued complement (`X` maps to `X`). An inherent method
+    /// rather than `std::ops::Not` so call sites need no trait import.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Trit::Zero => Trit::One,
@@ -401,7 +403,10 @@ mod tests {
         assert!(!pv.is_completion(18));
         let space4 = PatternSpace::new(4).unwrap();
         let pv = PartialVector::from_vector(&space4, 6);
-        assert_eq!(pv.trits(), vec![Trit::Zero, Trit::One, Trit::One, Trit::Zero]);
+        assert_eq!(
+            pv.trits(),
+            vec![Trit::Zero, Trit::One, Trit::One, Trit::Zero]
+        );
     }
 
     #[test]

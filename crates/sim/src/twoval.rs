@@ -84,11 +84,7 @@ mod tests {
                 for p in 0..64usize {
                     let operands: Vec<bool> = (0..arity).map(|j| (p >> j) & 1 == 1).collect();
                     let expect = kind.eval_bool(&operands);
-                    assert_eq!(
-                        (word >> p) & 1 == 1,
-                        expect,
-                        "{kind} arity={arity} p={p:b}"
-                    );
+                    assert_eq!((word >> p) & 1 == 1, expect, "{kind} arity={arity} p={p:b}");
                 }
             }
         }

@@ -80,13 +80,8 @@ pub fn random_netlist(seed: u64, config: &RandomNetlistConfig) -> Netlist {
 /// inputs — small enough for exhaustive cross-checking against scalar
 /// oracles.
 pub fn arb_netlist(max_inputs: usize) -> impl Strategy<Value = Netlist> {
-    (
-        any::<u64>(),
-        1..=max_inputs,
-        1usize..=20,
-        1usize..=3,
-    )
-        .prop_map(|(seed, num_inputs, num_gates, num_outputs)| {
+    (any::<u64>(), 1..=max_inputs, 1usize..=20, 1usize..=3).prop_map(
+        |(seed, num_inputs, num_gates, num_outputs)| {
             random_netlist(
                 seed,
                 &RandomNetlistConfig {
@@ -95,7 +90,8 @@ pub fn arb_netlist(max_inputs: usize) -> impl Strategy<Value = Netlist> {
                     num_outputs,
                 },
             )
-        })
+        },
+    )
 }
 
 #[cfg(test)]

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example average_case [circuit] [K]`
 
-use ndetect::analysis::{
-    estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis,
-};
+use ndetect::analysis::{estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis};
 use ndetect::faults::FaultUniverse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probs = estimate_detection_probabilities(&universe, &tracked, &config)?;
 
     println!("\np(n,g) histogram across the tracked faults (count with p >= threshold):");
-    println!("{:>4} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "n", "1.0", "0.9", "0.7", "0.5", "0.3", "0.1");
+    println!(
+        "{:>4} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "n", "1.0", "0.9", "0.7", "0.5", "0.3", "0.1"
+    );
     for n in 1..=10u32 {
         let row = probs.histogram_row(n);
         println!(

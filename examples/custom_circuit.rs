@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example custom_circuit`
 
 use ndetect::analysis::atpg::{bridge_coverage, greedy_n_detection};
-use ndetect::analysis::{
-    estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis,
-};
+use ndetect::analysis::{estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis};
 use ndetect::faults::FaultUniverse;
 use ndetect::netlist::{bench_format, NetlistBuilder};
 

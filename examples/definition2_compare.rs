@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\ncount of tail faults with p(10,g) >= threshold (K = {k}):");
-    println!("{:>12} | {:>6} {:>6} {:>6} {:>6} {:>6}", "", "1.0", "0.8", "0.6", "0.4", "0.2");
+    println!(
+        "{:>12} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "", "1.0", "0.8", "0.6", "0.4", "0.2"
+    );
     let row1 = d1.histogram_row(10);
     let row2 = d2.histogram_row(10);
     println!(

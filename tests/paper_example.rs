@@ -15,7 +15,13 @@ const TABLE1: &[(usize, usize, bool, &[usize], u32)] = &[
     (9, 8, false, &[2, 6, 10, 14], 4),
     (11, 9, true, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], 11),
     (12, 10, false, &[6, 7, 14, 15], 3),
-    (14, 11, false, &[1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15], 11),
+    (
+        14,
+        11,
+        false,
+        &[1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15],
+        11,
+    ),
 ];
 
 fn universe() -> FaultUniverse {
@@ -118,8 +124,7 @@ fn table4_structure_holds_for_k10() {
         seed: 1,
         ..Default::default()
     };
-    let series =
-        ndetect::analysis::construct_test_set_series(&u, &config).expect("valid config");
+    let series = ndetect::analysis::construct_test_set_series(&u, &config).expect("valid config");
     assert_eq!(series.sets.len(), 2);
     for n in 1..=2usize {
         assert_eq!(series.sets[n - 1].len(), 10);
