@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_atpg [--circuits a,b,c] [--nmax 10] [--k 100]`.
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{build_universe_with, selected_circuits, Args};
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
 use ndetect_core::{construct_test_set_series, Procedure1Config};
 
@@ -24,11 +24,13 @@ fn main() {
         "{:<10} {:>3} | {:>7} {:>9} {:>9} {:>9}",
         "circuit", "n", "|greedy|", "greedy%", "random%", "delta"
     );
+    let threads = args.threads();
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
+        let (_netlist, universe) = build_universe_with(&name, threads);
         let config = Procedure1Config {
             nmax,
             num_test_sets: k,
+            threads,
             ..Default::default()
         };
         let series = construct_test_set_series(&universe, &config).expect("valid config");

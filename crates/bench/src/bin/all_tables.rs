@@ -2,9 +2,14 @@
 //! modest default sample counts (suitable for a single sitting; see the
 //! individual binaries for paper-scale settings).
 //!
-//! Usage: `all_tables [--k5 1000] [--k6 200] [--circuits a,b,c]`.
+//! Every circuit's fault universe is built **once** (via
+//! [`ndetect_bench::UniverseCache`]) and shared across all tables that
+//! need it — including the figure1 example, which Tables 1 and 4 reuse.
+//!
+//! Usage: `all_tables [--k5 1000] [--k6 200] [--circuits a,b,c]
+//! [--threads N]`.
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{selected_circuits, Args, UniverseCache};
 use ndetect_core::report::{
     render_table2, render_table3, render_table5, render_table6, table2_row, table3_row, table5_row,
     table6_row,
@@ -13,17 +18,20 @@ use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
     WorstCaseAnalysis,
 };
+use ndetect_faults::FaultUniverse;
 
 fn main() {
     let args = Args::parse();
     let k5: usize = args.get_or("k5", 1000);
     let k6: usize = args.get_or("k6", 200);
+    let threads = args.threads();
     let nmax: u32 = 10;
+    let mut cache = UniverseCache::new(threads);
 
-    // Table 1 + Table 4 + Figure 1 example data are exact and cheap:
-    // reuse the dedicated binaries' logic by invoking their core calls.
+    // Table 1 + Table 4 + Figure 1 example data are exact and cheap and
+    // share one cached figure1 universe.
     println!("=== Table 1 (figure1 example; exact reproduction) ===\n");
-    table1_section();
+    table1_section(&cache.get("figure1").1);
 
     // Suite passes: compute each universe once, reuse for tables 2/3/5/6
     // and figure 2.
@@ -34,8 +42,8 @@ fn main() {
     let mut figure2_text: Option<String> = None;
 
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let (_netlist, universe) = cache.get(&name);
+        let wc = WorstCaseAnalysis::compute_with(universe, threads);
         rows2.push(table2_row(&name, &wc));
         if wc.tail_count(11) > 0 {
             rows3.push(table3_row(&name, &wc));
@@ -56,19 +64,19 @@ fn main() {
         let base = Procedure1Config {
             nmax,
             num_test_sets: k5,
+            threads,
             ..Default::default()
         };
-        let d1 =
-            estimate_detection_probabilities(&universe, &tracked, &base).expect("valid config");
+        let d1 = estimate_detection_probabilities(universe, &tracked, &base).expect("valid config");
         rows5.push(table5_row(&name, &d1));
         let base6 = Procedure1Config {
             num_test_sets: k6,
             ..base
         };
         let d1s =
-            estimate_detection_probabilities(&universe, &tracked, &base6).expect("valid config");
+            estimate_detection_probabilities(universe, &tracked, &base6).expect("valid config");
         let d2s = estimate_detection_probabilities(
-            &universe,
+            universe,
             &tracked,
             &Procedure1Config {
                 definition: DetectionDefinition::SufficientlyDifferent,
@@ -88,20 +96,17 @@ fn main() {
         print!("{text}");
     }
     println!("\n=== Table 4 (example test sets) ===\n");
-    table4_section();
+    table4_section(&cache.get("figure1").1);
     println!("\n=== Table 5 (average case, Definition 1, K = {k5}) ===\n");
     print!("{}", render_table5(&rows5));
     println!("\n=== Table 6 (Definition 1 vs 2, K = {k6}) ===\n");
     print!("{}", render_table6(&rows6));
 }
 
-fn table1_section() {
+fn table1_section(universe: &FaultUniverse) {
     use ndetect_circuits::figure1;
-    use ndetect_faults::FaultUniverse;
-    let netlist = figure1::netlist();
-    let universe = FaultUniverse::build(&netlist).expect("figure1 builds");
     let g0 = universe.find_bridge("9", false, "10", true).expect("g0");
-    for row in ndetect_core::report::table1(&universe, g0) {
+    for row in ndetect_core::report::table1(universe, g0) {
         let fault = universe.targets()[row.index];
         println!(
             "f{:<3} {:>5}/{} T={:?} nmin={}",
@@ -114,18 +119,15 @@ fn table1_section() {
     }
 }
 
-fn table4_section() {
-    use ndetect_circuits::figure1;
+fn table4_section(universe: &FaultUniverse) {
     use ndetect_core::construct_test_set_series;
-    use ndetect_faults::FaultUniverse;
-    let universe = FaultUniverse::build(&figure1::netlist()).expect("figure1 builds");
     let config = Procedure1Config {
         nmax: 2,
         num_test_sets: 10,
         seed: 1,
         ..Default::default()
     };
-    let series = construct_test_set_series(&universe, &config).expect("valid config");
+    let series = construct_test_set_series(universe, &config).expect("valid config");
     for k in 0..10 {
         let mut t1 = series.sets[0][k].vectors().to_vec();
         let mut t2 = series.sets[1][k].vectors().to_vec();

@@ -4,7 +4,7 @@
 //!
 //! Usage: `figure2 [--circuits dvram] [--floor 100]`.
 
-use ndetect_bench::{build_universe, Args};
+use ndetect_bench::{build_universe_with, Args};
 use ndetect_core::{NminDistribution, WorstCaseAnalysis};
 
 fn main() {
@@ -15,8 +15,9 @@ fn main() {
         .unwrap_or_else(|| "dvram".to_string());
     let floor: u32 = args.get_or("floor", 100);
 
-    let (_netlist, universe) = build_universe(&name);
-    let wc = WorstCaseAnalysis::compute(&universe);
+    let threads = args.threads();
+    let (_netlist, universe) = build_universe_with(&name, threads);
+    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
     let dist = NminDistribution::collect(&wc, floor);
 
     println!("Figure 2: distribution of nmin(gj) for {name} (nmin >= {floor})");

@@ -5,16 +5,17 @@
 //! Usage: `table2 [--circuits a,b,c]` (default: the full 35-circuit
 //! suite in paper order).
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{build_universe_with, selected_circuits, Args};
 use ndetect_core::report::{render_table2, table2_row, Table2Row};
 use ndetect_core::WorstCaseAnalysis;
 
 fn main() {
     let args = Args::parse();
     let mut rows: Vec<Table2Row> = Vec::new();
+    let threads = args.threads();
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let (_netlist, universe) = build_universe_with(&name, threads);
+        let wc = WorstCaseAnalysis::compute_with(&universe, threads);
         rows.push(table2_row(&name, &wc));
     }
     println!("Table 2: worst-case percentages of detected faults (small n)");

@@ -5,16 +5,17 @@
 //!
 //! Usage: `table3 [--circuits a,b,c]`.
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{build_universe_with, selected_circuits, Args};
 use ndetect_core::report::{render_table3, table3_row, Table3Row};
 use ndetect_core::WorstCaseAnalysis;
 
 fn main() {
     let args = Args::parse();
     let mut rows: Vec<Table3Row> = Vec::new();
+    let threads = args.threads();
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let (_netlist, universe) = build_universe_with(&name, threads);
+        let wc = WorstCaseAnalysis::compute_with(&universe, threads);
         if wc.tail_count(11) == 0 {
             continue; // the paper lists only circuits with such faults
         }

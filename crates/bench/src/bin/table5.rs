@@ -9,7 +9,7 @@
 //!
 //! Usage: `table5 [--circuits a,b,c] [--k 1000] [--nmax 10] [--seed ...]`.
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{build_universe_with, selected_circuits, Args};
 use ndetect_core::report::{render_table5, table5_row, Table5Row};
 use ndetect_core::{estimate_detection_probabilities, Procedure1Config, WorstCaseAnalysis};
 
@@ -20,9 +20,10 @@ fn main() {
     let seed: u64 = args.get_or("seed", 0x5EED_0001);
 
     let mut rows: Vec<Table5Row> = Vec::new();
+    let threads = args.threads();
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let (_netlist, universe) = build_universe_with(&name, threads);
+        let wc = WorstCaseAnalysis::compute_with(&universe, threads);
         let tracked = wc.tail_indices(nmax + 1);
         if tracked.is_empty() {
             continue; // the paper lists only circuits with tail faults
@@ -31,6 +32,7 @@ fn main() {
             nmax,
             num_test_sets: k,
             seed,
+            threads,
             ..Default::default()
         };
         let probs =

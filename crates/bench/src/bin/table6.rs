@@ -10,7 +10,7 @@
 //!
 //! Usage: `table6 [--circuits a,b,c] [--k 200] [--nmax 10] [--seed ...]`.
 
-use ndetect_bench::{build_universe, selected_circuits, Args};
+use ndetect_bench::{build_universe_with, selected_circuits, Args};
 use ndetect_core::report::{render_table6, table6_row, Table6Row};
 use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, Procedure1Config, WorstCaseAnalysis,
@@ -23,9 +23,10 @@ fn main() {
     let seed: u64 = args.get_or("seed", 0x5EED_0002);
 
     let mut rows: Vec<Table6Row> = Vec::new();
+    let threads = args.threads();
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe(&name);
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let (_netlist, universe) = build_universe_with(&name, threads);
+        let wc = WorstCaseAnalysis::compute_with(&universe, threads);
         let tracked = wc.tail_indices(nmax + 1);
         if tracked.is_empty() {
             continue;
@@ -34,6 +35,7 @@ fn main() {
             nmax,
             num_test_sets: k,
             seed,
+            threads,
             ..Default::default()
         };
         let d1 =

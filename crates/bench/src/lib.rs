@@ -4,10 +4,13 @@
 //! `src/bin/` (`table1` … `table6`, `figure2`, `all_tables`), plus
 //! calibration (`suite_stats`) and ablation (`ablation_atpg`,
 //! `ablation_collapse`) tools. This library holds the tiny bits they
-//! share: argument parsing and timed suite iteration.
+//! share: argument parsing (including the common `--threads` flag),
+//! timed universe construction, and an in-process per-circuit universe
+//! cache.
 
-use ndetect_faults::FaultUniverse;
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 use ndetect_netlist::Netlist;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A parsed `--key value` command line.
@@ -84,10 +87,22 @@ impl Args {
         self.get("circuits")
             .map(|v| v.split(',').map(str::to_string).collect())
     }
+
+    /// Worker threads for fault simulation (`--threads N`); `0` (the
+    /// default) means auto: the `NDETECT_THREADS` environment variable,
+    /// then the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.get_or("threads", 0)
+    }
 }
 
-/// Builds a suite circuit and its fault universe, printing timing to
-/// stderr.
+/// Builds a suite circuit and its fault universe with the auto thread
+/// count, printing timing to stderr.
 ///
 /// # Panics
 ///
@@ -95,13 +110,63 @@ impl Args {
 /// built (suite circuits always can).
 #[must_use]
 pub fn build_universe(name: &str) -> (Netlist, FaultUniverse) {
+    build_universe_with(name, 0)
+}
+
+/// Builds a suite circuit and its fault universe with up to `threads`
+/// workers (`0` = auto), printing timing to stderr.
+///
+/// # Panics
+///
+/// Panics if the circuit name is unknown or the universe cannot be
+/// built (suite circuits always can).
+#[must_use]
+pub fn build_universe_with(name: &str, threads: usize) -> (Netlist, FaultUniverse) {
     let t0 = Instant::now();
     let netlist = ndetect_circuits::build(name)
         .unwrap_or_else(|e| panic!("cannot build circuit `{name}`: {e}"));
-    let universe = FaultUniverse::build(&netlist)
+    let universe = FaultUniverse::build_with(&netlist, UniverseOptions::with_threads(threads))
         .unwrap_or_else(|e| panic!("cannot build universe for `{name}`: {e}"));
+
     eprintln!("# {name}: {} ({:.1?})", universe, t0.elapsed());
     (netlist, universe)
+}
+
+/// An in-process cache of fault universes, keyed by circuit name, so a
+/// binary that regenerates several tables builds each circuit's universe
+/// **once** and reuses it for every table (the first step of the
+/// roadmap's suite-wide caching item).
+#[derive(Default)]
+pub struct UniverseCache {
+    threads: usize,
+    entries: HashMap<String, (Netlist, FaultUniverse)>,
+}
+
+impl UniverseCache {
+    /// Creates an empty cache whose universes are built with up to
+    /// `threads` workers (`0` = auto).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        UniverseCache {
+            threads,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The universe (and netlist) for `name`, building it on first use
+    /// and reusing it afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit name is unknown or the universe cannot be
+    /// built (suite circuits always can).
+    pub fn get(&mut self, name: &str) -> &(Netlist, FaultUniverse) {
+        if !self.entries.contains_key(name) {
+            let built = build_universe_with(name, self.threads);
+            self.entries.insert(name.to_string(), built);
+        }
+        &self.entries[name]
+    }
 }
 
 /// The circuits to process: the `--circuits` selection or the full

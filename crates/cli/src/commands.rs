@@ -1,7 +1,7 @@
 //! Subcommand implementations for `ndet`.
 
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
-use ndetect_core::partition::analyze_output_cones;
+use ndetect_core::partition::analyze_output_cones_with;
 use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
@@ -23,7 +23,11 @@ pub const USAGE: &str = "usage:
   ndet dot <circuit>
   ndet cones <circuit> [--max-inputs N]
 
-<circuit>: a suite name (`ndet list`), `figure1`, or `c17`.";
+<circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
+
+Every analysis command accepts `--threads N` (worker threads for fault
+simulation; default: the NDETECT_THREADS environment variable, then all
+available cores). Results are identical for every thread count.";
 
 /// Parses and runs a command line; returns a user-facing error string on
 /// failure.
@@ -31,12 +35,15 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     let command = it.next().ok_or("missing command")?;
     let rest: Vec<&String> = it.collect();
+    // Worker threads for fault simulation and analysis; 0 = auto
+    // (NDETECT_THREADS, then the machine's available parallelism).
+    let threads = flag_value(&rest, "--threads")?.unwrap_or(0);
     match command.as_str() {
         "list" => list(),
-        "stats" => with_circuit(&rest, |_, n| stats(&n)),
+        "stats" => with_circuit(&rest, |_, n| stats(&n, threads)),
         "worst" => {
             let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
-            with_circuit(&rest, |_, n| worst(&n, floor))
+            with_circuit(&rest, |_, n| worst(&n, floor, threads))
         }
         "average" => {
             let k = flag_value(&rest, "--k")?.unwrap_or(200);
@@ -44,26 +51,26 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
             let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax + 1);
             with_circuit(&rest, |name, n| {
-                average(name, &n, k, nmax as u32, def, tail as u32)
+                average(name, &n, k, nmax as u32, def, tail as u32, threads)
             })
         }
         "greedy" => {
             let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
-            with_circuit(&rest, |_, n| greedy(&n, n_det as u32))
+            with_circuit(&rest, |_, n| greedy(&n, n_det as u32, threads))
         }
         "synth" => with_circuit(&rest, |_, n| {
             print!("{}", bench_format::write(&n));
             Ok(())
         }),
-        "bench-file" => bench_file(&rest),
-        "pla-file" => pla_file(&rest),
+        "bench-file" => bench_file(&rest, threads),
+        "pla-file" => pla_file(&rest, threads),
         "dot" => with_circuit(&rest, |_, n| {
             print!("{}", ndetect_netlist::dot::write(&n));
             Ok(())
         }),
         "cones" => {
             let max_inputs = flag_value(&rest, "--max-inputs")?.unwrap_or(14);
-            with_circuit(&rest, |_, n| cones(&n, max_inputs))
+            with_circuit(&rest, |_, n| cones(&n, max_inputs, threads))
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -116,21 +123,25 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
-fn universe_of(netlist: &Netlist) -> Result<FaultUniverse, String> {
-    FaultUniverse::build(netlist).map_err(|e| e.to_string())
+fn universe_of(netlist: &Netlist, threads: usize) -> Result<FaultUniverse, String> {
+    FaultUniverse::build_with(
+        netlist,
+        ndetect_faults::UniverseOptions::with_threads(threads),
+    )
+    .map_err(|e| e.to_string())
 }
 
-fn stats(netlist: &Netlist) -> Result<(), String> {
+fn stats(netlist: &Netlist, threads: usize) -> Result<(), String> {
     println!("{netlist}");
     println!("{}", NetlistStats::compute(netlist));
-    let universe = universe_of(netlist)?;
+    let universe = universe_of(netlist, threads)?;
     println!("{universe}");
     Ok(())
 }
 
-fn worst(netlist: &Netlist, floor: usize) -> Result<(), String> {
-    let universe = universe_of(netlist)?;
-    let wc = WorstCaseAnalysis::compute(&universe);
+fn worst(netlist: &Netlist, floor: usize, threads: usize) -> Result<(), String> {
+    let universe = universe_of(netlist, threads)?;
+    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
     println!("{universe}");
     println!("{wc}");
     println!();
@@ -152,14 +163,15 @@ fn average(
     nmax: u32,
     def: u32,
     tail: u32,
+    threads: usize,
 ) -> Result<(), String> {
     let definition = match def {
         1 => DetectionDefinition::Standard,
         2 => DetectionDefinition::SufficientlyDifferent,
         other => return Err(format!("--def must be 1 or 2, got {other}")),
     };
-    let universe = universe_of(netlist)?;
-    let wc = WorstCaseAnalysis::compute(&universe);
+    let universe = universe_of(netlist, threads)?;
+    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
     let tracked = wc.tail_indices(tail);
     if tracked.is_empty() {
         println!("{name}: no untargeted faults with nmin >= {tail}; nothing to estimate");
@@ -169,6 +181,7 @@ fn average(
         nmax,
         num_test_sets: k,
         definition,
+        threads,
         ..Default::default()
     };
     let probs = estimate_detection_probabilities(&universe, &tracked, &config)
@@ -195,8 +208,8 @@ fn average(
     Ok(())
 }
 
-fn greedy(netlist: &Netlist, n: u32) -> Result<(), String> {
-    let universe = universe_of(netlist)?;
+fn greedy(netlist: &Netlist, n: u32, threads: usize) -> Result<(), String> {
+    let universe = universe_of(netlist, threads)?;
     let set = greedy_n_detection(&universe, n);
     println!(
         "greedy {n}-detection set: {} tests, bridging coverage {:.2}%",
@@ -207,7 +220,7 @@ fn greedy(netlist: &Netlist, n: u32) -> Result<(), String> {
     Ok(())
 }
 
-fn pla_file(rest: &[&String]) -> Result<(), String> {
+fn pla_file(rest: &[&String], threads: usize) -> Result<(), String> {
     let path = rest.first().ok_or("missing .pla path")?;
     let sub = rest.get(1).map_or("stats", |s| s.as_str());
     let text =
@@ -219,8 +232,8 @@ fn pla_file(rest: &[&String]) -> Result<(), String> {
     let pla = ndetect_fsm::parse_pla(name, &text).map_err(|e| e.to_string())?;
     let netlist = pla.synthesize().map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist),
-        "worst" => worst(&netlist, 100),
+        "stats" => stats(&netlist, threads),
+        "worst" => worst(&netlist, 100, threads),
         "synth" => {
             print!("{}", bench_format::write(&netlist));
             Ok(())
@@ -229,7 +242,7 @@ fn pla_file(rest: &[&String]) -> Result<(), String> {
     }
 }
 
-fn bench_file(rest: &[&String]) -> Result<(), String> {
+fn bench_file(rest: &[&String], threads: usize) -> Result<(), String> {
     let path = rest.first().ok_or("missing .bench path")?;
     let sub = rest.get(1).map_or("stats", |s| s.as_str());
     let text =
@@ -240,15 +253,16 @@ fn bench_file(rest: &[&String]) -> Result<(), String> {
         .unwrap_or("bench");
     let netlist = bench_format::parse(name, &text).map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist),
-        "worst" => worst(&netlist, 100),
-        "cones" => cones(&netlist, 14),
+        "stats" => stats(&netlist, threads),
+        "worst" => worst(&netlist, 100, threads),
+        "cones" => cones(&netlist, 14, threads),
         other => Err(format!("unknown bench-file subcommand `{other}`")),
     }
 }
 
-fn cones(netlist: &Netlist, max_inputs: usize) -> Result<(), String> {
-    let reports = analyze_output_cones(netlist, max_inputs).map_err(|e| e.to_string())?;
+fn cones(netlist: &Netlist, max_inputs: usize, threads: usize) -> Result<(), String> {
+    let reports =
+        analyze_output_cones_with(netlist, max_inputs, threads).map_err(|e| e.to_string())?;
     println!(
         "{}: {} output cones analysed (cones wider than {max_inputs} inputs skipped)",
         netlist.name(),
@@ -319,6 +333,25 @@ mod tests {
         assert!(run(&["synth", "figure1"]).is_ok());
         assert!(run(&["dot", "c17"]).is_ok());
         assert!(run(&["cones", "c17"]).is_ok());
+    }
+
+    #[test]
+    fn threads_flag_accepted_and_validated() {
+        assert!(run(&["stats", "figure1", "--threads", "1"]).is_ok());
+        assert!(run(&["worst", "figure1", "--threads", "2"]).is_ok());
+        assert!(run(&[
+            "average",
+            "figure1",
+            "--k",
+            "10",
+            "--nmax",
+            "2",
+            "--threads",
+            "2"
+        ])
+        .is_ok());
+        assert!(run(&["worst", "figure1", "--threads", "zebra"]).is_err());
+        assert!(run(&["worst", "figure1", "--threads"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub struct Procedure1Config {
     pub seed: u64,
     /// Detection-counting rule (Definition 1 or 2).
     pub definition: DetectionDefinition,
-    /// Worker threads; 0 means use the available parallelism.
+    /// Worker threads; 0 means auto (`NDETECT_THREADS`, then the
+    /// machine's available parallelism).
     pub threads: usize,
 }
 
@@ -401,15 +402,9 @@ pub fn estimate_detection_probabilities(
     }
 
     let nmax = config.nmax as usize;
-    let num_threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        config.threads
-    }
-    .min(config.num_test_sets)
-    .max(1);
+    let num_threads = ndetect_sim::parallel::resolve_threads(config.threads)
+        .min(config.num_test_sets)
+        .max(1);
 
     let totals: Vec<Vec<u32>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_threads);

@@ -79,7 +79,8 @@ pub struct ConeReport {
     pub tail_11: usize,
 }
 
-/// Analyses every output cone of `netlist` independently.
+/// Analyses every output cone of `netlist` independently, with the auto
+/// worker count (see [`analyze_output_cones_with`]).
 ///
 /// Cones wider than the exhaustive limit are reported as errors by
 /// the underlying simulator; `max_cone_inputs` lets the caller skip
@@ -93,14 +94,32 @@ pub fn analyze_output_cones(
     netlist: &Netlist,
     max_cone_inputs: usize,
 ) -> Result<Vec<ConeReport>, CoreError> {
+    analyze_output_cones_with(netlist, max_cone_inputs, 0)
+}
+
+/// Analyses every output cone with up to `num_threads` workers (`0` =
+/// auto) for each cone's fault simulation and `nmin` pass. Results are
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Faults`] if a retained cone still exceeds the
+/// simulator's limits.
+pub fn analyze_output_cones_with(
+    netlist: &Netlist,
+    max_cone_inputs: usize,
+    num_threads: usize,
+) -> Result<Vec<ConeReport>, CoreError> {
     let mut reports = Vec::new();
     for slot in 0..netlist.num_outputs() {
         let cone = cone_netlist(netlist, slot);
         if cone.num_inputs() > max_cone_inputs {
             continue;
         }
-        let universe = FaultUniverse::build(&cone).map_err(|e| CoreError::Faults(e.to_string()))?;
-        let wc = WorstCaseAnalysis::compute(&universe);
+        let options = ndetect_faults::UniverseOptions::with_threads(num_threads);
+        let universe = FaultUniverse::build_with(&cone, options)
+            .map_err(|e| CoreError::Faults(e.to_string()))?;
+        let wc = WorstCaseAnalysis::compute_with(&universe, num_threads);
         reports.push(ConeReport {
             output_name: netlist.node_name(netlist.outputs()[slot]).to_string(),
             num_inputs: cone.num_inputs(),

@@ -1,6 +1,7 @@
 //! The worst-case analysis: `nmin(g)` for every untargeted fault.
 
 use ndetect_faults::FaultUniverse;
+use ndetect_sim::parallel;
 use std::fmt;
 
 /// Result of the paper's Section-2 worst-case analysis.
@@ -24,13 +25,23 @@ pub struct WorstCaseAnalysis {
 }
 
 impl WorstCaseAnalysis {
-    /// Computes `nmin(g)` for every bridging fault in the universe.
+    /// Computes `nmin(g)` for every bridging fault in the universe, with
+    /// the auto worker count (`NDETECT_THREADS`, then the machine's
+    /// available parallelism).
     ///
     /// Targets are scanned in ascending `N(f)` with branch-and-bound
     /// pruning (`nmin(g,f) ≥ N(f) − N(g) + 1`), which keeps the
     /// all-pairs pass fast on large fault populations.
     #[must_use]
     pub fn compute(universe: &FaultUniverse) -> Self {
+        Self::compute_with(universe, 0)
+    }
+
+    /// Computes `nmin(g)` with up to `num_threads` workers (`0` = auto).
+    /// Each untargeted fault is scanned independently against the shared
+    /// target sets, so the result is identical for every thread count.
+    #[must_use]
+    pub fn compute_with(universe: &FaultUniverse, num_threads: usize) -> Self {
         let targets = universe.target_sets();
         // Sort target indices by N(f): once N(f) - N(g) + 1 is no better
         // than the best bound found, no later target can improve it.
@@ -43,28 +54,39 @@ impl WorstCaseAnalysis {
         by_size.sort_unstable();
 
         let num_bridges = universe.bridges().len();
+        let threads = parallel::resolve_threads(num_threads);
+        let per_bridge: Vec<Option<(usize, usize)>> =
+            parallel::run_tiled(threads, num_bridges, |range| {
+                range
+                    .map(|j| {
+                        let t_g = universe.bridge_set(j);
+                        let n_g = t_g.len();
+                        let mut best: Option<(usize, usize)> = None; // (nmin, target idx)
+                        for &(n_f, fi) in &by_size {
+                            if let Some((b, _)) = best {
+                                // M ≤ min(N(f), N(g)) ⇒
+                                // nmin(g,f) ≥ N(f) − N(g) + 1.
+                                if n_f + 1 > b + n_g {
+                                    break;
+                                }
+                            }
+                            let m = targets[fi].intersection_count(t_g);
+                            if m == 0 {
+                                continue;
+                            }
+                            let candidate = n_f - m + 1;
+                            if best.is_none_or(|(b, _)| candidate < b) {
+                                best = Some((candidate, fi));
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            });
+
         let mut nmin: Vec<Option<u32>> = Vec::with_capacity(num_bridges);
         let mut witness: Vec<Option<usize>> = Vec::with_capacity(num_bridges);
-        for j in 0..num_bridges {
-            let t_g = universe.bridge_set(j);
-            let n_g = t_g.len();
-            let mut best: Option<(usize, usize)> = None; // (nmin, target idx)
-            for &(n_f, fi) in &by_size {
-                if let Some((b, _)) = best {
-                    // M ≤ min(N(f), N(g)) ⇒ nmin(g,f) ≥ N(f) − N(g) + 1.
-                    if n_f + 1 > b + n_g {
-                        break;
-                    }
-                }
-                let m = targets[fi].intersection_count(t_g);
-                if m == 0 {
-                    continue;
-                }
-                let candidate = n_f - m + 1;
-                if best.is_none_or(|(b, _)| candidate < b) {
-                    best = Some((candidate, fi));
-                }
-            }
+        for best in per_bridge {
             nmin.push(best.map(|(b, _)| u32::try_from(b).expect("nmin fits u32")));
             witness.push(best.map(|(_, fi)| fi));
         }

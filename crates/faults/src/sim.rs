@@ -1,12 +1,14 @@
-//! Serial fault injection over bit-parallel exhaustive simulation.
+//! Fault injection over bit-parallel exhaustive simulation, serial or
+//! sharded over 64-vector pattern blocks.
 
 use crate::bridging::BridgingFault;
 use crate::stuck_at::StuckAtFault;
 use ndetect_netlist::{GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink};
 use ndetect_sim::{
-    eval_gate_trit, eval_gate_word, eval_trits_all, GoodValues, PartialVector, PatternSpace, Trit,
-    VectorSet,
+    eval_gate_trit, eval_gate_word, eval_trits_all, parallel, GoodValues, PartialVector,
+    PatternSpace, Trit, VectorSet,
 };
+use std::ops::Range;
 
 fn stuck_word(value: bool) -> u64 {
     if value {
@@ -68,8 +70,23 @@ impl FaultSimulator {
     /// Returns [`ndetect_sim::SimError`] if the circuit has too many inputs
     /// for exhaustive simulation.
     pub fn new(netlist: &Netlist) -> Result<Self, ndetect_sim::SimError> {
+        Self::with_threads(netlist, 1)
+    }
+
+    /// Prepares a simulator, computing the fault-free values with up to
+    /// `num_threads` workers (the blocks of [`GoodValues`] are sharded;
+    /// the result is identical for every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ndetect_sim::SimError`] if the circuit has too many inputs
+    /// for exhaustive simulation.
+    pub fn with_threads(
+        netlist: &Netlist,
+        num_threads: usize,
+    ) -> Result<Self, ndetect_sim::SimError> {
         let space = PatternSpace::new(netlist.num_inputs())?;
-        let good = GoodValues::compute(netlist, &space);
+        let good = GoodValues::compute_with(netlist, &space, num_threads);
         let reach = ReachabilityMatrix::compute(netlist);
 
         let n = netlist.num_nodes();
@@ -189,6 +206,113 @@ impl FaultSimulator {
         det & self.space.block_mask(block)
     }
 
+    /// Allocates the faulty-value buffer and the cone-membership mask for
+    /// a re-simulation rooted at `root`.
+    fn cone_buffers(&self, netlist: &Netlist, root: NodeId) -> (Vec<u64>, Vec<bool>) {
+        let mut in_cone = vec![false; netlist.num_nodes()];
+        in_cone[root.index()] = true;
+        for &g in &self.cones[root.index()] {
+            in_cone[g.index()] = true;
+        }
+        (vec![0u64; netlist.num_nodes()], in_cone)
+    }
+
+    /// Assembles per-block detection words (in block order) into a set.
+    fn set_from_words(&self, words: Vec<u64>) -> VectorSet {
+        let mut set = VectorSet::new(self.space.num_patterns());
+        for (block, word) in words.into_iter().enumerate() {
+            set.set_word(block, word);
+        }
+        set
+    }
+
+    /// Detection words of a stuck-at fault over a contiguous block range.
+    /// Blocks are independent, so any partition of the range concatenates
+    /// back to the full-range result.
+    fn stuck_words(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        blocks: Range<usize>,
+    ) -> Vec<u64> {
+        let vword = stuck_word(fault.value);
+        let line = netlist.lines().line(fault.line);
+
+        match *line.kind() {
+            LineKind::Stem { node } => {
+                let (mut fv, in_cone) = self.cone_buffers(netlist, node);
+                blocks
+                    .map(|block| {
+                        fv[node.index()] = vword;
+                        self.eval_cone(netlist, block, node, &mut fv, &in_cone);
+                        self.detection_word(block, node, &fv)
+                    })
+                    .collect()
+            }
+            LineKind::Branch { node, sink } => match sink {
+                Sink::GatePin { gate, pin } => {
+                    let (mut fv, in_cone) = self.cone_buffers(netlist, gate);
+                    blocks
+                        .map(|block| {
+                            // Evaluate the sink gate with the overridden
+                            // operand, then its cone; finally compare
+                            // observable outputs.
+                            let goodb = self.good.block(block);
+                            let gnode = netlist.node(gate);
+                            let mut operands: Vec<u64> =
+                                gnode.fanins().iter().map(|f| goodb[f.index()]).collect();
+                            operands[pin] = vword;
+                            let ids: Vec<NodeId> = (0..operands.len()).map(NodeId::new).collect();
+                            fv[gate.index()] = eval_gate_word(gnode.kind(), &ids, &operands);
+                            self.eval_cone(netlist, block, gate, &mut fv, &in_cone);
+                            self.detection_word(block, gate, &fv)
+                        })
+                        .collect()
+                }
+                Sink::OutputSlot { slot: _ } => {
+                    // Only this output observation is faulty: detected where
+                    // the good driver value differs from the stuck value.
+                    blocks
+                        .map(|block| {
+                            let g = self.good.node_word(block, node);
+                            (g ^ vword) & self.space.block_mask(block)
+                        })
+                        .collect()
+                }
+            },
+        }
+    }
+
+    /// Detection words of a bridging fault over a contiguous block range.
+    fn bridge_words(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        blocks: Range<usize>,
+    ) -> Vec<u64> {
+        let victim = netlist.lines().line(fault.victim).driver();
+        let aggressor = netlist.lines().line(fault.aggressor).driver();
+        let (mut fv, in_cone) = self.cone_buffers(netlist, victim);
+
+        blocks
+            .map(|block| {
+                let gv = self.good.node_word(block, victim);
+                let ga = self.good.node_word(block, aggressor);
+                // Activation: fault-free victim == a1 and aggressor == a2.
+                let cond = (if fault.victim_value { gv } else { !gv })
+                    & (if fault.aggressor_value { ga } else { !ga })
+                    & self.space.block_mask(block);
+                if cond == 0 {
+                    return 0;
+                }
+                // Effect: victim flips on activated vectors.
+                fv[victim.index()] = gv ^ cond;
+                self.eval_cone(netlist, block, victim, &mut fv, &in_cone);
+                self.detection_word(block, victim, &fv)
+            })
+            .collect()
+    }
+
     /// Computes `T(f)` for a stuck-at fault (stem or branch).
     ///
     /// # Panics
@@ -197,58 +321,30 @@ impl FaultSimulator {
     /// `netlist` is not the netlist this simulator was built for.
     #[must_use]
     pub fn detection_set_stuck(&self, netlist: &Netlist, fault: StuckAtFault) -> VectorSet {
-        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
-        let mut set = VectorSet::new(self.space.num_patterns());
-        let vword = stuck_word(fault.value);
-        let line = netlist.lines().line(fault.line);
+        self.detection_set_stuck_threaded(netlist, fault, 1)
+    }
 
-        match *line.kind() {
-            LineKind::Stem { node } => {
-                let mut in_cone = vec![false; netlist.num_nodes()];
-                in_cone[node.index()] = true;
-                for &g in &self.cones[node.index()] {
-                    in_cone[g.index()] = true;
-                }
-                let mut fv = vec![0u64; netlist.num_nodes()];
-                for block in 0..self.space.num_blocks() {
-                    fv[node.index()] = vword;
-                    self.eval_cone(netlist, block, node, &mut fv, &in_cone);
-                    set.set_word(block, self.detection_word(block, node, &fv));
-                }
-            }
-            LineKind::Branch { node, sink } => match sink {
-                Sink::GatePin { gate, pin } => {
-                    let mut in_cone = vec![false; netlist.num_nodes()];
-                    in_cone[gate.index()] = true;
-                    for &g in &self.cones[gate.index()] {
-                        in_cone[g.index()] = true;
-                    }
-                    let mut fv = vec![0u64; netlist.num_nodes()];
-                    for block in 0..self.space.num_blocks() {
-                        // Evaluate the sink gate with the overridden operand,
-                        // then its cone; finally compare observable outputs.
-                        let goodb = self.good.block(block);
-                        let gnode = netlist.node(gate);
-                        let mut operands: Vec<u64> =
-                            gnode.fanins().iter().map(|f| goodb[f.index()]).collect();
-                        operands[pin] = vword;
-                        let ids: Vec<NodeId> = (0..operands.len()).map(NodeId::new).collect();
-                        fv[gate.index()] = eval_gate_word(gnode.kind(), &ids, &operands);
-                        self.eval_cone(netlist, block, gate, &mut fv, &in_cone);
-                        set.set_word(block, self.detection_word(block, gate, &fv));
-                    }
-                }
-                Sink::OutputSlot { slot: _ } => {
-                    // Only this output observation is faulty: detected where
-                    // the good driver value differs from the stuck value.
-                    for block in 0..self.space.num_blocks() {
-                        let g = self.good.node_word(block, node);
-                        set.set_word(block, (g ^ vword) & self.space.block_mask(block));
-                    }
-                }
-            },
-        }
-        set
+    /// Computes `T(f)` with the 64-vector pattern blocks sharded over up
+    /// to `num_threads` workers. Every block is simulated independently,
+    /// so the result is bit-identical to the serial computation for any
+    /// thread count; worthwhile on wide pattern spaces (many blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck_threaded(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        num_threads: usize,
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
+        let words = parallel::run_tiled(num_threads, self.space.num_blocks(), |blocks| {
+            self.stuck_words(netlist, fault, blocks)
+        });
+        self.set_from_words(words)
     }
 
     /// Computes `T(g)` for a four-way bridging fault.
@@ -259,40 +355,34 @@ impl FaultSimulator {
     /// `netlist` is not the netlist this simulator was built for.
     #[must_use]
     pub fn detection_set_bridge(&self, netlist: &Netlist, fault: &BridgingFault) -> VectorSet {
+        self.detection_set_bridge_threaded(netlist, fault, 1)
+    }
+
+    /// Computes `T(g)` with the pattern blocks sharded over up to
+    /// `num_threads` workers (see
+    /// [`Self::detection_set_stuck_threaded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge_threaded(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        num_threads: usize,
+    ) -> VectorSet {
         assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
-        let victim = netlist.lines().line(fault.victim).driver();
-        let aggressor = netlist.lines().line(fault.aggressor).driver();
         debug_assert!(
             netlist.lines().line(fault.victim).kind().is_stem()
                 && netlist.lines().line(fault.aggressor).kind().is_stem(),
             "bridging faults live on stems"
         );
-
-        let mut set = VectorSet::new(self.space.num_patterns());
-        let mut in_cone = vec![false; netlist.num_nodes()];
-        in_cone[victim.index()] = true;
-        for &g in &self.cones[victim.index()] {
-            in_cone[g.index()] = true;
-        }
-        let mut fv = vec![0u64; netlist.num_nodes()];
-
-        for block in 0..self.space.num_blocks() {
-            let gv = self.good.node_word(block, victim);
-            let ga = self.good.node_word(block, aggressor);
-            // Activation: fault-free victim == a1 and aggressor == a2.
-            let cond = (if fault.victim_value { gv } else { !gv })
-                & (if fault.aggressor_value { ga } else { !ga })
-                & self.space.block_mask(block);
-            if cond == 0 {
-                set.set_word(block, 0);
-                continue;
-            }
-            // Effect: victim flips on activated vectors.
-            fv[victim.index()] = gv ^ cond;
-            self.eval_cone(netlist, block, victim, &mut fv, &in_cone);
-            set.set_word(block, self.detection_word(block, victim, &fv));
-        }
-        set
+        let words = parallel::run_tiled(num_threads, self.space.num_blocks(), |blocks| {
+            self.bridge_words(netlist, fault, blocks)
+        });
+        self.set_from_words(words)
     }
 }
 

@@ -7,7 +7,7 @@ use crate::error::FaultError;
 use crate::sim::FaultSimulator;
 use crate::stuck_at::{all_stuck_at_faults, StuckAtFault};
 use ndetect_netlist::Netlist;
-use ndetect_sim::{PatternSpace, VectorSet};
+use ndetect_sim::{parallel, PatternSpace, VectorSet};
 use std::fmt;
 
 /// Configuration for [`FaultUniverse::build_with`].
@@ -26,6 +26,12 @@ pub struct UniverseOptions {
     /// model by default; wired-AND / wired-OR subsets for the
     /// model-sensitivity ablation).
     pub bridge_model: BridgeModel,
+    /// Worker threads for fault simulation; `0` means auto
+    /// (`NDETECT_THREADS`, then the machine's available parallelism).
+    /// The fault list is tiled across workers, each owning a read-only
+    /// view of the simulator and producing its own slice of detection
+    /// sets, so results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for UniverseOptions {
@@ -34,6 +40,19 @@ impl Default for UniverseOptions {
             collapse_targets: true,
             include_bridges: true,
             bridge_model: BridgeModel::FourWay,
+            threads: 0,
+        }
+    }
+}
+
+impl UniverseOptions {
+    /// The default options with an explicit worker count (`0` = auto) —
+    /// the common case for thread plumbing.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        UniverseOptions {
+            threads,
+            ..UniverseOptions::default()
         }
     }
 }
@@ -44,7 +63,8 @@ impl Default for UniverseOptions {
 ///
 /// This is the single input the worst-case and average-case analyses in
 /// `ndetect-core` consume. Building it runs one exhaustive bit-parallel
-/// fault simulation per fault.
+/// fault simulation per fault, with the fault list tiled across worker
+/// threads (see [`UniverseOptions::threads`]).
 ///
 /// # Memory
 ///
@@ -83,7 +103,8 @@ impl FaultUniverse {
     /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
     /// exhaustive simulation.
     pub fn build_with(netlist: &Netlist, options: UniverseOptions) -> Result<Self, FaultError> {
-        let simulator = FaultSimulator::new(netlist)?;
+        let threads = parallel::resolve_threads(options.threads);
+        let simulator = FaultSimulator::with_threads(netlist, threads)?;
         let collapsed = CollapsedFaults::compute(netlist);
 
         let targets: Vec<StuckAtFault> = if options.collapse_targets {
@@ -91,18 +112,24 @@ impl FaultUniverse {
         } else {
             all_stuck_at_faults(netlist)
         };
-        let target_sets: Vec<VectorSet> = targets
-            .iter()
-            .map(|&f| simulator.detection_set_stuck(netlist, f))
-            .collect();
+        // Fault-parallel tiling: each worker simulates a tile of the
+        // fault list against the shared read-only simulator; tiles are
+        // reassembled in fault order, so the sets are bit-identical to a
+        // serial pass.
+        let target_sets: Vec<VectorSet> = parallel::parallel_map(threads, &targets, |_, &f| {
+            simulator.detection_set_stuck(netlist, f)
+        });
 
         let mut bridges = Vec::new();
         let mut bridge_sets = Vec::new();
         let mut num_undetectable_bridges = 0;
         if options.include_bridges {
-            for fault in enumerate_bridges(netlist, simulator.reachability(), options.bridge_model)
-            {
-                let set = simulator.detection_set_bridge(netlist, &fault);
+            let enumerated =
+                enumerate_bridges(netlist, simulator.reachability(), options.bridge_model);
+            let sets = parallel::parallel_map(threads, &enumerated, |_, fault| {
+                simulator.detection_set_bridge(netlist, fault)
+            });
+            for (fault, set) in enumerated.into_iter().zip(sets) {
                 if set.is_empty() {
                     num_undetectable_bridges += 1;
                 } else {

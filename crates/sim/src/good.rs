@@ -47,6 +47,18 @@ impl GoodValues {
     /// Panics if the netlist's input count disagrees with the space.
     #[must_use]
     pub fn compute(netlist: &Netlist, space: &PatternSpace) -> Self {
+        Self::compute_with(netlist, space, 1)
+    }
+
+    /// Simulates the fault-free circuit with up to `num_threads` workers,
+    /// sharding the 64-vector blocks across them. Blocks are independent,
+    /// so the result is bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's input count disagrees with the space.
+    #[must_use]
+    pub fn compute_with(netlist: &Netlist, space: &PatternSpace, num_threads: usize) -> Self {
         assert_eq!(
             netlist.num_inputs(),
             space.num_inputs(),
@@ -56,20 +68,25 @@ impl GoodValues {
         );
         let num_nodes = netlist.num_nodes();
         let num_blocks = space.num_blocks();
-        let mut words = vec![0u64; num_nodes * num_blocks];
-        for block in 0..num_blocks {
-            let buf = &mut words[block * num_nodes..(block + 1) * num_nodes];
-            for (i, &pi) in netlist.inputs().iter().enumerate() {
-                buf[pi.index()] = space.input_word(i, block);
-            }
-            for &id in netlist.topo_order() {
-                let node = netlist.node(id);
-                if node.kind() == GateKind::Input {
-                    continue;
+        // Block-major layout: a worker's tile of blocks is one contiguous
+        // run of words, so tiles concatenate back in block order.
+        let words = crate::parallel::run_tiled(num_threads, num_blocks, |blocks| {
+            let mut tile = vec![0u64; num_nodes * blocks.len()];
+            for (bi, block) in blocks.enumerate() {
+                let buf = &mut tile[bi * num_nodes..(bi + 1) * num_nodes];
+                for (i, &pi) in netlist.inputs().iter().enumerate() {
+                    buf[pi.index()] = space.input_word(i, block);
                 }
-                buf[id.index()] = eval_gate_word(node.kind(), node.fanins(), buf);
+                for &id in netlist.topo_order() {
+                    let node = netlist.node(id);
+                    if node.kind() == GateKind::Input {
+                        continue;
+                    }
+                    buf[id.index()] = eval_gate_word(node.kind(), node.fanins(), buf);
+                }
             }
-        }
+            tile
+        });
         GoodValues {
             words,
             num_nodes,
@@ -174,6 +191,28 @@ mod tests {
         for v in 0..256 {
             let expect = (v as u32).count_ones() % 2 == 1;
             assert_eq!(good.node_value(&space, g, v), expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn threaded_compute_is_bit_identical() {
+        // 9-input parity tree: 8 blocks to shard.
+        let mut b = NetlistBuilder::new("parity9");
+        let inputs: Vec<_> = (0..9).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.xor("p", &inputs).unwrap();
+        b.output(g);
+        let n = b.build().unwrap();
+        let space = PatternSpace::new(9).unwrap();
+        let serial = GoodValues::compute_with(&n, &space, 1);
+        for threads in [2, 3, 8, 64] {
+            let sharded = GoodValues::compute_with(&n, &space, threads);
+            for block in 0..space.num_blocks() {
+                assert_eq!(
+                    serial.block(block),
+                    sharded.block(block),
+                    "threads={threads}"
+                );
+            }
         }
     }
 

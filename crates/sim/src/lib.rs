@@ -14,6 +14,10 @@
 //! * [`GoodValues`] — fault-free values of every node on every vector,
 //!   computed once by levelized bit-parallel simulation and reused by all
 //!   fault injections.
+//! * [`parallel`] — a scoped-thread worker pool shared by every
+//!   data-parallel loop in the workspace (fault-tile and pattern-block
+//!   sharding, Procedure-1 test-set construction), with one `0 = auto`
+//!   thread-count convention (`NDETECT_THREADS`, then the machine).
 //! * [`Trit`] / [`PartialVector`] and three-valued evaluation — the
 //!   pessimistic 0/1/X logic needed by the paper's Definition 2 ("two tests
 //!   count as different detections only if their common bits do not already
@@ -46,6 +50,7 @@
 
 mod error;
 mod good;
+pub mod parallel;
 mod set;
 mod space;
 mod threeval;

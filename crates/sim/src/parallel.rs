@@ -1,0 +1,160 @@
+//! A small scoped-thread worker pool for data-parallel simulation loops.
+//!
+//! The whole workspace parallelizes the same way: a read-only problem
+//! (`&FaultSimulator`, `&FaultUniverse`, …) is shared across workers,
+//! each worker produces results for a contiguous tile of the index
+//! space, and tiles are reassembled in index order — so results are
+//! **bit-identical to the serial order for any thread count**. Workers
+//! pull tiles from a shared atomic cursor, which keeps cores busy even
+//! when per-item cost varies wildly (e.g. bridging faults whose
+//! activation condition prunes most blocks).
+//!
+//! Thread counts follow one convention everywhere: `0` means "auto" —
+//! the [`THREADS_ENV`] environment variable if set, otherwise
+//! [`std::thread::available_parallelism`]. CLI `--threads` flags and
+//! config fields pass their value straight to [`resolve_threads`].
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the "auto" worker count
+/// (`NDETECT_THREADS=4`). Ignored when unparsable or zero.
+pub const THREADS_ENV: &str = "NDETECT_THREADS";
+
+/// How many tiles each worker gets on average; more tiles improve load
+/// balance at the cost of a little scheduling traffic.
+const TILES_PER_WORKER: usize = 8;
+
+/// Resolves a requested worker count to an effective one: any positive
+/// request is honoured as-is; `0` consults [`THREADS_ENV`] and then the
+/// machine's available parallelism (never less than 1).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `0..len` split into contiguous tiles, concatenating the
+/// per-tile outputs in index order.
+///
+/// `f` receives a sub-range and returns its outputs for that range;
+/// outputs are reassembled in ascending range order, so the result is
+/// identical to `f(0..len)` whenever `f` is itself index-local. With
+/// `num_threads <= 1` (or a trivially small `len`) the call degrades to
+/// exactly that serial invocation — no threads, no overhead.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is propagated).
+pub fn run_tiled<O, F>(num_threads: usize, len: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(Range<usize>) -> Vec<O> + Sync,
+{
+    let workers = num_threads.max(1).min(len);
+    if workers <= 1 {
+        return f(0..len);
+    }
+    let tile = len.div_ceil(workers * TILES_PER_WORKER).max(1);
+    let num_tiles = len.div_ceil(tile);
+    let cursor = AtomicUsize::new(0);
+
+    let mut parts: Vec<(usize, Vec<O>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<O>)> = Vec::new();
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        if t >= num_tiles {
+                            break;
+                        }
+                        let start = t * tile;
+                        let end = (start + tile).min(len);
+                        local.push((t, f(start..end)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    parts.sort_unstable_by_key(|&(t, _)| t);
+    // `f` may emit several outputs per index (e.g. one word per node per
+    // block), so size the buffer from the parts, not from `len`.
+    let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Parallel order-preserving map over a slice: `out[i] == f(i, &items[i])`
+/// for every `i`, computed on up to `num_threads` workers.
+pub fn parallel_map<T, O, F>(num_threads: usize, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    run_tiled(num_threads, items.len(), |range| {
+        range.map(|i| f(i, &items[i])).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let got = parallel_map(resolve_threads(threads), &items, |_, &x| x * 3 + 1);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_tiled_handles_degenerate_lengths() {
+        let empty: Vec<usize> = run_tiled(4, 0, |r| r.collect());
+        assert!(empty.is_empty());
+        let one: Vec<usize> = run_tiled(4, 1, |r| r.collect());
+        assert_eq!(one, vec![0]);
+        let uneven: Vec<usize> = run_tiled(3, 100, |r| r.collect());
+        assert_eq!(uneven, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tiled_covers_every_index_exactly_once() {
+        // Ranges handed to workers partition 0..len.
+        let marks: Vec<usize> = run_tiled(5, 237, Iterator::collect);
+        assert_eq!(marks, (0..237).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_threads_honours_explicit_requests() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

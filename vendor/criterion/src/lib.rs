@@ -7,7 +7,10 @@
 //! vendors this minimal implementation as a path dependency. It is a
 //! real (if crude) harness: each benchmark is warmed up once, timed for
 //! `sample_size` iterations, and the mean wall-clock time per iteration
-//! is printed. There are no statistics, plots, or saved baselines.
+//! is printed. `cargo bench -- --test` (or `--quick`) runs every
+//! benchmark exactly once as a smoke test, mirroring upstream
+//! criterion's `--test` flag. There are no statistics, plots, or saved
+//! baselines.
 
 #![forbid(unsafe_code)]
 
@@ -67,6 +70,10 @@ impl Bencher {
 pub struct Criterion {
     sample_size: u64,
     filter: Option<String>,
+    /// Smoke mode (`cargo bench -- --test`, as in upstream criterion):
+    /// run every benchmark exactly once, without warm-up, to prove it
+    /// executes — timings are reported but meaningless.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -74,6 +81,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             filter: None,
+            test_mode: false,
         }
     }
 }
@@ -102,10 +110,13 @@ impl Criterion {
 
     /// Reads a benchmark-name substring filter from the command line
     /// (any first argument not starting with `-`, as passed by
-    /// `cargo bench -- <filter>`).
+    /// `cargo bench -- <filter>`), plus the `--test`/`--quick` smoke
+    /// flags that run every benchmark exactly once.
     #[must_use]
     pub fn configure_from_args(mut self) -> Self {
-        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        self.test_mode = args.iter().any(|a| a == "--test" || a == "--quick");
         self
     }
 
@@ -138,11 +149,18 @@ impl Criterion {
                 return;
             }
         }
-        // One untimed warm-up pass, then the measured pass.
         let mut bencher = Bencher {
             iterations: 1,
             elapsed: Duration::ZERO,
         };
+        if self.test_mode {
+            // Smoke mode: one iteration, no warm-up — proves the
+            // benchmark runs without paying for a measurement.
+            routine(&mut bencher);
+            println!("{id:<50} smoke: ran 1 iteration");
+            return;
+        }
+        // One untimed warm-up pass, then the measured pass.
         routine(&mut bencher);
         bencher.iterations = sample_size;
         routine(&mut bencher);
