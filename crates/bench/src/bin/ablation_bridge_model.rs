@@ -2,14 +2,15 @@
 //! worst-case conclusions depend on using the paper's full four-way
 //! model vs its wired-AND / wired-OR halves?
 //!
-//! Usage: `ablation_bridge_model [--circuits a,b,c]`.
+//! Usage: `ablation_bridge_model [--circuits a,b,c] [--cache-dir DIR]`.
 
-use ndetect_bench::{selected_circuits, Args};
+use ndetect_bench::{open_store, selected_circuits, Args};
 use ndetect_core::WorstCaseAnalysis;
 use ndetect_faults::{BridgeModel, FaultUniverse, UniverseOptions};
 
 fn main() {
     let args = Args::parse();
+    let store = open_store(&args);
     println!("Ablation: four-way vs wired-AND vs wired-OR bridging models");
     println!("(worst-case coverage % at n = 1 and n = 10, and nmin >= 11 tail counts)");
     println!();
@@ -24,15 +25,17 @@ fn main() {
             ("wired-AND", BridgeModel::WiredAnd),
             ("wired-OR", BridgeModel::WiredOr),
         ] {
-            let universe = FaultUniverse::build_with(
+            let universe = FaultUniverse::build_stored(
                 &netlist,
                 UniverseOptions {
                     bridge_model: model,
+                    threads: args.threads(),
                     ..UniverseOptions::default()
                 },
+                store.as_ref(),
             )
             .expect("fits exhaustive sim");
-            let wc = WorstCaseAnalysis::compute(&universe);
+            let wc = WorstCaseAnalysis::compute_stored(&universe, args.threads(), store.as_ref());
             println!(
                 "{:<10} {:<9} | {:>8} {:>7.2}% {:>7.2}% {:>8}",
                 if model == BridgeModel::FourWay {

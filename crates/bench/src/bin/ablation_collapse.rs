@@ -6,14 +6,15 @@
 //! worst-case coverage moves, and verifies the monotonicity property on
 //! real circuits.
 //!
-//! Usage: `ablation_collapse [--circuits a,b,c]`.
+//! Usage: `ablation_collapse [--circuits a,b,c] [--cache-dir DIR]`.
 
-use ndetect_bench::{selected_circuits, Args};
+use ndetect_bench::{open_store, selected_circuits, Args};
 use ndetect_core::WorstCaseAnalysis;
 use ndetect_faults::{FaultUniverse, UniverseOptions};
 
 fn main() {
     let args = Args::parse();
+    let store = open_store(&args);
     println!("Ablation: equivalence collapsing of target faults");
     println!("(worst-case coverage % at n = 10 and tail counts, collapsed vs full F)");
     println!();
@@ -23,18 +24,25 @@ fn main() {
     );
     for name in selected_circuits(&args) {
         let netlist = ndetect_circuits::build(&name).expect("suite circuit builds");
-        let collapsed = FaultUniverse::build(&netlist).expect("fits exhaustive sim");
-        let full = FaultUniverse::build_with(
+        let collapsed = FaultUniverse::build_stored(
+            &netlist,
+            UniverseOptions::with_threads(args.threads()),
+            store.as_ref(),
+        )
+        .expect("fits exhaustive sim");
+        let full = FaultUniverse::build_stored(
             &netlist,
             UniverseOptions {
                 collapse_targets: false,
                 include_bridges: true,
+                threads: args.threads(),
                 ..UniverseOptions::default()
             },
+            store.as_ref(),
         )
         .expect("fits exhaustive sim");
-        let wc_c = WorstCaseAnalysis::compute(&collapsed);
-        let wc_f = WorstCaseAnalysis::compute(&full);
+        let wc_c = WorstCaseAnalysis::compute_stored(&collapsed, args.threads(), store.as_ref());
+        let wc_f = WorstCaseAnalysis::compute_stored(&full, args.threads(), store.as_ref());
 
         // Monotonicity check: more targets never increase nmin.
         for j in 0..collapsed.bridges().len() {

@@ -2,15 +2,16 @@
 //! synthesized under natural-binary vs Gray encodings yields different
 //! combinational logic; how stable are the n-detection conclusions?
 //!
-//! Usage: `ablation_encoding [--circuits a,b,c]`.
+//! Usage: `ablation_encoding [--circuits a,b,c] [--cache-dir DIR]`.
 
-use ndetect_bench::{selected_circuits, Args};
+use ndetect_bench::{open_store, selected_circuits, Args};
 use ndetect_core::WorstCaseAnalysis;
-use ndetect_faults::FaultUniverse;
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 use ndetect_fsm::{synthesize, StateEncoding, SynthOptions};
 
 fn main() {
     let args = Args::parse();
+    let store = open_store(&args);
     println!("Ablation: binary vs Gray state encoding");
     println!("(worst-case coverage % and tail counts over the same machine)");
     println!();
@@ -30,8 +31,13 @@ fn main() {
         ] {
             let netlist = synthesize(&fsm, &encoding, SynthOptions::default())
                 .expect("suite machines synthesize");
-            let universe = FaultUniverse::build(&netlist).expect("fits exhaustive sim");
-            let wc = WorstCaseAnalysis::compute(&universe);
+            let universe = FaultUniverse::build_stored(
+                &netlist,
+                UniverseOptions::with_threads(args.threads()),
+                store.as_ref(),
+            )
+            .expect("fits exhaustive sim");
+            let wc = WorstCaseAnalysis::compute_stored(&universe, args.threads(), store.as_ref());
             println!(
                 "{:<10} {:<7} | {:>6} {:>8} {:>7.2}% {:>7.2}% {:>8}",
                 if label == "binary" { name.as_str() } else { "" },

@@ -5,11 +5,14 @@
 //! Every circuit's fault universe is built **once** (via
 //! [`ndetect_bench::UniverseCache`]) and shared across all tables that
 //! need it — including the figure1 example, which Tables 1 and 4 reuse.
+//! With `--cache-dir` (or `NDETECT_CACHE_DIR`) universes and `nmin`
+//! vectors additionally persist to the content-addressed on-disk store,
+//! so a warm second run performs **zero** universe builds.
 //!
 //! Usage: `all_tables [--k5 1000] [--k6 200] [--circuits a,b,c]
-//! [--threads N]`.
+//! [--threads N] [--cache-dir DIR]`.
 
-use ndetect_bench::{selected_circuits, Args, UniverseCache};
+use ndetect_bench::{open_store, selected_circuits, Args, UniverseCache};
 use ndetect_core::report::{
     render_table2, render_table3, render_table5, render_table6, table2_row, table3_row, table5_row,
     table6_row,
@@ -25,13 +28,14 @@ fn main() {
     let k5: usize = args.get_or("k5", 1000);
     let k6: usize = args.get_or("k6", 200);
     let threads = args.threads();
+    let store = open_store(&args);
     let nmax: u32 = 10;
     let mut cache = UniverseCache::new(threads);
 
     // Table 1 + Table 4 + Figure 1 example data are exact and cheap and
     // share one cached figure1 universe.
     println!("=== Table 1 (figure1 example; exact reproduction) ===\n");
-    table1_section(&cache.get("figure1").1);
+    table1_section(&cache.get_stored("figure1", store.as_ref()).1);
 
     // Suite passes: compute each universe once, reuse for tables 2/3/5/6
     // and figure 2.
@@ -42,8 +46,8 @@ fn main() {
     let mut figure2_text: Option<String> = None;
 
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = cache.get(&name);
-        let wc = WorstCaseAnalysis::compute_with(universe, threads);
+        let (_netlist, universe) = cache.get_stored(&name, store.as_ref());
+        let wc = WorstCaseAnalysis::compute_stored(universe, threads, store.as_ref());
         rows2.push(table2_row(&name, &wc));
         if wc.tail_count(11) > 0 {
             rows3.push(table3_row(&name, &wc));
@@ -96,7 +100,7 @@ fn main() {
         print!("{text}");
     }
     println!("\n=== Table 4 (example test sets) ===\n");
-    table4_section(&cache.get("figure1").1);
+    table4_section(&cache.get_stored("figure1", store.as_ref()).1);
     println!("\n=== Table 5 (average case, Definition 1, K = {k5}) ===\n");
     print!("{}", render_table5(&rows5));
     println!("\n=== Table 6 (Definition 1 vs 2, K = {k6}) ===\n");

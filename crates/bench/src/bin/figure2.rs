@@ -4,7 +4,7 @@
 //!
 //! Usage: `figure2 [--circuits dvram] [--floor 100]`.
 
-use ndetect_bench::{build_universe_with, Args};
+use ndetect_bench::{build_universe_stored, open_store, Args};
 use ndetect_core::{NminDistribution, WorstCaseAnalysis};
 
 fn main() {
@@ -16,8 +16,9 @@ fn main() {
     let floor: u32 = args.get_or("floor", 100);
 
     let threads = args.threads();
-    let (_netlist, universe) = build_universe_with(&name, threads);
-    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
+    let store = open_store(&args);
+    let (_netlist, universe) = build_universe_stored(&name, threads, store.as_ref());
+    let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store.as_ref());
     let dist = NminDistribution::collect(&wc, floor);
 
     println!("Figure 2: distribution of nmin(gj) for {name} (nmin >= {floor})");

@@ -1,10 +1,15 @@
 //! Prints structural and fault-population statistics for every suite
 //! circuit — used to calibrate the experiment harness.
+//!
+//! Usage: `suite_stats [--threads N] [--cache-dir DIR]`.
 
-use ndetect_faults::FaultUniverse;
+use ndetect_bench::{open_store, Args};
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 use std::time::Instant;
 
 fn main() {
+    let args = Args::parse();
+    let store = open_store(&args);
     println!(
         "{:<10} {:>3} {:>3} {:>3} {:>5} {:>6} {:>7} {:>8} {:>8} {:>8}",
         "circuit", "pi", "po", "st", "bits", "gates", "|F|", "|G|", "undet", "ms"
@@ -12,7 +17,12 @@ fn main() {
     for spec in ndetect_circuits::suite() {
         let t0 = Instant::now();
         let netlist = spec.build().expect("suite circuits synthesize");
-        let universe = FaultUniverse::build(&netlist).expect("suite circuits fit exhaustive sim");
+        let universe = FaultUniverse::build_stored(
+            &netlist,
+            UniverseOptions::with_threads(args.threads()),
+            store.as_ref(),
+        )
+        .expect("suite circuits fit exhaustive sim");
         let ms = t0.elapsed().as_millis();
         println!(
             "{:<10} {:>3} {:>3} {:>3} {:>5} {:>6} {:>7} {:>8} {:>8} {:>8}",

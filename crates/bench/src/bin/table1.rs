@@ -6,14 +6,25 @@
 //! detection sets, same nmin values) — it is the ground truth that pins
 //! down the fault semantics of the whole reproduction.
 
+//!
+//! Usage: `table1 [--threads N] [--cache-dir DIR]`.
+
+use ndetect_bench::{open_store, Args};
 use ndetect_circuits::figure1;
 use ndetect_core::report;
 use ndetect_core::WorstCaseAnalysis;
-use ndetect_faults::FaultUniverse;
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 
 fn main() {
+    let args = Args::parse();
+    let store = open_store(&args);
     let netlist = figure1::netlist();
-    let universe = FaultUniverse::build(&netlist).expect("figure1 fits exhaustive simulation");
+    let universe = FaultUniverse::build_stored(
+        &netlist,
+        UniverseOptions::with_threads(args.threads()),
+        store.as_ref(),
+    )
+    .expect("figure1 fits exhaustive simulation");
 
     let g0 = universe
         .find_bridge("9", false, "10", true)
@@ -42,7 +53,7 @@ fn main() {
         println!("{:>3}  {:<6} {:<42} {}", row.index, label, ts, row.nmin);
     }
 
-    let wc = WorstCaseAnalysis::compute(&universe);
+    let wc = WorstCaseAnalysis::compute_stored(&universe, args.threads(), store.as_ref());
     println!();
     println!("nmin(g0) = {}", wc.nmin(g0).expect("g0 has a bound"));
     let g6 = universe

@@ -7,20 +7,26 @@
 //! every printed set is a valid n-detection set, and the n = 2 sets
 //! extend the n = 1 sets.
 //!
-//! Usage: `table4 [--k 10] [--seed 1]`.
+//! Usage: `table4 [--k 10] [--seed 1] [--cache-dir DIR]`.
 
-use ndetect_bench::Args;
+use ndetect_bench::{open_store, Args};
 use ndetect_circuits::figure1;
 use ndetect_core::{construct_test_set_series, Procedure1Config};
-use ndetect_faults::FaultUniverse;
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 
 fn main() {
     let args = Args::parse();
     let k: usize = args.get_or("k", 10);
     let seed: u64 = args.get_or("seed", 1);
+    let store = open_store(&args);
 
     let netlist = figure1::netlist();
-    let universe = FaultUniverse::build(&netlist).expect("figure1 fits exhaustive simulation");
+    let universe = FaultUniverse::build_stored(
+        &netlist,
+        UniverseOptions::with_threads(args.threads()),
+        store.as_ref(),
+    )
+    .expect("figure1 fits exhaustive simulation");
     let config = Procedure1Config {
         nmax: 2,
         num_test_sets: k,

@@ -4,12 +4,14 @@
 //! `src/bin/` (`table1` … `table6`, `figure2`, `all_tables`), plus
 //! calibration (`suite_stats`) and ablation (`ablation_atpg`,
 //! `ablation_collapse`) tools. This library holds the tiny bits they
-//! share: argument parsing (including the common `--threads` flag),
-//! timed universe construction, and an in-process per-circuit universe
-//! cache.
+//! share: argument parsing (including the common `--threads` and
+//! `--cache-dir` flags), timed universe construction, and an in-process
+//! per-(circuit, options) universe cache with an optional
+//! content-addressed on-disk fallthrough (`ndetect-store`).
 
 use ndetect_faults::{FaultUniverse, UniverseOptions};
 use ndetect_netlist::Netlist;
+use ndetect_store::Store;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -99,6 +101,31 @@ impl Args {
     pub fn threads(&self) -> usize {
         self.get_or("threads", 0)
     }
+
+    /// The on-disk artifact cache directory: `--cache-dir DIR`, falling
+    /// back to the `NDETECT_CACHE_DIR` environment variable. `None`
+    /// (no flag, no variable) disables the disk cache.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<String> {
+        self.get("cache-dir")
+            .map(str::to_string)
+            .or_else(|| std::env::var("NDETECT_CACHE_DIR").ok())
+            .filter(|d| !d.is_empty())
+    }
+}
+
+/// Opens the content-addressed artifact store selected by `--cache-dir`
+/// / `NDETECT_CACHE_DIR`, or `None` when no cache directory is
+/// configured.
+///
+/// # Panics
+///
+/// Panics if the configured directory cannot be created.
+#[must_use]
+pub fn open_store(args: &Args) -> Option<Store> {
+    args.cache_dir().map(|dir| {
+        Store::open(&dir).unwrap_or_else(|e| panic!("cannot open cache dir `{dir}`: {e}"))
+    })
 }
 
 /// Builds a suite circuit and its fault universe with the auto thread
@@ -122,24 +149,61 @@ pub fn build_universe(name: &str) -> (Netlist, FaultUniverse) {
 /// built (suite circuits always can).
 #[must_use]
 pub fn build_universe_with(name: &str, threads: usize) -> (Netlist, FaultUniverse) {
+    build_universe_stored(name, threads, None)
+}
+
+/// Builds a suite circuit and its fault universe with up to `threads`
+/// workers (`0` = auto), consulting the on-disk artifact store first
+/// when one is given; prints timing to stderr.
+///
+/// # Panics
+///
+/// Panics if the circuit name is unknown or the universe cannot be
+/// built (suite circuits always can).
+#[must_use]
+pub fn build_universe_stored(
+    name: &str,
+    threads: usize,
+    store: Option<&Store>,
+) -> (Netlist, FaultUniverse) {
+    build_universe_options(name, UniverseOptions::with_threads(threads), store)
+}
+
+/// The fully general timed build: a suite circuit's universe under
+/// explicit options, consulting the store first when one is given.
+///
+/// # Panics
+///
+/// Panics if the circuit name is unknown or the universe cannot be
+/// built (suite circuits always can).
+#[must_use]
+pub fn build_universe_options(
+    name: &str,
+    options: UniverseOptions,
+    store: Option<&Store>,
+) -> (Netlist, FaultUniverse) {
     let t0 = Instant::now();
     let netlist = ndetect_circuits::build(name)
         .unwrap_or_else(|e| panic!("cannot build circuit `{name}`: {e}"));
-    let universe = FaultUniverse::build_with(&netlist, UniverseOptions::with_threads(threads))
+    let universe = FaultUniverse::build_stored(&netlist, options, store)
         .unwrap_or_else(|e| panic!("cannot build universe for `{name}`: {e}"));
 
     eprintln!("# {name}: {} ({:.1?})", universe, t0.elapsed());
     (netlist, universe)
 }
 
-/// An in-process cache of fault universes, keyed by circuit name, so a
-/// binary that regenerates several tables builds each circuit's universe
-/// **once** and reuses it for every table (the first step of the
-/// roadmap's suite-wide caching item).
+/// An in-process cache of fault universes, keyed by **(circuit name,
+/// universe options)**, so a binary that regenerates several tables
+/// builds each distinct universe **once** and reuses it for every table
+/// — and differing bridging/collapse/thread options can never alias to
+/// the same cached universe. With [`UniverseCache::get_stored`] the
+/// in-process cache additionally falls through to the content-addressed
+/// on-disk store, making repeated invocations incremental across
+/// processes.
 #[derive(Default)]
 pub struct UniverseCache {
     threads: usize,
-    entries: HashMap<String, (Netlist, FaultUniverse)>,
+    entries: HashMap<(String, UniverseOptions), (Netlist, FaultUniverse)>,
 }
 
 impl UniverseCache {
@@ -153,19 +217,57 @@ impl UniverseCache {
         }
     }
 
-    /// The universe (and netlist) for `name`, building it on first use
-    /// and reusing it afterwards.
+    /// The universe (and netlist) for `name` under the default options,
+    /// building it on first use and reusing it afterwards.
     ///
     /// # Panics
     ///
     /// Panics if the circuit name is unknown or the universe cannot be
     /// built (suite circuits always can).
     pub fn get(&mut self, name: &str) -> &(Netlist, FaultUniverse) {
-        if !self.entries.contains_key(name) {
-            let built = build_universe_with(name, self.threads);
-            self.entries.insert(name.to_string(), built);
+        self.get_stored(name, None)
+    }
+
+    /// Like [`UniverseCache::get`], but a miss in the in-process map
+    /// falls through to the on-disk store before building from scratch
+    /// (and populates the store after a build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit name is unknown or the universe cannot be
+    /// built (suite circuits always can).
+    pub fn get_stored(&mut self, name: &str, store: Option<&Store>) -> &(Netlist, FaultUniverse) {
+        self.get_with(name, UniverseOptions::with_threads(self.threads), store)
+    }
+
+    /// The fully general lookup: the universe for `name` built with
+    /// explicit `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit name is unknown or the universe cannot be
+    /// built (suite circuits always can).
+    pub fn get_with(
+        &mut self,
+        name: &str,
+        options: UniverseOptions,
+        store: Option<&Store>,
+    ) -> &(Netlist, FaultUniverse) {
+        // Key on the semantic options only: thread count is a
+        // performance knob with bit-identical results, so it must not
+        // split the cache (matching the on-disk key derivation).
+        let key = (
+            name.to_string(),
+            UniverseOptions {
+                threads: 0,
+                ..options
+            },
+        );
+        if !self.entries.contains_key(&key) {
+            let built = build_universe_options(name, options, store);
+            self.entries.insert(key.clone(), built);
         }
-        &self.entries[name]
+        &self.entries[&key]
     }
 }
 
@@ -207,5 +309,28 @@ mod tests {
     #[should_panic(expected = "expected --key value")]
     fn rejects_positional_arguments() {
         let _ = Args::from_vec(vec!["oops".into()]);
+    }
+
+    #[test]
+    fn cache_dir_flag_wins_over_nothing() {
+        let args = Args::from_vec(vec!["--cache-dir".into(), "/tmp/ndet-cache".into()]);
+        assert_eq!(args.cache_dir().as_deref(), Some("/tmp/ndet-cache"));
+    }
+
+    #[test]
+    fn universe_cache_distinguishes_options() {
+        let mut cache = UniverseCache::new(1);
+        let defaults = UniverseOptions::with_threads(1);
+        let no_bridges = UniverseOptions {
+            include_bridges: false,
+            ..defaults
+        };
+        let (_, with_bridges) = cache.get_with("figure1", defaults, None);
+        assert!(!with_bridges.bridges().is_empty());
+        let (_, without) = cache.get_with("figure1", no_bridges, None);
+        assert!(without.bridges().is_empty());
+        // The first entry was not clobbered by the second.
+        let (_, again) = cache.get_with("figure1", defaults, None);
+        assert!(!again.bridges().is_empty());
     }
 }

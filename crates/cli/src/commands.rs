@@ -1,14 +1,16 @@
 //! Subcommand implementations for `ndet`.
 
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
-use ndetect_core::partition::analyze_output_cones_with;
+use ndetect_core::partition::analyze_output_cones_stored;
 use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
     WorstCaseAnalysis,
 };
-use ndetect_faults::FaultUniverse;
+use ndetect_faults::{FaultUniverse, UniverseOptions};
 use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+use ndetect_store::Store;
+use std::path::Path;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
@@ -22,12 +24,21 @@ pub const USAGE: &str = "usage:
   ndet pla-file <path> <stats|worst|synth>
   ndet dot <circuit>
   ndet cones <circuit> [--max-inputs N]
+  ndet corpus <dir> [--format csv|json] [--max-inputs N]
+  ndet cache <stats|verify|clear|gc> [--max-bytes N]
 
 <circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
 
 Every analysis command accepts `--threads N` (worker threads for fault
 simulation; default: the NDETECT_THREADS environment variable, then all
-available cores). Results are identical for every thread count.";
+available cores). Results are identical for every thread count.
+
+Every analysis command also accepts `--cache-dir DIR` (default: the
+NDETECT_CACHE_DIR environment variable): a content-addressed on-disk
+cache of fault universes and nmin vectors, making repeated analyses of
+the same circuit incremental across invocations. `ndet cache` inspects
+and maintains that directory (gc evicts least-recently-used entries
+down to --max-bytes).";
 
 /// Parses and runs a command line; returns a user-facing error string on
 /// failure.
@@ -40,64 +51,125 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let threads = flag_value(&rest, "--threads")?.unwrap_or(0);
     match command.as_str() {
         "list" => list(),
-        "stats" => with_circuit(&rest, |_, n| stats(&n, threads)),
+        "stats" => {
+            let store = open_store(&rest)?;
+            with_circuit(&rest, |_, n| stats(&n, threads, store.as_ref()))
+        }
         "worst" => {
             let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
-            with_circuit(&rest, |_, n| worst(&n, floor, threads))
+            let store = open_store(&rest)?;
+            with_circuit(&rest, |_, n| worst(&n, floor, threads, store.as_ref()))
         }
         "average" => {
             let k = flag_value(&rest, "--k")?.unwrap_or(200);
             let nmax = flag_value(&rest, "--nmax")?.unwrap_or(10);
             let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
             let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax + 1);
+            let store = open_store(&rest)?;
             with_circuit(&rest, |name, n| {
-                average(name, &n, k, nmax as u32, def, tail as u32, threads)
+                average(
+                    name,
+                    &n,
+                    k,
+                    nmax as u32,
+                    def,
+                    tail as u32,
+                    threads,
+                    store.as_ref(),
+                )
             })
         }
         "greedy" => {
             let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
-            with_circuit(&rest, |_, n| greedy(&n, n_det as u32, threads))
+            let store = open_store(&rest)?;
+            with_circuit(&rest, |_, n| {
+                greedy(&n, n_det as u32, threads, store.as_ref())
+            })
         }
         "synth" => with_circuit(&rest, |_, n| {
             print!("{}", bench_format::write(&n));
             Ok(())
         }),
-        "bench-file" => bench_file(&rest, threads),
-        "pla-file" => pla_file(&rest, threads),
+        "bench-file" => bench_file(&rest, threads, open_store(&rest)?.as_ref()),
+        "pla-file" => pla_file(&rest, threads, open_store(&rest)?.as_ref()),
         "dot" => with_circuit(&rest, |_, n| {
             print!("{}", ndetect_netlist::dot::write(&n));
             Ok(())
         }),
         "cones" => {
             let max_inputs = flag_value(&rest, "--max-inputs")?.unwrap_or(14);
-            with_circuit(&rest, |_, n| cones(&n, max_inputs, threads))
+            let store = open_store(&rest)?;
+            with_circuit(&rest, |_, n| cones(&n, max_inputs, threads, store.as_ref()))
         }
+        "corpus" => corpus(&rest, threads, open_store(&rest)?.as_ref()),
+        "cache" => cache(&rest, open_store(&rest)?.as_ref()),
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
 fn flag_value(rest: &[&String], flag: &str) -> Result<Option<usize>, String> {
+    match flag_str(rest, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value for {flag}: `{v}`")),
+    }
+}
+
+fn flag_str<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a str>, String> {
     for (i, arg) in rest.iter().enumerate() {
         if arg.as_str() == flag {
-            let v = rest
+            return rest
                 .get(i + 1)
-                .ok_or_else(|| format!("missing value for {flag}"))?;
-            return v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("bad value for {flag}: `{v}`"));
+                .map(|v| Some(v.as_str()))
+                .ok_or_else(|| format!("missing value for {flag}"));
         }
     }
     Ok(None)
+}
+
+/// Opens the artifact store selected by `--cache-dir`, falling back to
+/// the `NDETECT_CACHE_DIR` environment variable; `Ok(None)` when no
+/// cache directory is configured.
+fn open_store(rest: &[&String]) -> Result<Option<Store>, String> {
+    // An empty value (e.g. --cache-dir "$UNSET_VAR") disables caching
+    // rather than rooting a store in the current directory.
+    let dir = flag_str(rest, "--cache-dir")?
+        .map(str::to_string)
+        .or_else(|| std::env::var("NDETECT_CACHE_DIR").ok())
+        .filter(|d| !d.is_empty());
+    match dir {
+        None => Ok(None),
+        Some(dir) => Store::open(&dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open cache dir `{dir}`: {e}")),
+    }
+}
+
+/// The positional arguments: every token that is neither a `--flag` nor
+/// the value following one (string-valued flags like `--cache-dir`
+/// would otherwise be misread as positionals).
+fn positionals<'a>(rest: &[&'a String]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            let _ = it.next(); // the flag's value
+            continue;
+        }
+        out.push(arg.as_str());
+    }
+    out
 }
 
 fn with_circuit(
     rest: &[&String],
     f: impl FnOnce(&str, Netlist) -> Result<(), String>,
 ) -> Result<(), String> {
-    let name = rest
-        .iter()
-        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+    let name = positionals(rest)
+        .into_iter()
+        .find(|a| !a.chars().all(|c| c.is_ascii_digit()))
         .ok_or("missing circuit name")?;
     let netlist = ndetect_circuits::build(name).map_err(|e| e.to_string())?;
     f(name, netlist)
@@ -123,25 +195,31 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
-fn universe_of(netlist: &Netlist, threads: usize) -> Result<FaultUniverse, String> {
-    FaultUniverse::build_with(
-        netlist,
-        ndetect_faults::UniverseOptions::with_threads(threads),
-    )
-    .map_err(|e| e.to_string())
+fn universe_of(
+    netlist: &Netlist,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<FaultUniverse, String> {
+    FaultUniverse::build_stored(netlist, UniverseOptions::with_threads(threads), store)
+        .map_err(|e| e.to_string())
 }
 
-fn stats(netlist: &Netlist, threads: usize) -> Result<(), String> {
+fn stats(netlist: &Netlist, threads: usize, store: Option<&Store>) -> Result<(), String> {
     println!("{netlist}");
     println!("{}", NetlistStats::compute(netlist));
-    let universe = universe_of(netlist, threads)?;
+    let universe = universe_of(netlist, threads, store)?;
     println!("{universe}");
     Ok(())
 }
 
-fn worst(netlist: &Netlist, floor: usize, threads: usize) -> Result<(), String> {
-    let universe = universe_of(netlist, threads)?;
-    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
+fn worst(
+    netlist: &Netlist,
+    floor: usize,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    let universe = universe_of(netlist, threads, store)?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
     println!("{universe}");
     println!("{wc}");
     println!();
@@ -156,6 +234,7 @@ fn worst(netlist: &Netlist, floor: usize, threads: usize) -> Result<(), String> 
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn average(
     name: &str,
     netlist: &Netlist,
@@ -164,14 +243,15 @@ fn average(
     def: u32,
     tail: u32,
     threads: usize,
+    store: Option<&Store>,
 ) -> Result<(), String> {
     let definition = match def {
         1 => DetectionDefinition::Standard,
         2 => DetectionDefinition::SufficientlyDifferent,
         other => return Err(format!("--def must be 1 or 2, got {other}")),
     };
-    let universe = universe_of(netlist, threads)?;
-    let wc = WorstCaseAnalysis::compute_with(&universe, threads);
+    let universe = universe_of(netlist, threads, store)?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
     let tracked = wc.tail_indices(tail);
     if tracked.is_empty() {
         println!("{name}: no untargeted faults with nmin >= {tail}; nothing to estimate");
@@ -208,8 +288,8 @@ fn average(
     Ok(())
 }
 
-fn greedy(netlist: &Netlist, n: u32, threads: usize) -> Result<(), String> {
-    let universe = universe_of(netlist, threads)?;
+fn greedy(netlist: &Netlist, n: u32, threads: usize, store: Option<&Store>) -> Result<(), String> {
+    let universe = universe_of(netlist, threads, store)?;
     let set = greedy_n_detection(&universe, n);
     println!(
         "greedy {n}-detection set: {} tests, bridging coverage {:.2}%",
@@ -220,20 +300,20 @@ fn greedy(netlist: &Netlist, n: u32, threads: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn pla_file(rest: &[&String], threads: usize) -> Result<(), String> {
-    let path = rest.first().ok_or("missing .pla path")?;
-    let sub = rest.get(1).map_or("stats", |s| s.as_str());
-    let text =
-        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let name = std::path::Path::new(path.as_str())
+fn pla_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+    let pos = positionals(rest);
+    let path = *pos.first().ok_or("missing .pla path")?;
+    let sub = pos.get(1).copied().unwrap_or("stats");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("pla");
     let pla = ndetect_fsm::parse_pla(name, &text).map_err(|e| e.to_string())?;
     let netlist = pla.synthesize().map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist, threads),
-        "worst" => worst(&netlist, 100, threads),
+        "stats" => stats(&netlist, threads, store),
+        "worst" => worst(&netlist, 100, threads, store),
         "synth" => {
             print!("{}", bench_format::write(&netlist));
             Ok(())
@@ -242,27 +322,32 @@ fn pla_file(rest: &[&String], threads: usize) -> Result<(), String> {
     }
 }
 
-fn bench_file(rest: &[&String], threads: usize) -> Result<(), String> {
-    let path = rest.first().ok_or("missing .bench path")?;
-    let sub = rest.get(1).map_or("stats", |s| s.as_str());
-    let text =
-        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let name = std::path::Path::new(path.as_str())
+fn bench_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+    let pos = positionals(rest);
+    let path = *pos.first().ok_or("missing .bench path")?;
+    let sub = pos.get(1).copied().unwrap_or("stats");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("bench");
     let netlist = bench_format::parse(name, &text).map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist, threads),
-        "worst" => worst(&netlist, 100, threads),
-        "cones" => cones(&netlist, 14, threads),
+        "stats" => stats(&netlist, threads, store),
+        "worst" => worst(&netlist, 100, threads, store),
+        "cones" => cones(&netlist, 14, threads, store),
         other => Err(format!("unknown bench-file subcommand `{other}`")),
     }
 }
 
-fn cones(netlist: &Netlist, max_inputs: usize, threads: usize) -> Result<(), String> {
-    let reports =
-        analyze_output_cones_with(netlist, max_inputs, threads).map_err(|e| e.to_string())?;
+fn cones(
+    netlist: &Netlist,
+    max_inputs: usize,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    let reports = analyze_output_cones_stored(netlist, max_inputs, threads, store)
+        .map_err(|e| e.to_string())?;
     println!(
         "{}: {} output cones analysed (cones wider than {max_inputs} inputs skipped)",
         netlist.name(),
@@ -290,6 +375,255 @@ fn cones(netlist: &Netlist, max_inputs: usize, threads: usize) -> Result<(), Str
         );
     }
     Ok(())
+}
+
+/// `ndet cache <stats|verify|clear|gc>`: inspection and maintenance of
+/// the on-disk artifact store.
+fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
+    let sub = positionals(rest).first().copied().unwrap_or("stats");
+    let store = store
+        .ok_or("no cache directory configured: pass --cache-dir DIR or set NDETECT_CACHE_DIR")?;
+    match sub {
+        "stats" => {
+            let s = store.stats().map_err(|e| e.to_string())?;
+            println!("cache dir: {}", store.root().display());
+            println!("entries: {}", s.entries);
+            println!("bytes: {}", s.total_bytes);
+            println!("hits: {}", s.hits);
+            println!("misses: {}", s.misses);
+            println!("writes: {}", s.writes);
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            println!("valid entries: {}", report.valid);
+            println!("corrupt entries: {}", report.corrupt.len());
+            for (path, reason) in &report.corrupt {
+                println!("  {}: {reason}", path.display());
+            }
+            if report.corrupt.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} corrupt cache entries (they are treated as misses; `ndet cache clear` removes them)",
+                    report.corrupt.len()
+                ))
+            }
+        }
+        "clear" => {
+            store.clear().map_err(|e| e.to_string())?;
+            println!("cache cleared: {}", store.root().display());
+            Ok(())
+        }
+        "gc" => {
+            let max_bytes = flag_value(rest, "--max-bytes")?.unwrap_or(256 * 1024 * 1024);
+            let report = store.gc(max_bytes as u64).map_err(|e| e.to_string())?;
+            println!(
+                "gc to {max_bytes} bytes: evicted {} entries ({} bytes), kept {} ({} bytes)",
+                report.evicted, report.freed_bytes, report.kept, report.kept_bytes
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown cache subcommand `{other}`")),
+    }
+}
+
+/// One row of the `ndet corpus` summary.
+struct CorpusRow {
+    circuit: String,
+    /// `full` (exhaustive universe), `cones` (per-output partitioned
+    /// fallback for circuits wider than `--max-inputs`), or `skipped`
+    /// (every cone was too wide — nothing was analysed).
+    mode: &'static str,
+    inputs: usize,
+    outputs: usize,
+    gates: usize,
+    targets: usize,
+    bridges: usize,
+    /// `None` when nothing was analysed (`mode = skipped`) — an empty
+    /// CSV cell / JSON null, never a fabricated percentage.
+    cov1: Option<f64>,
+    cov10: Option<f64>,
+    tail11: usize,
+    max_nmin: Option<u32>,
+}
+
+/// `ndet corpus <dir>`: walks a directory of ISCAS-style `.bench` files,
+/// runs the stats/worst-case analysis per circuit through the artifact
+/// store (with the output-cone partitioned fallback for circuits too
+/// wide for exhaustive simulation), and emits a machine-readable CSV or
+/// JSON summary on stdout.
+fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+    let dir = positionals(rest)
+        .first()
+        .copied()
+        .ok_or("missing corpus directory")?;
+    let format = flag_str(rest, "--format")?.unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return Err(format!("--format must be csv or json, got `{format}`"));
+    }
+    let max_inputs = flag_value(rest, "--max-inputs")?.unwrap_or(14);
+
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "bench"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .bench files in {dir}"));
+    }
+
+    let mut rows = Vec::new();
+    for path in &paths {
+        rows.push(corpus_row(path, max_inputs, threads, store)?);
+    }
+
+    match format {
+        "csv" => render_corpus_csv(&rows),
+        _ => render_corpus_json(&rows),
+    }
+    Ok(())
+}
+
+/// Analyses one corpus circuit: exhaustively when it fits, otherwise
+/// via the per-output-cone partition (conservative aggregates).
+fn corpus_row(
+    path: &Path,
+    max_inputs: usize,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<CorpusRow, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+    let netlist =
+        bench_format::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    if netlist.num_inputs() <= max_inputs {
+        let universe = universe_of(&netlist, threads, store)?;
+        let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
+        Ok(CorpusRow {
+            circuit: name.to_string(),
+            mode: "full",
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            gates: netlist.num_gates(),
+            targets: universe.targets().len(),
+            bridges: universe.bridges().len(),
+            cov1: Some(wc.coverage_percent(1)),
+            cov10: Some(wc.coverage_percent(10)),
+            tail11: wc.tail_count(11),
+            max_nmin: wc.max_finite(),
+        })
+    } else {
+        let reports = analyze_output_cones_stored(&netlist, max_inputs, threads, store)
+            .map_err(|e| e.to_string())?;
+        if reports.is_empty() {
+            // Every cone was wider than --max-inputs: nothing was
+            // simulated, so report no coverage rather than a vacuous
+            // 100%.
+            return Ok(CorpusRow {
+                circuit: name.to_string(),
+                mode: "skipped",
+                inputs: netlist.num_inputs(),
+                outputs: netlist.num_outputs(),
+                gates: netlist.num_gates(),
+                targets: 0,
+                bridges: 0,
+                cov1: None,
+                cov10: None,
+                tail11: 0,
+                max_nmin: None,
+            });
+        }
+        let total_bridges: usize = reports.iter().map(|r| r.num_bridges).sum();
+        // Bridge-weighted coverage across cones (conservative: each cone
+        // only observes its own output).
+        let weighted = |n: u32| -> f64 {
+            if total_bridges == 0 {
+                return 100.0;
+            }
+            reports
+                .iter()
+                .map(|r| {
+                    let cov = r
+                        .coverage
+                        .iter()
+                        .find(|(t, _)| *t == n)
+                        .map_or(100.0, |(_, pct)| *pct);
+                    cov * r.num_bridges as f64
+                })
+                .sum::<f64>()
+                / total_bridges as f64
+        };
+        Ok(CorpusRow {
+            circuit: name.to_string(),
+            mode: "cones",
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            gates: netlist.num_gates(),
+            targets: reports.iter().map(|r| r.num_targets).sum(),
+            bridges: total_bridges,
+            cov1: Some(weighted(1)),
+            cov10: Some(weighted(10)),
+            tail11: reports.iter().map(|r| r.tail_11).sum(),
+            max_nmin: None,
+        })
+    }
+}
+
+fn render_corpus_csv(rows: &[CorpusRow]) {
+    println!(
+        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin"
+    );
+    let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
+    for r in rows {
+        println!(
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            r.circuit,
+            r.mode,
+            r.inputs,
+            r.outputs,
+            r.gates,
+            r.targets,
+            r.bridges,
+            pct(r.cov1),
+            pct(r.cov10),
+            r.tail11,
+            r.max_nmin.map_or(String::new(), |v| v.to_string()),
+        );
+    }
+}
+
+fn render_corpus_json(rows: &[CorpusRow]) {
+    // Hand-rolled JSON (no serde offline); circuit names come from file
+    // stems and are escaped minimally.
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let pct = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.2}"));
+    println!("[");
+    for (i, r) in rows.iter().enumerate() {
+        let max_nmin = r.max_nmin.map_or("null".to_string(), |v| v.to_string());
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
+             \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
+             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}}}{comma}",
+            escape(&r.circuit),
+            r.mode,
+            r.inputs,
+            r.outputs,
+            r.gates,
+            r.targets,
+            r.bridges,
+            pct(r.cov1),
+            pct(r.cov10),
+            r.tail11,
+            max_nmin,
+        );
+    }
+    println!("]");
 }
 
 #[cfg(test)]

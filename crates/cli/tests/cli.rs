@@ -89,3 +89,225 @@ fn unknown_command_exits_nonzero_with_usage() {
     assert!(!ok);
     assert!(stderr.contains("usage:"), "usage on stderr:\n{stderr}");
 }
+
+/// A throwaway cache directory, removed at the end of the test.
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ndet-cli-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/corpus")
+}
+
+#[test]
+fn corpus_emits_csv_and_json_summaries() {
+    let corpus = corpus_dir();
+    let corpus = corpus.to_str().expect("utf8 path");
+    let (ok, csv, _) = run_binary(&["corpus", corpus]);
+    assert!(ok);
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin"
+        )
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 3, "3 corpus circuits:\n{csv}");
+    // Sorted walk: c17 then figure1 then mux_parity; figure1's numbers
+    // are the paper's.
+    assert!(rows[0].starts_with("c17,full,5,2,6,22,26,"), "{csv}");
+    assert!(
+        rows[1].starts_with("figure1,full,4,3,3,16,10,40.00,100.00,0,4"),
+        "{csv}"
+    );
+    assert!(rows[2].starts_with("mux_parity,full,"), "{csv}");
+
+    let (ok, json, _) = run_binary(&["corpus", corpus, "--format", "json"]);
+    assert!(ok);
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.trim_end().ends_with(']'), "{json}");
+    assert!(json.contains("\"circuit\": \"figure1\""), "{json}");
+    assert!(json.contains("\"max_nmin\": 4"), "{json}");
+
+    let (ok, _, _) = run_binary(&["corpus", corpus, "--format", "yaml"]);
+    assert!(!ok, "unknown format must fail");
+    let (ok, _, _) = run_binary(&["corpus", "/nonexistent-dir"]);
+    assert!(!ok, "missing directory must fail");
+}
+
+#[test]
+fn corpus_cones_fallback_kicks_in_below_max_inputs() {
+    let corpus = corpus_dir();
+    let (ok, csv, _) = run_binary(&["corpus", corpus.to_str().unwrap(), "--max-inputs", "4"]);
+    assert!(ok);
+    // c17 (5 inputs) and mux_parity (5 inputs) fall back to the
+    // per-output-cone partition; figure1 (4 inputs) stays exhaustive.
+    assert!(csv.contains("c17,cones,"), "{csv}");
+    assert!(csv.contains("figure1,full,"), "{csv}");
+    assert!(csv.contains("mux_parity,cones,"), "{csv}");
+}
+
+#[test]
+fn corpus_marks_fully_unanalysable_circuits_as_skipped() {
+    // A circuit whose every cone exceeds --max-inputs must report
+    // empty coverage, not a fabricated 100%.
+    let dir = temp_cache("skipped-corpus");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("wide.bench"),
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\ny = AND(a, b, c, d, e)\n",
+    )
+    .unwrap();
+    let (ok, csv, stderr) = run_binary(&["corpus", dir.to_str().unwrap(), "--max-inputs", "4"]);
+    assert!(ok, "{stderr}");
+    assert!(csv.contains("wide,skipped,5,1,1,0,0,,,0,"), "{csv}");
+    let (ok, json, _) = run_binary(&[
+        "corpus",
+        dir.to_str().unwrap(),
+        "--max-inputs",
+        "4",
+        "--format",
+        "json",
+    ]);
+    assert!(ok);
+    assert!(json.contains("\"cov10_pct\": null"), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_cache_commands_ignore_a_broken_cache_dir() {
+    // list/synth/dot never touch the store, so an unusable
+    // NDETECT_CACHE_DIR must not break them (and must not create
+    // directories as a side effect).
+    let out = Command::new(env!("CARGO_BIN_EXE_ndet"))
+        .args(["list"])
+        .env("NDETECT_CACHE_DIR", "/dev/null/not-a-dir")
+        .output()
+        .expect("ndet binary runs");
+    assert!(out.status.success(), "list must ignore the cache dir");
+    // Analysis commands do surface the error.
+    let out = Command::new(env!("CARGO_BIN_EXE_ndet"))
+        .args(["worst", "figure1"])
+        .env("NDETECT_CACHE_DIR", "/dev/null/not-a-dir")
+        .output()
+        .expect("ndet binary runs");
+    assert!(!out.status.success(), "worst must report the broken dir");
+}
+
+#[test]
+fn cache_subcommands_and_warm_analysis_round_trip() {
+    let dir = temp_cache("cache-cmds");
+    let dirs = dir.to_str().expect("utf8 path");
+
+    // No cache configured -> cache stats errors with guidance.
+    let (ok, _, stderr) = run_binary(&["cache", "stats"]);
+    assert!(!ok);
+    assert!(stderr.contains("cache-dir"), "{stderr}");
+
+    // Cold worst run populates the store; warm run prints identically.
+    let (ok, cold, _) = run_binary(&["worst", "figure1", "--cache-dir", dirs]);
+    assert!(ok);
+    let (ok, warm, _) = run_binary(&["worst", "figure1", "--cache-dir", dirs]);
+    assert!(ok);
+    assert_eq!(cold, warm, "warm output must be byte-identical");
+
+    let (ok, stats, _) = run_binary(&["cache", "stats", "--cache-dir", dirs]);
+    assert!(ok);
+    assert!(stats.contains("entries: 2"), "{stats}"); // universe + nmin
+    assert!(stats.contains("hits: 2"), "{stats}");
+    assert!(stats.contains("misses: 2"), "{stats}");
+
+    let (ok, verify, _) = run_binary(&["cache", "verify", "--cache-dir", dirs]);
+    assert!(ok);
+    assert!(verify.contains("valid entries: 2"), "{verify}");
+    assert!(verify.contains("corrupt entries: 0"), "{verify}");
+
+    // gc to zero bytes evicts everything; clear then leaves it empty.
+    let (ok, gc, _) = run_binary(&["cache", "gc", "--cache-dir", dirs, "--max-bytes", "0"]);
+    assert!(ok);
+    assert!(gc.contains("evicted 2"), "{gc}");
+    let (ok, _, _) = run_binary(&["cache", "clear", "--cache-dir", dirs]);
+    assert!(ok);
+    let (ok, stats, _) = run_binary(&["cache", "stats", "--cache-dir", dirs]);
+    assert!(ok);
+    assert!(stats.contains("entries: 0"), "{stats}");
+
+    let (ok, _, _) = run_binary(&["cache", "frobnicate", "--cache-dir", dirs]);
+    assert!(!ok, "unknown cache subcommand must fail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_verify_reports_corruption_and_analysis_still_succeeds() {
+    let dir = temp_cache("cache-corrupt");
+    let dirs = dir.to_str().expect("utf8 path");
+    let (ok, cold, _) = run_binary(&["worst", "c17", "--cache-dir", dirs]);
+    assert!(ok);
+
+    // Flip a byte in the middle of every cached entry.
+    for entry in std::fs::read_dir(dir.join("objects")).expect("objects dir") {
+        let path = entry.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("entry bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite entry");
+    }
+
+    let (ok, _, _) = run_binary(&["cache", "verify", "--cache-dir", dirs]);
+    assert!(!ok, "verify must flag corrupt entries");
+
+    // Corrupt entries are silent misses: the analysis recomputes and
+    // prints the same result.
+    let (ok, redo, _) = run_binary(&["worst", "c17", "--cache-dir", dirs]);
+    assert!(ok, "corrupt cache must not break analysis");
+    assert_eq!(cold, redo);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flags_may_precede_positionals_everywhere() {
+    // Flag-first orderings must parse for every positional extractor:
+    // corpus directory, cache subcommand, and bench-file path/sub.
+    let dir = temp_cache("flag-first");
+    let dirs = dir.to_str().expect("utf8 path");
+    let corpus = corpus_dir();
+    let corpus = corpus.to_str().expect("utf8 path");
+
+    let (ok, csv, stderr) = run_binary(&["corpus", "--format", "csv", corpus]);
+    assert!(ok, "{stderr}");
+    assert!(csv.contains("figure1,full,"), "{csv}");
+
+    let (ok, _, stderr) = run_binary(&["cache", "--cache-dir", dirs, "stats"]);
+    assert!(ok, "{stderr}");
+
+    let bench = std::path::Path::new(corpus).join("figure1.bench");
+    let bench = bench.to_str().expect("utf8 path");
+    let (ok, _, stderr) = run_binary(&["bench-file", bench, "worst", "--cache-dir", dirs]);
+    assert!(ok, "trailing --cache-dir on bench-file: {stderr}");
+    let (ok, _, stderr) = run_binary(&["bench-file", "--cache-dir", dirs, bench, "stats"]);
+    assert!(ok, "leading --cache-dir on bench-file: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_dir_flag_does_not_shadow_the_circuit_name() {
+    // String-valued flags must not be mistaken for the positional
+    // circuit name, in either order.
+    let dir = temp_cache("flag-order");
+    let dirs = dir.to_str().expect("utf8 path");
+    assert_eq!(
+        commands::dispatch(&args(&["stats", "--cache-dir", dirs, "figure1"])),
+        Ok(())
+    );
+    assert_eq!(
+        commands::dispatch(&args(&["stats", "figure1", "--cache-dir", dirs])),
+        Ok(())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -110,6 +110,24 @@ pub fn analyze_output_cones_with(
     max_cone_inputs: usize,
     num_threads: usize,
 ) -> Result<Vec<ConeReport>, CoreError> {
+    analyze_output_cones_stored(netlist, max_cone_inputs, num_threads, None)
+}
+
+/// Analyses every output cone, routing each cone's fault universe and
+/// `nmin` vector through the content-addressed artifact store when one
+/// is given — cone netlists are keyed by their own canonical structure,
+/// so re-running a wide-circuit analysis is incremental per cone.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Faults`] if a retained cone still exceeds the
+/// simulator's limits.
+pub fn analyze_output_cones_stored(
+    netlist: &Netlist,
+    max_cone_inputs: usize,
+    num_threads: usize,
+    store: Option<&ndetect_store::Store>,
+) -> Result<Vec<ConeReport>, CoreError> {
     let mut reports = Vec::new();
     for slot in 0..netlist.num_outputs() {
         let cone = cone_netlist(netlist, slot);
@@ -117,9 +135,9 @@ pub fn analyze_output_cones_with(
             continue;
         }
         let options = ndetect_faults::UniverseOptions::with_threads(num_threads);
-        let universe = FaultUniverse::build_with(&cone, options)
+        let universe = FaultUniverse::build_stored(&cone, options, store)
             .map_err(|e| CoreError::Faults(e.to_string()))?;
-        let wc = WorstCaseAnalysis::compute_with(&universe, num_threads);
+        let wc = WorstCaseAnalysis::compute_stored(&universe, num_threads, store);
         reports.push(ConeReport {
             output_name: netlist.node_name(netlist.outputs()[slot]).to_string(),
             num_inputs: cone.num_inputs(),

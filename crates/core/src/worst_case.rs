@@ -2,7 +2,14 @@
 
 use ndetect_faults::FaultUniverse;
 use ndetect_sim::parallel;
+use ndetect_store::{
+    decode_from_slice, encode_to_vec, ArtifactKey, ArtifactKind, CodecError, Decode, Decoder,
+    Encode, Encoder, Fnv64, Store, CODEC_VERSION,
+};
 use std::fmt;
+
+/// Store kind tag for serialized worst-case (`nmin` vector) analyses.
+pub const KIND_WORST_CASE: ArtifactKind = 2;
 
 /// Result of the paper's Section-2 worst-case analysis.
 ///
@@ -93,6 +100,57 @@ impl WorstCaseAnalysis {
         WorstCaseAnalysis { nmin, witness }
     }
 
+    /// Computes `nmin(g)` with the content-addressed on-disk store as a
+    /// fast path: the `nmin` and witness vectors are keyed by the
+    /// universe's own store key, so a warm run skips the all-pairs pass
+    /// entirely. Misses compute normally and populate the store (best
+    /// effort); corrupt or inconsistent entries degrade to
+    /// recomputation.
+    #[must_use]
+    pub fn compute_stored(
+        universe: &FaultUniverse,
+        num_threads: usize,
+        store: Option<&Store>,
+    ) -> Self {
+        let Some(store) = store else {
+            return Self::compute_with(universe, num_threads);
+        };
+        let key = Self::store_key(universe);
+        if let Some(payload) = store.load(key, KIND_WORST_CASE) {
+            if let Ok(wc) = decode_from_slice::<WorstCaseAnalysis>(&payload) {
+                if wc.is_consistent_with(universe) {
+                    return wc;
+                }
+            }
+        }
+        let wc = Self::compute_with(universe, num_threads);
+        let _ = store.save(key, KIND_WORST_CASE, &encode_to_vec(&wc));
+        wc
+    }
+
+    /// The store key of this analysis for `universe`: the universe key
+    /// mixed with a worst-case salt and the codec version.
+    #[must_use]
+    pub fn store_key(universe: &FaultUniverse) -> ArtifactKey {
+        let mut h = Fnv64::new();
+        h.update(b"ndetect.worstcase");
+        h.update_u64(u64::from(CODEC_VERSION));
+        h.update_u64(universe.store_key().0);
+        ArtifactKey(h.finish())
+    }
+
+    /// Shape validation against the universe a cached entry is being
+    /// loaded for — guards against key collisions and stale entries.
+    fn is_consistent_with(&self, universe: &FaultUniverse) -> bool {
+        self.nmin.len() == universe.bridges().len()
+            && self.witness.len() == self.nmin.len()
+            && self
+                .witness
+                .iter()
+                .flatten()
+                .all(|&fi| fi < universe.targets().len())
+    }
+
     /// `nmin(g)` for bridge index `j` (`None` = never guaranteed).
     ///
     /// # Panics
@@ -175,6 +233,24 @@ impl WorstCaseAnalysis {
     #[must_use]
     pub fn max_finite(&self) -> Option<u32> {
         self.nmin.iter().filter_map(|v| *v).max()
+    }
+}
+
+impl Encode for WorstCaseAnalysis {
+    fn encode(&self, e: &mut Encoder) {
+        self.nmin.encode(e);
+        self.witness.encode(e);
+    }
+}
+
+impl Decode for WorstCaseAnalysis {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let nmin = Vec::<Option<u32>>::decode(d)?;
+        let witness = Vec::<Option<usize>>::decode(d)?;
+        if nmin.len() != witness.len() {
+            return Err(CodecError::new("nmin/witness length mismatch"));
+        }
+        Ok(WorstCaseAnalysis { nmin, witness })
     }
 }
 

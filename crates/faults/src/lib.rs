@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod bridging;
 pub mod collapse;
 mod error;
@@ -49,6 +50,7 @@ mod sim;
 mod stuck_at;
 mod universe;
 
+pub use artifact::{universe_key, KIND_UNIVERSE};
 pub use bridging::{enumerate_bridges, enumerate_four_way, BridgeModel, BridgingFault};
 pub use collapse::CollapsedFaults;
 pub use error::FaultError;

@@ -87,6 +87,39 @@ impl FaultSimulator {
     ) -> Result<Self, ndetect_sim::SimError> {
         let space = PatternSpace::new(netlist.num_inputs())?;
         let good = GoodValues::compute_with(netlist, &space, num_threads);
+        Self::assemble(netlist, space, good)
+    }
+
+    /// Prepares a simulator around **precomputed** fault-free values
+    /// (e.g. deserialized from the on-disk artifact store), skipping the
+    /// good-value simulation pass. Only the cheap structural tables
+    /// (reachability, fanout cones) are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ndetect_sim::SimError`] if the circuit has too many
+    /// inputs for exhaustive simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good`'s dimensions do not match the netlist and its
+    /// pattern space — callers deserializing untrusted bytes must
+    /// validate the shape first.
+    pub fn with_good_values(
+        netlist: &Netlist,
+        good: GoodValues,
+    ) -> Result<Self, ndetect_sim::SimError> {
+        let space = PatternSpace::new(netlist.num_inputs())?;
+        assert_eq!(good.num_nodes(), netlist.num_nodes(), "good-value shape");
+        assert_eq!(good.num_blocks(), space.num_blocks(), "good-value shape");
+        Self::assemble(netlist, space, good)
+    }
+
+    fn assemble(
+        netlist: &Netlist,
+        space: PatternSpace,
+        good: GoodValues,
+    ) -> Result<Self, ndetect_sim::SimError> {
         let reach = ReachabilityMatrix::compute(netlist);
 
         let n = netlist.num_nodes();

@@ -1,6 +1,7 @@
 //! The complete fault picture of one circuit: targets `F` and untargeted
 //! faults `G` with their detection sets.
 
+use crate::artifact::{universe_key, UniverseArtifact, UniverseArtifactRef, KIND_UNIVERSE};
 use crate::bridging::{enumerate_bridges, BridgeModel, BridgingFault};
 use crate::collapse::CollapsedFaults;
 use crate::error::FaultError;
@@ -8,10 +9,11 @@ use crate::sim::FaultSimulator;
 use crate::stuck_at::{all_stuck_at_faults, StuckAtFault};
 use ndetect_netlist::Netlist;
 use ndetect_sim::{parallel, PatternSpace, VectorSet};
+use ndetect_store::{decode_from_slice, encode_to_vec, ArtifactKey, Store};
 use std::fmt;
 
 /// Configuration for [`FaultUniverse::build_with`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct UniverseOptions {
     /// Apply equivalence collapsing to the target stuck-at faults (the
     /// paper's setting). With `false`, every stuck-at fault on every line
@@ -149,6 +151,93 @@ impl FaultUniverse {
             bridges,
             bridge_sets,
             num_undetectable_bridges,
+        })
+    }
+
+    /// Builds the universe with a content-addressed on-disk store as a
+    /// fast path: a valid cache entry skips every fault simulation (only
+    /// cheap structural tables are recomputed); a miss builds normally
+    /// and then populates the store (best effort — a read-only cache
+    /// directory degrades to plain [`Self::build_with`]).
+    ///
+    /// Corrupt, truncated, or version-mismatched entries are silently
+    /// treated as misses; loaded results are bit-identical to a fresh
+    /// build for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Sim`] if the circuit has too many inputs
+    /// for exhaustive simulation.
+    pub fn build_stored(
+        netlist: &Netlist,
+        options: UniverseOptions,
+        store: Option<&Store>,
+    ) -> Result<Self, FaultError> {
+        let Some(store) = store else {
+            return Self::build_with(netlist, options);
+        };
+        let key = universe_key(netlist, options);
+        if let Some(payload) = store.load(key, KIND_UNIVERSE) {
+            if let Some(universe) = Self::from_artifact_bytes(netlist, options, &payload) {
+                return Ok(universe);
+            }
+            // Decoded but inconsistent with this netlist (hash collision
+            // or stale shape): fall through to a fresh build.
+        }
+        let universe = Self::build_with(netlist, options)?;
+        let _ = store.save(key, KIND_UNIVERSE, &encode_to_vec(&universe.artifact_ref()));
+        Ok(universe)
+    }
+
+    /// The content-addressed store key of this universe (canonical
+    /// netlist bytes + semantic options + codec version). Derived
+    /// artifacts (e.g. `nmin` vectors) mix this into their own keys.
+    #[must_use]
+    pub fn store_key(&self) -> ArtifactKey {
+        universe_key(&self.netlist, self.options)
+    }
+
+    /// Borrowed serialization view — the save path encodes directly
+    /// from the universe's own buffers, no clones.
+    fn artifact_ref(&self) -> UniverseArtifactRef<'_> {
+        UniverseArtifactRef {
+            num_inputs: self.netlist.num_inputs(),
+            num_nodes: self.netlist.num_nodes(),
+            num_lines: self.netlist.lines().len(),
+            options: self.options,
+            targets: &self.targets,
+            target_sets: &self.target_sets,
+            bridges: &self.bridges,
+            bridge_sets: &self.bridge_sets,
+            num_undetectable_bridges: self.num_undetectable_bridges,
+            good: self.simulator.good_values(),
+        }
+    }
+
+    /// Reconstructs a universe from serialized artifact bytes, or `None`
+    /// when the bytes do not decode to a universe consistent with this
+    /// netlist and these options.
+    fn from_artifact_bytes(
+        netlist: &Netlist,
+        options: UniverseOptions,
+        payload: &[u8],
+    ) -> Option<Self> {
+        let artifact: UniverseArtifact = decode_from_slice(payload).ok()?;
+        if !artifact.is_consistent_with(netlist, options) {
+            return None;
+        }
+        let simulator = FaultSimulator::with_good_values(netlist, artifact.good).ok()?;
+        let collapsed = CollapsedFaults::compute(netlist);
+        Some(FaultUniverse {
+            netlist: netlist.clone(),
+            simulator,
+            collapsed,
+            options,
+            targets: artifact.targets,
+            target_sets: artifact.target_sets,
+            bridges: artifact.bridges,
+            bridge_sets: artifact.bridge_sets,
+            num_undetectable_bridges: artifact.num_undetectable_bridges,
         })
     }
 

@@ -358,6 +358,57 @@ impl Netlist {
         }
         values
     }
+
+    /// A canonical byte serialization of the netlist's *structure*: node
+    /// kinds and fanins in creation order, plus the input and output
+    /// lists.
+    ///
+    /// Two netlists produce identical bytes iff they have identical node
+    /// graphs in identical creation order — which fully determines the
+    /// line table, the fault lists, and every detection set. Display
+    /// names (node names, the netlist name) are deliberately excluded:
+    /// renaming a circuit must not invalidate content-addressed caches
+    /// keyed on these bytes.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        // Stable one-byte tags per gate kind; appending new kinds is
+        // fine, reordering existing ones is a cache-format break.
+        fn kind_tag(kind: GateKind) -> u8 {
+            match kind {
+                GateKind::Input => 0,
+                GateKind::Const0 => 1,
+                GateKind::Const1 => 2,
+                GateKind::Buf => 3,
+                GateKind::Not => 4,
+                GateKind::And => 5,
+                GateKind::Nand => 6,
+                GateKind::Or => 7,
+                GateKind::Nor => 8,
+                GateKind::Xor => 9,
+                GateKind::Xnor => 10,
+            }
+        }
+        let put = |out: &mut Vec<u8>, v: usize| out.extend_from_slice(&(v as u64).to_le_bytes());
+        let mut out = Vec::new();
+        out.extend_from_slice(b"ndnl1"); // canonical-netlist format tag
+        put(&mut out, self.nodes.len());
+        for node in &self.nodes {
+            out.push(kind_tag(node.kind()));
+            put(&mut out, node.fanins().len());
+            for f in node.fanins() {
+                put(&mut out, f.index());
+            }
+        }
+        put(&mut out, self.inputs.len());
+        for pi in &self.inputs {
+            put(&mut out, pi.index());
+        }
+        put(&mut out, self.outputs.len());
+        for po in &self.outputs {
+            put(&mut out, po.index());
+        }
+        out
+    }
 }
 
 impl fmt::Display for Netlist {
@@ -477,6 +528,55 @@ mod tests {
         let all = n.eval_bool_all(&[true, true, true, true]);
         let g9 = n.node_by_name("9").unwrap();
         assert!(all[g9.index()]);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_names_but_see_structure() {
+        let n = figure1();
+        // Same structure, different names -> identical bytes.
+        let mut b = NetlistBuilder::new("renamed");
+        let i1 = b.input("a");
+        let i2 = b.input("b");
+        let i3 = b.input("c");
+        let i4 = b.input("d");
+        let g9 = b.gate(GateKind::And, "x", &[i1, i2]).unwrap();
+        let g10 = b.gate(GateKind::And, "y", &[i2, i3]).unwrap();
+        let g11 = b.gate(GateKind::Or, "z", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        let renamed = b.build().unwrap();
+        assert_eq!(n.canonical_bytes(), renamed.canonical_bytes());
+
+        // One gate kind changed -> different bytes.
+        let mut b = NetlistBuilder::new("tweaked");
+        let i1 = b.input("a");
+        let i2 = b.input("b");
+        let i3 = b.input("c");
+        let i4 = b.input("d");
+        let g9 = b.gate(GateKind::Nand, "x", &[i1, i2]).unwrap();
+        let g10 = b.gate(GateKind::And, "y", &[i2, i3]).unwrap();
+        let g11 = b.gate(GateKind::Or, "z", &[i3, i4]).unwrap();
+        b.output(g9);
+        b.output(g10);
+        b.output(g11);
+        let tweaked = b.build().unwrap();
+        assert_ne!(n.canonical_bytes(), tweaked.canonical_bytes());
+
+        // Different output order -> different bytes.
+        let mut b = NetlistBuilder::new("reordered");
+        let i1 = b.input("a");
+        let i2 = b.input("b");
+        let i3 = b.input("c");
+        let i4 = b.input("d");
+        let g9 = b.gate(GateKind::And, "x", &[i1, i2]).unwrap();
+        let g10 = b.gate(GateKind::And, "y", &[i2, i3]).unwrap();
+        let g11 = b.gate(GateKind::Or, "z", &[i3, i4]).unwrap();
+        b.output(g11);
+        b.output(g10);
+        b.output(g9);
+        let reordered = b.build().unwrap();
+        assert_ne!(n.canonical_bytes(), reordered.canonical_bytes());
     }
 
     #[test]

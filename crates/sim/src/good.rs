@@ -127,6 +127,30 @@ impl GoodValues {
         &self.words[block * self.num_nodes..(block + 1) * self.num_nodes]
     }
 
+    /// Direct read access to the block-major backing words
+    /// (`words[block * num_nodes + node]`) — the serialization path of
+    /// the on-disk artifact store.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds good values from backing words previously obtained via
+    /// [`Self::words`]. Returns `None` when the word count is not
+    /// exactly `num_nodes * num_blocks` — untrusted cache bytes must not
+    /// be able to construct an inconsistent table.
+    #[must_use]
+    pub fn try_from_words(num_nodes: usize, num_blocks: usize, words: Vec<u64>) -> Option<Self> {
+        if num_nodes.checked_mul(num_blocks)? != words.len() {
+            return None;
+        }
+        Some(GoodValues {
+            words,
+            num_nodes,
+            num_blocks,
+        })
+    }
+
     /// The good value of `node` on a single vector.
     ///
     /// # Panics
@@ -214,6 +238,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn words_round_trip_through_try_from_words() {
+        let n = figure1();
+        let space = PatternSpace::new(4).unwrap();
+        let good = GoodValues::compute(&n, &space);
+        let back =
+            GoodValues::try_from_words(good.num_nodes(), good.num_blocks(), good.words().to_vec())
+                .unwrap();
+        for block in 0..good.num_blocks() {
+            assert_eq!(back.block(block), good.block(block));
+        }
+        assert!(GoodValues::try_from_words(3, 2, vec![0u64; 5]).is_none());
     }
 
     #[test]

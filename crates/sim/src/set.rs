@@ -226,6 +226,33 @@ impl VectorSet {
         &self.words
     }
 
+    /// Rebuilds a set from backing words previously obtained via
+    /// [`Self::words`] (the deserialization path of the on-disk artifact
+    /// store). Returns `None` if the word count does not match the space
+    /// or any bit beyond `num_patterns` is set — untrusted inputs must
+    /// not be able to construct an inconsistent set.
+    #[must_use]
+    pub fn try_from_words(num_patterns: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != num_patterns.div_ceil(64).max(1) {
+            return None;
+        }
+        if num_patterns % 64 != 0 || num_patterns == 0 {
+            let tail = words[words.len() - 1];
+            let mask = if num_patterns == 0 {
+                0
+            } else {
+                (1u64 << (num_patterns % 64)) - 1
+            };
+            if tail & !mask != 0 {
+                return None;
+            }
+        }
+        Some(VectorSet {
+            num_patterns,
+            words,
+        })
+    }
+
     /// Sets the backing word at index `word_index` (used by the
     /// bit-parallel fault simulator to store 64 detection outcomes at
     /// once). Bits beyond `num_patterns` are masked off.
@@ -346,6 +373,19 @@ mod tests {
         s.set_word(0, u64::MAX);
         assert_eq!(s.len(), 16);
         assert!(!s.contains(16));
+    }
+
+    #[test]
+    fn try_from_words_validates_shape_and_tail() {
+        let s = VectorSet::from_vectors(100, [0, 63, 64, 99]);
+        let back = VectorSet::try_from_words(100, s.words().to_vec()).unwrap();
+        assert_eq!(back, s);
+        // Wrong word count.
+        assert!(VectorSet::try_from_words(100, vec![0u64; 3]).is_none());
+        // Set bit beyond num_patterns.
+        assert!(VectorSet::try_from_words(100, vec![0, 1u64 << 40]).is_none());
+        // Exact multiple of 64 needs no tail check.
+        assert!(VectorSet::try_from_words(128, vec![u64::MAX; 2]).is_some());
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! A small hand-rolled versioned binary codec.
+//!
+//! The build environment has no registry access, so instead of `serde` +
+//! `bincode` the store uses an explicit little-endian byte codec: the
+//! [`Encode`]/[`Decode`] traits below plus impls for the primitives and
+//! containers the workspace's artifacts are made of (including
+//! [`VectorSet`] detection sets and [`GoodValues`] blocks).
+//!
+//! Decoding is *total*: every failure mode is a [`CodecError`], never a
+//! panic, so a corrupt cache entry degrades to a miss. Containers are
+//! decoded element by element (no `with_capacity` on attacker-controlled
+//! lengths), so a corrupt length field runs out of input instead of
+//! allocating.
+
+use ndetect_sim::{GoodValues, VectorSet};
+use std::fmt;
+
+/// Version of the artifact encoding. Bump whenever any [`Encode`] impl
+/// changes shape; entries written under a different version are treated
+/// as cache misses by the store.
+pub const CODEC_VERSION: u16 = 1;
+
+/// A decoding failure (truncated input, bad tag, inconsistent shape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    message: String,
+}
+
+impl CodecError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        CodecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only byte sink for [`Encode`] impls.
+#[derive(Default, Debug)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor over encoded bytes for [`Decode`] impls.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "need {n} bytes at offset {}, only {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or a value exceeding
+    /// the platform's `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.get_u64()?)
+            .map_err(|_| CodecError::new("u64 value does not fit in usize"))
+    }
+
+    /// Reads a `bool` (rejecting any byte other than 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or a non-boolean byte.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::new(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Fails unless every input byte has been consumed — artifacts must
+    /// decode exactly, trailing garbage means corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if bytes remain.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::new(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A value that can be appended to an [`Encoder`].
+pub trait Encode {
+    /// Appends this value's encoding.
+    fn encode(&self, e: &mut Encoder);
+}
+
+/// A value that can be read back from a [`Decoder`].
+pub trait Decode: Sized {
+    /// Reads one value, consuming exactly the bytes [`Encode::encode`]
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or inconsistent input.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError>;
+}
+
+/// Encodes a value to a standalone byte vector.
+#[must_use]
+pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
+    let mut e = Encoder::new();
+    value.encode(&mut e);
+    e.finish()
+}
+
+/// Decodes a value from a byte slice, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated, trailing, or inconsistent input.
+pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let value = T::decode(&mut d)?;
+    d.expect_end()?;
+    Ok(value)
+}
+
+macro_rules! impl_codec_int {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, e: &mut Encoder) {
+                e.$put(*self);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                d.$get()
+            }
+        }
+    };
+}
+
+impl_codec_int!(u8, put_u8, get_u8);
+impl_codec_int!(u16, put_u16, get_u16);
+impl_codec_int!(u32, put_u32, get_u32);
+impl_codec_int!(u64, put_u64, get_u64);
+impl_codec_int!(usize, put_usize, get_usize);
+impl_codec_int!(bool, put_bool, get_bool);
+
+impl Encode for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.len());
+        e.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = d.get_usize()?;
+        let bytes = d.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::new("invalid UTF-8 string"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.encode(e);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            other => Err(CodecError::new(format!("invalid Option tag {other}"))),
+        }
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.len());
+        for item in self {
+            item.encode(e);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, e: &mut Encoder) {
+        self.as_slice().encode(e);
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = d.get_usize()?;
+        // Grow as elements actually decode — a corrupt length exhausts
+        // the input instead of pre-allocating.
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+/// Encodes a borrowed word slice with the same wire format as
+/// `Vec<u64>` (length prefix + elements), without cloning the slice.
+fn encode_words(words: &[u64], e: &mut Encoder) {
+    e.put_usize(words.len());
+    for &w in words {
+        e.put_u64(w);
+    }
+}
+
+impl Encode for VectorSet {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.num_patterns());
+        encode_words(self.words(), e);
+    }
+}
+
+impl Decode for VectorSet {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let num_patterns = d.get_usize()?;
+        let words = Vec::<u64>::decode(d)?;
+        VectorSet::try_from_words(num_patterns, words)
+            .ok_or_else(|| CodecError::new("inconsistent VectorSet shape"))
+    }
+}
+
+impl Encode for GoodValues {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.num_nodes());
+        e.put_usize(self.num_blocks());
+        encode_words(self.words(), e);
+    }
+}
+
+impl Decode for GoodValues {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let num_nodes = d.get_usize()?;
+        let num_blocks = d.get_usize()?;
+        let words = Vec::<u64>::decode(d)?;
+        GoodValues::try_from_words(num_nodes, num_blocks, words)
+            .ok_or_else(|| CodecError::new("inconsistent GoodValues shape"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut e = Encoder::new();
+        42u8.encode(&mut e);
+        7u16.encode(&mut e);
+        9u32.encode(&mut e);
+        u64::MAX.encode(&mut e);
+        123usize.encode(&mut e);
+        true.encode(&mut e);
+        "héllo".to_string().encode(&mut e);
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(u8::decode(&mut d).unwrap(), 42);
+        assert_eq!(u16::decode(&mut d).unwrap(), 7);
+        assert_eq!(u32::decode(&mut d).unwrap(), 9);
+        assert_eq!(u64::decode(&mut d).unwrap(), u64::MAX);
+        assert_eq!(usize::decode(&mut d).unwrap(), 123);
+        assert!(bool::decode(&mut d).unwrap());
+        assert_eq!(String::decode(&mut d).unwrap(), "héllo");
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let value: Vec<(u32, Option<bool>)> = vec![(1, None), (2, Some(true)), (3, Some(false))];
+        let bytes = encode_to_vec(&value);
+        assert_eq!(
+            decode_from_slice::<Vec<(u32, Option<bool>)>>(&bytes).unwrap(),
+            value
+        );
+    }
+
+    #[test]
+    fn vector_set_round_trips() {
+        let set = VectorSet::from_vectors(100, [0, 63, 64, 99]);
+        let bytes = encode_to_vec(&set);
+        let back: VectorSet = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn truncated_input_errors_without_panic() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(decode_from_slice::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&5u32);
+        bytes.push(0);
+        assert!(decode_from_slice::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(decode_from_slice::<bool>(&[2]).is_err());
+        assert!(decode_from_slice::<Option<u8>>(&[9, 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_runs_out_of_input() {
+        // A Vec claiming u64::MAX elements must fail fast, not allocate.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX);
+        assert!(decode_from_slice::<Vec<u64>>(&e.finish()).is_err());
+    }
+}

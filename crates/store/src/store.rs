@@ -1,0 +1,567 @@
+//! The content-addressed on-disk artifact store.
+
+use crate::codec::CODEC_VERSION;
+use crate::hash::{fnv1a64, ArtifactKey};
+use std::cell::Cell;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+/// File-format magic for artifact entries.
+const MAGIC: [u8; 4] = *b"NDST";
+/// Bytes before the payload: magic + version + kind + length + checksum.
+const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8;
+/// Name of the persisted hit/miss counter file in the store root.
+const COUNTERS_FILE: &str = "counters.bin";
+/// Distinguishes temp names when one process opens several stores.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The artifact kind tag carried in every entry header, so one key space
+/// can hold several artifact flavours without collisions. Consumers pick
+/// their own tags; the store only compares them.
+pub type ArtifactKind = u16;
+
+/// Cumulative store statistics: what is on disk plus the hit/miss/write
+/// counters accumulated across *all* processes that used this cache
+/// directory (persisted in `counters.bin`, merged best-effort).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of entry files currently on disk.
+    pub entries: u64,
+    /// Total size of entry files in bytes.
+    pub total_bytes: u64,
+    /// Cumulative successful loads.
+    pub hits: u64,
+    /// Cumulative failed loads (absent, corrupt, or version-mismatched).
+    pub misses: u64,
+    /// Cumulative stores.
+    pub writes: u64,
+}
+
+/// Result of a full-store integrity scan ([`Store::verify`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Entries whose header and checksum validated.
+    pub valid: u64,
+    /// Files that failed validation, with the reason.
+    pub corrupt: Vec<(PathBuf, String)>,
+}
+
+/// Result of a garbage-collection pass ([`Store::gc`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries removed.
+    pub evicted: u64,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Entries kept.
+    pub kept: u64,
+    /// Bytes still on disk after the pass.
+    pub kept_bytes: u64,
+}
+
+/// A content-addressed artifact cache rooted at one directory.
+///
+/// Layout:
+///
+/// ```text
+/// <root>/objects/<key-hex16>-k<kind>.art   one file per artifact
+/// <root>/tmp/                              staging for atomic writes
+/// <root>/counters.bin                      cumulative hit/miss/write counters
+/// ```
+///
+/// Every entry carries a `NDST` magic, the codec version, an artifact
+/// kind tag, the payload length, and an FNV-1a checksum; anything that
+/// fails validation — truncation, bit flips, a version bump — is treated
+/// as a **miss**, never an error. Writes stage into `tmp/` and publish
+/// with an atomic rename, so concurrent `ndet` processes sharing one
+/// cache directory can only ever observe complete entries.
+///
+/// Hit/miss counters are tracked per process and merged into
+/// `counters.bin` on drop (or [`Store::flush_counters`]); the merge is a
+/// read-modify-rename, so concurrent writers may lose increments — the
+/// counters are diagnostics, not ledger data.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    tmp_tag: u64,
+    session_hits: Cell<u64>,
+    session_misses: Cell<u64>,
+    session_writes: Cell<u64>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(Store {
+            root,
+            tmp_tag: TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+            session_hits: Cell::new(0),
+            session_misses: Cell::new(0),
+            session_writes: Cell::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: ArtifactKey, kind: ArtifactKind) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{}-k{kind}.art", key.to_hex()))
+    }
+
+    /// Loads an artifact payload, or `None` on any kind of miss: entry
+    /// absent, unreadable, truncated, checksum mismatch, or written
+    /// under a different codec version. Never fails loudly — a corrupt
+    /// cache degrades to recomputation.
+    ///
+    /// A hit refreshes the entry's mtime (best effort) so that
+    /// [`Store::gc`]'s least-recently-used eviction sees real usage.
+    #[must_use]
+    pub fn load(&self, key: ArtifactKey, kind: ArtifactKind) -> Option<Vec<u8>> {
+        let path = self.entry_path(key, kind);
+        match read_entry(&path, Some(kind)) {
+            Ok(payload) => {
+                self.session_hits.set(self.session_hits.get() + 1);
+                // LRU recency: touch the entry. Failure is harmless.
+                if let Ok(f) = fs::File::open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(payload)
+            }
+            Err(_) => {
+                self.session_misses.set(self.session_misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact payload under `key`, atomically replacing any
+    /// existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if staging or renaming fails. Callers on
+    /// the analysis fast path typically treat failure as best-effort
+    /// (the computation already succeeded).
+    pub fn save(&self, key: ArtifactKey, kind: ArtifactKind, payload: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&kind.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}-{}.part",
+            process::id(),
+            self.tmp_tag,
+            key.to_hex()
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        let result = fs::rename(&tmp, self.entry_path(key, kind));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result?;
+        self.session_writes.set(self.session_writes.get() + 1);
+        Ok(())
+    }
+
+    /// Hits recorded by this process since the store was opened.
+    #[must_use]
+    pub fn session_hits(&self) -> u64 {
+        self.session_hits.get()
+    }
+
+    /// Misses recorded by this process since the store was opened.
+    #[must_use]
+    pub fn session_misses(&self) -> u64 {
+        self.session_misses.get()
+    }
+
+    /// Merges this process's counters into `counters.bin` and resets
+    /// them. Called automatically on drop.
+    pub fn flush_counters(&self) {
+        let (h, m, w) = (
+            self.session_hits.replace(0),
+            self.session_misses.replace(0),
+            self.session_writes.replace(0),
+        );
+        if h == 0 && m == 0 && w == 0 {
+            return;
+        }
+        let (ph, pm, pw) = self.read_persisted_counters();
+        let mut payload = Vec::with_capacity(24);
+        payload.extend_from_slice(&(ph + h).to_le_bytes());
+        payload.extend_from_slice(&(pm + m).to_le_bytes());
+        payload.extend_from_slice(&(pw + w).to_le_bytes());
+        // Same atomic-rename discipline as entries; losing a race just
+        // loses counter increments, never corrupts the file.
+        let tmp =
+            self.root
+                .join("tmp")
+                .join(format!("{}-{}-counters.part", process::id(), self.tmp_tag));
+        let write = fs::write(&tmp, &payload).and_then(|()| {
+            let res = fs::rename(&tmp, self.root.join(COUNTERS_FILE));
+            if res.is_err() {
+                let _ = fs::remove_file(&tmp);
+            }
+            res
+        });
+        let _ = write;
+    }
+
+    fn read_persisted_counters(&self) -> (u64, u64, u64) {
+        let Ok(bytes) = fs::read(self.root.join(COUNTERS_FILE)) else {
+            return (0, 0, 0);
+        };
+        if bytes.len() != 24 {
+            return (0, 0, 0);
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8"));
+        (word(0), word(1), word(2))
+    }
+
+    fn entry_files(&self) -> io::Result<Vec<(PathBuf, u64, SystemTime)>> {
+        let mut files = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            files.push((entry.path(), meta.len(), mtime));
+        }
+        Ok(files)
+    }
+
+    /// Current on-disk shape plus cumulative counters (including this
+    /// process's unflushed session counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the objects directory cannot be scanned.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let files = self.entry_files()?;
+        let (hits, misses, writes) = self.read_persisted_counters();
+        Ok(StoreStats {
+            entries: files.len() as u64,
+            total_bytes: files.iter().map(|(_, len, _)| len).sum(),
+            hits: hits + self.session_hits.get(),
+            misses: misses + self.session_misses.get(),
+            writes: writes + self.session_writes.get(),
+        })
+    }
+
+    /// Validates every entry's header and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the objects directory cannot be scanned
+    /// (individual unreadable entries are reported as corrupt instead).
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for (path, _, _) in self.entry_files()? {
+            // The expected kind is embedded in the file name; validate
+            // the header against it when parseable, else against the
+            // header's own kind (checksum still applies).
+            match read_entry(&path, kind_from_file_name(&path)) {
+                Ok(_) => report.valid += 1,
+                Err(reason) => report.corrupt.push((path, reason)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Removes every entry, the counters file, and all staging files
+    /// (including partial writes left behind by crashed processes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered.
+    pub fn clear(&self) -> io::Result<()> {
+        for (path, _, _) in self.entry_files()? {
+            fs::remove_file(path)?;
+        }
+        let _ = fs::remove_file(self.root.join(COUNTERS_FILE));
+        self.sweep_tmp(std::time::Duration::ZERO);
+        self.session_hits.set(0);
+        self.session_misses.set(0);
+        self.session_writes.set(0);
+        Ok(())
+    }
+
+    /// Removes staging files older than `min_age` (best effort). Live
+    /// writers stage and rename within the same call, so anything old
+    /// in `tmp/` is an orphan from a crashed process.
+    fn sweep_tmp(&self, min_age: std::time::Duration) {
+        let Ok(entries) = fs::read_dir(self.root.join("tmp")) else {
+            return;
+        };
+        let now = SystemTime::now();
+        for entry in entries.filter_map(Result::ok) {
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .map(|mtime| now.duration_since(mtime).is_ok_and(|age| age >= min_age))
+                .unwrap_or(true);
+            if stale {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Size-bounded least-recently-used eviction: removes the oldest
+    /// entries (by mtime — [`Store::load`] refreshes it on hits) until
+    /// the total size is at most `max_bytes`. Also sweeps staging files
+    /// orphaned by crashed processes (older than one hour).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the objects directory cannot be scanned
+    /// or an eviction fails.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        self.sweep_tmp(std::time::Duration::from_secs(3600));
+        let mut files = self.entry_files()?;
+        files.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        let mut report = GcReport::default();
+        for (path, len, _) in &files {
+            if total <= max_bytes {
+                report.kept += 1;
+                report.kept_bytes += len;
+                continue;
+            }
+            fs::remove_file(path)?;
+            total -= len;
+            report.evicted += 1;
+            report.freed_bytes += len;
+        }
+        Ok(report)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
+}
+
+/// Parses the `-k<kind>` tag out of an entry file name.
+fn kind_from_file_name(path: &Path) -> Option<ArtifactKind> {
+    let stem = path.file_stem()?.to_str()?;
+    let (_, kind) = stem.rsplit_once("-k")?;
+    kind.parse().ok()
+}
+
+/// Reads and fully validates one entry file, returning the payload or a
+/// human-readable failure reason. `expected_kind = None` accepts any
+/// kind tag (integrity scans where the caller has no expectation).
+fn read_entry(path: &Path, expected_kind: Option<ArtifactKind>) -> Result<Vec<u8>, String> {
+    let mut f = fs::File::open(path).map_err(|e| format!("open: {e}"))?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)
+        .map_err(|e| format!("read: {e}"))?;
+    if bytes.len() < HEADER_LEN {
+        return Err(format!("truncated header ({} bytes)", bytes.len()));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2"));
+    if version != CODEC_VERSION {
+        return Err(format!("codec version {version}, expected {CODEC_VERSION}"));
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("2"));
+    if expected_kind.is_some_and(|expected| kind != expected) {
+        return Err(format!(
+            "kind {kind}, expected {}",
+            expected_kind.expect("checked")
+        ));
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(format!(
+            "payload length {} != declared {payload_len}",
+            payload.len()
+        ));
+    }
+    if fnv1a64(payload) != checksum {
+        return Err("checksum mismatch".into());
+    }
+    // Strip the header in place — no second allocation for the payload.
+    bytes.drain(..HEADER_LEN);
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("ndetect-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_and_counters() {
+        let store = temp_store("roundtrip");
+        let key = ArtifactKey(0xdead_beef);
+        assert!(store.load(key, 1).is_none()); // miss
+        store.save(key, 1, b"payload bytes").unwrap();
+        assert_eq!(store.load(key, 1).unwrap(), b"payload bytes");
+        // Same key, different kind: distinct entry.
+        assert!(store.load(key, 2).is_none());
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.writes, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn counters_persist_across_store_instances() {
+        let store = temp_store("counters");
+        let root = store.root().to_path_buf();
+        let key = ArtifactKey(7);
+        store.save(key, 1, b"x").unwrap();
+        assert!(store.load(key, 1).is_some());
+        drop(store); // flushes counters
+
+        let store2 = Store::open(&root).unwrap();
+        let stats = store2.stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.writes, 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_and_verify_flags_them() {
+        let store = temp_store("corrupt");
+        let key = ArtifactKey(1);
+        store.save(key, 1, b"hello world").unwrap();
+        let path = store.entry_path(key, 1);
+
+        // Flip one payload byte.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(key, 1).is_none());
+
+        // Truncate mid-payload.
+        store.save(key, 1, b"hello world").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(store.load(key, 1).is_none());
+
+        // Wrong codec version.
+        store.save(key, 1, b"hello world").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(key, 1).is_none());
+
+        let report = store.verify().unwrap();
+        assert_eq!(report.valid, 0);
+        assert_eq!(report.corrupt.len(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let store = temp_store("clear");
+        store.save(ArtifactKey(1), 1, b"a").unwrap();
+        store.save(ArtifactKey(2), 1, b"b").unwrap();
+        store.clear().unwrap();
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_until_under_budget() {
+        let store = temp_store("gc");
+        let payload = vec![0u8; 100];
+        for i in 0..4u64 {
+            store.save(ArtifactKey(i), 1, &payload).unwrap();
+            // Force distinct mtimes (filesystem granularity permitting)
+            // by backdating earlier entries.
+            let age = std::time::Duration::from_secs(100 - i * 10);
+            let f = fs::File::open(store.entry_path(ArtifactKey(i), 1)).unwrap();
+            f.set_modified(SystemTime::now() - age).unwrap();
+        }
+        let per_entry = (HEADER_LEN + payload.len()) as u64;
+        let report = store.gc(2 * per_entry).unwrap();
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.kept, 2);
+        // Oldest (keys 0 and 1) evicted; newest survive.
+        assert!(store.load(ArtifactKey(0), 1).is_none());
+        assert!(store.load(ArtifactKey(1), 1).is_none());
+        assert!(store.load(ArtifactKey(2), 1).is_some());
+        assert!(store.load(ArtifactKey(3), 1).is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_by_clear_and_gc() {
+        let store = temp_store("tmp-sweep");
+        // Simulate a crashed writer's leftover staging file.
+        let orphan = store.root().join("tmp").join("999-0-deadbeef.part");
+        fs::write(&orphan, b"partial").unwrap();
+
+        // gc only sweeps stale orphans (>1h); a fresh file survives.
+        store.gc(u64::MAX).unwrap();
+        assert!(orphan.exists());
+        let f = fs::File::open(&orphan).unwrap();
+        f.set_modified(SystemTime::now() - std::time::Duration::from_secs(7200))
+            .unwrap();
+        store.gc(u64::MAX).unwrap();
+        assert!(!orphan.exists());
+
+        // clear sweeps regardless of age.
+        fs::write(&orphan, b"partial").unwrap();
+        store.clear().unwrap();
+        assert!(!orphan.exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn kind_tag_parsing() {
+        assert_eq!(
+            kind_from_file_name(Path::new("/x/objects/0011223344556677-k2.art")),
+            Some(2)
+        );
+        assert_eq!(
+            kind_from_file_name(Path::new("/x/objects/garbage.art")),
+            None
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the store codec: round trips over randomly
+//! generated payload shapes, and total (panic-free) decoding of
+//! arbitrarily mangled bytes.
+
+use ndetect_sim::{GoodValues, PatternSpace, VectorSet};
+use ndetect_store::{decode_from_slice, encode_to_vec, ArtifactKey, Store};
+use ndetect_testutil::{random_netlist, RandomNetlistConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #[test]
+    fn u64_vectors_round_trip(v in prop::collection::vec(any::<u64>(), 0..64)) {
+        let bytes = encode_to_vec(&v);
+        prop_assert_eq!(decode_from_slice::<Vec<u64>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn option_u32_vectors_round_trip(v in prop::collection::vec(any::<u32>(), 0..64)) {
+        // The shape of a serialized nmin vector.
+        let v: Vec<Option<u32>> = v
+            .into_iter()
+            .map(|x| if x % 3 == 0 { None } else { Some(x) })
+            .collect();
+        let bytes = encode_to_vec(&v);
+        prop_assert_eq!(decode_from_slice::<Vec<Option<u32>>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_round_trip(s in any::<u64>()) {
+        let s = format!("circuit-{s}-π∞");
+        let bytes = encode_to_vec(&s);
+        prop_assert_eq!(decode_from_slice::<String>(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn vector_sets_round_trip(seed in any::<u64>(), bits in 0usize..10) {
+        // A detection set over a 2^bits pattern space with random
+        // membership.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_patterns = 1usize << bits;
+        let set = VectorSet::from_vectors(
+            num_patterns,
+            (0..num_patterns).filter(|_| rng.gen_range(0..2) == 1),
+        );
+        let bytes = encode_to_vec(&set);
+        prop_assert_eq!(decode_from_slice::<VectorSet>(&bytes).unwrap(), set);
+    }
+
+    #[test]
+    fn good_values_round_trip(seed in any::<u64>(), inputs in 1usize..8) {
+        let netlist = random_netlist(seed, &RandomNetlistConfig {
+            num_inputs: inputs,
+            num_gates: 8,
+            num_outputs: 2,
+        });
+        let space = PatternSpace::new(netlist.num_inputs()).unwrap();
+        let good = GoodValues::compute(&netlist, &space);
+        let bytes = encode_to_vec(&good);
+        let back: GoodValues = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back.words(), good.words());
+        prop_assert_eq!(back.num_nodes(), good.num_nodes());
+        prop_assert_eq!(back.num_blocks(), good.num_blocks());
+    }
+
+    #[test]
+    fn mangled_payloads_never_panic(v in prop::collection::vec(any::<u64>(), 0..32),
+                                    flip in any::<u64>()) {
+        // Decoding arbitrary corruptions of a valid encoding either
+        // succeeds (bit flips in element bytes still decode to *some*
+        // Vec<u64>) or fails cleanly — it must never panic.
+        let mut bytes = encode_to_vec(&v);
+        if !bytes.is_empty() {
+            let pos = (flip as usize) % bytes.len();
+            bytes[pos] ^= 1 << (flip % 8);
+            let _ = decode_from_slice::<Vec<u64>>(&bytes);
+            let _ = decode_from_slice::<VectorSet>(&bytes);
+            let _ = decode_from_slice::<Vec<Option<u32>>>(&bytes);
+        }
+        // Truncations likewise.
+        let bytes = encode_to_vec(&v);
+        for cut in 0..bytes.len().min(32) {
+            let _ = decode_from_slice::<Vec<u64>>(&bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn store_round_trips_payloads_through_disk() {
+    let dir = std::env::temp_dir().join(format!("ndetect-store-proptest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..16u64 {
+        let payload: Vec<u8> = (0..rng.gen_range(0..2048))
+            .map(|_| rng.gen_range(0..=255))
+            .collect();
+        let key = ArtifactKey(i);
+        store.save(key, 7, &payload).unwrap();
+        assert_eq!(store.load(key, 7).as_deref(), Some(payload.as_slice()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

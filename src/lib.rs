@@ -13,6 +13,7 @@
 //! | [`fsm`] | KISS2 parsing, state encoding, two-level synthesis |
 //! | [`circuits`] | the paper's Figure-1 example and the benchmark suite |
 //! | [`analysis`] | worst-case `nmin` and average-case (Procedure 1) analyses |
+//! | [`store`] | content-addressed on-disk artifact cache (universes, nmin vectors) |
 //!
 //! # Quickstart
 //!
@@ -42,3 +43,4 @@ pub use ndetect_faults as faults;
 pub use ndetect_fsm as fsm;
 pub use ndetect_netlist as netlist;
 pub use ndetect_sim as sim;
+pub use ndetect_store as store;

@@ -1,0 +1,75 @@
+//! End-to-end cold-vs-warm equivalence across the whole pipeline: the
+//! on-disk artifact store must make repeated analyses incremental while
+//! leaving every analysis result bit-identical — universes, `nmin`
+//! vectors, coverage percentages, and the paper's golden Figure-1
+//! numbers.
+
+use ndetect::analysis::WorstCaseAnalysis;
+use ndetect::circuits::figure1;
+use ndetect::faults::{FaultUniverse, UniverseOptions};
+use ndetect::store::Store;
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> (Store, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("ndetect-e2e-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Store::open(&dir).unwrap(), dir)
+}
+
+#[test]
+fn warm_pipeline_reproduces_the_papers_figure1_numbers() {
+    let (store, dir) = temp_store("figure1");
+    let circuit = figure1::netlist();
+    let options = UniverseOptions::default();
+
+    // Cold pass: builds and populates the store.
+    let cold_universe = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    let cold_wc = WorstCaseAnalysis::compute_stored(&cold_universe, 0, Some(&store));
+    assert_eq!(store.session_hits(), 0);
+    assert_eq!(store.session_misses(), 2);
+
+    // Warm pass: everything expensive comes from disk.
+    let warm_universe = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    let warm_wc = WorstCaseAnalysis::compute_stored(&warm_universe, 0, Some(&store));
+    assert_eq!(store.session_hits(), 2);
+    assert_eq!(store.session_misses(), 2);
+
+    // Bit-identical analysis outputs.
+    assert_eq!(cold_wc.nmin_values(), warm_wc.nmin_values());
+    for n in [1, 2, 3, 4, 10] {
+        assert_eq!(cold_wc.coverage_percent(n), warm_wc.coverage_percent(n));
+    }
+
+    // And both match the paper: nmin(g0) = 3, nmin(g6) = 4.
+    let g0 = figure1::paper_bridge_index(&warm_universe, "9", false, "10", true).unwrap();
+    let g6 = figure1::paper_bridge_index(&warm_universe, "11", false, "9", true).unwrap();
+    assert_eq!(warm_wc.nmin(g0), Some(3));
+    assert_eq!(warm_wc.nmin(g6), Some(4));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suite_circuit_round_trips_through_the_store() {
+    let (store, dir) = temp_store("lion");
+    let circuit = ndetect::circuits::build("lion").unwrap();
+    let options = UniverseOptions::default();
+
+    let cold = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    let warm = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    assert_eq!(store.session_hits(), 1);
+    assert_eq!(cold.targets(), warm.targets());
+    assert_eq!(cold.bridges(), warm.bridges());
+    for (a, b) in cold.target_sets().iter().zip(warm.target_sets()) {
+        assert_eq!(a, b);
+    }
+    for (a, b) in cold.bridge_sets().iter().zip(warm.bridge_sets()) {
+        assert_eq!(a, b);
+    }
+
+    // The store inventory is sane: one universe entry plus counters.
+    let stats = store.stats().unwrap();
+    assert_eq!(stats.entries, 1);
+    assert!(stats.total_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
