@@ -432,8 +432,9 @@ fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
 struct CorpusRow {
     circuit: String,
     /// `full` (exhaustive universe), `cones` (per-output partitioned
-    /// fallback for circuits wider than `--max-inputs`), or `skipped`
-    /// (every cone was too wide — nothing was analysed).
+    /// fallback for circuits wider than `--max-inputs`), `skipped`
+    /// (every cone was too wide — nothing was analysed), or `error`
+    /// (the file failed to read/parse/analyse; details on stderr).
     mode: &'static str,
     inputs: usize,
     outputs: usize,
@@ -476,13 +477,42 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
     }
 
     let mut rows = Vec::new();
+    let mut num_errors = 0usize;
     for path in &paths {
-        rows.push(corpus_row(path, max_inputs, threads, store)?);
+        // Per-file fault tolerance: one malformed file is reported as
+        // an `error` row instead of aborting the whole corpus run.
+        match corpus_row(path, max_inputs, threads, store) {
+            Ok(row) => rows.push(row),
+            Err(message) => {
+                num_errors += 1;
+                eprintln!("# corpus error: {message}");
+                let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+                rows.push(CorpusRow {
+                    circuit: name.to_string(),
+                    mode: "error",
+                    inputs: 0,
+                    outputs: 0,
+                    gates: 0,
+                    targets: 0,
+                    bridges: 0,
+                    cov1: None,
+                    cov10: None,
+                    tail11: 0,
+                    max_nmin: None,
+                });
+            }
+        }
     }
 
     match format {
         "csv" => render_corpus_csv(&rows),
         _ => render_corpus_json(&rows),
+    }
+    if num_errors > 0 {
+        eprintln!(
+            "# corpus: {num_errors} of {} files failed (rows marked `error`)",
+            paths.len()
+        );
     }
     Ok(())
 }

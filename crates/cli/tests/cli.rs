@@ -178,6 +178,37 @@ fn corpus_marks_fully_unanalysable_circuits_as_skipped() {
 }
 
 #[test]
+fn corpus_tolerates_malformed_files_as_error_rows() {
+    // One malformed .bench must not abort the run: it becomes an
+    // `error` row (details on stderr) and every other file is still
+    // analysed.
+    let dir = temp_cache("error-corpus");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("broken.bench"),
+        "INPUT(a)\nOUTPUT(y)\ny = FROB(a, what)\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("good.bench"),
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+    )
+    .unwrap();
+    let (ok, csv, stderr) = run_binary(&["corpus", dir.to_str().unwrap()]);
+    assert!(ok, "malformed file must not abort the corpus run: {stderr}");
+    assert!(csv.contains("broken,error,0,0,0,0,0,,,0,"), "{csv}");
+    assert!(csv.contains("good,full,2,1,1,"), "{csv}");
+    assert!(stderr.contains("corpus error:"), "{stderr}");
+    assert!(stderr.contains("1 of 2 files failed"), "{stderr}");
+
+    let (ok, json, _) = run_binary(&["corpus", dir.to_str().unwrap(), "--format", "json"]);
+    assert!(ok);
+    assert!(json.contains("\"mode\": \"error\""), "{json}");
+    assert!(json.contains("\"circuit\": \"good\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn non_cache_commands_ignore_a_broken_cache_dir() {
     // list/synth/dot never touch the store, so an unusable
     // NDETECT_CACHE_DIR must not break them (and must not create

@@ -15,10 +15,13 @@
 //!   `(l1,a1,l2,a2)` is activated on vectors where the fault-free circuit
 //!   has `l1 = a1` and `l2 = a2`, and its effect is to flip `l1`.
 //!
-//! Detection sets `T(h) ⊆ U` are computed for every fault by serial
-//! injection into a cone-restricted bit-parallel exhaustive simulation
-//! ([`FaultSimulator`]), and bundled into a [`FaultUniverse`] — the input
-//! to the analyses in `ndetect-core`.
+//! Detection sets `T(h) ⊆ U` are computed for every fault by injection
+//! into an event-driven bit-parallel exhaustive simulation
+//! ([`FaultSimulator`]): only nodes whose faulty 64-vector word actually
+//! differs from the fault-free word are re-evaluated, and a block
+//! terminates as soon as the difference frontier goes empty. The sets
+//! are bundled into a [`FaultUniverse`] — the input to the analyses in
+//! `ndetect-core`.
 //!
 //! # Example
 //!

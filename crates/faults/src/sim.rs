@@ -1,12 +1,25 @@
 //! Fault injection over bit-parallel exhaustive simulation, serial or
 //! sharded over 64-vector pattern blocks.
+//!
+//! The default kernel is **event-driven**: instead of re-evaluating the
+//! entire fanout cone of the fault site on every block, it walks the
+//! site's precomputed CSR cone once per fault, evaluates a gate only
+//! when some fanin joined the **difference frontier** (its faulty words
+//! actually differ from the fault-free words), processes all blocks of
+//! a gate as one contiguous node-major row (branch-free, vectorizable
+//! inner loops), and restricts every row operation to the sub-range of
+//! blocks on which the fault is active at all. The pre-existing
+//! full-cone kernel survives as
+//! [`FaultSimulator::detection_set_stuck_full_cone`] /
+//! [`FaultSimulator::detection_set_bridge_full_cone`] — the
+//! differential-testing oracle and benchmark baseline.
 
 use crate::bridging::BridgingFault;
 use crate::stuck_at::StuckAtFault;
 use ndetect_netlist::{GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink};
 use ndetect_sim::{
-    eval_gate_trit, eval_gate_word, eval_trits_all, parallel, GoodValues, PartialVector,
-    PatternSpace, Trit, VectorSet,
+    eval_gate_trit, eval_gate_word_pin_override, eval_trits_all, parallel, GoodValues,
+    PartialVector, PatternSpace, SimScratch, Trit, VectorSet,
 };
 use std::ops::Range;
 
@@ -18,20 +31,184 @@ fn stuck_word(value: bool) -> u64 {
     }
 }
 
-/// Computes detection sets `T(h)` by injecting one fault at a time into a
-/// cone-restricted bit-parallel exhaustive simulation.
+/// Evaluates one gate over a contiguous window of blocks: operand rows
+/// are read through `op` (called with the pin index and the fanin node)
+/// and the result row is written to `out`. The inner loops are plain
+/// slice folds, so they vectorize.
+fn eval_gate_rows<'a>(
+    kind: GateKind,
+    fanins: &[NodeId],
+    op: impl Fn(usize, NodeId) -> &'a [u64],
+    out: &mut [u64],
+) {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            out.fill(u64::MAX);
+            for (i, &f) in fanins.iter().enumerate() {
+                for (o, &w) in out.iter_mut().zip(op(i, f)) {
+                    *o &= w;
+                }
+            }
+            if kind == GateKind::Nand {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            out.fill(0);
+            for (i, &f) in fanins.iter().enumerate() {
+                for (o, &w) in out.iter_mut().zip(op(i, f)) {
+                    *o |= w;
+                }
+            }
+            if kind == GateKind::Nor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            out.fill(0);
+            for (i, &f) in fanins.iter().enumerate() {
+                for (o, &w) in out.iter_mut().zip(op(i, f)) {
+                    *o ^= w;
+                }
+            }
+            if kind == GateKind::Xnor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Buf => out.copy_from_slice(op(0, fanins[0])),
+        GateKind::Not => {
+            for (o, &w) in out.iter_mut().zip(op(0, fanins[0])) {
+                *o = !w;
+            }
+        }
+        GateKind::Const0 => out.fill(0),
+        GateKind::Const1 => out.fill(u64::MAX),
+        GateKind::Input => unreachable!("inputs are never re-evaluated"),
+    }
+}
+
+/// The fold identity of an associative gate family (`AND`-likes fold
+/// from all-ones, the rest from zero).
+fn fold_identity(kind: GateKind) -> u64 {
+    match kind {
+        GateKind::And | GateKind::Nand => u64::MAX,
+        _ => 0,
+    }
+}
+
+/// One fold step of an associative gate family (inversion for the
+/// negated kinds is applied at the end, not here).
+fn fold_combine(kind: GateKind, a: u64, b: u64) -> u64 {
+    match kind {
+        GateKind::And | GateKind::Nand => a & b,
+        GateKind::Or | GateKind::Nor => a | b,
+        GateKind::Xor | GateKind::Xnor => a ^ b,
+        _ => unreachable!("not an associative gate"),
+    }
+}
+
+/// Whether the single-changed-fanin fast path has a precomputed
+/// "all other fanins" row for this kind.
+fn has_others_rows(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+    )
+}
+
+/// Splits two **disjoint** windows out of the faulty-row arena: the
+/// changed fanin's row (read) and the gate's row (written).
+fn row_pair(rows: &mut [u64], src: Range<usize>, dst: Range<usize>) -> (&[u64], &mut [u64]) {
+    debug_assert!(src.end <= dst.start || dst.end <= src.start, "rows alias");
+    if src.start < dst.start {
+        let (a, b) = rows.split_at_mut(dst.start);
+        (&a[src.start..src.end], &mut b[..dst.end - dst.start])
+    } else {
+        let (a, b) = rows.split_at_mut(src.start);
+        (&b[..src.end - src.start], &mut a[dst.start..dst.end])
+    }
+}
+
+/// The fused single-pass gate update of the fast path: computes
+/// `out[i] = op(others[i], changed[i])`, writes it to `dst`, ORs the
+/// difference against `good` into `det` (when observing), and returns
+/// the OR of all differences (zero ⇒ the gate stays off the frontier).
+fn fused_update(
+    others: &[u64],
+    changed: &[u64],
+    good: &[u64],
+    dst: &mut [u64],
+    det: Option<&mut [u64]>,
+    op: impl Fn(u64, u64) -> u64,
+) -> u64 {
+    let mut any = 0u64;
+    match det {
+        Some(det) => {
+            for i in 0..dst.len() {
+                let out = op(others[i], changed[i]);
+                let diff = out ^ good[i];
+                any |= diff;
+                det[i] |= diff;
+                dst[i] = out;
+            }
+        }
+        None => {
+            for i in 0..dst.len() {
+                let out = op(others[i], changed[i]);
+                any |= out ^ good[i];
+                dst[i] = out;
+            }
+        }
+    }
+    any
+}
+
+/// Computes detection sets `T(h)` by injecting one fault at a time into
+/// an event-driven bit-parallel exhaustive simulation.
 ///
 /// Construction precomputes, once per circuit:
 ///
-/// * the fault-free value of every node on every vector ([`GoodValues`]);
-/// * for every node, the topologically-sorted list of downstream gates
-///   that must be re-evaluated when that node's value changes, and the
-///   primary-output slots that can observe the change.
+/// * the fault-free value of every node on every vector ([`GoodValues`]),
+///   kept in **both** block-major and node-major (transposed) layouts —
+///   block-major for the full-cone oracle, node-major so the
+///   event-driven kernel streams a node's words contiguously;
+/// * a flattened CSR cone arena (contiguous offset + index tables): for
+///   every node, its strictly-downstream gates in topological order;
+/// * which nodes are observed on a primary-output slot.
 ///
-/// Per fault, only the fanout cone of the fault site is re-simulated;
-/// everything else is read from the good values. Bridging faults
-/// additionally skip any 64-vector block on which the activation
-/// condition never holds.
+/// Per fault, only the gates whose fanins joined the **difference
+/// frontier** are re-evaluated, over only the sub-range of blocks on
+/// which the fault site differs at all; detection bits accumulate from
+/// observed nodes as the frontier crosses them, and propagation ends
+/// the moment the frontier dies. All mutable state lives in a reusable
+/// [`SimScratch`], so the hot loop performs zero heap allocations.
+/// Bridging faults whose activation condition never holds never enter
+/// propagation at all.
+///
+/// # Memory
+///
+/// The row-oriented kernel trades memory for streaming speed: the
+/// node-major transpose, the per-edge "other fanins" rows, and every
+/// per-worker [`SimScratch`] each cost `O(num_nodes × num_blocks)`
+/// words (the `others` table scales with total fanin instead of node
+/// count). That is a few copies of the [`GoodValues`] table — trivial
+/// next to the detection sets at the circuit widths the paper's
+/// analysis targets (`I ≤ 14`, see [`crate::FaultUniverse`]'s memory
+/// note), but it means very wide exhaustive spaces near
+/// [`ndetect_sim::MAX_EXHAUSTIVE_INPUTS`] pay gigabytes per table;
+/// partition such circuits into output cones instead of simulating
+/// them whole.
 ///
 /// ```
 /// use ndetect_netlist::NetlistBuilder;
@@ -56,10 +233,29 @@ pub struct FaultSimulator {
     space: PatternSpace,
     good: GoodValues,
     reach: ReachabilityMatrix,
-    /// Per node: strictly-downstream gates in topological order.
-    cones: Vec<Vec<NodeId>>,
-    /// Per node: `(slot, po_node)` pairs observing the node or its cone.
-    affected_pos: Vec<Vec<(usize, NodeId)>>,
+    num_nodes: usize,
+    num_blocks: usize,
+    /// Node-major transpose of the good values: node `i`'s words for
+    /// blocks `0..num_blocks` are `good_nm[i*num_blocks..(i+1)*num_blocks]`.
+    good_nm: Vec<u64>,
+    /// CSR offsets into [`Self::cone_gates`]: node `i`'s
+    /// strictly-downstream gates (topological order) are
+    /// `cone_gates[cone_offsets[i]..cone_offsets[i+1]]`.
+    cone_offsets: Vec<u32>,
+    /// Flattened cone arena, indexed through [`Self::cone_offsets`].
+    cone_gates: Vec<NodeId>,
+    /// Per associative gate and fanin pin, the fault-free fold of **all
+    /// other** fanins (node-major row): when exactly one fanin of a gate
+    /// changes, the gate re-evaluates in a single fused pass
+    /// `op(others, changed)` instead of folding every operand.
+    /// Row `edge_offsets[g] + pin` lives at
+    /// `others[row*num_blocks..(row+1)*num_blocks]`.
+    others: Vec<u64>,
+    /// Per node: first `others` row index of its fanin pins (nodes
+    /// without tabulated rows span zero rows).
+    edge_offsets: Vec<u32>,
+    /// Per node: observed on at least one primary-output slot.
+    observed: Vec<bool>,
 }
 
 impl FaultSimulator {
@@ -93,7 +289,7 @@ impl FaultSimulator {
     /// Prepares a simulator around **precomputed** fault-free values
     /// (e.g. deserialized from the on-disk artifact store), skipping the
     /// good-value simulation pass. Only the cheap structural tables
-    /// (reachability, fanout cones) are recomputed.
+    /// (reachability, the transpose, the cone arena) are recomputed.
     ///
     /// # Errors
     ///
@@ -121,35 +317,96 @@ impl FaultSimulator {
         good: GoodValues,
     ) -> Result<Self, ndetect_sim::SimError> {
         let reach = ReachabilityMatrix::compute(netlist);
-
         let n = netlist.num_nodes();
-        let mut cones = Vec::with_capacity(n);
-        let mut affected_pos = Vec::with_capacity(n);
+        let nb = space.num_blocks();
+
+        // Node-major transpose: the event kernel streams one node's
+        // words across all blocks, so give it a contiguous row.
+        let mut good_nm = vec![0u64; n * nb];
+        for b in 0..nb {
+            let block = good.block(b);
+            for (i, &w) in block.iter().enumerate() {
+                good_nm[i * nb + b] = w;
+            }
+        }
+
+        // Flatten the per-node downstream cones into one contiguous CSR
+        // arena (topological order within each row).
+        let mut cone_offsets = Vec::with_capacity(n + 1);
+        let mut cone_gates: Vec<NodeId> = Vec::new();
+        cone_offsets.push(0u32);
         for i in 0..n {
             let d = NodeId::new(i);
-            let cone: Vec<NodeId> = netlist
-                .topo_order()
-                .iter()
-                .copied()
-                .filter(|&g| netlist.node(g).kind() != GateKind::Input && reach.reaches(d, g))
-                .collect();
-            let pos: Vec<(usize, NodeId)> = netlist
-                .outputs()
-                .iter()
-                .enumerate()
-                .filter(|&(_, &po)| po == d || reach.reaches(d, po))
-                .map(|(slot, &po)| (slot, po))
-                .collect();
-            cones.push(cone);
-            affected_pos.push(pos);
+            cone_gates.extend(
+                netlist
+                    .topo_order()
+                    .iter()
+                    .copied()
+                    .filter(|&g| netlist.node(g).kind() != GateKind::Input && reach.reaches(d, g)),
+            );
+            cone_offsets.push(cone_gates.len() as u32);
+        }
+
+        // Per-edge "all other fanins" rows for the associative gate
+        // kinds, via one suffix and one prefix sweep per gate (the
+        // standard exclusive-scan trick, O(fanins) row passes).
+        let mut edge_offsets = Vec::with_capacity(n + 1);
+        edge_offsets.push(0u32);
+        let mut others: Vec<u64> = Vec::new();
+        let mut run = vec![0u64; nb];
+        for i in 0..n {
+            let node = netlist.node(NodeId::new(i));
+            let kind = node.kind();
+            let fanins = node.fanins();
+            let m = fanins.len();
+            if has_others_rows(kind) && m >= 1 {
+                let base = others.len();
+                let ident = fold_identity(kind);
+                others.resize(base + m * nb, ident);
+                // Suffix sweep: row i = fold of good fanins i+1..m.
+                for pin in (0..m.saturating_sub(1)).rev() {
+                    let f_off = fanins[pin + 1].index() * nb;
+                    for b in 0..nb {
+                        others[base + pin * nb + b] = fold_combine(
+                            kind,
+                            others[base + (pin + 1) * nb + b],
+                            good_nm[f_off + b],
+                        );
+                    }
+                }
+                // Prefix sweep folds in good fanins 0..pin.
+                run.fill(ident);
+                for pin in 0..m {
+                    for b in 0..nb {
+                        others[base + pin * nb + b] =
+                            fold_combine(kind, others[base + pin * nb + b], run[b]);
+                    }
+                    let f_off = fanins[pin].index() * nb;
+                    for b in 0..nb {
+                        run[b] = fold_combine(kind, run[b], good_nm[f_off + b]);
+                    }
+                }
+            }
+            edge_offsets.push((others.len() / nb) as u32);
+        }
+
+        let mut observed = vec![false; n];
+        for &po in netlist.outputs() {
+            observed[po.index()] = true;
         }
 
         Ok(FaultSimulator {
             space,
             good,
             reach,
-            cones,
-            affected_pos,
+            num_nodes: n,
+            num_blocks: nb,
+            good_nm,
+            cone_offsets,
+            cone_gates,
+            others,
+            edge_offsets,
+            observed,
         })
     }
 
@@ -172,9 +429,450 @@ impl FaultSimulator {
         &self.reach
     }
 
-    /// Re-evaluates the cone of `root` for one block. `fv` holds faulty
-    /// words (valid only where `in_cone`); operands outside the cone come
-    /// from the good values. `fv[root]` must be set by the caller.
+    /// Allocates scratch buffers sized for this simulator's circuit. One
+    /// scratch serves any number of faults; workers should create one
+    /// and reuse it (see [`FaultSimulator::detection_set_stuck_with`]).
+    #[must_use]
+    pub fn new_scratch(&self) -> SimScratch {
+        SimScratch::new(self.num_nodes, self.num_blocks)
+    }
+
+    /// Node `i`'s strictly-downstream gates in topological order (CSR
+    /// row of the cone arena).
+    #[inline]
+    fn cone(&self, node: NodeId) -> &[NodeId] {
+        let lo = self.cone_offsets[node.index()] as usize;
+        let hi = self.cone_offsets[node.index() + 1] as usize;
+        &self.cone_gates[lo..hi]
+    }
+
+    /// The event-driven kernel: propagates the difference between the
+    /// root's faulty row (already written to `scratch.rows` over
+    /// `blocks` by the caller) and its fault-free row through the
+    /// root's cone, accumulating per-block detection words into
+    /// `scratch.det[blocks]`.
+    ///
+    /// Gates are evaluated only while some fanin is on the difference
+    /// frontier, over only the block sub-range on which the root
+    /// differs at all; the walk degenerates to cheap frontier checks as
+    /// soon as the frontier dies. Zero heap allocations.
+    fn propagate(
+        &self,
+        netlist: &Netlist,
+        root: NodeId,
+        blocks: Range<usize>,
+        scratch: &mut SimScratch,
+    ) {
+        debug_assert!(
+            scratch.fits(self.num_nodes, self.num_blocks),
+            "scratch shape"
+        );
+        let nb = self.num_blocks;
+        scratch.begin_fault();
+        let epoch = scratch.epoch;
+        let SimScratch {
+            rows,
+            acc,
+            det,
+            frontier,
+            det_lo,
+            det_hi,
+            ..
+        } = scratch;
+
+        // Tighten to the sub-range of blocks on which the root actually
+        // changed: no node anywhere can differ outside it.
+        let root_off = root.index() * nb;
+        let mut lo = usize::MAX;
+        let mut hi = blocks.start;
+        for b in blocks.clone() {
+            if rows[root_off + b] ^ self.good_nm[root_off + b] != 0 {
+                if lo == usize::MAX {
+                    lo = b;
+                }
+                hi = b + 1;
+            }
+        }
+        if lo == usize::MAX {
+            // Fault inactive on this whole tile: empty detection range.
+            *det_lo = blocks.start;
+            *det_hi = blocks.start;
+            return;
+        }
+        *det_lo = lo;
+        *det_hi = hi;
+        let w = hi - lo;
+        det[lo..hi].fill(0);
+
+        frontier[root.index()] = epoch;
+        if self.observed[root.index()] {
+            for b in lo..hi {
+                det[b] |= rows[root_off + b] ^ self.good_nm[root_off + b];
+            }
+        }
+
+        for &g in self.cone(root) {
+            let node = netlist.node(g);
+            let fanins = node.fanins();
+            // Frontier pruning: a gate none of whose fanins changed is
+            // bit-identical to its fault-free self. (Once the frontier
+            // dies, the rest of the cone walk is just these checks.)
+            let mut changed_pin = usize::MAX;
+            let mut num_changed = 0usize;
+            for (pin, f) in fanins.iter().enumerate() {
+                if frontier[f.index()] == epoch {
+                    changed_pin = pin;
+                    num_changed += 1;
+                }
+            }
+            if num_changed == 0 {
+                continue;
+            }
+            let kind = node.kind();
+            let g_off = g.index() * nb;
+            let any = if num_changed == 1 && (has_others_rows(kind) || fanins.len() == 1) {
+                // Fast path: exactly one fanin changed — one fused pass
+                // combining the precomputed "all other fanins" row with
+                // the changed row (for 1-fanin gates the row is the
+                // changed fanin itself).
+                let f_off = fanins[changed_pin].index() * nb;
+                let (changed, dst) = row_pair(rows, f_off + lo..f_off + hi, g_off + lo..g_off + hi);
+                let others = if has_others_rows(kind) {
+                    let row = self.edge_offsets[g.index()] as usize + changed_pin;
+                    &self.others[row * nb + lo..row * nb + hi]
+                } else {
+                    changed
+                };
+                let good_g = &self.good_nm[g_off + lo..g_off + hi];
+                let det_g = self.observed[g.index()].then_some(&mut det[lo..hi]);
+                match kind {
+                    GateKind::And => {
+                        fused_update(others, changed, good_g, dst, det_g, |e, v| e & v)
+                    }
+                    GateKind::Nand => {
+                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e & v))
+                    }
+                    GateKind::Or => fused_update(others, changed, good_g, dst, det_g, |e, v| e | v),
+                    GateKind::Nor => {
+                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e | v))
+                    }
+                    GateKind::Xor => {
+                        fused_update(others, changed, good_g, dst, det_g, |e, v| e ^ v)
+                    }
+                    GateKind::Xnor => {
+                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e ^ v))
+                    }
+                    GateKind::Buf => fused_update(others, changed, good_g, dst, det_g, |_, v| v),
+                    GateKind::Not => fused_update(others, changed, good_g, dst, det_g, |_, v| !v),
+                    GateKind::Const0 | GateKind::Const1 | GateKind::Input => {
+                        unreachable!("no fanins, so never on the frontier")
+                    }
+                }
+            } else {
+                // General path: several fanins changed — fold every
+                // operand into the accumulator, then diff.
+                {
+                    let rows_r: &[u64] = rows;
+                    let frontier_r: &[u64] = frontier;
+                    let op = |_pin: usize, f: NodeId| -> &[u64] {
+                        let off = f.index() * nb;
+                        if frontier_r[f.index()] == epoch {
+                            &rows_r[off + lo..off + hi]
+                        } else {
+                            &self.good_nm[off + lo..off + hi]
+                        }
+                    };
+                    eval_gate_rows(kind, fanins, op, &mut acc[..w]);
+                }
+                let good_g = &self.good_nm[g_off + lo..g_off + hi];
+                let mut any = 0u64;
+                for (a, &b) in acc[..w].iter().zip(good_g) {
+                    any |= a ^ b;
+                }
+                if any != 0 {
+                    rows[g_off + lo..g_off + hi].copy_from_slice(&acc[..w]);
+                    if self.observed[g.index()] {
+                        for ((d, &a), &b) in det[lo..hi].iter_mut().zip(acc[..w].iter()).zip(good_g)
+                        {
+                            *d |= a ^ b;
+                        }
+                    }
+                }
+                any
+            };
+            // A gate that matches its good row stays off the frontier
+            // (downstream operand reads fall back to the identical good
+            // row) — the early exit that kills dead frontiers.
+            if any != 0 {
+                frontier[g.index()] = epoch;
+            }
+        }
+    }
+
+    /// Copies the detection row back out as per-block words (masked to
+    /// the space; blocks outside the fault's active range read as zero).
+    fn collect_det(&self, blocks: Range<usize>, scratch: &SimScratch) -> Vec<u64> {
+        blocks
+            .map(|b| {
+                if b >= scratch.det_lo && b < scratch.det_hi {
+                    scratch.det[b] & self.space.block_mask(b)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Detection words of a stuck-at fault over a contiguous block range.
+    /// Blocks are independent, so any partition of the range concatenates
+    /// back to the full-range result.
+    fn stuck_words(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        blocks: Range<usize>,
+        scratch: &mut SimScratch,
+    ) -> Vec<u64> {
+        let vword = stuck_word(fault.value);
+        let line = netlist.lines().line(fault.line);
+        let nb = self.num_blocks;
+
+        match *line.kind() {
+            LineKind::Stem { node } => {
+                let off = node.index() * nb;
+                scratch.rows[off + blocks.start..off + blocks.end].fill(vword);
+                self.propagate(netlist, node, blocks.clone(), scratch);
+                self.collect_det(blocks, scratch)
+            }
+            LineKind::Branch { node, sink } => match sink {
+                Sink::GatePin { gate, pin } => {
+                    // Root row: the sink gate evaluated with the
+                    // overridden operand (a constant row), all other
+                    // operands fault-free.
+                    let gnode = netlist.node(gate);
+                    let w = blocks.end - blocks.start;
+                    scratch.acc[..w].fill(vword);
+                    {
+                        let acc_r: &[u64] = &scratch.acc;
+                        let op = |i: usize, f: NodeId| -> &[u64] {
+                            if i == pin {
+                                &acc_r[..w]
+                            } else {
+                                let off = f.index() * nb;
+                                &self.good_nm[off + blocks.start..off + blocks.end]
+                            }
+                        };
+                        let off = gate.index() * nb;
+                        eval_gate_rows(
+                            gnode.kind(),
+                            gnode.fanins(),
+                            op,
+                            &mut scratch.rows[off + blocks.start..off + blocks.end],
+                        );
+                    }
+                    self.propagate(netlist, gate, blocks.clone(), scratch);
+                    self.collect_det(blocks, scratch)
+                }
+                Sink::OutputSlot { slot: _ } => {
+                    // Only this output observation is faulty: detected where
+                    // the good driver value differs from the stuck value.
+                    let off = node.index() * nb;
+                    blocks
+                        .map(|block| {
+                            (self.good_nm[off + block] ^ vword) & self.space.block_mask(block)
+                        })
+                        .collect()
+                }
+            },
+        }
+    }
+
+    /// Detection words of a bridging fault over a contiguous block range.
+    fn bridge_words(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        blocks: Range<usize>,
+        scratch: &mut SimScratch,
+    ) -> Vec<u64> {
+        let victim = netlist.lines().line(fault.victim).driver();
+        let aggressor = netlist.lines().line(fault.aggressor).driver();
+        let nb = self.num_blocks;
+        let v_off = victim.index() * nb;
+        let a_off = aggressor.index() * nb;
+
+        // Root row: the victim flips exactly on the activated vectors
+        // (fault-free victim == a1 and aggressor == a2) — one streaming
+        // pass over two contiguous node rows. Blocks with an empty
+        // activation never enter propagation.
+        for b in blocks.clone() {
+            let gv = self.good_nm[v_off + b];
+            let ga = self.good_nm[a_off + b];
+            let cond = (if fault.victim_value { gv } else { !gv })
+                & (if fault.aggressor_value { ga } else { !ga })
+                & self.space.block_mask(b);
+            scratch.rows[v_off + b] = gv ^ cond;
+        }
+        self.propagate(netlist, victim, blocks.clone(), scratch);
+        self.collect_det(blocks, scratch)
+    }
+
+    /// Computes `T(f)` for a stuck-at fault (stem or branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck(&self, netlist: &Netlist, fault: StuckAtFault) -> VectorSet {
+        self.detection_set_stuck_threaded(netlist, fault, 1)
+    }
+
+    /// Computes `T(f)` reusing a caller-owned [`SimScratch`] — the
+    /// zero-allocation path for loops over many faults (allocate the
+    /// scratch once with [`FaultSimulator::new_scratch`], then simulate
+    /// every fault through it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck_with(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        scratch: &mut SimScratch,
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
+        let words = self.stuck_words(netlist, fault, 0..self.num_blocks, scratch);
+        VectorSet::from_block_words(self.space.num_patterns(), words)
+    }
+
+    /// Computes `T(f)` with the 64-vector pattern blocks sharded over up
+    /// to `num_threads` workers, each owning its own [`SimScratch`].
+    /// Every block is simulated independently, so the result is
+    /// bit-identical to the serial computation for any thread count;
+    /// worthwhile on wide pattern spaces (many blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck_threaded(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        num_threads: usize,
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
+        let words = parallel::run_tiled_with(
+            num_threads,
+            self.num_blocks,
+            || self.new_scratch(),
+            |scratch, blocks| self.stuck_words(netlist, fault, blocks, scratch),
+        );
+        VectorSet::from_block_words(self.space.num_patterns(), words)
+    }
+
+    /// Computes `T(g)` for a four-way bridging fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge(&self, netlist: &Netlist, fault: &BridgingFault) -> VectorSet {
+        self.detection_set_bridge_threaded(netlist, fault, 1)
+    }
+
+    /// Computes `T(g)` reusing a caller-owned [`SimScratch`] (see
+    /// [`FaultSimulator::detection_set_stuck_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge_with(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        scratch: &mut SimScratch,
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
+        debug_assert!(
+            netlist.lines().line(fault.victim).kind().is_stem()
+                && netlist.lines().line(fault.aggressor).kind().is_stem(),
+            "bridging faults live on stems"
+        );
+        let words = self.bridge_words(netlist, fault, 0..self.num_blocks, scratch);
+        VectorSet::from_block_words(self.space.num_patterns(), words)
+    }
+
+    /// Computes `T(g)` with the pattern blocks sharded over up to
+    /// `num_threads` workers (see
+    /// [`Self::detection_set_stuck_threaded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge_threaded(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        num_threads: usize,
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
+        debug_assert!(
+            netlist.lines().line(fault.victim).kind().is_stem()
+                && netlist.lines().line(fault.aggressor).kind().is_stem(),
+            "bridging faults live on stems"
+        );
+        let words = parallel::run_tiled_with(
+            num_threads,
+            self.num_blocks,
+            || self.new_scratch(),
+            |scratch, blocks| self.bridge_words(netlist, fault, blocks, scratch),
+        );
+        VectorSet::from_block_words(self.space.num_patterns(), words)
+    }
+}
+
+/// The reference full-cone kernel, kept as the differential-testing
+/// oracle and benchmark baseline.
+impl FaultSimulator {
+    /// The primary-output nodes observing `root` or its cone.
+    fn observable_outputs_of(&self, netlist: &Netlist, root: NodeId) -> Vec<NodeId> {
+        netlist
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|&po| po == root || self.reach.reaches(root, po))
+            .collect()
+    }
+
+    /// Per-fault buffers for a full-cone re-simulation rooted at `root`:
+    /// the observable outputs, the faulty-value buffer, and the
+    /// cone-membership mask. Allocated once per fault, reused across
+    /// blocks.
+    fn cone_buffers(&self, netlist: &Netlist, root: NodeId) -> (Vec<NodeId>, Vec<u64>, Vec<bool>) {
+        let outputs = self.observable_outputs_of(netlist, root);
+        let mut in_cone = vec![false; self.num_nodes];
+        in_cone[root.index()] = true;
+        for &g in self.cone(root) {
+            in_cone[g.index()] = true;
+        }
+        (outputs, vec![0u64; self.num_nodes], in_cone)
+    }
+
+    /// Re-evaluates every gate of `root`'s cone for one block. `fv`
+    /// holds faulty words (valid only where `in_cone`); operands outside
+    /// the cone come from the good values. `fv[root]` must be set by the
+    /// caller.
     fn eval_cone(
         &self,
         netlist: &Netlist,
@@ -184,7 +882,7 @@ impl FaultSimulator {
         in_cone: &[bool],
     ) {
         let goodb = self.good.block(block);
-        for &g in &self.cones[root.index()] {
+        for &g in self.cone(root) {
             let node = netlist.node(g);
             let kind = node.kind();
             let fanins = node.fanins();
@@ -230,192 +928,115 @@ impl FaultSimulator {
         }
     }
 
-    fn detection_word(&self, block: usize, root: NodeId, fv: &[u64]) -> u64 {
+    fn detection_word(&self, block: usize, outputs: &[NodeId], fv: &[u64]) -> u64 {
         let goodb = self.good.block(block);
         let mut det = 0u64;
-        for &(_, po) in &self.affected_pos[root.index()] {
+        for &po in outputs {
             det |= fv[po.index()] ^ goodb[po.index()];
         }
         det & self.space.block_mask(block)
     }
 
-    /// Allocates the faulty-value buffer and the cone-membership mask for
-    /// a re-simulation rooted at `root`.
-    fn cone_buffers(&self, netlist: &Netlist, root: NodeId) -> (Vec<u64>, Vec<bool>) {
-        let mut in_cone = vec![false; netlist.num_nodes()];
-        in_cone[root.index()] = true;
-        for &g in &self.cones[root.index()] {
-            in_cone[g.index()] = true;
-        }
-        (vec![0u64; netlist.num_nodes()], in_cone)
-    }
-
-    /// Assembles per-block detection words (in block order) into a set.
-    fn set_from_words(&self, words: Vec<u64>) -> VectorSet {
-        let mut set = VectorSet::new(self.space.num_patterns());
-        for (block, word) in words.into_iter().enumerate() {
-            set.set_word(block, word);
-        }
-        set
-    }
-
-    /// Detection words of a stuck-at fault over a contiguous block range.
-    /// Blocks are independent, so any partition of the range concatenates
-    /// back to the full-range result.
-    fn stuck_words(
+    /// Computes `T(f)` with the reference full-cone kernel: every
+    /// downstream gate of the fault site is re-evaluated on every
+    /// block, whether or not the fault effect reaches it. Bit-identical
+    /// to [`Self::detection_set_stuck`]; kept as the
+    /// differential-testing oracle and the baseline of the
+    /// `event_driven` benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's line does not belong to `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_stuck_full_cone(
         &self,
         netlist: &Netlist,
         fault: StuckAtFault,
-        blocks: Range<usize>,
-    ) -> Vec<u64> {
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
         let vword = stuck_word(fault.value);
         let line = netlist.lines().line(fault.line);
+        let blocks = 0..self.num_blocks;
 
-        match *line.kind() {
+        let words: Vec<u64> = match *line.kind() {
             LineKind::Stem { node } => {
-                let (mut fv, in_cone) = self.cone_buffers(netlist, node);
+                let (outputs, mut fv, in_cone) = self.cone_buffers(netlist, node);
                 blocks
                     .map(|block| {
                         fv[node.index()] = vword;
                         self.eval_cone(netlist, block, node, &mut fv, &in_cone);
-                        self.detection_word(block, node, &fv)
+                        self.detection_word(block, &outputs, &fv)
                     })
                     .collect()
             }
             LineKind::Branch { node, sink } => match sink {
                 Sink::GatePin { gate, pin } => {
-                    let (mut fv, in_cone) = self.cone_buffers(netlist, gate);
+                    // Operand buffers hoisted out of the block loop: the
+                    // sink gate is evaluated through the pin-override
+                    // primitive, with no per-block allocations.
+                    let (outputs, mut fv, in_cone) = self.cone_buffers(netlist, gate);
+                    let gnode = netlist.node(gate);
                     blocks
                         .map(|block| {
-                            // Evaluate the sink gate with the overridden
-                            // operand, then its cone; finally compare
-                            // observable outputs.
                             let goodb = self.good.block(block);
-                            let gnode = netlist.node(gate);
-                            let mut operands: Vec<u64> =
-                                gnode.fanins().iter().map(|f| goodb[f.index()]).collect();
-                            operands[pin] = vword;
-                            let ids: Vec<NodeId> = (0..operands.len()).map(NodeId::new).collect();
-                            fv[gate.index()] = eval_gate_word(gnode.kind(), &ids, &operands);
+                            fv[gate.index()] = eval_gate_word_pin_override(
+                                gnode.kind(),
+                                gnode.fanins(),
+                                goodb,
+                                pin,
+                                vword,
+                            );
                             self.eval_cone(netlist, block, gate, &mut fv, &in_cone);
-                            self.detection_word(block, gate, &fv)
+                            self.detection_word(block, &outputs, &fv)
                         })
                         .collect()
                 }
-                Sink::OutputSlot { slot: _ } => {
-                    // Only this output observation is faulty: detected where
-                    // the good driver value differs from the stuck value.
-                    blocks
-                        .map(|block| {
-                            let g = self.good.node_word(block, node);
-                            (g ^ vword) & self.space.block_mask(block)
-                        })
-                        .collect()
-                }
+                Sink::OutputSlot { slot: _ } => blocks
+                    .map(|block| {
+                        let g = self.good.node_word(block, node);
+                        (g ^ vword) & self.space.block_mask(block)
+                    })
+                    .collect(),
             },
-        }
+        };
+        VectorSet::from_block_words(self.space.num_patterns(), words)
     }
 
-    /// Detection words of a bridging fault over a contiguous block range.
-    fn bridge_words(
+    /// Computes `T(g)` with the reference full-cone kernel (see
+    /// [`Self::detection_set_stuck_full_cone`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's lines are not stems of `netlist`, or if
+    /// `netlist` is not the netlist this simulator was built for.
+    #[must_use]
+    pub fn detection_set_bridge_full_cone(
         &self,
         netlist: &Netlist,
         fault: &BridgingFault,
-        blocks: Range<usize>,
-    ) -> Vec<u64> {
+    ) -> VectorSet {
+        assert_eq!(netlist.num_nodes(), self.num_nodes, "wrong netlist");
         let victim = netlist.lines().line(fault.victim).driver();
         let aggressor = netlist.lines().line(fault.aggressor).driver();
-        let (mut fv, in_cone) = self.cone_buffers(netlist, victim);
+        let (outputs, mut fv, in_cone) = self.cone_buffers(netlist, victim);
 
-        blocks
+        let words: Vec<u64> = (0..self.num_blocks)
             .map(|block| {
                 let gv = self.good.node_word(block, victim);
                 let ga = self.good.node_word(block, aggressor);
-                // Activation: fault-free victim == a1 and aggressor == a2.
                 let cond = (if fault.victim_value { gv } else { !gv })
                     & (if fault.aggressor_value { ga } else { !ga })
                     & self.space.block_mask(block);
                 if cond == 0 {
                     return 0;
                 }
-                // Effect: victim flips on activated vectors.
                 fv[victim.index()] = gv ^ cond;
                 self.eval_cone(netlist, block, victim, &mut fv, &in_cone);
-                self.detection_word(block, victim, &fv)
+                self.detection_word(block, &outputs, &fv)
             })
-            .collect()
-    }
-
-    /// Computes `T(f)` for a stuck-at fault (stem or branch).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault's line does not belong to `netlist`, or if
-    /// `netlist` is not the netlist this simulator was built for.
-    #[must_use]
-    pub fn detection_set_stuck(&self, netlist: &Netlist, fault: StuckAtFault) -> VectorSet {
-        self.detection_set_stuck_threaded(netlist, fault, 1)
-    }
-
-    /// Computes `T(f)` with the 64-vector pattern blocks sharded over up
-    /// to `num_threads` workers. Every block is simulated independently,
-    /// so the result is bit-identical to the serial computation for any
-    /// thread count; worthwhile on wide pattern spaces (many blocks).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault's line does not belong to `netlist`, or if
-    /// `netlist` is not the netlist this simulator was built for.
-    #[must_use]
-    pub fn detection_set_stuck_threaded(
-        &self,
-        netlist: &Netlist,
-        fault: StuckAtFault,
-        num_threads: usize,
-    ) -> VectorSet {
-        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
-        let words = parallel::run_tiled(num_threads, self.space.num_blocks(), |blocks| {
-            self.stuck_words(netlist, fault, blocks)
-        });
-        self.set_from_words(words)
-    }
-
-    /// Computes `T(g)` for a four-way bridging fault.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault's lines are not stems of `netlist`, or if
-    /// `netlist` is not the netlist this simulator was built for.
-    #[must_use]
-    pub fn detection_set_bridge(&self, netlist: &Netlist, fault: &BridgingFault) -> VectorSet {
-        self.detection_set_bridge_threaded(netlist, fault, 1)
-    }
-
-    /// Computes `T(g)` with the pattern blocks sharded over up to
-    /// `num_threads` workers (see
-    /// [`Self::detection_set_stuck_threaded`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault's lines are not stems of `netlist`, or if
-    /// `netlist` is not the netlist this simulator was built for.
-    #[must_use]
-    pub fn detection_set_bridge_threaded(
-        &self,
-        netlist: &Netlist,
-        fault: &BridgingFault,
-        num_threads: usize,
-    ) -> VectorSet {
-        assert_eq!(netlist.num_nodes(), self.cones.len(), "wrong netlist");
-        debug_assert!(
-            netlist.lines().line(fault.victim).kind().is_stem()
-                && netlist.lines().line(fault.aggressor).kind().is_stem(),
-            "bridging faults live on stems"
-        );
-        let words = parallel::run_tiled(num_threads, self.space.num_blocks(), |blocks| {
-            self.bridge_words(netlist, fault, blocks)
-        });
-        self.set_from_words(words)
+            .collect();
+        VectorSet::from_block_words(self.space.num_patterns(), words)
     }
 }
 
@@ -621,6 +1242,36 @@ mod tests {
     }
 
     #[test]
+    fn event_driven_equals_full_cone_on_figure1() {
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let mut scratch = sim.new_scratch();
+        for fault in all_stuck_at_faults(&n) {
+            let event = sim.detection_set_stuck_with(&n, fault, &mut scratch);
+            let oracle = sim.detection_set_stuck_full_cone(&n, fault);
+            assert_eq!(event, oracle, "fault {}", fault.name(&n));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_faults_is_clean() {
+        // Interleave faults through one scratch and compare against
+        // fresh-scratch runs: stale state must never leak.
+        let n = figure1();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = all_stuck_at_faults(&n);
+        let mut shared = sim.new_scratch();
+        for _round in 0..3 {
+            for &fault in &faults {
+                let with_shared = sim.detection_set_stuck_with(&n, fault, &mut shared);
+                let mut fresh = sim.new_scratch();
+                let with_fresh = sim.detection_set_stuck_with(&n, fault, &mut fresh);
+                assert_eq!(with_shared, with_fresh, "fault {}", fault.name(&n));
+            }
+        }
+    }
+
+    #[test]
     fn paper_table1_detection_sets() {
         let n = figure1();
         let sim = FaultSimulator::new(&n).unwrap();
@@ -649,6 +1300,10 @@ mod tests {
         // g0 = (9,0,10,1): T = {6,7}.
         let g0 = BridgingFault::new(stem("9"), false, stem("10"), true);
         assert_eq!(sim.detection_set_bridge(&n, &g0).to_vec(), vec![6, 7]);
+        assert_eq!(
+            sim.detection_set_bridge_full_cone(&n, &g0).to_vec(),
+            vec![6, 7]
+        );
         // g6 = (11,0,9,1): T = {12}.
         let g6 = BridgingFault::new(stem("11"), false, stem("9"), true);
         assert_eq!(sim.detection_set_bridge(&n, &g6).to_vec(), vec![12]);

@@ -115,12 +115,16 @@ impl FaultUniverse {
             all_stuck_at_faults(netlist)
         };
         // Fault-parallel tiling: each worker simulates a tile of the
-        // fault list against the shared read-only simulator; tiles are
+        // fault list against the shared read-only simulator, reusing one
+        // event-propagation scratch for its whole tile; tiles are
         // reassembled in fault order, so the sets are bit-identical to a
         // serial pass.
-        let target_sets: Vec<VectorSet> = parallel::parallel_map(threads, &targets, |_, &f| {
-            simulator.detection_set_stuck(netlist, f)
-        });
+        let target_sets: Vec<VectorSet> = parallel::parallel_map_with(
+            threads,
+            &targets,
+            || simulator.new_scratch(),
+            |scratch, _, &f| simulator.detection_set_stuck_with(netlist, f, scratch),
+        );
 
         let mut bridges = Vec::new();
         let mut bridge_sets = Vec::new();
@@ -128,9 +132,12 @@ impl FaultUniverse {
         if options.include_bridges {
             let enumerated =
                 enumerate_bridges(netlist, simulator.reachability(), options.bridge_model);
-            let sets = parallel::parallel_map(threads, &enumerated, |_, fault| {
-                simulator.detection_set_bridge(netlist, fault)
-            });
+            let sets = parallel::parallel_map_with(
+                threads,
+                &enumerated,
+                || simulator.new_scratch(),
+                |scratch, _, fault| simulator.detection_set_bridge_with(netlist, fault, scratch),
+            );
             for (fault, set) in enumerated.into_iter().zip(sets) {
                 if set.is_empty() {
                     num_undetectable_bridges += 1;

@@ -14,6 +14,10 @@
 //! * [`GoodValues`] — fault-free values of every node on every vector,
 //!   computed once by levelized bit-parallel simulation and reused by all
 //!   fault injections.
+//! * [`SimScratch`] — reusable per-worker buffers (faulty words, epoch
+//!   stamps, level-indexed frontier queues) for the event-driven fault
+//!   kernel in `ndetect-faults`, so hot simulation loops perform zero
+//!   heap allocations.
 //! * [`parallel`] — a scoped-thread worker pool shared by every
 //!   data-parallel loop in the workspace (fault-tile and pattern-block
 //!   sharding, Procedure-1 test-set construction), with one `0 = auto`
@@ -51,6 +55,7 @@
 mod error;
 mod good;
 pub mod parallel;
+mod scratch;
 mod set;
 mod space;
 mod threeval;
@@ -58,7 +63,8 @@ mod twoval;
 
 pub use error::SimError;
 pub use good::GoodValues;
+pub use scratch::SimScratch;
 pub use set::VectorSet;
 pub use space::{PatternSpace, MAX_EXHAUSTIVE_INPUTS};
 pub use threeval::{eval_gate_trit, eval_trits_all, PartialVector, Trit};
-pub use twoval::eval_gate_word;
+pub use twoval::{eval_gate_word, eval_gate_word_pin_override};

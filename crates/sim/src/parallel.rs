@@ -62,9 +62,31 @@ where
     O: Send,
     F: Fn(Range<usize>) -> Vec<O> + Sync,
 {
+    run_tiled_with(num_threads, len, || (), |(), range| f(range))
+}
+
+/// Like [`run_tiled`], but each worker owns a mutable state created by
+/// `init` exactly once and reused across every tile it pulls — the hook
+/// that lets simulation kernels keep per-worker scratch buffers
+/// allocation-free across an entire run.
+///
+/// The state never influences which tile a worker pulls, so results are
+/// still bit-identical to the serial order for any thread count
+/// (provided `f` is index-local, as for [`run_tiled`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is propagated).
+pub fn run_tiled_with<S, O, I, F>(num_threads: usize, len: usize, init: I, f: F) -> Vec<O>
+where
+    O: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) -> Vec<O> + Sync,
+{
     let workers = num_threads.max(1).min(len);
     if workers <= 1 {
-        return f(0..len);
+        let mut state = init();
+        return f(&mut state, 0..len);
     }
     let tile = len.div_ceil(workers * TILES_PER_WORKER).max(1);
     let num_tiles = len.div_ceil(tile);
@@ -74,8 +96,10 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
+                let init = &init;
                 let f = &f;
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local: Vec<(usize, Vec<O>)> = Vec::new();
                     loop {
                         let t = cursor.fetch_add(1, Ordering::Relaxed);
@@ -84,7 +108,7 @@ where
                         }
                         let start = t * tile;
                         let end = (start + tile).min(len);
-                        local.push((t, f(start..end)));
+                        local.push((t, f(&mut state, start..end)));
                     }
                     local
                 })
@@ -120,6 +144,21 @@ where
     })
 }
 
+/// Like [`parallel_map`], but each worker owns a mutable state created
+/// by `init` once and passed to every `f` call it makes (see
+/// [`run_tiled_with`]): `out[i] == f(&mut state, i, &items[i])`.
+pub fn parallel_map_with<S, T, O, I, F>(num_threads: usize, items: &[T], init: I, f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> O + Sync,
+{
+    run_tiled_with(num_threads, items.len(), init, |state, range| {
+        range.map(|i| f(state, i, &items[i])).collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +188,32 @@ mod tests {
         // Ranges handed to workers partition 0..len.
         let marks: Vec<usize> = run_tiled(5, 237, Iterator::collect);
         assert_eq!(marks, (0..237).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tiled_with_reuses_worker_state_and_preserves_order() {
+        // Each worker counts its own calls in its state; outputs must be
+        // order-identical to the serial map regardless of how tiles land.
+        for threads in [1, 2, 5] {
+            let out: Vec<usize> = run_tiled_with(
+                threads,
+                100,
+                || 0usize,
+                |calls, range| {
+                    *calls += 1;
+                    range.map(|i| i * 2).collect()
+                },
+            );
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_matches_parallel_map() {
+        let items: Vec<usize> = (0..257).collect();
+        let plain = parallel_map(3, &items, |_, &x| x + 7);
+        let with_state = parallel_map_with(3, &items, || (), |(), _, &x| x + 7);
+        assert_eq!(plain, with_state);
     }
 
     #[test]

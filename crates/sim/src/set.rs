@@ -253,6 +253,35 @@ impl VectorSet {
         })
     }
 
+    /// Builds a set directly from per-block detection words in block
+    /// order, taking ownership of the buffer — the zero-copy assembly
+    /// path of the fault simulators (`words[b]` holds the outcomes of
+    /// vectors `b*64..b*64+64`). Bits beyond `num_patterns` in the final
+    /// word are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not the block count of the space.
+    #[must_use]
+    pub fn from_block_words(num_patterns: usize, mut words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            num_patterns.div_ceil(64).max(1),
+            "block count mismatch for a space of {num_patterns}"
+        );
+        if num_patterns % 64 != 0 {
+            let tail = words.len() - 1;
+            let mask = (1u64 << (num_patterns % 64)) - 1;
+            words[tail] &= mask;
+        } else if num_patterns == 0 {
+            words[0] = 0;
+        }
+        VectorSet {
+            num_patterns,
+            words,
+        }
+    }
+
     /// Sets the backing word at index `word_index` (used by the
     /// bit-parallel fault simulator to store 64 detection outcomes at
     /// once). Bits beyond `num_patterns` are masked off.
@@ -373,6 +402,26 @@ mod tests {
         s.set_word(0, u64::MAX);
         assert_eq!(s.len(), 16);
         assert!(!s.contains(16));
+    }
+
+    #[test]
+    fn from_block_words_equals_set_word_assembly() {
+        // Partial final word: garbage above the tail must be masked.
+        let direct = VectorSet::from_block_words(100, vec![u64::MAX, u64::MAX]);
+        let mut looped = VectorSet::new(100);
+        looped.set_word(0, u64::MAX);
+        looped.set_word(1, u64::MAX);
+        assert_eq!(direct, looped);
+        assert_eq!(direct.len(), 100);
+        // Exact multiple of 64: nothing masked.
+        let full = VectorSet::from_block_words(128, vec![3, 5]);
+        assert_eq!(full.to_vec(), vec![0, 1, 64, 66]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn from_block_words_rejects_wrong_shape() {
+        let _ = VectorSet::from_block_words(100, vec![0u64; 3]);
     }
 
     #[test]

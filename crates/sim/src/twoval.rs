@@ -41,6 +41,50 @@ pub fn eval_gate_word(kind: GateKind, fanins: &[NodeId], values: &[u64]) -> u64 
     }
 }
 
+/// Evaluates one gate over 64 vectors with the operand on pin `pin`
+/// replaced by `pin_word` — the injection primitive for branch (gate-pin)
+/// stuck-at faults, needing no temporary operand buffers.
+///
+/// All other operands are read from `values` as in [`eval_gate_word`].
+///
+/// # Panics
+///
+/// Panics (debug) if called for a source kind or with `pin` out of
+/// range.
+#[must_use]
+pub fn eval_gate_word_pin_override(
+    kind: GateKind,
+    fanins: &[NodeId],
+    values: &[u64],
+    pin: usize,
+    pin_word: u64,
+) -> u64 {
+    debug_assert!(pin < fanins.len(), "pin {pin} out of range");
+    let mut ops = fanins.iter().enumerate().map(|(i, f)| {
+        if i == pin {
+            pin_word
+        } else {
+            values[f.index()]
+        }
+    });
+    match kind {
+        GateKind::Input => {
+            debug_assert!(false, "inputs are filled by the pattern space");
+            0
+        }
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Buf => ops.next().unwrap_or(0),
+        GateKind::Not => !ops.next().unwrap_or(0),
+        GateKind::And => ops.fold(u64::MAX, |acc, w| acc & w),
+        GateKind::Nand => !ops.fold(u64::MAX, |acc, w| acc & w),
+        GateKind::Or => ops.fold(0, |acc, w| acc | w),
+        GateKind::Nor => !ops.fold(0, |acc, w| acc | w),
+        GateKind::Xor => ops.fold(0, |acc, w| acc ^ w),
+        GateKind::Xnor => !ops.fold(0, |acc, w| acc ^ w),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +138,37 @@ mod tests {
     fn constants() {
         assert_eq!(eval_gate_word(GateKind::Const0, &[], &[]), 0);
         assert_eq!(eval_gate_word(GateKind::Const1, &[], &[]), u64::MAX);
+    }
+
+    #[test]
+    fn pin_override_matches_buffer_substitution() {
+        // For every kind/arity/pin: overriding pin p must equal building
+        // the operand buffer by hand and calling eval_gate_word.
+        let values = [0b1100_1010u64, 0b1111_0000, 0b0101_0101];
+        for &kind in GateKind::all() {
+            if kind.is_source() {
+                continue;
+            }
+            let max_arity = if matches!(kind, GateKind::Buf | GateKind::Not) {
+                1
+            } else {
+                3
+            };
+            for arity in 1..=max_arity {
+                for pin in 0..arity {
+                    for word in [0u64, u64::MAX, 0xDEAD_BEEF] {
+                        let fanins = ids(arity);
+                        let fast = eval_gate_word_pin_override(kind, &fanins, &values, pin, word);
+                        let mut patched = values.to_vec();
+                        // Route the overridden pin to a fresh slot.
+                        patched.push(word);
+                        let mut alt = fanins.clone();
+                        alt[pin] = NodeId::new(patched.len() - 1);
+                        let slow = eval_gate_word(kind, &alt, &patched);
+                        assert_eq!(fast, slow, "{kind} arity={arity} pin={pin}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -80,7 +80,16 @@ pub fn random_netlist(seed: u64, config: &RandomNetlistConfig) -> Netlist {
 /// inputs — small enough for exhaustive cross-checking against scalar
 /// oracles.
 pub fn arb_netlist(max_inputs: usize) -> impl Strategy<Value = Netlist> {
-    (any::<u64>(), 1..=max_inputs, 1usize..=20, 1usize..=3).prop_map(
+    arb_netlist_sized(max_inputs, 20)
+}
+
+/// Like [`arb_netlist`], with an explicit gate budget: larger budgets
+/// yield deeper DAGs with more reconvergence and wider fanout — the
+/// regime that stresses frontier-pruned (event-driven) fault
+/// propagation, where effects must die mid-cone without skipping any
+/// observable path.
+pub fn arb_netlist_sized(max_inputs: usize, max_gates: usize) -> impl Strategy<Value = Netlist> {
+    (any::<u64>(), 1..=max_inputs, 1..=max_gates, 1usize..=3).prop_map(
         |(seed, num_inputs, num_gates, num_outputs)| {
             random_netlist(
                 seed,
