@@ -4,13 +4,14 @@ use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
 use ndetect_core::partition::analyze_output_cones_stored;
 use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{
-    estimate_detection_probabilities, DetectionDefinition, NminDistribution, Procedure1Config,
-    WorstCaseAnalysis,
+    estimate_detection_probabilities_stored, DetectionDefinition, NminDistribution,
+    Procedure1Config, WorstCaseAnalysis,
 };
 use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_gen::{generate_stored, GenOptions};
 use ndetect_netlist::{bench_format, Netlist, NetlistStats};
 use ndetect_store::Store;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
@@ -19,12 +20,13 @@ pub const USAGE: &str = "usage:
   ndet worst <circuit> [--floor N]
   ndet average <circuit> [--k K] [--nmax N] [--def 1|2] [--tail T]
   ndet greedy <circuit> [--n N]
+  ndet gen <circuit> [--n N] [--compact] [--seed S]
   ndet synth <circuit>
   ndet bench-file <path> <stats|worst|cones>
   ndet pla-file <path> <stats|worst|synth>
   ndet dot <circuit>
   ndet cones <circuit> [--max-inputs N]
-  ndet corpus <dir> [--format csv|json] [--max-inputs N]
+  ndet corpus <dir> [--format csv|json] [--max-inputs N] [--recursive]
   ndet cache <stats|verify|clear|gc> [--max-bytes N]
 
 <circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
@@ -86,6 +88,15 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 greedy(&n, n_det as u32, threads, store.as_ref())
             })
         }
+        "gen" => {
+            let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
+            let do_compact = flag_present(&rest, "--compact");
+            let seed = flag_value(&rest, "--seed")?.map(|s| s as u64);
+            let store = open_store(&rest)?;
+            with_circuit(&rest, |_, n| {
+                gen_set(&n, n_det as u32, do_compact, seed, threads, store.as_ref())
+            })
+        }
         "synth" => with_circuit(&rest, |_, n| {
             print!("{}", bench_format::write(&n));
             Ok(())
@@ -129,6 +140,16 @@ fn flag_str<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a str>, Stri
     Ok(None)
 }
 
+/// Flags that are pure presence toggles — they consume no value, so the
+/// positional scanner must not swallow the token after them.
+const BOOLEAN_FLAGS: &[&str] = &["--compact", "--recursive"];
+
+/// Whether a presence-toggle flag (one of [`BOOLEAN_FLAGS`]) was given.
+fn flag_present(rest: &[&String], flag: &str) -> bool {
+    debug_assert!(BOOLEAN_FLAGS.contains(&flag), "unregistered boolean flag");
+    rest.iter().any(|arg| arg.as_str() == flag)
+}
+
 /// Opens the artifact store selected by `--cache-dir`, falling back to
 /// the `NDETECT_CACHE_DIR` environment variable; `Ok(None)` when no
 /// cache directory is configured.
@@ -149,13 +170,16 @@ fn open_store(rest: &[&String]) -> Result<Option<Store>, String> {
 
 /// The positional arguments: every token that is neither a `--flag` nor
 /// the value following one (string-valued flags like `--cache-dir`
-/// would otherwise be misread as positionals).
+/// would otherwise be misread as positionals). Presence toggles
+/// ([`BOOLEAN_FLAGS`]) consume no value.
 fn positionals<'a>(rest: &[&'a String]) -> Vec<&'a str> {
     let mut out = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg.starts_with("--") {
-            let _ = it.next(); // the flag's value
+            if !BOOLEAN_FLAGS.contains(&arg.as_str()) {
+                let _ = it.next(); // the flag's value
+            }
             continue;
         }
         out.push(arg.as_str());
@@ -264,7 +288,9 @@ fn average(
         threads,
         ..Default::default()
     };
-    let probs = estimate_detection_probabilities(&universe, &tracked, &config)
+    // Procedure 1 is seeded, so the whole K-set construction is
+    // cacheable: warm re-runs load the estimate from the store.
+    let probs = estimate_detection_probabilities_stored(&universe, &tracked, &config, store)
         .map_err(|e| e.to_string())?;
     println!(
         "{name}: {} tracked faults (nmin >= {tail}), K = {k}, definition {def}",
@@ -295,6 +321,62 @@ fn greedy(netlist: &Netlist, n: u32, threads: usize, store: Option<&Store>) -> R
         "greedy {n}-detection set: {} tests, bridging coverage {:.2}%",
         set.len(),
         bridge_coverage(&universe, &set)
+    );
+    println!("{set}");
+    Ok(())
+}
+
+/// `ndet gen`: the set-cover generation engine (`ndetect-gen`), with
+/// compaction and seeded tie-breaking, store-backed so warm
+/// re-generation is a cache hit.
+fn gen_set(
+    netlist: &Netlist,
+    n: u32,
+    compact: bool,
+    seed: Option<u64>,
+    threads: usize,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let universe = universe_of(netlist, threads, store)?;
+    let options = GenOptions {
+        n,
+        compact,
+        seed,
+        threads,
+    };
+    let set = generate_stored(&universe, &options, store);
+    let space = universe.space().num_patterns();
+    println!(
+        "generated {n}-detection set: {} tests ({:.2}% of the {space}-vector space{})",
+        set.len(),
+        100.0 * set.len() as f64 / space as f64,
+        if set.is_compacted() {
+            ", compacted"
+        } else {
+            ""
+        },
+    );
+    println!(
+        "targets: {} detectable of {}; every one detected min(n, |T(f)|) times",
+        universe.num_detectable_targets(),
+        universe.targets().len()
+    );
+    let covered = universe
+        .bridge_sets()
+        .iter()
+        .filter(|t_g| t_g.intersects(set.as_vector_set()))
+        .count();
+    let coverage = if universe.bridges().is_empty() {
+        100.0
+    } else {
+        100.0 * covered as f64 / universe.bridges().len() as f64
+    };
+    println!(
+        "bridging coverage: {coverage:.2}% ({covered} of {})",
+        universe.bridges().len()
     );
     println!("{set}");
     Ok(())
@@ -447,13 +529,45 @@ struct CorpusRow {
     cov10: Option<f64>,
     tail11: usize,
     max_nmin: Option<u32>,
+    /// The exhaustive baseline `|U| = 2^I` (`None` outside `full` mode,
+    /// where no exhaustive universe exists).
+    space: Option<usize>,
+    /// Compacted generated-set sizes `|T|` at n = 1, 5, 10 (`None`
+    /// outside `full` mode).
+    gen1: Option<usize>,
+    gen5: Option<usize>,
+    gen10: Option<usize>,
 }
 
-/// `ndet corpus <dir>`: walks a directory of ISCAS-style `.bench` files,
-/// runs the stats/worst-case analysis per circuit through the artifact
-/// store (with the output-cone partitioned fallback for circuits too
-/// wide for exhaustive simulation), and emits a machine-readable CSV or
-/// JSON summary on stdout.
+/// Collects the `.bench` files under `dir` — its direct children, plus
+/// every subdirectory when `recursive` (symlinked directories are not
+/// followed). The caller sorts the full path list, so the walk order
+/// never leaks into the output.
+fn collect_bench_files(dir: &Path, recursive: bool, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let is_dir = entry.file_type().is_ok_and(|t| t.is_dir());
+        if is_dir {
+            if recursive {
+                collect_bench_files(&path, true, out)?;
+            }
+        } else if path.extension().is_some_and(|ext| ext == "bench") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `ndet corpus <dir>`: walks a directory of ISCAS-style `.bench` files
+/// (`--recursive` descends into subdirectories; order is the sorted
+/// full path list either way, so results are deterministic), runs the
+/// stats/worst-case analysis per circuit through the artifact store
+/// (with the output-cone partitioned fallback for circuits too wide for
+/// exhaustive simulation), generates compact n-detection sets at
+/// n = 1, 5, 10 for exhaustively analysed circuits, and emits a
+/// machine-readable CSV or JSON summary on stdout.
 fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
     let dir = positionals(rest)
         .first()
@@ -464,13 +578,10 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
         return Err(format!("--format must be csv or json, got `{format}`"));
     }
     let max_inputs = flag_value(rest, "--max-inputs")?.unwrap_or(14);
+    let recursive = flag_present(rest, "--recursive");
 
-    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
-        .filter_map(Result::ok)
-        .map(|entry| entry.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "bench"))
-        .collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_bench_files(Path::new(dir), recursive, &mut paths)?;
     paths.sort();
     if paths.is_empty() {
         return Err(format!("no .bench files in {dir}"));
@@ -499,6 +610,10 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
                     cov10: None,
                     tail11: 0,
                     max_nmin: None,
+                    space: None,
+                    gen1: None,
+                    gen5: None,
+                    gen10: None,
                 });
             }
         }
@@ -534,6 +649,17 @@ fn corpus_row(
     if netlist.num_inputs() <= max_inputs {
         let universe = universe_of(&netlist, threads, store)?;
         let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
+        // Compact generated-set sizes vs the exhaustive baseline |U|:
+        // how much smaller than the whole space an n-detection set is.
+        let gen_size = |n: u32| {
+            let options = GenOptions {
+                n,
+                compact: true,
+                seed: None,
+                threads,
+            };
+            Some(generate_stored(&universe, &options, store).len())
+        };
         Ok(CorpusRow {
             circuit: name.to_string(),
             mode: "full",
@@ -546,6 +672,10 @@ fn corpus_row(
             cov10: Some(wc.coverage_percent(10)),
             tail11: wc.tail_count(11),
             max_nmin: wc.max_finite(),
+            space: Some(universe.space().num_patterns()),
+            gen1: gen_size(1),
+            gen5: gen_size(5),
+            gen10: gen_size(10),
         })
     } else {
         let reports = analyze_output_cones_stored(&netlist, max_inputs, threads, store)
@@ -566,6 +696,10 @@ fn corpus_row(
                 cov10: None,
                 tail11: 0,
                 max_nmin: None,
+                space: None,
+                gen1: None,
+                gen5: None,
+                gen10: None,
             });
         }
         let total_bridges: usize = reports.iter().map(|r| r.num_bridges).sum();
@@ -600,18 +734,23 @@ fn corpus_row(
             cov10: Some(weighted(10)),
             tail11: reports.iter().map(|r| r.tail_11).sum(),
             max_nmin: None,
+            space: None,
+            gen1: None,
+            gen5: None,
+            gen10: None,
         })
     }
 }
 
 fn render_corpus_csv(rows: &[CorpusRow]) {
     println!(
-        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin"
+        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10"
     );
     let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
+    let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
     for r in rows {
         println!(
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.circuit,
             r.mode,
             r.inputs,
@@ -623,6 +762,10 @@ fn render_corpus_csv(rows: &[CorpusRow]) {
             pct(r.cov10),
             r.tail11,
             r.max_nmin.map_or(String::new(), |v| v.to_string()),
+            opt(r.space),
+            opt(r.gen1),
+            opt(r.gen5),
+            opt(r.gen10),
         );
     }
 }
@@ -632,6 +775,7 @@ fn render_corpus_json(rows: &[CorpusRow]) {
     // stems and are escaped minimally.
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let pct = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.2}"));
+    let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
     println!("[");
     for (i, r) in rows.iter().enumerate() {
         let max_nmin = r.max_nmin.map_or("null".to_string(), |v| v.to_string());
@@ -639,7 +783,8 @@ fn render_corpus_json(rows: &[CorpusRow]) {
         println!(
             "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
              \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
-             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}}}{comma}",
+             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
+             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}}}{comma}",
             escape(&r.circuit),
             r.mode,
             r.inputs,
@@ -651,6 +796,10 @@ fn render_corpus_json(rows: &[CorpusRow]) {
             pct(r.cov10),
             r.tail11,
             max_nmin,
+            opt(r.space),
+            opt(r.gen1),
+            opt(r.gen5),
+            opt(r.gen10),
         );
     }
     println!("]");
@@ -697,6 +846,19 @@ mod tests {
         assert!(run(&["synth", "figure1"]).is_ok());
         assert!(run(&["dot", "c17"]).is_ok());
         assert!(run(&["cones", "c17"]).is_ok());
+    }
+
+    #[test]
+    fn gen_flag_validation() {
+        assert!(run(&["gen", "figure1", "--n", "3"]).is_ok());
+        assert!(run(&["gen", "figure1", "--n", "3", "--compact"]).is_ok());
+        assert!(run(&["gen", "figure1", "--compact", "--n", "3", "--seed", "7"]).is_ok());
+        // Boolean flags must not swallow the circuit name.
+        assert!(run(&["gen", "--compact", "figure1"]).is_ok());
+        assert!(run(&["gen", "figure1", "--n", "0"]).is_err());
+        assert!(run(&["gen", "figure1", "--n", "zebra"]).is_err());
+        assert!(run(&["gen", "figure1", "--seed"]).is_err());
+        assert!(run(&["gen"]).is_err());
     }
 
     #[test]

@@ -111,7 +111,7 @@ fn corpus_emits_csv_and_json_summaries() {
     assert_eq!(
         lines.next(),
         Some(
-            "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin"
+            "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10"
         )
     );
     let rows: Vec<&str> = lines.collect();
@@ -120,10 +120,21 @@ fn corpus_emits_csv_and_json_summaries() {
     // are the paper's.
     assert!(rows[0].starts_with("c17,full,5,2,6,22,26,"), "{csv}");
     assert!(
-        rows[1].starts_with("figure1,full,4,3,3,16,10,40.00,100.00,0,4"),
+        rows[1].starts_with("figure1,full,4,3,3,16,10,40.00,100.00,0,4,16,"),
         "{csv}"
     );
     assert!(rows[2].starts_with("mux_parity,full,"), "{csv}");
+    // Generated-set sizes: monotone in n, never above the exhaustive
+    // baseline |U| = 2^inputs.
+    for row in &rows {
+        let cells: Vec<&str> = row.split(',').collect();
+        let space: usize = cells[11].parse().expect("space cell");
+        let gen1: usize = cells[12].parse().expect("gen1 cell");
+        let gen5: usize = cells[13].parse().expect("gen5 cell");
+        let gen10: usize = cells[14].parse().expect("gen10 cell");
+        assert!(gen1 >= 1 && gen1 <= gen5 && gen5 <= gen10, "{row}");
+        assert!(gen10 <= space, "{row}");
+    }
 
     let (ok, json, _) = run_binary(&["corpus", corpus, "--format", "json"]);
     assert!(ok);
@@ -131,11 +142,133 @@ fn corpus_emits_csv_and_json_summaries() {
     assert!(json.trim_end().ends_with(']'), "{json}");
     assert!(json.contains("\"circuit\": \"figure1\""), "{json}");
     assert!(json.contains("\"max_nmin\": 4"), "{json}");
+    assert!(json.contains("\"space\": 16"), "{json}");
+    assert!(json.contains("\"gen1\": "), "{json}");
 
     let (ok, _, _) = run_binary(&["corpus", corpus, "--format", "yaml"]);
     assert!(!ok, "unknown format must fail");
     let (ok, _, _) = run_binary(&["corpus", "/nonexistent-dir"]);
     assert!(!ok, "missing directory must fail");
+}
+
+#[test]
+fn gen_reports_a_satisfying_compact_set() {
+    let (ok, stdout, stderr) = run_binary(&["gen", "figure1", "--n", "1", "--compact"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("generated 1-detection set:"),
+        "summary line:\n{stdout}"
+    );
+    assert!(stdout.contains(", compacted"), "{stdout}");
+    assert!(stdout.contains("targets: 16 detectable of 16"), "{stdout}");
+    assert!(stdout.contains("bridging coverage:"), "{stdout}");
+    // The vector list is the last line; it must be far below |U| = 16.
+    let vectors = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('['))
+        .unwrap_or_else(|| panic!("missing vector list:\n{stdout}"));
+    let count = vectors.trim_matches(['[', ']']).split_whitespace().count();
+    assert!((1..=8).contains(&count), "{stdout}");
+}
+
+#[test]
+fn gen_warm_reruns_hit_the_cache_with_identical_output() {
+    let dir = temp_cache("gen-warm");
+    let dirs = dir.to_str().expect("utf8 path");
+    let (ok, cold, _) = run_binary(&[
+        "gen",
+        "figure1",
+        "--n",
+        "5",
+        "--compact",
+        "--cache-dir",
+        dirs,
+    ]);
+    assert!(ok);
+    let (ok, warm, _) = run_binary(&[
+        "gen",
+        "figure1",
+        "--n",
+        "5",
+        "--compact",
+        "--cache-dir",
+        dirs,
+    ]);
+    assert!(ok);
+    assert_eq!(cold, warm, "warm generation must be byte-identical");
+
+    let (ok, stats, _) = run_binary(&["cache", "stats", "--cache-dir", dirs]);
+    assert!(ok);
+    // Universe + generated set, each hit once on the warm run.
+    assert!(stats.contains("entries: 2"), "{stats}");
+    assert!(stats.contains("hits: 2"), "{stats}");
+    assert!(stats.contains("misses: 2"), "{stats}");
+
+    // A different seed is a different artifact (a third entry) and a
+    // different (but still valid) invocation.
+    let (ok, seeded, _) = run_binary(&[
+        "gen",
+        "figure1",
+        "--n",
+        "5",
+        "--compact",
+        "--seed",
+        "9",
+        "--cache-dir",
+        dirs,
+    ]);
+    assert!(ok);
+    assert!(seeded.contains("generated 5-detection set:"), "{seeded}");
+    let (ok, stats, _) = run_binary(&["cache", "stats", "--cache-dir", dirs]);
+    assert!(ok);
+    assert!(stats.contains("entries: 3"), "{stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_recursive_walks_subdirectories_in_sorted_order() {
+    let dir = temp_cache("recursive-corpus");
+    std::fs::create_dir_all(dir.join("sub/deep")).unwrap();
+    std::fs::write(
+        dir.join("top.bench"),
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("sub/middle.bench"),
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("sub/deep/bottom.bench"),
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+    )
+    .unwrap();
+
+    // Without --recursive only the top-level file is seen.
+    let (ok, csv, _) = run_binary(&["corpus", dir.to_str().unwrap()]);
+    assert!(ok);
+    assert!(csv.contains("top,full,"), "{csv}");
+    assert!(!csv.contains("middle"), "{csv}");
+    assert!(!csv.contains("bottom"), "{csv}");
+
+    // With --recursive every file appears, ordered by sorted full path:
+    // sub/deep/bottom.bench < sub/middle.bench < top.bench.
+    let (ok, csv, _) = run_binary(&["corpus", "--recursive", dir.to_str().unwrap()]);
+    assert!(ok);
+    let order: Vec<&str> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap())
+        .collect();
+    assert_eq!(order, vec!["bottom", "middle", "top"], "{csv}");
+
+    // Determinism: a second run produces byte-identical output.
+    let (ok, again, _) = run_binary(&["corpus", "--recursive", dir.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(csv, again);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

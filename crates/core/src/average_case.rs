@@ -5,8 +5,15 @@ use crate::definition::{counts_as_new_detection, Def2Cache, DetectionDefinition}
 use crate::error::CoreError;
 use crate::test_set::TestSet;
 use ndetect_faults::FaultUniverse;
+use ndetect_store::{
+    decode_from_slice, encode_to_vec, ArtifactKey, ArtifactKind, CodecError, Decode, Decoder,
+    Encode, Encoder, Fnv64, Store, CODEC_VERSION,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Store kind tag for serialized Procedure-1 probability estimates.
+pub const KIND_PROCEDURE1: ArtifactKind = 4;
 
 /// Configuration for Procedure 1 (random n-detection test set
 /// construction) and the probability estimator built on it.
@@ -465,6 +472,141 @@ pub fn estimate_detection_probabilities(
     })
 }
 
+fn definition_tag(definition: DetectionDefinition) -> u8 {
+    match definition {
+        DetectionDefinition::Standard => 1,
+        DetectionDefinition::SufficientlyDifferent => 2,
+    }
+}
+
+/// The content-addressed store key of a Procedure-1 estimate: the
+/// universe key mixed with every semantic input of the estimator —
+/// `nmax`, `K`, the master seed, the detection definition, and the
+/// tracked fault indices. [`Procedure1Config::threads`] is deliberately
+/// excluded: per-set RNG streams derive from the master seed, so the
+/// estimate is bit-identical for every worker count.
+#[must_use]
+pub fn procedure1_key(
+    universe: &FaultUniverse,
+    tracked: &[usize],
+    config: &Procedure1Config,
+) -> ArtifactKey {
+    let mut h = Fnv64::new();
+    h.update(b"ndetect.procedure1");
+    h.update_u64(u64::from(CODEC_VERSION));
+    h.update_u64(universe.store_key().0);
+    h.update_u64(u64::from(config.nmax));
+    h.update_u64(config.num_test_sets as u64);
+    h.update_u64(config.seed);
+    h.update(&[definition_tag(config.definition)]);
+    h.update_u64(tracked.len() as u64);
+    for &j in tracked {
+        h.update_u64(j as u64);
+    }
+    ArtifactKey(h.finish())
+}
+
+impl Encode for DetectionProbabilities {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(self.nmax);
+        e.put_usize(self.num_test_sets);
+        self.tracked.encode(e);
+        self.d.encode(e);
+    }
+}
+
+impl Decode for DetectionProbabilities {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let nmax = d.get_u32()?;
+        let num_test_sets = d.get_usize()?;
+        let tracked = Vec::<usize>::decode(d)?;
+        let counts = Vec::<Vec<u32>>::decode(d)?;
+        if counts.len() != nmax as usize {
+            return Err(CodecError::new("row count != nmax"));
+        }
+        if counts.iter().any(|row| row.len() != tracked.len()) {
+            return Err(CodecError::new("row width != tracked count"));
+        }
+        Ok(DetectionProbabilities {
+            nmax,
+            num_test_sets,
+            tracked,
+            d: counts,
+        })
+    }
+}
+
+impl DetectionProbabilities {
+    /// Validates a decoded estimate against the live inputs it is being
+    /// loaded for: configuration and tracked list must agree, every
+    /// count must be a plausible `d(n, g)` (at most `K`, monotone
+    /// nondecreasing in `n`). `false` means the entry is stale or
+    /// colliding and must be treated as a miss.
+    fn is_consistent_with(&self, tracked: &[usize], config: &Procedure1Config) -> bool {
+        self.nmax == config.nmax
+            && self.num_test_sets == config.num_test_sets
+            && self.tracked == tracked
+            && self
+                .d
+                .iter()
+                .all(|row| row.iter().all(|&c| c as usize <= self.num_test_sets))
+            && self.d.windows(2).all(|adjacent| {
+                adjacent[0]
+                    .iter()
+                    .zip(&adjacent[1])
+                    .all(|(prev, next)| prev <= next)
+            })
+    }
+}
+
+/// Like [`estimate_detection_probabilities`], with the
+/// content-addressed on-disk store as a fast path: Procedure 1 is
+/// seeded, so its `K × nmax` construction is fully cacheable. A valid
+/// entry (keyed by circuit, universe options, `nmax`, `K`, seed,
+/// definition, and the tracked list — see [`procedure1_key`]) skips
+/// every test-set construction; a miss estimates normally and
+/// populates the store best effort. Corrupt or stale entries are
+/// silently treated as misses.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for zero `nmax`/`K` and
+/// [`CoreError::FaultIndex`] if a tracked index is out of range (the
+/// same validation as the uncached path, performed before any store
+/// access).
+pub fn estimate_detection_probabilities_stored(
+    universe: &FaultUniverse,
+    tracked: &[usize],
+    config: &Procedure1Config,
+    store: Option<&Store>,
+) -> Result<DetectionProbabilities, CoreError> {
+    let Some(store) = store else {
+        return estimate_detection_probabilities(universe, tracked, config);
+    };
+    // Validate before consulting the store so error behaviour is
+    // identical cold and warm.
+    config.validate()?;
+    for &j in tracked {
+        if j >= universe.bridges().len() {
+            return Err(CoreError::FaultIndex {
+                index: j,
+                len: universe.bridges().len(),
+            });
+        }
+    }
+    let key = procedure1_key(universe, tracked, config);
+    if let Some(payload) = store.load(key, KIND_PROCEDURE1) {
+        if let Ok(probs) = decode_from_slice::<DetectionProbabilities>(&payload) {
+            if probs.is_consistent_with(tracked, config) {
+                return Ok(probs);
+            }
+        }
+    }
+    let probs = estimate_detection_probabilities(universe, tracked, config)?;
+    let _ = store.save(key, KIND_PROCEDURE1, &encode_to_vec(&probs));
+    Ok(probs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +770,127 @@ mod tests {
             estimate_detection_probabilities(&u, &[999], &Procedure1Config::default()),
             Err(CoreError::FaultIndex { .. })
         ));
+    }
+
+    fn temp_store(tag: &str) -> (Store, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "ndetect-procedure1-store-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Store::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn stored_estimates_hit_warm_and_are_bit_identical() {
+        let u = universe();
+        let (store, dir) = temp_store("warm");
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let config = Procedure1Config {
+            nmax: 3,
+            num_test_sets: 40,
+            ..Default::default()
+        };
+        let cold =
+            estimate_detection_probabilities_stored(&u, &tracked, &config, Some(&store)).unwrap();
+        assert_eq!(store.session_hits(), 0);
+        assert_eq!(store.session_misses(), 1);
+        let warm =
+            estimate_detection_probabilities_stored(&u, &tracked, &config, Some(&store)).unwrap();
+        assert_eq!(store.session_hits(), 1);
+        assert_eq!(cold.d, warm.d);
+        assert_eq!(cold.tracked(), warm.tracked());
+        // Thread count changes neither the key nor the payload.
+        let threaded =
+            estimate_detection_probabilities_stored(&u, &tracked, &config, Some(&store)).unwrap();
+        assert_eq!(cold.d, threaded.d);
+        // ...and matches the uncached path exactly.
+        let direct = estimate_detection_probabilities(&u, &tracked, &config).unwrap();
+        assert_eq!(cold.d, direct.d);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stored_estimate_key_is_sensitive_to_every_semantic_input() {
+        let u = universe();
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let base = Procedure1Config {
+            nmax: 3,
+            num_test_sets: 40,
+            ..Default::default()
+        };
+        let k = procedure1_key(&u, &tracked, &base);
+        assert_eq!(
+            k,
+            procedure1_key(&u, &tracked, &Procedure1Config { threads: 7, ..base })
+        );
+        assert_ne!(
+            k,
+            procedure1_key(&u, &tracked, &Procedure1Config { nmax: 4, ..base })
+        );
+        assert_ne!(
+            k,
+            procedure1_key(
+                &u,
+                &tracked,
+                &Procedure1Config {
+                    num_test_sets: 41,
+                    ..base
+                }
+            )
+        );
+        assert_ne!(
+            k,
+            procedure1_key(&u, &tracked, &Procedure1Config { seed: 1, ..base })
+        );
+        assert_ne!(
+            k,
+            procedure1_key(
+                &u,
+                &tracked,
+                &Procedure1Config {
+                    definition: DetectionDefinition::SufficientlyDifferent,
+                    ..base
+                }
+            )
+        );
+        assert_ne!(k, procedure1_key(&u, &tracked[1..], &base));
+    }
+
+    #[test]
+    fn corrupt_stored_estimates_degrade_to_recomputation() {
+        let u = universe();
+        let (store, dir) = temp_store("corrupt");
+        let tracked: Vec<usize> = (0..u.bridges().len()).collect();
+        let config = Procedure1Config {
+            nmax: 2,
+            num_test_sets: 25,
+            ..Default::default()
+        };
+        let cold =
+            estimate_detection_probabilities_stored(&u, &tracked, &config, Some(&store)).unwrap();
+        // Overwrite the entry with a decodable payload for a *different*
+        // configuration: the consistency check must reject it.
+        let alien = DetectionProbabilities {
+            nmax: 2,
+            num_test_sets: 99,
+            tracked: tracked.clone(),
+            d: vec![vec![0; tracked.len()]; 2],
+        };
+        let key = procedure1_key(&u, &tracked, &config);
+        store
+            .save(key, KIND_PROCEDURE1, &encode_to_vec(&alien))
+            .unwrap();
+        let redo =
+            estimate_detection_probabilities_stored(&u, &tracked, &config, Some(&store)).unwrap();
+        assert_eq!(cold.d, redo.d);
+        // Error behaviour is identical warm: a bad tracked index fails
+        // before the store is consulted.
+        assert!(matches!(
+            estimate_detection_probabilities_stored(&u, &[999], &config, Some(&store)),
+            Err(CoreError::FaultIndex { .. })
+        ));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -54,8 +54,9 @@ mod test_set;
 mod worst_case;
 
 pub use average_case::{
-    construct_test_set_series, estimate_detection_probabilities, DetectionProbabilities,
-    Procedure1Config, TestSetSeries,
+    construct_test_set_series, estimate_detection_probabilities,
+    estimate_detection_probabilities_stored, procedure1_key, DetectionProbabilities,
+    Procedure1Config, TestSetSeries, KIND_PROCEDURE1,
 };
 pub use definition::{Def2Cache, DetectionDefinition};
 pub use distribution::NminDistribution;

@@ -301,6 +301,15 @@ impl FaultUniverse {
         &self.target_sets
     }
 
+    /// Number of target faults with a non-empty detection set — the
+    /// population an n-detection test set can actually be required to
+    /// detect (undetectable targets contribute nothing to the
+    /// requirement `min(n, |T(f)|)`).
+    #[must_use]
+    pub fn num_detectable_targets(&self) -> usize {
+        self.target_sets.iter().filter(|s| !s.is_empty()).count()
+    }
+
     /// The untargeted faults `G`: detectable non-feedback four-way
     /// bridging faults, in enumeration order.
     #[must_use]
@@ -459,6 +468,16 @@ mod tests {
                 assert_eq!(pair[0], pair[1], "class {class:?}");
             }
         }
+    }
+
+    #[test]
+    fn detectable_target_count_excludes_empty_sets() {
+        let n = figure1();
+        let u = FaultUniverse::build(&n).unwrap();
+        let manual = u.target_sets().iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(u.num_detectable_targets(), manual);
+        // Every collapsed figure1 target is detectable.
+        assert_eq!(u.num_detectable_targets(), u.targets().len());
     }
 
     #[test]

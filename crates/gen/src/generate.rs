@@ -1,0 +1,465 @@
+//! The greedy set-cover n-detection generator.
+
+use crate::artifact::{generated_key, KIND_GENERATED_SET};
+use crate::compact::compact;
+use ndetect_faults::FaultUniverse;
+use ndetect_sim::{parallel, VectorSet};
+use ndetect_store::{decode_from_slice, encode_to_vec, Store};
+use std::fmt;
+
+/// Configuration for [`generate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GenOptions {
+    /// Detection target: every target fault `f` must be detected
+    /// `min(n, |T(f)|)` times.
+    pub n: u32,
+    /// Run the reverse-order redundant-vector elimination passes after
+    /// generation (never breaks the n-detection property, usually
+    /// shrinks the set a little).
+    pub compact: bool,
+    /// Tie-breaking seed. `None` breaks equal-gain ties toward the
+    /// smallest vector index; `Some(s)` breaks them by a seeded hash
+    /// rank, giving a different (still deterministic) set per seed —
+    /// useful for generating diverse sets of the same quality.
+    pub seed: Option<u64>,
+    /// Worker threads for the gain pass; `0` means auto
+    /// (`NDETECT_THREADS`, then the machine's available parallelism).
+    /// Results are bit-identical for every thread count.
+    pub threads: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            n: 1,
+            compact: false,
+            seed: None,
+            threads: 0,
+        }
+    }
+}
+
+impl GenOptions {
+    /// The defaults with an explicit detection target.
+    #[must_use]
+    pub fn with_n(n: u32) -> Self {
+        GenOptions {
+            n,
+            ..GenOptions::default()
+        }
+    }
+}
+
+/// A generated n-detection test set: vectors in insertion order, the
+/// membership bitset, per-target detection counts, and the options that
+/// produced it.
+///
+/// Invariant (established by [`generate`], preserved by [`compact`],
+/// revalidated when loading from the artifact store): every target
+/// fault `f` is detected at least `min(n, |T(f)|)` times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneratedSet {
+    pub(crate) n: u32,
+    pub(crate) seed: Option<u64>,
+    pub(crate) compacted: bool,
+    pub(crate) vectors: Vec<u32>,
+    pub(crate) members: VectorSet,
+    pub(crate) target_counts: Vec<u32>,
+}
+
+impl GeneratedSet {
+    /// The detection target `n` the set was generated for.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The tie-breaking seed the set was generated with.
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Whether the compaction passes ran on this set.
+    #[must_use]
+    pub fn is_compacted(&self) -> bool {
+        self.compacted
+    }
+
+    /// The test vectors, in insertion order.
+    #[must_use]
+    pub fn vectors(&self) -> &[u32] {
+        &self.vectors
+    }
+
+    /// The membership bitset over the pattern space.
+    #[must_use]
+    pub fn as_vector_set(&self) -> &VectorSet {
+        &self.members
+    }
+
+    /// Number of tests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the set has no tests (every target was
+    /// undetectable).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The size of the underlying pattern space `|U|`.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.members.num_patterns()
+    }
+
+    /// `|T(f) ∩ T|` for target index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn target_count(&self, i: usize) -> u32 {
+        self.target_counts[i]
+    }
+
+    /// All per-target detection counts, parallel to the universe's
+    /// target list.
+    #[must_use]
+    pub fn target_counts(&self) -> &[u32] {
+        &self.target_counts
+    }
+
+    /// Checks the n-detection invariant against a universe: every
+    /// target `f` is detected at least `min(n, |T(f)|)` times (and the
+    /// recorded counts match the membership bitset).
+    #[must_use]
+    pub fn satisfies(&self, universe: &FaultUniverse) -> bool {
+        universe.target_sets().len() == self.target_counts.len()
+            && universe
+                .target_sets()
+                .iter()
+                .zip(&self.target_counts)
+                .all(|(t_f, &count)| {
+                    count as usize == t_f.intersection_count(&self.members)
+                        && count as usize >= t_f.len().min(self.n as usize)
+                })
+    }
+
+    /// Recomputes `target_counts` from the membership bitset (called
+    /// after generation and after compaction mutates the set).
+    pub(crate) fn recount(&mut self, universe: &FaultUniverse) {
+        self.target_counts = universe
+            .target_sets()
+            .iter()
+            .map(|t_f| t_f.intersection_count(&self.members) as u32)
+            .collect();
+    }
+}
+
+impl fmt::Display for GeneratedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// SplitMix64 finalizer — the seeded tie-breaking rank.
+fn mix(seed: u64, v: u64) -> u64 {
+    let mut z = seed ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Picks the highest-gain vector; ties go to the smallest index
+/// (`seed = None`) or the smallest seeded hash rank.
+fn pick_best(gain: &[u32], seed: Option<u64>) -> usize {
+    let rank = |v: usize| seed.map_or(v as u64, |s| mix(s, v as u64));
+    let mut best = 0usize;
+    let mut best_rank = rank(0);
+    for (v, &g) in gain.iter().enumerate().skip(1) {
+        if g < gain[best] {
+            continue;
+        }
+        let r = rank(v);
+        if g > gain[best] || r < best_rank {
+            best = v;
+            best_rank = r;
+        }
+    }
+    best
+}
+
+/// Builds a compact n-detection test set for the universe's target
+/// faults by greedy set cover.
+///
+/// Each round accumulates, over fault tiles on the shared worker pool,
+/// the **gain** of every candidate vector — how many still-deficient
+/// targets it would push one detection closer to `min(n, |T(f)|)` — by
+/// walking `T(f) \ chosen` word-parallel on the detection bitsets; the
+/// highest-gain vector joins the set. The construction is deterministic
+/// for every thread count (tiles are reassembled in index order and the
+/// argmax scan is serial), and seeded tie-breaking yields deterministic
+/// *diverse* sets. With `options.compact` the reverse-order
+/// redundant-vector elimination passes run before returning.
+///
+/// Undetectable targets (empty `T(f)`) impose no requirement. The
+/// greedy invariant guarantees termination: while any target is
+/// deficient, some uncovered vector of its detection set has gain ≥ 1.
+///
+/// # Panics
+///
+/// Panics if `options.n == 0`.
+#[must_use]
+pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet {
+    assert!(options.n >= 1, "n must be at least 1");
+    let threads = parallel::resolve_threads(options.threads);
+    let targets = universe.target_sets();
+    let num_patterns = universe.space().num_patterns();
+
+    // Outstanding detections per target: min(n, |T(f)|) minus the
+    // detections already provided by the chosen set (0 at the start).
+    let goal: Vec<u32> = targets
+        .iter()
+        .map(|t| (options.n as usize).min(t.len()) as u32)
+        .collect();
+    let mut deficit = goal;
+    // Targets still short of their goal — the only ones the gain pass
+    // scans; shrinks every round.
+    let mut active: Vec<u32> = deficit
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d > 0)
+        .map(|(fi, _)| fi as u32)
+        .collect();
+
+    let mut members = VectorSet::new(num_patterns);
+    let mut vectors: Vec<u32> = Vec::new();
+
+    while !active.is_empty() {
+        // Fault-tiled gain accumulation: each worker chunk walks its
+        // targets' remaining detection words (T(f) \ chosen) and scores
+        // every still-available vector into one gain row. Per-fault
+        // cost is uniform (every set spans the same block count), so
+        // one static chunk per worker balances fine and keeps the
+        // per-round allocation at `workers` rows rather than one per
+        // load-balancing tile. Partial rows are summed in chunk order,
+        // so the totals are identical for any thread count.
+        let workers = threads.min(active.len()).max(1);
+        let chunk = active.len().div_ceil(workers);
+        let partials: Vec<Vec<u32>> = parallel::run_tiled(workers, workers, |chunks| {
+            chunks
+                .map(|w| {
+                    let mut gain = vec![0u32; num_patterns];
+                    // Ceil chunking can leave trailing chunks empty
+                    // (e.g. 5 faults over 4 workers): clamp both ends.
+                    let start = (w * chunk).min(active.len());
+                    let end = ((w + 1) * chunk).min(active.len());
+                    let faults = &active[start..end];
+                    for &fi in faults {
+                        for v in targets[fi as usize].iter_difference(&members) {
+                            gain[v] += 1;
+                        }
+                    }
+                    gain
+                })
+                .collect()
+        });
+        let gain = partials
+            .into_iter()
+            .reduce(|mut acc, part| {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += p;
+                }
+                acc
+            })
+            .expect("at least one chunk");
+        // Vectors already chosen contribute nothing by construction
+        // (iter_difference masks them), so the argmax scans `gain`
+        // directly.
+        let best = pick_best(&gain, options.seed);
+        if gain[best] == 0 {
+            // Defensively unreachable: a deficient target always has an
+            // unchosen vector left in T(f).
+            break;
+        }
+        members.insert(best);
+        vectors.push(best as u32);
+        active.retain(|&fi| {
+            let fi = fi as usize;
+            if targets[fi].contains(best) {
+                deficit[fi] -= 1;
+            }
+            deficit[fi] > 0
+        });
+    }
+
+    let mut set = GeneratedSet {
+        n: options.n,
+        seed: options.seed,
+        compacted: false,
+        vectors,
+        members,
+        target_counts: Vec::new(),
+    };
+    set.recount(universe);
+    if options.compact {
+        compact(&mut set, universe);
+    }
+    debug_assert!(set.satisfies(universe));
+    set
+}
+
+/// Like [`generate`], with the content-addressed on-disk store as a
+/// fast path: a valid cache entry (same universe, same semantic
+/// options) skips the construction entirely; a miss generates normally
+/// and populates the store best-effort. Corrupt, stale, or
+/// property-violating entries are silently treated as misses.
+///
+/// # Panics
+///
+/// Panics if `options.n == 0`.
+#[must_use]
+pub fn generate_stored(
+    universe: &FaultUniverse,
+    options: &GenOptions,
+    store: Option<&Store>,
+) -> GeneratedSet {
+    assert!(options.n >= 1, "n must be at least 1");
+    let Some(store) = store else {
+        return generate(universe, options);
+    };
+    let key = generated_key(universe, options);
+    if let Some(payload) = store.load(key, KIND_GENERATED_SET) {
+        if let Ok(set) = decode_from_slice::<GeneratedSet>(&payload) {
+            if set.is_consistent_with(universe, options) {
+                return set;
+            }
+        }
+    }
+    let set = generate(universe, options);
+    let _ = store.save(key, KIND_GENERATED_SET, &encode_to_vec(&set));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_circuits::figure1;
+
+    fn universe() -> FaultUniverse {
+        FaultUniverse::build(&figure1::netlist()).unwrap()
+    }
+
+    #[test]
+    fn generated_sets_meet_the_detection_requirement() {
+        let u = universe();
+        for n in [1, 2, 4, 16] {
+            let set = generate(&u, &GenOptions::with_n(n));
+            assert!(set.satisfies(&u), "n={n}");
+            for (fi, t_f) in u.target_sets().iter().enumerate() {
+                assert!(
+                    set.target_count(fi) as usize >= t_f.len().min(n as usize),
+                    "n={n} target {fi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_thread_counts() {
+        let u = universe();
+        let base = GenOptions::with_n(3);
+        let one = generate(&u, &GenOptions { threads: 1, ..base });
+        for threads in [2, 4, 7] {
+            let multi = generate(&u, &GenOptions { threads, ..base });
+            assert_eq!(one, multi, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seeded_tie_breaking_is_deterministic_and_diverse() {
+        let u = universe();
+        let a = generate(
+            &u,
+            &GenOptions {
+                n: 2,
+                seed: Some(7),
+                ..GenOptions::default()
+            },
+        );
+        let b = generate(
+            &u,
+            &GenOptions {
+                n: 2,
+                seed: Some(7),
+                ..GenOptions::default()
+            },
+        );
+        assert_eq!(a, b);
+        assert!(a.satisfies(&u));
+        // A different seed still satisfies the property (the sets may
+        // or may not differ on a circuit this small).
+        let c = generate(
+            &u,
+            &GenOptions {
+                n: 2,
+                seed: Some(8),
+                ..GenOptions::default()
+            },
+        );
+        assert!(c.satisfies(&u));
+    }
+
+    #[test]
+    fn sets_grow_with_n_and_stay_below_the_exhaustive_space() {
+        let u = universe();
+        let s1 = generate(&u, &GenOptions::with_n(1));
+        let s4 = generate(&u, &GenOptions::with_n(4));
+        assert!(s1.len() <= s4.len());
+        assert!(s1.len() < u.space().num_patterns());
+        // figure1's 16 targets are 1-coverable by a handful of vectors.
+        assert!(s1.len() <= 8, "got {}", s1.len());
+    }
+
+    #[test]
+    fn n_beyond_every_detection_set_saturates() {
+        let u = universe();
+        // n = |U| forces every target to its full detection set: the
+        // union of all T(f) is required.
+        let all = generate(&u, &GenOptions::with_n(u.space().num_patterns() as u32));
+        for (fi, t_f) in u.target_sets().iter().enumerate() {
+            assert_eq!(all.target_count(fi) as usize, t_f.len(), "target {fi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be at least 1")]
+    fn zero_n_is_rejected() {
+        let u = universe();
+        let _ = generate(&u, &GenOptions::with_n(0));
+    }
+
+    #[test]
+    fn display_lists_vectors_in_order() {
+        let u = universe();
+        let set = generate(&u, &GenOptions::with_n(1));
+        let text = set.to_string();
+        assert!(text.starts_with('[') && text.ends_with(']'));
+        assert_eq!(
+            text.trim_matches(['[', ']']).split_whitespace().count(),
+            set.len()
+        );
+    }
+}

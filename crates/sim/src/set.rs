@@ -191,14 +191,15 @@ impl VectorSet {
         self.iter().collect()
     }
 
-    /// The vectors of `self` not present in `other`, ascending (the
-    /// paper's `T(f) − Tk`).
+    /// Iterates the vectors of `self` not present in `other`, ascending
+    /// (the paper's `T(f) − Tk`), without allocating — the accounting
+    /// primitive of the set-cover test generator, whose gain pass walks
+    /// `T(f) \ chosen` for every still-deficient fault each round.
     ///
     /// # Panics
     ///
     /// Panics if the sets are over different spaces.
-    #[must_use]
-    pub fn difference_vec(&self, other: &VectorSet) -> Vec<usize> {
+    pub fn iter_difference<'a>(&'a self, other: &'a VectorSet) -> impl Iterator<Item = usize> + 'a {
         assert_eq!(self.num_patterns, other.num_patterns);
         self.words
             .iter()
@@ -216,7 +217,33 @@ impl VectorSet {
                     }
                 })
             })
-            .collect()
+    }
+
+    /// `|self \ other|` — how many detections of `self` remain available
+    /// outside `other` (word-parallel popcount, no iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets are over different spaces.
+    #[must_use]
+    pub fn difference_count(&self, other: &VectorSet) -> usize {
+        assert_eq!(self.num_patterns, other.num_patterns);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The vectors of `self` not present in `other`, ascending (the
+    /// paper's `T(f) − Tk`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets are over different spaces.
+    #[must_use]
+    pub fn difference_vec(&self, other: &VectorSet) -> Vec<usize> {
+        self.iter_difference(other).collect()
     }
 
     /// Direct read access to the backing words (bit `v%64` of word `v/64`
@@ -384,6 +411,13 @@ mod tests {
         let a = VectorSet::from_vectors(128, [1, 2, 3, 70, 90]);
         let b = VectorSet::from_vectors(128, [2, 70]);
         assert_eq!(a.difference_vec(&b), vec![1, 3, 90]);
+        assert_eq!(a.difference_count(&b), 3);
+        assert_eq!(a.iter_difference(&b).collect::<Vec<_>>(), vec![1, 3, 90]);
+        // Difference with self is empty; with the empty set, identity.
+        assert_eq!(a.difference_count(&a), 0);
+        let empty = VectorSet::new(128);
+        assert_eq!(a.difference_count(&empty), a.len());
+        assert_eq!(a.iter_difference(&empty).collect::<Vec<_>>(), a.to_vec());
     }
 
     #[test]

@@ -531,6 +531,66 @@ mod tests {
     }
 
     #[test]
+    fn gc_equal_mtime_ties_still_respect_the_byte_budget() {
+        // Entries sharing one mtime (coarse filesystems, batch imports)
+        // have no LRU order between them; gc must still evict exactly
+        // enough of them to get under budget and report consistently.
+        let store = temp_store("gc-ties");
+        let payload = vec![0u8; 100];
+        let shared = SystemTime::now() - std::time::Duration::from_secs(500);
+        for i in 0..4u64 {
+            store.save(ArtifactKey(i), 1, &payload).unwrap();
+            let f = fs::File::open(store.entry_path(ArtifactKey(i), 1)).unwrap();
+            f.set_modified(shared).unwrap();
+        }
+        let per_entry = (HEADER_LEN + payload.len()) as u64;
+        let report = store.gc(per_entry).unwrap();
+        assert_eq!(report.evicted, 3);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.kept_bytes, per_entry);
+        assert_eq!(report.freed_bytes, 3 * per_entry);
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.total_bytes <= per_entry);
+        // Exactly one of the four tied entries survived.
+        let survivors = (0..4u64)
+            .filter(|&i| store.load(ArtifactKey(i), 1).is_some())
+            .count();
+        assert_eq!(survivors, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_keeps_an_old_entry_that_was_hit_over_an_unused_newer_one() {
+        // LRU is by *use*, not by creation: a load refreshes the
+        // entry's mtime, so an old-but-hot entry must outlive a
+        // newer-but-cold one.
+        let store = temp_store("gc-hit-refresh");
+        let payload = vec![0u8; 100];
+        let hot = ArtifactKey(1);
+        let cold = ArtifactKey(2);
+        store.save(hot, 1, &payload).unwrap();
+        store.save(cold, 1, &payload).unwrap();
+        // Backdate both: hot is the *older* entry on disk.
+        for (key, age) in [(hot, 900u64), (cold, 300)] {
+            let f = fs::File::open(store.entry_path(key, 1)).unwrap();
+            f.set_modified(SystemTime::now() - std::time::Duration::from_secs(age))
+                .unwrap();
+        }
+        // A hit refreshes hot's recency past cold's.
+        assert!(store.load(hot, 1).is_some());
+        let per_entry = (HEADER_LEN + payload.len()) as u64;
+        let report = store.gc(per_entry).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(store.load(hot, 1).is_some(), "hit entry must survive gc");
+        assert!(
+            store.load(cold, 1).is_none(),
+            "least-recently-used entry must be evicted"
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn orphaned_tmp_files_are_swept_by_clear_and_gc() {
         let store = temp_store("tmp-sweep");
         // Simulate a crashed writer's leftover staging file.

@@ -13,7 +13,8 @@
 //! | [`fsm`] | KISS2 parsing, state encoding, two-level synthesis |
 //! | [`circuits`] | the paper's Figure-1 example and the benchmark suite |
 //! | [`analysis`] | worst-case `nmin` and average-case (Procedure 1) analyses |
-//! | [`store`] | content-addressed on-disk artifact cache (universes, nmin vectors) |
+//! | [`gen`] | greedy set-cover n-detection test-set generation + compaction |
+//! | [`store`] | content-addressed on-disk artifact cache (universes, nmin vectors, generated sets) |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use ndetect_circuits as circuits;
 pub use ndetect_core as analysis;
 pub use ndetect_faults as faults;
 pub use ndetect_fsm as fsm;
+pub use ndetect_gen as gen;
 pub use ndetect_netlist as netlist;
 pub use ndetect_sim as sim;
 pub use ndetect_store as store;

@@ -4,9 +4,12 @@
 //! vectors, coverage percentages, and the paper's golden Figure-1
 //! numbers.
 
-use ndetect::analysis::WorstCaseAnalysis;
+use ndetect::analysis::{
+    estimate_detection_probabilities_stored, Procedure1Config, WorstCaseAnalysis,
+};
 use ndetect::circuits::figure1;
 use ndetect::faults::{FaultUniverse, UniverseOptions};
+use ndetect::gen::{generate_stored, GenOptions};
 use ndetect::store::Store;
 use std::path::PathBuf;
 
@@ -47,6 +50,60 @@ fn warm_pipeline_reproduces_the_papers_figure1_numbers() {
     assert_eq!(warm_wc.nmin(g6), Some(4));
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_pipeline_covers_generation_and_procedure1_artifacts() {
+    // The full derived-artifact chain — universe, nmin vectors,
+    // generated set, Procedure-1 probabilities — must be incremental
+    // across processes: a warm pass performs zero recomputation and
+    // reproduces every result bit-identically.
+    let (store, dir) = temp_store("gen-proc1");
+    let circuit = figure1::netlist();
+    let options = UniverseOptions::default();
+    let gen_options = GenOptions {
+        n: 3,
+        compact: true,
+        ..GenOptions::default()
+    };
+    let proc1 = Procedure1Config {
+        nmax: 3,
+        num_test_sets: 30,
+        ..Default::default()
+    };
+
+    let cold_universe = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    let cold_wc = WorstCaseAnalysis::compute_stored(&cold_universe, 0, Some(&store));
+    let cold_set = generate_stored(&cold_universe, &gen_options, Some(&store));
+    let tracked = cold_wc.tail_indices(3);
+    assert!(!tracked.is_empty());
+    let cold_probs =
+        estimate_detection_probabilities_stored(&cold_universe, &tracked, &proc1, Some(&store))
+            .unwrap();
+    assert_eq!(store.session_hits(), 0);
+    assert_eq!(store.session_misses(), 4);
+
+    let warm_universe = FaultUniverse::build_stored(&circuit, options, Some(&store)).unwrap();
+    let warm_wc = WorstCaseAnalysis::compute_stored(&warm_universe, 0, Some(&store));
+    let warm_set = generate_stored(&warm_universe, &gen_options, Some(&store));
+    let warm_probs =
+        estimate_detection_probabilities_stored(&warm_universe, &tracked, &proc1, Some(&store))
+            .unwrap();
+    assert_eq!(store.session_hits(), 4);
+    assert_eq!(store.session_misses(), 4);
+
+    assert_eq!(cold_set, warm_set);
+    assert!(warm_set.satisfies(&warm_universe));
+    assert_eq!(cold_wc.nmin_values(), warm_wc.nmin_values());
+    for n in 1..=3 {
+        for pos in 0..tracked.len() {
+            assert_eq!(
+                cold_probs.probability(n, pos),
+                warm_probs.probability(n, pos)
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]
