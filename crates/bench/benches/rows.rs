@@ -1,0 +1,229 @@
+//! Criterion micro-benchmark for the chunked SIMD row kernels of
+//! `ndetect_sim::rows` — the word-level inner loops every fault-sim and
+//! generation hot path runs on.
+//!
+//! Each op is measured at three lane widths (`L = 1` pure scalar,
+//! `u64x4`, `u64x8` — the production [`ndetect_sim::rows::LANES`]) so
+//! the snapshot records what the fixed-lane chunking actually buys on
+//! this machine, and future `std::simd` ports have a trajectory to beat.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench rows` — criterion timings;
+//! * `cargo bench --bench rows -- --json [--quick] [--out PATH]` —
+//!   writes a `BENCH_PR6.json` snapshot (op, lanes, row words,
+//!   GiB/s) at the repository root; the CI `bench-smoke` job runs the
+//!   `--quick` variant.
+
+use criterion::{criterion_group, Criterion};
+use ndetect_sim::rows;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Words per benched row: 4096 blocks ≈ an 18-input exhaustive space —
+/// large enough to stream, small enough to stay cache-resident like a
+/// real tile.
+const ROW_WORDS: usize = 4096;
+
+/// Deterministic pseudo-random row content (the kernels are data
+/// independent; this just defeats trivial constant folding).
+fn pattern(n: usize, salt: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt).wrapping_add(i.rotate_left(13)))
+        .collect()
+}
+
+/// The benched surface: every op runs one pass over `ROW_WORDS`-word
+/// rows at lane width `L` and returns a fold the caller black-boxes.
+struct Ops;
+
+impl Ops {
+    fn and_into<const L: usize>(dst: &mut [u64], src: &[u64]) -> u64 {
+        rows::and_into_lanes::<L>(dst, src);
+        dst[0]
+    }
+
+    fn and_popcount<const L: usize>(a: &[u64], b: &[u64]) -> u64 {
+        rows::and_popcount_lanes::<L>(a, b)
+    }
+
+    fn popcount<const L: usize>(a: &[u64]) -> u64 {
+        rows::popcount_lanes::<L>(a)
+    }
+
+    fn or_diff_into<const L: usize>(det: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+        rows::or_diff_into_lanes::<L>(det, a, b)
+    }
+
+    fn select_into<const L: usize>(dst: &mut [u64], mask: &[u64], a: &[u64], b: &[u64]) -> u64 {
+        rows::select_into_lanes::<L>(dst, mask, a, b);
+        dst[0]
+    }
+}
+
+/// Runs `op` at lane width `L` once over fresh-ish buffers; returns a
+/// value to black-box.
+fn run_op<const L: usize>(op: &str, a: &[u64], b: &[u64], scratch: &mut [u64]) -> u64 {
+    match op {
+        "and_into" => Ops::and_into::<L>(&mut scratch[..a.len()], a),
+        "and_popcount" => Ops::and_popcount::<L>(a, b),
+        "popcount" => Ops::popcount::<L>(a),
+        "or_diff_into" => Ops::or_diff_into::<L>(&mut scratch[..a.len()], a, b),
+        "select_into" => {
+            let (dst, mask) = scratch.split_at_mut(a.len());
+            Ops::select_into::<L>(dst, &mask[..a.len()], a, b)
+        }
+        _ => unreachable!("unknown op {op}"),
+    }
+}
+
+const OPS: [&str; 5] = [
+    "and_into",
+    "and_popcount",
+    "popcount",
+    "or_diff_into",
+    "select_into",
+];
+
+fn bench_chunked_ops(c: &mut Criterion) {
+    let a = pattern(ROW_WORDS, 0xDEAD);
+    let b = pattern(ROW_WORDS, 0xBEEF);
+    let mut scratch = pattern(2 * ROW_WORDS, 0x1234);
+    let mut group = c.benchmark_group("chunked_ops");
+    for op in OPS {
+        group.bench_function(format!("{op}/scalar"), |bch| {
+            bch.iter(|| std::hint::black_box(run_op::<1>(op, &a, &b, &mut scratch)))
+        });
+        group.bench_function(format!("{op}/u64x4"), |bch| {
+            bch.iter(|| std::hint::black_box(run_op::<4>(op, &a, &b, &mut scratch)))
+        });
+        group.bench_function(format!("{op}/u64x8"), |bch| {
+            bch.iter(|| std::hint::black_box(run_op::<8>(op, &a, &b, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_chunked_ops
+}
+
+/// One measured row of the snapshot.
+struct Row {
+    op: &'static str,
+    lanes: usize,
+    words: usize,
+    ns_per_row: f64,
+    gib_per_s: f64,
+}
+
+/// Minimum wall-clock over `iters` timed batches of `reps` calls.
+fn time_best<F: FnMut() -> u64>(iters: usize, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"row_words\": {ROW_WORDS},\n"));
+    out.push_str(&format!("  \"production_lanes\": {},\n", rows::LANES));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"lanes\": {}, \"words\": {}, \
+             \"ns_per_row\": {:.1}, \"gib_per_s\": {:.2}}}{comma}\n",
+            r.op, r.lanes, r.words, r.ns_per_row, r.gib_per_s
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Bytes one call of `op` streams (reads + writes), for bandwidth.
+fn bytes_per_call(op: &str) -> usize {
+    let row = ROW_WORDS * 8;
+    match op {
+        "and_into" => 3 * row,     // read dst + src, write dst
+        "and_popcount" => 2 * row, // read a + b
+        "popcount" => row,         // read a
+        "or_diff_into" => 4 * row, // read det + a + b, write det
+        "select_into" => 4 * row,  // read mask + a + b, write dst
+        _ => unreachable!(),
+    }
+}
+
+fn json_main(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let (iters, reps) = if quick { (2, 16) } else { (7, 256) };
+    let out_path = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("BENCH_PR6.json"));
+
+    let a = pattern(ROW_WORDS, 0xDEAD);
+    let b = pattern(ROW_WORDS, 0xBEEF);
+    let mut scratch = pattern(2 * ROW_WORDS, 0x1234);
+    let mut out_rows = Vec::new();
+    for op in OPS {
+        for lanes in [1usize, 4, 8] {
+            let secs = match lanes {
+                1 => time_best(iters, reps, || run_op::<1>(op, &a, &b, &mut scratch)),
+                4 => time_best(iters, reps, || run_op::<4>(op, &a, &b, &mut scratch)),
+                _ => time_best(iters, reps, || run_op::<8>(op, &a, &b, &mut scratch)),
+            };
+            out_rows.push(Row {
+                op,
+                lanes,
+                words: ROW_WORDS,
+                ns_per_row: secs * 1e9,
+                gib_per_s: bytes_per_call(op) as f64 / secs / (1u64 << 30) as f64,
+            });
+        }
+        let base = out_rows[out_rows.len() - 3].ns_per_row;
+        let x8 = out_rows[out_rows.len() - 1].ns_per_row;
+        eprintln!(
+            "# {op}: scalar {base:.0} ns/row, u64x8 {x8:.0} ns/row ({:.2}x)",
+            base / x8
+        );
+    }
+
+    let json = render_json(&out_rows, quick);
+    std::fs::write(&out_path, &json).expect("snapshot written");
+    eprintln!("# wrote {}", out_path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        json_main(&args);
+    } else {
+        benches();
+    }
+}

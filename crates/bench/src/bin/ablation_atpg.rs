@@ -8,7 +8,7 @@
 //!
 //! Usage: `ablation_atpg [--circuits a,b,c] [--nmax 10] [--k 100]`.
 
-use ndetect_bench::{build_universe_stored, open_store, selected_circuits, Args};
+use ndetect_bench::{build_universe_options, open_store, selected_circuits, Args};
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
 use ndetect_core::{construct_test_set_series, Procedure1Config};
 
@@ -27,7 +27,8 @@ fn main() {
     let threads = args.threads();
     let store = open_store(&args);
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe_stored(&name, threads, store.as_ref());
+        let (_netlist, universe) =
+            build_universe_options(&name, args.universe_options(), store.as_ref());
         let config = Procedure1Config {
             nmax,
             num_test_sets: k,

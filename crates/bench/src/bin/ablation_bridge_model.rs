@@ -29,8 +29,7 @@ fn main() {
                 &netlist,
                 UniverseOptions {
                     bridge_model: model,
-                    threads: args.threads(),
-                    ..UniverseOptions::default()
+                    ..args.universe_options()
                 },
                 store.as_ref(),
             )

@@ -24,19 +24,14 @@ fn main() {
     );
     for name in selected_circuits(&args) {
         let netlist = ndetect_circuits::build(&name).expect("suite circuit builds");
-        let collapsed = FaultUniverse::build_stored(
-            &netlist,
-            UniverseOptions::with_threads(args.threads()),
-            store.as_ref(),
-        )
-        .expect("fits exhaustive sim");
+        let collapsed =
+            FaultUniverse::build_stored(&netlist, args.universe_options(), store.as_ref())
+                .expect("fits exhaustive sim");
         let full = FaultUniverse::build_stored(
             &netlist,
             UniverseOptions {
                 collapse_targets: false,
-                include_bridges: true,
-                threads: args.threads(),
-                ..UniverseOptions::default()
+                ..args.universe_options()
             },
             store.as_ref(),
         )

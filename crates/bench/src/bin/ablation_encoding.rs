@@ -6,7 +6,7 @@
 
 use ndetect_bench::{open_store, selected_circuits, Args};
 use ndetect_core::WorstCaseAnalysis;
-use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_faults::FaultUniverse;
 use ndetect_fsm::{synthesize, StateEncoding, SynthOptions};
 
 fn main() {
@@ -31,12 +31,9 @@ fn main() {
         ] {
             let netlist = synthesize(&fsm, &encoding, SynthOptions::default())
                 .expect("suite machines synthesize");
-            let universe = FaultUniverse::build_stored(
-                &netlist,
-                UniverseOptions::with_threads(args.threads()),
-                store.as_ref(),
-            )
-            .expect("fits exhaustive sim");
+            let universe =
+                FaultUniverse::build_stored(&netlist, args.universe_options(), store.as_ref())
+                    .expect("fits exhaustive sim");
             let wc = WorstCaseAnalysis::compute_stored(&universe, args.threads(), store.as_ref());
             println!(
                 "{:<10} {:<7} | {:>6} {:>8} {:>7.2}% {:>7.2}% {:>8}",

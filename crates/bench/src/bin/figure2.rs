@@ -4,7 +4,7 @@
 //!
 //! Usage: `figure2 [--circuits dvram] [--floor 100]`.
 
-use ndetect_bench::{build_universe_stored, open_store, Args};
+use ndetect_bench::{build_universe_options, open_store, Args};
 use ndetect_core::{NminDistribution, WorstCaseAnalysis};
 
 fn main() {
@@ -17,7 +17,8 @@ fn main() {
 
     let threads = args.threads();
     let store = open_store(&args);
-    let (_netlist, universe) = build_universe_stored(&name, threads, store.as_ref());
+    let (_netlist, universe) =
+        build_universe_options(&name, args.universe_options(), store.as_ref());
     let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store.as_ref());
     let dist = NminDistribution::collect(&wc, floor);
 

@@ -4,7 +4,7 @@
 //! Usage: `suite_stats [--threads N] [--cache-dir DIR]`.
 
 use ndetect_bench::{open_store, Args};
-use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_faults::FaultUniverse;
 use std::time::Instant;
 
 fn main() {
@@ -17,12 +17,9 @@ fn main() {
     for spec in ndetect_circuits::suite() {
         let t0 = Instant::now();
         let netlist = spec.build().expect("suite circuits synthesize");
-        let universe = FaultUniverse::build_stored(
-            &netlist,
-            UniverseOptions::with_threads(args.threads()),
-            store.as_ref(),
-        )
-        .expect("suite circuits fit exhaustive sim");
+        let universe =
+            FaultUniverse::build_stored(&netlist, args.universe_options(), store.as_ref())
+                .expect("suite circuits fit exhaustive sim");
         let ms = t0.elapsed().as_millis();
         println!(
             "{:<10} {:>3} {:>3} {:>3} {:>5} {:>6} {:>7} {:>8} {:>8} {:>8}",

@@ -13,18 +13,14 @@ use ndetect_bench::{open_store, Args};
 use ndetect_circuits::figure1;
 use ndetect_core::report;
 use ndetect_core::WorstCaseAnalysis;
-use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_faults::FaultUniverse;
 
 fn main() {
     let args = Args::parse();
     let store = open_store(&args);
     let netlist = figure1::netlist();
-    let universe = FaultUniverse::build_stored(
-        &netlist,
-        UniverseOptions::with_threads(args.threads()),
-        store.as_ref(),
-    )
-    .expect("figure1 fits exhaustive simulation");
+    let universe = FaultUniverse::build_stored(&netlist, args.universe_options(), store.as_ref())
+        .expect("figure1 fits exhaustive simulation");
 
     let g0 = universe
         .find_bridge("9", false, "10", true)

@@ -5,7 +5,7 @@
 //!
 //! Usage: `table3 [--circuits a,b,c]`.
 
-use ndetect_bench::{build_universe_stored, open_store, selected_circuits, Args};
+use ndetect_bench::{build_universe_options, open_store, selected_circuits, Args};
 use ndetect_core::report::{render_table3, table3_row, Table3Row};
 use ndetect_core::WorstCaseAnalysis;
 
@@ -15,7 +15,8 @@ fn main() {
     let threads = args.threads();
     let store = open_store(&args);
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe_stored(&name, threads, store.as_ref());
+        let (_netlist, universe) =
+            build_universe_options(&name, args.universe_options(), store.as_ref());
         let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store.as_ref());
         if wc.tail_count(11) == 0 {
             continue; // the paper lists only circuits with such faults

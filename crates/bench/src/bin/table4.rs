@@ -12,7 +12,7 @@
 use ndetect_bench::{open_store, Args};
 use ndetect_circuits::figure1;
 use ndetect_core::{construct_test_set_series, Procedure1Config};
-use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_faults::FaultUniverse;
 
 fn main() {
     let args = Args::parse();
@@ -21,12 +21,8 @@ fn main() {
     let store = open_store(&args);
 
     let netlist = figure1::netlist();
-    let universe = FaultUniverse::build_stored(
-        &netlist,
-        UniverseOptions::with_threads(args.threads()),
-        store.as_ref(),
-    )
-    .expect("figure1 fits exhaustive simulation");
+    let universe = FaultUniverse::build_stored(&netlist, args.universe_options(), store.as_ref())
+        .expect("figure1 fits exhaustive simulation");
     let config = Procedure1Config {
         nmax: 2,
         num_test_sets: k,

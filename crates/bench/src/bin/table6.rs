@@ -10,7 +10,7 @@
 //!
 //! Usage: `table6 [--circuits a,b,c] [--k 200] [--nmax 10] [--seed ...]`.
 
-use ndetect_bench::{build_universe_stored, open_store, selected_circuits, Args};
+use ndetect_bench::{build_universe_options, open_store, selected_circuits, Args};
 use ndetect_core::report::{render_table6, table6_row, Table6Row};
 use ndetect_core::{
     estimate_detection_probabilities, DetectionDefinition, Procedure1Config, WorstCaseAnalysis,
@@ -26,7 +26,8 @@ fn main() {
     let threads = args.threads();
     let store = open_store(&args);
     for name in selected_circuits(&args) {
-        let (_netlist, universe) = build_universe_stored(&name, threads, store.as_ref());
+        let (_netlist, universe) =
+            build_universe_options(&name, args.universe_options(), store.as_ref());
         let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store.as_ref());
         let tracked = wc.tail_indices(nmax + 1);
         if tracked.is_empty() {

@@ -1,7 +1,7 @@
 //! Subcommand implementations for `ndet`.
 
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
-use ndetect_core::partition::analyze_output_cones_stored;
+use ndetect_core::partition::analyze_output_cones_budget;
 use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{
     estimate_detection_probabilities_stored, DetectionDefinition, NminDistribution,
@@ -10,8 +10,18 @@ use ndetect_core::{
 use ndetect_faults::{FaultUniverse, UniverseOptions};
 use ndetect_gen::{generate_stored, GenOptions};
 use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+use ndetect_sim::MemoryBudget;
 use ndetect_store::Store;
 use std::path::{Path, PathBuf};
+
+/// Simulation knobs shared by every analysis command: worker threads
+/// and the per-worker kernel memory budget. Both are performance knobs
+/// — results are identical for every combination.
+#[derive(Clone, Copy)]
+struct Knobs {
+    threads: usize,
+    mem_budget: MemoryBudget,
+}
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
@@ -35,6 +45,12 @@ Every analysis command accepts `--threads N` (worker threads for fault
 simulation; default: the NDETECT_THREADS environment variable, then all
 available cores). Results are identical for every thread count.
 
+Every analysis command accepts `--mem-budget B` (per-worker cap on the
+fault-simulation working set, e.g. `16MiB`, `64K`, a plain byte count,
+or `unbounded`; default: the NDETECT_MEM_BUDGET environment variable,
+then unbounded). Bounded budgets stream block tiles through the kernel;
+results are identical for every budget.
+
 Every analysis command also accepts `--cache-dir DIR` (default: the
 NDETECT_CACHE_DIR environment variable): a content-addressed on-disk
 cache of fault universes and nmin vectors, making repeated analyses of
@@ -51,16 +67,28 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     // Worker threads for fault simulation and analysis; 0 = auto
     // (NDETECT_THREADS, then the machine's available parallelism).
     let threads = flag_value(&rest, "--threads")?.unwrap_or(0);
+    // Per-worker kernel memory budget; Auto = NDETECT_MEM_BUDGET, then
+    // unbounded.
+    let mem_budget = match flag_str(&rest, "--mem-budget")? {
+        None => MemoryBudget::Auto,
+        Some(v) => {
+            MemoryBudget::parse(v).map_err(|e| format!("bad value for --mem-budget: {e}"))?
+        }
+    };
+    let knobs = Knobs {
+        threads,
+        mem_budget,
+    };
     match command.as_str() {
         "list" => list(),
         "stats" => {
             let store = open_store(&rest)?;
-            with_circuit(&rest, |_, n| stats(&n, threads, store.as_ref()))
+            with_circuit(&rest, |_, n| stats(&n, knobs, store.as_ref()))
         }
         "worst" => {
             let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
             let store = open_store(&rest)?;
-            with_circuit(&rest, |_, n| worst(&n, floor, threads, store.as_ref()))
+            with_circuit(&rest, |_, n| worst(&n, floor, knobs, store.as_ref()))
         }
         "average" => {
             let k = flag_value(&rest, "--k")?.unwrap_or(200);
@@ -76,7 +104,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                     nmax as u32,
                     def,
                     tail as u32,
-                    threads,
+                    knobs,
                     store.as_ref(),
                 )
             })
@@ -85,7 +113,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
             let store = open_store(&rest)?;
             with_circuit(&rest, |_, n| {
-                greedy(&n, n_det as u32, threads, store.as_ref())
+                greedy(&n, n_det as u32, knobs, store.as_ref())
             })
         }
         "gen" => {
@@ -94,15 +122,15 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             let seed = flag_value(&rest, "--seed")?.map(|s| s as u64);
             let store = open_store(&rest)?;
             with_circuit(&rest, |_, n| {
-                gen_set(&n, n_det as u32, do_compact, seed, threads, store.as_ref())
+                gen_set(&n, n_det as u32, do_compact, seed, knobs, store.as_ref())
             })
         }
         "synth" => with_circuit(&rest, |_, n| {
             print!("{}", bench_format::write(&n));
             Ok(())
         }),
-        "bench-file" => bench_file(&rest, threads, open_store(&rest)?.as_ref()),
-        "pla-file" => pla_file(&rest, threads, open_store(&rest)?.as_ref()),
+        "bench-file" => bench_file(&rest, knobs, open_store(&rest)?.as_ref()),
+        "pla-file" => pla_file(&rest, knobs, open_store(&rest)?.as_ref()),
         "dot" => with_circuit(&rest, |_, n| {
             print!("{}", ndetect_netlist::dot::write(&n));
             Ok(())
@@ -110,9 +138,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "cones" => {
             let max_inputs = flag_value(&rest, "--max-inputs")?.unwrap_or(14);
             let store = open_store(&rest)?;
-            with_circuit(&rest, |_, n| cones(&n, max_inputs, threads, store.as_ref()))
+            with_circuit(&rest, |_, n| cones(&n, max_inputs, knobs, store.as_ref()))
         }
-        "corpus" => corpus(&rest, threads, open_store(&rest)?.as_ref()),
+        "corpus" => corpus(&rest, knobs, open_store(&rest)?.as_ref()),
         "cache" => cache(&rest, open_store(&rest)?.as_ref()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -221,29 +249,39 @@ fn list() -> Result<(), String> {
 
 fn universe_of(
     netlist: &Netlist,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<FaultUniverse, String> {
-    FaultUniverse::build_stored(netlist, UniverseOptions::with_threads(threads), store)
-        .map_err(|e| e.to_string())
+    let options = UniverseOptions {
+        threads: knobs.threads,
+        mem_budget: knobs.mem_budget,
+        ..UniverseOptions::default()
+    };
+    FaultUniverse::build_stored(netlist, options, store).map_err(|e| e.to_string())
 }
 
-fn stats(netlist: &Netlist, threads: usize, store: Option<&Store>) -> Result<(), String> {
+fn stats(netlist: &Netlist, knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
     println!("{netlist}");
     println!("{}", NetlistStats::compute(netlist));
-    let universe = universe_of(netlist, threads, store)?;
+    let universe = universe_of(netlist, knobs, store)?;
     println!("{universe}");
+    println!(
+        "kernel: {} ({} bytes/worker data plane, budget {})",
+        universe.simulator().kernel_mode(),
+        universe.simulator().data_plane_bytes(),
+        universe.simulator().mem_budget(),
+    );
     Ok(())
 }
 
 fn worst(
     netlist: &Netlist,
     floor: usize,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<(), String> {
-    let universe = universe_of(netlist, threads, store)?;
-    let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
+    let universe = universe_of(netlist, knobs, store)?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
     println!("{universe}");
     println!("{wc}");
     println!();
@@ -266,7 +304,7 @@ fn average(
     nmax: u32,
     def: u32,
     tail: u32,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<(), String> {
     let definition = match def {
@@ -274,8 +312,8 @@ fn average(
         2 => DetectionDefinition::SufficientlyDifferent,
         other => return Err(format!("--def must be 1 or 2, got {other}")),
     };
-    let universe = universe_of(netlist, threads, store)?;
-    let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
+    let universe = universe_of(netlist, knobs, store)?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
     let tracked = wc.tail_indices(tail);
     if tracked.is_empty() {
         println!("{name}: no untargeted faults with nmin >= {tail}; nothing to estimate");
@@ -285,7 +323,7 @@ fn average(
         nmax,
         num_test_sets: k,
         definition,
-        threads,
+        threads: knobs.threads,
         ..Default::default()
     };
     // Procedure 1 is seeded, so the whole K-set construction is
@@ -314,8 +352,8 @@ fn average(
     Ok(())
 }
 
-fn greedy(netlist: &Netlist, n: u32, threads: usize, store: Option<&Store>) -> Result<(), String> {
-    let universe = universe_of(netlist, threads, store)?;
+fn greedy(netlist: &Netlist, n: u32, knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
+    let universe = universe_of(netlist, knobs, store)?;
     let set = greedy_n_detection(&universe, n);
     println!(
         "greedy {n}-detection set: {} tests, bridging coverage {:.2}%",
@@ -334,18 +372,19 @@ fn gen_set(
     n: u32,
     compact: bool,
     seed: Option<u64>,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<(), String> {
     if n == 0 {
         return Err("--n must be at least 1".into());
     }
-    let universe = universe_of(netlist, threads, store)?;
+    let universe = universe_of(netlist, knobs, store)?;
     let options = GenOptions {
         n,
         compact,
         seed,
-        threads,
+        threads: knobs.threads,
+        mem_budget: knobs.mem_budget,
     };
     let set = generate_stored(&universe, &options, store);
     let space = universe.space().num_patterns();
@@ -382,7 +421,7 @@ fn gen_set(
     Ok(())
 }
 
-fn pla_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+fn pla_file(rest: &[&String], knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
     let pos = positionals(rest);
     let path = *pos.first().ok_or("missing .pla path")?;
     let sub = pos.get(1).copied().unwrap_or("stats");
@@ -394,8 +433,8 @@ fn pla_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(
     let pla = ndetect_fsm::parse_pla(name, &text).map_err(|e| e.to_string())?;
     let netlist = pla.synthesize().map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist, threads, store),
-        "worst" => worst(&netlist, 100, threads, store),
+        "stats" => stats(&netlist, knobs, store),
+        "worst" => worst(&netlist, 100, knobs, store),
         "synth" => {
             print!("{}", bench_format::write(&netlist));
             Ok(())
@@ -404,7 +443,7 @@ fn pla_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(
     }
 }
 
-fn bench_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+fn bench_file(rest: &[&String], knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
     let pos = positionals(rest);
     let path = *pos.first().ok_or("missing .bench path")?;
     let sub = pos.get(1).copied().unwrap_or("stats");
@@ -415,9 +454,9 @@ fn bench_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result
         .unwrap_or("bench");
     let netlist = bench_format::parse(name, &text).map_err(|e| e.to_string())?;
     match sub {
-        "stats" => stats(&netlist, threads, store),
-        "worst" => worst(&netlist, 100, threads, store),
-        "cones" => cones(&netlist, 14, threads, store),
+        "stats" => stats(&netlist, knobs, store),
+        "worst" => worst(&netlist, 100, knobs, store),
+        "cones" => cones(&netlist, 14, knobs, store),
         other => Err(format!("unknown bench-file subcommand `{other}`")),
     }
 }
@@ -425,11 +464,12 @@ fn bench_file(rest: &[&String], threads: usize, store: Option<&Store>) -> Result
 fn cones(
     netlist: &Netlist,
     max_inputs: usize,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<(), String> {
-    let reports = analyze_output_cones_stored(netlist, max_inputs, threads, store)
-        .map_err(|e| e.to_string())?;
+    let reports =
+        analyze_output_cones_budget(netlist, max_inputs, knobs.threads, knobs.mem_budget, store)
+            .map_err(|e| e.to_string())?;
     println!(
         "{}: {} output cones analysed (cones wider than {max_inputs} inputs skipped)",
         netlist.name(),
@@ -537,6 +577,13 @@ struct CorpusRow {
     gen1: Option<usize>,
     gen5: Option<usize>,
     gen10: Option<usize>,
+    /// Kernel mode the circuit's simulation ran in: `full` or `tiled`
+    /// (`tiled` as soon as any cone tiled, in `cones` mode); `None` when
+    /// nothing was simulated.
+    kernel: Option<&'static str>,
+    /// Peak per-worker kernel working-set bytes (the maximum across
+    /// cones in `cones` mode); `None` when nothing was simulated.
+    peak_bytes: Option<u64>,
 }
 
 /// Collects the `.bench` files under `dir` — its direct children, plus
@@ -568,7 +615,7 @@ fn collect_bench_files(dir: &Path, recursive: bool, out: &mut Vec<PathBuf>) -> R
 /// exhaustive simulation), generates compact n-detection sets at
 /// n = 1, 5, 10 for exhaustively analysed circuits, and emits a
 /// machine-readable CSV or JSON summary on stdout.
-fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(), String> {
+fn corpus(rest: &[&String], knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
     let dir = positionals(rest)
         .first()
         .copied()
@@ -592,7 +639,7 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
     for path in &paths {
         // Per-file fault tolerance: one malformed file is reported as
         // an `error` row instead of aborting the whole corpus run.
-        match corpus_row(path, max_inputs, threads, store) {
+        match corpus_row(path, max_inputs, knobs, store) {
             Ok(row) => rows.push(row),
             Err(message) => {
                 num_errors += 1;
@@ -614,6 +661,8 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
                     gen1: None,
                     gen5: None,
                     gen10: None,
+                    kernel: None,
+                    peak_bytes: None,
                 });
             }
         }
@@ -637,7 +686,7 @@ fn corpus(rest: &[&String], threads: usize, store: Option<&Store>) -> Result<(),
 fn corpus_row(
     path: &Path,
     max_inputs: usize,
-    threads: usize,
+    knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<CorpusRow, String> {
     let text = std::fs::read_to_string(path)
@@ -647,8 +696,8 @@ fn corpus_row(
         bench_format::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
 
     if netlist.num_inputs() <= max_inputs {
-        let universe = universe_of(&netlist, threads, store)?;
-        let wc = WorstCaseAnalysis::compute_stored(&universe, threads, store);
+        let universe = universe_of(&netlist, knobs, store)?;
+        let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
         // Compact generated-set sizes vs the exhaustive baseline |U|:
         // how much smaller than the whole space an n-detection set is.
         let gen_size = |n: u32| {
@@ -656,7 +705,8 @@ fn corpus_row(
                 n,
                 compact: true,
                 seed: None,
-                threads,
+                threads: knobs.threads,
+                mem_budget: knobs.mem_budget,
             };
             Some(generate_stored(&universe, &options, store).len())
         };
@@ -676,10 +726,18 @@ fn corpus_row(
             gen1: gen_size(1),
             gen5: gen_size(5),
             gen10: gen_size(10),
+            kernel: Some(universe.simulator().kernel_mode()),
+            peak_bytes: Some(universe.simulator().data_plane_bytes()),
         })
     } else {
-        let reports = analyze_output_cones_stored(&netlist, max_inputs, threads, store)
-            .map_err(|e| e.to_string())?;
+        let reports = analyze_output_cones_budget(
+            &netlist,
+            max_inputs,
+            knobs.threads,
+            knobs.mem_budget,
+            store,
+        )
+        .map_err(|e| e.to_string())?;
         if reports.is_empty() {
             // Every cone was wider than --max-inputs: nothing was
             // simulated, so report no coverage rather than a vacuous
@@ -700,6 +758,8 @@ fn corpus_row(
                 gen1: None,
                 gen5: None,
                 gen10: None,
+                kernel: None,
+                peak_bytes: None,
             });
         }
         let total_bridges: usize = reports.iter().map(|r| r.num_bridges).sum();
@@ -738,19 +798,27 @@ fn corpus_row(
             gen1: None,
             gen5: None,
             gen10: None,
+            // Peak over cones: the widest cone dominates the working
+            // set; `tiled` as soon as any cone had to tile.
+            kernel: Some(if reports.iter().any(|r| r.kernel == "tiled") {
+                "tiled"
+            } else {
+                "full"
+            }),
+            peak_bytes: reports.iter().map(|r| r.data_plane_bytes).max(),
         })
     }
 }
 
 fn render_corpus_csv(rows: &[CorpusRow]) {
     println!(
-        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10"
+        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes"
     );
     let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
     let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
     for r in rows {
         println!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.circuit,
             r.mode,
             r.inputs,
@@ -766,6 +834,8 @@ fn render_corpus_csv(rows: &[CorpusRow]) {
             opt(r.gen1),
             opt(r.gen5),
             opt(r.gen10),
+            r.kernel.unwrap_or(""),
+            r.peak_bytes.map_or(String::new(), |v| v.to_string()),
         );
     }
 }
@@ -784,7 +854,8 @@ fn render_corpus_json(rows: &[CorpusRow]) {
             "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
              \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
              \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
-             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}}}{comma}",
+             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}, \"kernel\": {}, \
+             \"peak_bytes\": {}}}{comma}",
             escape(&r.circuit),
             r.mode,
             r.inputs,
@@ -800,6 +871,8 @@ fn render_corpus_json(rows: &[CorpusRow]) {
             opt(r.gen1),
             opt(r.gen5),
             opt(r.gen10),
+            r.kernel.map_or("null".to_string(), |k| format!("\"{k}\"")),
+            r.peak_bytes.map_or("null".to_string(), |v| v.to_string()),
         );
     }
     println!("]");
@@ -878,6 +951,16 @@ mod tests {
         .is_ok());
         assert!(run(&["worst", "figure1", "--threads", "zebra"]).is_err());
         assert!(run(&["worst", "figure1", "--threads"]).is_err());
+    }
+
+    #[test]
+    fn mem_budget_flag_accepted_and_validated() {
+        assert!(run(&["stats", "figure1", "--mem-budget", "16MiB"]).is_ok());
+        assert!(run(&["worst", "figure1", "--mem-budget", "1"]).is_ok());
+        assert!(run(&["gen", "figure1", "--n", "2", "--mem-budget", "unbounded"]).is_ok());
+        assert!(run(&["cones", "c17", "--mem-budget", "64K"]).is_ok());
+        assert!(run(&["stats", "figure1", "--mem-budget", "zebra"]).is_err());
+        assert!(run(&["stats", "figure1", "--mem-budget"]).is_err());
     }
 
     #[test]

@@ -111,7 +111,7 @@ fn corpus_emits_csv_and_json_summaries() {
     assert_eq!(
         lines.next(),
         Some(
-            "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10"
+            "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes"
         )
     );
     let rows: Vec<&str> = lines.collect();
@@ -134,6 +134,11 @@ fn corpus_emits_csv_and_json_summaries() {
         let gen10: usize = cells[14].parse().expect("gen10 cell");
         assert!(gen1 >= 1 && gen1 <= gen5 && gen5 <= gen10, "{row}");
         assert!(gen10 <= space, "{row}");
+        // Kernel/memory reporting: unbounded runs use the full kernel
+        // and report a non-zero per-worker working set.
+        assert_eq!(cells[15], "full", "{row}");
+        let peak: u64 = cells[16].parse().expect("peak_bytes cell");
+        assert!(peak > 0, "{row}");
     }
 
     let (ok, json, _) = run_binary(&["corpus", corpus, "--format", "json"]);
@@ -144,6 +149,20 @@ fn corpus_emits_csv_and_json_summaries() {
     assert!(json.contains("\"max_nmin\": 4"), "{json}");
     assert!(json.contains("\"space\": 16"), "{json}");
     assert!(json.contains("\"gen1\": "), "{json}");
+    assert!(json.contains("\"kernel\": \"full\""), "{json}");
+    assert!(json.contains("\"peak_bytes\": "), "{json}");
+
+    // A 1-byte budget must not change any analysis column (budget is a
+    // performance knob, not a semantic one). These fixtures are all
+    // single-block, so the kernel stays `full` even under the cap — the
+    // tiled path is exercised by the wider differential tests.
+    let (ok, tiny_csv, _) = run_binary(&["corpus", corpus, "--mem-budget", "1"]);
+    assert!(ok);
+    for (a, b) in csv.lines().zip(tiny_csv.lines()).skip(1) {
+        let a_cells: Vec<&str> = a.split(',').collect();
+        let b_cells: Vec<&str> = b.split(',').collect();
+        assert_eq!(a_cells[..15], b_cells[..15], "analysis columns differ");
+    }
 
     let (ok, _, _) = run_binary(&["corpus", corpus, "--format", "yaml"]);
     assert!(!ok, "unknown format must fail");

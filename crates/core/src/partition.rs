@@ -77,6 +77,12 @@ pub struct ConeReport {
     pub coverage: Vec<(u32, f64)>,
     /// Cone bridges needing `n ≥ 11` for guaranteed detection.
     pub tail_11: usize,
+    /// Kernel mode the cone's simulator ran in (`"full"` or `"tiled"`,
+    /// see [`ndetect_faults::FaultSimulator::kernel_mode`]).
+    pub kernel: &'static str,
+    /// Per-worker kernel working-set bytes of the cone's simulator
+    /// ([`ndetect_faults::FaultSimulator::data_plane_bytes`]).
+    pub data_plane_bytes: u64,
 }
 
 /// Analyses every output cone of `netlist` independently, with the auto
@@ -128,13 +134,41 @@ pub fn analyze_output_cones_stored(
     num_threads: usize,
     store: Option<&ndetect_store::Store>,
 ) -> Result<Vec<ConeReport>, CoreError> {
+    analyze_output_cones_budget(
+        netlist,
+        max_cone_inputs,
+        num_threads,
+        ndetect_sim::MemoryBudget::Auto,
+        store,
+    )
+}
+
+/// Like [`analyze_output_cones_stored`], with an explicit per-worker
+/// memory budget for each cone's fault simulation (a performance knob —
+/// reports are identical for every budget).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Faults`] if a retained cone still exceeds the
+/// simulator's limits.
+pub fn analyze_output_cones_budget(
+    netlist: &Netlist,
+    max_cone_inputs: usize,
+    num_threads: usize,
+    mem_budget: ndetect_sim::MemoryBudget,
+    store: Option<&ndetect_store::Store>,
+) -> Result<Vec<ConeReport>, CoreError> {
     let mut reports = Vec::new();
     for slot in 0..netlist.num_outputs() {
         let cone = cone_netlist(netlist, slot);
         if cone.num_inputs() > max_cone_inputs {
             continue;
         }
-        let options = ndetect_faults::UniverseOptions::with_threads(num_threads);
+        let options = ndetect_faults::UniverseOptions {
+            threads: num_threads,
+            mem_budget,
+            ..ndetect_faults::UniverseOptions::default()
+        };
         let universe = FaultUniverse::build_stored(&cone, options, store)
             .map_err(|e| CoreError::Faults(e.to_string()))?;
         let wc = WorstCaseAnalysis::compute_stored(&universe, num_threads, store);
@@ -149,6 +183,8 @@ pub fn analyze_output_cones_stored(
                 .map(|&n| (n, wc.coverage_percent(n)))
                 .collect(),
             tail_11: wc.tail_count(11),
+            kernel: universe.simulator().kernel_mode(),
+            data_plane_bytes: universe.simulator().data_plane_bytes(),
         });
     }
     Ok(reports)

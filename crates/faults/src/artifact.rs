@@ -17,7 +17,7 @@ use crate::bridging::{BridgeModel, BridgingFault};
 use crate::stuck_at::StuckAtFault;
 use crate::universe::UniverseOptions;
 use ndetect_netlist::{LineId, Netlist};
-use ndetect_sim::{GoodValues, VectorSet};
+use ndetect_sim::{GoodValues, MemoryBudget, VectorSet};
 use ndetect_store::{
     ArtifactKey, ArtifactKind, CodecError, Decode, Decoder, Encode, Encoder, Fnv64, CODEC_VERSION,
 };
@@ -44,10 +44,11 @@ fn bridge_model_from_tag(tag: u8) -> Option<BridgeModel> {
 
 /// The content-addressed key of a universe: the FNV-1a hash of the
 /// canonical netlist bytes, the semantic universe options, and the codec
-/// version. [`UniverseOptions::threads`] is deliberately excluded —
-/// universes are bit-identical for every worker count, so a cache
-/// populated on one machine hits on another with a different core
-/// count.
+/// version. [`UniverseOptions::threads`] and
+/// [`UniverseOptions::mem_budget`] are deliberately excluded — universes
+/// are bit-identical for every worker count and memory budget, so a
+/// cache populated on one machine hits on another with a different core
+/// count or budget.
 #[must_use]
 pub fn universe_key(netlist: &Netlist, options: UniverseOptions) -> ArtifactKey {
     let mut h = Fnv64::new();
@@ -106,8 +107,10 @@ impl Encode for UniverseOptions {
         e.put_bool(self.collapse_targets);
         e.put_bool(self.include_bridges);
         e.put_u8(bridge_model_tag(self.bridge_model));
-        // threads is a performance knob, not part of the result; encode
-        // the normalized value so warm loads compare equal.
+        // threads and mem_budget are performance knobs, not part of the
+        // result: threads encodes as the normalized value so warm loads
+        // compare equal, and mem_budget stays off the wire entirely
+        // (decode restores `Auto`).
         e.put_usize(0);
     }
 }
@@ -124,6 +127,7 @@ impl Decode for UniverseOptions {
             include_bridges,
             bridge_model,
             threads,
+            mem_budget: MemoryBudget::Auto,
         })
     }
 }
@@ -202,10 +206,12 @@ impl UniverseArtifact {
         let num_patterns = 1usize << netlist.num_inputs();
         let semantic = UniverseOptions {
             threads: 0,
+            mem_budget: MemoryBudget::Auto,
             ..options
         };
         let stored = UniverseOptions {
             threads: 0,
+            mem_budget: MemoryBudget::Auto,
             ..self.options
         };
         self.num_inputs == netlist.num_inputs()
@@ -252,6 +258,15 @@ mod tests {
         // Thread count does not change the key.
         let k2 = universe_key(&n, UniverseOptions::with_threads(4));
         assert_eq!(k1, k2);
+        // Neither does the memory budget.
+        let k_budget = universe_key(
+            &n,
+            UniverseOptions {
+                mem_budget: MemoryBudget::Bytes(1 << 20),
+                ..defaults
+            },
+        );
+        assert_eq!(k1, k_budget);
         // Any semantic option does.
         let k3 = universe_key(
             &n,
@@ -296,9 +311,17 @@ mod tests {
             include_bridges: true,
             bridge_model: BridgeModel::WiredOr,
             threads: 5,
+            mem_budget: MemoryBudget::Bytes(4096),
         };
         let back = decode_from_slice::<UniverseOptions>(&encode_to_vec(&o)).unwrap();
-        // threads is normalized away by the codec.
-        assert_eq!(back, UniverseOptions { threads: 0, ..o });
+        // threads and mem_budget are normalized away by the codec.
+        assert_eq!(
+            back,
+            UniverseOptions {
+                threads: 0,
+                mem_budget: MemoryBudget::Auto,
+                ..o
+            }
+        );
     }
 }

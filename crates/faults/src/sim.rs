@@ -5,21 +5,36 @@
 //! entire fanout cone of the fault site on every block, it walks the
 //! site's precomputed CSR cone once per fault, evaluates a gate only
 //! when some fanin joined the **difference frontier** (its faulty words
-//! actually differ from the fault-free words), processes all blocks of
-//! a gate as one contiguous node-major row (branch-free, vectorizable
-//! inner loops), and restricts every row operation to the sub-range of
-//! blocks on which the fault is active at all. The pre-existing
-//! full-cone kernel survives as
+//! actually differ from the fault-free words), processes a gate's
+//! blocks as one contiguous node-major [`RowMatrix`] row (running the
+//! chunked SIMD kernels of [`ndetect_sim::rows`]), and restricts every
+//! row operation to the sub-range of blocks on which the fault is
+//! active at all.
+//!
+//! Under a bounded [`MemoryBudget`] the kernel runs **tiled**: the
+//! node-major good-value transpose and the per-edge `others` table are
+//! not materialized at full width; instead each worker streams the
+//! pattern space in tiles of `tile_width` blocks, gathering its private
+//! tile of both tables on demand (cached per scratch, so a worker
+//! sweeping many faults over one tile pays the gather once). Results
+//! are bit-identical to the full-width kernel — tiles partition the
+//! block axis and blocks are independent. The pre-existing full-cone
+//! kernel survives as
 //! [`FaultSimulator::detection_set_stuck_full_cone`] /
 //! [`FaultSimulator::detection_set_bridge_full_cone`] — the
 //! differential-testing oracle and benchmark baseline.
 
+// Hot module: every word buffer comes from the `rows` data plane.
+#![deny(clippy::disallowed_methods)]
+
 use crate::bridging::BridgingFault;
 use crate::stuck_at::StuckAtFault;
 use ndetect_netlist::{GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink};
+use ndetect_sim::rows as rowops;
+use ndetect_sim::rows::{zeroed_words, RowMatrix};
 use ndetect_sim::{
     eval_gate_trit, eval_gate_word_pin_override, eval_trits_all, parallel, GoodValues,
-    PartialVector, PatternSpace, SimScratch, Trit, VectorSet,
+    MemoryBudget, PartialVector, PatternSpace, SimScratch, Trit, VectorSet,
 };
 use std::ops::Range;
 
@@ -102,13 +117,14 @@ fn fold_identity(kind: GateKind) -> u64 {
     }
 }
 
-/// One fold step of an associative gate family (inversion for the
-/// negated kinds is applied at the end, not here).
-fn fold_combine(kind: GateKind, a: u64, b: u64) -> u64 {
+/// One row-wide fold step of an associative gate family, `dst = dst ∘
+/// src` (inversion for the negated kinds is applied at the end, not
+/// here).
+fn fold_rows(kind: GateKind, dst: &mut [u64], src: &[u64]) {
     match kind {
-        GateKind::And | GateKind::Nand => a & b,
-        GateKind::Or | GateKind::Nor => a | b,
-        GateKind::Xor | GateKind::Xnor => a ^ b,
+        GateKind::And | GateKind::Nand => rowops::and_into(dst, src),
+        GateKind::Or | GateKind::Nor => rowops::or_into(dst, src),
+        GateKind::Xor | GateKind::Xnor => rowops::xor_into(dst, src),
         _ => unreachable!("not an associative gate"),
     }
 }
@@ -127,51 +143,52 @@ fn has_others_rows(kind: GateKind) -> bool {
     )
 }
 
-/// Splits two **disjoint** windows out of the faulty-row arena: the
-/// changed fanin's row (read) and the gate's row (written).
-fn row_pair(rows: &mut [u64], src: Range<usize>, dst: Range<usize>) -> (&[u64], &mut [u64]) {
-    debug_assert!(src.end <= dst.start || dst.end <= src.start, "rows alias");
-    if src.start < dst.start {
-        let (a, b) = rows.split_at_mut(dst.start);
-        (&a[src.start..src.end], &mut b[..dst.end - dst.start])
-    } else {
-        let (a, b) = rows.split_at_mut(src.start);
-        (&b[..src.end - src.start], &mut a[dst.start..dst.end])
-    }
-}
-
-/// The fused single-pass gate update of the fast path: computes
-/// `out[i] = op(others[i], changed[i])`, writes it to `dst`, ORs the
-/// difference against `good` into `det` (when observing), and returns
-/// the OR of all differences (zero ⇒ the gate stays off the frontier).
-fn fused_update(
-    others: &[u64],
-    changed: &[u64],
-    good: &[u64],
-    dst: &mut [u64],
-    det: Option<&mut [u64]>,
-    op: impl Fn(u64, u64) -> u64,
-) -> u64 {
-    let mut any = 0u64;
-    match det {
-        Some(det) => {
-            for i in 0..dst.len() {
-                let out = op(others[i], changed[i]);
-                let diff = out ^ good[i];
-                any |= diff;
-                det[i] |= diff;
-                dst[i] = out;
-            }
+/// Rebuilds the per-edge "all other fanins" rows of every associative
+/// gate over one node-major tile of good values: one suffix and one
+/// prefix sweep per gate (the standard exclusive-scan trick, O(fanins)
+/// row passes). `good_rows` and `others` must share a width, and `run`
+/// is a caller-provided scratch row of that width. Used both by full
+/// mode at assembly (width = all blocks) and per tile by the tiled
+/// kernel.
+fn fill_others(
+    netlist: &Netlist,
+    good_rows: &RowMatrix,
+    others: &mut RowMatrix,
+    edge_offsets: &[u32],
+    run: &mut [u64],
+) {
+    let w = others.width();
+    debug_assert_eq!(good_rows.width(), w);
+    debug_assert_eq!(run.len(), w);
+    for (i, &offset) in edge_offsets.iter().enumerate().take(netlist.num_nodes()) {
+        let node = netlist.node(NodeId::new(i));
+        let kind = node.kind();
+        let fanins = node.fanins();
+        let m = fanins.len();
+        if !has_others_rows(kind) || m == 0 {
+            continue;
         }
-        None => {
-            for i in 0..dst.len() {
-                let out = op(others[i], changed[i]);
-                any |= out ^ good[i];
-                dst[i] = out;
-            }
+        let base = offset as usize;
+        let ident = fold_identity(kind);
+        // Suffix sweep: row `pin` = fold of good fanins pin+1..m (the
+        // last row is the fold identity).
+        others.row_mut(base + m - 1).fill(ident);
+        for pin in (0..m - 1).rev() {
+            let (src, dst) = others.row_window_pair(base + pin + 1, base + pin, 0..w);
+            dst.copy_from_slice(src);
+            fold_rows(
+                kind,
+                others.row_mut(base + pin),
+                good_rows.row(fanins[pin + 1].index()),
+            );
+        }
+        // Prefix sweep folds in good fanins 0..pin.
+        run.fill(ident);
+        for (pin, fanin) in fanins.iter().enumerate() {
+            fold_rows(kind, others.row_mut(base + pin), run);
+            fold_rows(kind, run, good_rows.row(fanin.index()));
         }
     }
-    any
 }
 
 /// Computes detection sets `T(h)` by injecting one fault at a time into
@@ -200,15 +217,17 @@ fn fused_update(
 ///
 /// The row-oriented kernel trades memory for streaming speed: the
 /// node-major transpose, the per-edge "other fanins" rows, and every
-/// per-worker [`SimScratch`] each cost `O(num_nodes × num_blocks)`
+/// per-worker [`SimScratch`] each cost `O(num_nodes × tile_width)`
 /// words (the `others` table scales with total fanin instead of node
-/// count). That is a few copies of the [`GoodValues`] table — trivial
-/// next to the detection sets at the circuit widths the paper's
+/// count). With an unbounded [`MemoryBudget`] (the default)
+/// `tile_width` is the full block count — a few copies of the
+/// [`GoodValues`] table, trivial at the circuit widths the paper's
 /// analysis targets (`I ≤ 14`, see [`crate::FaultUniverse`]'s memory
-/// note), but it means very wide exhaustive spaces near
-/// [`ndetect_sim::MAX_EXHAUSTIVE_INPUTS`] pay gigabytes per table;
-/// partition such circuits into output cones instead of simulating
-/// them whole.
+/// note) but gigabytes per table near
+/// [`ndetect_sim::MAX_EXHAUSTIVE_INPUTS`]. A bounded budget caps the
+/// per-worker working set instead: `tile_width` is the largest block
+/// count whose transpose + others + scratch rows fit the budget, and
+/// workers stream the space tile by tile with bit-identical results.
 ///
 /// ```
 /// use ndetect_netlist::NetlistBuilder;
@@ -235,22 +254,32 @@ pub struct FaultSimulator {
     reach: ReachabilityMatrix,
     num_nodes: usize,
     num_blocks: usize,
-    /// Node-major transpose of the good values: node `i`'s words for
-    /// blocks `0..num_blocks` are `good_nm[i*num_blocks..(i+1)*num_blocks]`.
-    good_nm: Vec<u64>,
+    /// The memory budget this simulator was built under.
+    budget: MemoryBudget,
+    /// Tile width in blocks: `num_blocks` in full (unbounded) mode,
+    /// smaller when the budget constrains the working set.
+    tile_width: usize,
+    /// Total rows of the per-edge `others` table (tiled scratches size
+    /// their private tile from this).
+    num_other_rows: usize,
+    /// Full mode only: node-major transpose of the good values (row `i`
+    /// = node `i`'s words for blocks `0..num_blocks`). Empty in tiled
+    /// mode — each worker gathers its tile into
+    /// [`SimScratch::tile_good`] instead.
+    good_nm: RowMatrix,
     /// CSR offsets into [`Self::cone_gates`]: node `i`'s
     /// strictly-downstream gates (topological order) are
     /// `cone_gates[cone_offsets[i]..cone_offsets[i+1]]`.
     cone_offsets: Vec<u32>,
     /// Flattened cone arena, indexed through [`Self::cone_offsets`].
     cone_gates: Vec<NodeId>,
-    /// Per associative gate and fanin pin, the fault-free fold of **all
-    /// other** fanins (node-major row): when exactly one fanin of a gate
-    /// changes, the gate re-evaluates in a single fused pass
-    /// `op(others, changed)` instead of folding every operand.
-    /// Row `edge_offsets[g] + pin` lives at
-    /// `others[row*num_blocks..(row+1)*num_blocks]`.
-    others: Vec<u64>,
+    /// Full mode only: per associative gate and fanin pin, the
+    /// fault-free fold of **all other** fanins (row `edge_offsets[g] +
+    /// pin`): when exactly one fanin of a gate changes, the gate
+    /// re-evaluates in a single fused pass `op(others, changed)`
+    /// instead of folding every operand. Empty in tiled mode (see
+    /// [`SimScratch::tile_others`]).
+    others: RowMatrix,
     /// Per node: first `others` row index of its fanin pins (nodes
     /// without tabulated rows span zero rows).
     edge_offsets: Vec<u32>,
@@ -281,9 +310,27 @@ impl FaultSimulator {
         netlist: &Netlist,
         num_threads: usize,
     ) -> Result<Self, ndetect_sim::SimError> {
+        Self::with_budget(netlist, num_threads, MemoryBudget::Auto)
+    }
+
+    /// Prepares a simulator under an explicit [`MemoryBudget`]: a
+    /// bounded budget caps each worker's kernel working set (transpose
+    /// tile + others tile + scratch rows) and the kernel streams the
+    /// pattern space in tiles. Results are bit-identical for every
+    /// budget; only peak memory (and streaming order) change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ndetect_sim::SimError`] if the circuit has too many
+    /// inputs for exhaustive simulation.
+    pub fn with_budget(
+        netlist: &Netlist,
+        num_threads: usize,
+        budget: MemoryBudget,
+    ) -> Result<Self, ndetect_sim::SimError> {
         let space = PatternSpace::new(netlist.num_inputs())?;
         let good = GoodValues::compute_with(netlist, &space, num_threads);
-        Self::assemble(netlist, space, good)
+        Self::assemble(netlist, space, good, budget)
     }
 
     /// Prepares a simulator around **precomputed** fault-free values
@@ -305,30 +352,41 @@ impl FaultSimulator {
         netlist: &Netlist,
         good: GoodValues,
     ) -> Result<Self, ndetect_sim::SimError> {
+        Self::with_good_values_budget(netlist, good, MemoryBudget::Auto)
+    }
+
+    /// [`Self::with_good_values`] under an explicit [`MemoryBudget`]
+    /// (see [`Self::with_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ndetect_sim::SimError`] if the circuit has too many
+    /// inputs for exhaustive simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `good`'s dimensions do not match the netlist and its
+    /// pattern space.
+    pub fn with_good_values_budget(
+        netlist: &Netlist,
+        good: GoodValues,
+        budget: MemoryBudget,
+    ) -> Result<Self, ndetect_sim::SimError> {
         let space = PatternSpace::new(netlist.num_inputs())?;
         assert_eq!(good.num_nodes(), netlist.num_nodes(), "good-value shape");
         assert_eq!(good.num_blocks(), space.num_blocks(), "good-value shape");
-        Self::assemble(netlist, space, good)
+        Self::assemble(netlist, space, good, budget)
     }
 
     fn assemble(
         netlist: &Netlist,
         space: PatternSpace,
         good: GoodValues,
+        budget: MemoryBudget,
     ) -> Result<Self, ndetect_sim::SimError> {
         let reach = ReachabilityMatrix::compute(netlist);
         let n = netlist.num_nodes();
         let nb = space.num_blocks();
-
-        // Node-major transpose: the event kernel streams one node's
-        // words across all blocks, so give it a contiguous row.
-        let mut good_nm = vec![0u64; n * nb];
-        for b in 0..nb {
-            let block = good.block(b);
-            for (i, &w) in block.iter().enumerate() {
-                good_nm[i * nb + b] = w;
-            }
-        }
 
         // Flatten the per-node downstream cones into one contiguous CSR
         // arena (topological order within each row).
@@ -347,49 +405,51 @@ impl FaultSimulator {
             cone_offsets.push(cone_gates.len() as u32);
         }
 
-        // Per-edge "all other fanins" rows for the associative gate
-        // kinds, via one suffix and one prefix sweep per gate (the
-        // standard exclusive-scan trick, O(fanins) row passes).
+        // Row layout of the per-edge "all other fanins" table (one row
+        // per fanin pin of every associative gate).
         let mut edge_offsets = Vec::with_capacity(n + 1);
         edge_offsets.push(0u32);
-        let mut others: Vec<u64> = Vec::new();
-        let mut run = vec![0u64; nb];
+        let mut num_other_rows = 0usize;
         for i in 0..n {
             let node = netlist.node(NodeId::new(i));
-            let kind = node.kind();
-            let fanins = node.fanins();
-            let m = fanins.len();
-            if has_others_rows(kind) && m >= 1 {
-                let base = others.len();
-                let ident = fold_identity(kind);
-                others.resize(base + m * nb, ident);
-                // Suffix sweep: row i = fold of good fanins i+1..m.
-                for pin in (0..m.saturating_sub(1)).rev() {
-                    let f_off = fanins[pin + 1].index() * nb;
-                    for b in 0..nb {
-                        others[base + pin * nb + b] = fold_combine(
-                            kind,
-                            others[base + (pin + 1) * nb + b],
-                            good_nm[f_off + b],
-                        );
-                    }
-                }
-                // Prefix sweep folds in good fanins 0..pin.
-                run.fill(ident);
-                for pin in 0..m {
-                    for b in 0..nb {
-                        others[base + pin * nb + b] =
-                            fold_combine(kind, others[base + pin * nb + b], run[b]);
-                    }
-                    let f_off = fanins[pin].index() * nb;
-                    for b in 0..nb {
-                        run[b] = fold_combine(kind, run[b], good_nm[f_off + b]);
-                    }
-                }
+            if has_others_rows(node.kind()) {
+                num_other_rows += node.fanins().len();
             }
-            edge_offsets.push((others.len() / nb) as u32);
+            edge_offsets.push(num_other_rows as u32);
         }
 
+        // Per-worker kernel working set per block, in words: faulty
+        // rows + good tile + others tile + acc + det. The budget picks
+        // the widest tile that fits; the full block count means the
+        // zero-overhead full-width mode.
+        let words_per_block = 2 * n + num_other_rows + 2;
+        let tile_width = budget.tile_width(words_per_block, nb);
+
+        let (good_nm, others) = if tile_width == nb {
+            // Full mode: materialize the node-major transpose (the
+            // event kernel streams one node's words across all blocks,
+            // so give it a contiguous row) and the others table once,
+            // shared by every worker.
+            let mut good_nm = RowMatrix::zeroed(n, nb);
+            for b in 0..nb {
+                let block = good.block(b);
+                let words = good_nm.words_mut();
+                for (i, &w) in block.iter().enumerate() {
+                    words[i * nb + b] = w;
+                }
+            }
+            let mut others = RowMatrix::zeroed(num_other_rows, nb);
+            let mut run = zeroed_words(nb);
+            fill_others(netlist, &good_nm, &mut others, &edge_offsets, &mut run);
+            (good_nm, others)
+        } else {
+            // Tiled mode: no shared full-width tables — each worker
+            // gathers per-tile slices into its scratch on demand.
+            (RowMatrix::empty(), RowMatrix::empty())
+        };
+
+        // Cold per-circuit setup; a bool flag table is not a word buffer.
+        #[allow(clippy::disallowed_methods)]
         let mut observed = vec![false; n];
         for &po in netlist.outputs() {
             observed[po.index()] = true;
@@ -401,6 +461,9 @@ impl FaultSimulator {
             reach,
             num_nodes: n,
             num_blocks: nb,
+            budget,
+            tile_width,
+            num_other_rows,
             good_nm,
             cone_offsets,
             cone_gates,
@@ -429,12 +492,50 @@ impl FaultSimulator {
         &self.reach
     }
 
-    /// Allocates scratch buffers sized for this simulator's circuit. One
-    /// scratch serves any number of faults; workers should create one
-    /// and reuse it (see [`FaultSimulator::detection_set_stuck_with`]).
+    /// Allocates scratch buffers sized for this simulator's circuit and
+    /// kernel mode (full-width or tiled). One scratch serves any number
+    /// of faults; workers should create one and reuse it (see
+    /// [`FaultSimulator::detection_set_stuck_with`]).
     #[must_use]
     pub fn new_scratch(&self) -> SimScratch {
-        SimScratch::new(self.num_nodes, self.num_blocks)
+        if self.tile_width == self.num_blocks {
+            SimScratch::new(self.num_nodes, self.num_blocks)
+        } else {
+            SimScratch::new_tiled(self.num_nodes, self.tile_width, self.num_other_rows)
+        }
+    }
+
+    /// The memory budget this simulator was built under.
+    #[must_use]
+    pub fn mem_budget(&self) -> MemoryBudget {
+        self.budget
+    }
+
+    /// The tile width in 64-vector blocks (equals the space's block
+    /// count in full-width mode).
+    #[must_use]
+    pub fn tile_width(&self) -> usize {
+        self.tile_width
+    }
+
+    /// Which kernel the budget selected: `"full"` (full-width shared
+    /// tables, the unbounded fast path) or `"tiled"` (per-worker
+    /// streamed tiles).
+    #[must_use]
+    pub fn kernel_mode(&self) -> &'static str {
+        if self.tile_width == self.num_blocks {
+            "full"
+        } else {
+            "tiled"
+        }
+    }
+
+    /// Estimated per-worker data-plane bytes: faulty rows + good tile +
+    /// others tile + accumulator + detection row, at the selected tile
+    /// width. This is the quantity the [`MemoryBudget`] bounds.
+    #[must_use]
+    pub fn data_plane_bytes(&self) -> u64 {
+        8 * (2 * self.num_nodes + self.num_other_rows + 2) as u64 * self.tile_width as u64
     }
 
     /// Node `i`'s strictly-downstream gates in topological order (CSR
@@ -446,16 +547,62 @@ impl FaultSimulator {
         &self.cone_gates[lo..hi]
     }
 
+    /// The base block of the tile `scratch` currently addresses (0 in
+    /// full-width mode, where rows span the whole space).
+    #[inline]
+    fn scratch_base(scratch: &SimScratch) -> usize {
+        if scratch.is_tiled() {
+            scratch.tile_start
+        } else {
+            0
+        }
+    }
+
+    /// Loads the tile starting at block `tile_base` into a tiled
+    /// scratch's private good/others tables (no-op in full-width mode
+    /// or when that tile is already loaded — a worker sweeping many
+    /// faults over one tile pays the gather once).
+    fn prepare_tile(&self, netlist: &Netlist, tile_base: usize, scratch: &mut SimScratch) {
+        if !scratch.is_tiled() || scratch.tile_start == tile_base {
+            return;
+        }
+        let w = self.tile_width.min(self.num_blocks - tile_base);
+        // Gather the node-major transpose of this tile from the
+        // block-major good values. Stray columns of a narrow final tile
+        // keep stale words; no column ≥ `w` is ever read.
+        {
+            let tw = scratch.tile_good.width();
+            let tg = scratch.tile_good.words_mut();
+            for c in 0..w {
+                let block = self.good.block(tile_base + c);
+                for (i, &word) in block.iter().enumerate() {
+                    tg[i * tw + c] = word;
+                }
+            }
+        }
+        fill_others(
+            netlist,
+            &scratch.tile_good,
+            &mut scratch.tile_others,
+            &self.edge_offsets,
+            &mut scratch.acc,
+        );
+        scratch.tile_start = tile_base;
+    }
+
     /// The event-driven kernel: propagates the difference between the
     /// root's faulty row (already written to `scratch.rows` over
     /// `blocks` by the caller) and its fault-free row through the
-    /// root's cone, accumulating per-block detection words into
-    /// `scratch.det[blocks]`.
+    /// root's cone, accumulating per-block detection words into the
+    /// scratch detection row.
     ///
-    /// Gates are evaluated only while some fanin is on the difference
-    /// frontier, over only the block sub-range on which the root
-    /// differs at all; the walk degenerates to cheap frontier checks as
-    /// soon as the frontier dies. Zero heap allocations.
+    /// `blocks` are **global** block coordinates and must lie inside
+    /// the tile `scratch` currently addresses (the whole space in
+    /// full-width mode). Gates are evaluated only while some fanin is
+    /// on the difference frontier, over only the block sub-range on
+    /// which the root differs at all; the walk degenerates to cheap
+    /// frontier checks as soon as the frontier dies. Zero heap
+    /// allocations.
     fn propagate(
         &self,
         netlist: &Netlist,
@@ -464,10 +611,9 @@ impl FaultSimulator {
         scratch: &mut SimScratch,
     ) {
         debug_assert!(
-            scratch.fits(self.num_nodes, self.num_blocks),
+            scratch.fits(self.num_nodes, self.tile_width),
             "scratch shape"
         );
-        let nb = self.num_blocks;
         scratch.begin_fault();
         let epoch = scratch.epoch;
         let SimScratch {
@@ -477,38 +623,60 @@ impl FaultSimulator {
             frontier,
             det_lo,
             det_hi,
+            tile_good,
+            tile_others,
+            tile_start,
             ..
         } = scratch;
+        // One data plane, two sources: full mode reads the simulator's
+        // shared full-width tables, tiled mode this worker's private
+        // tile (both node-major RowMatrix — the kernel below cannot
+        // tell them apart).
+        let (good_rows, others_rows, base): (&RowMatrix, &RowMatrix, usize) =
+            if tile_good.is_empty() {
+                (&self.good_nm, &self.others, 0)
+            } else {
+                debug_assert!(*tile_start < self.num_blocks, "tile not prepared");
+                (tile_good, tile_others, *tile_start)
+            };
+        debug_assert!(blocks.start >= base && blocks.end <= base + rows.width());
 
-        // Tighten to the sub-range of blocks on which the root actually
-        // changed: no node anywhere can differ outside it.
-        let root_off = root.index() * nb;
+        // Tighten to the sub-range of columns on which the root
+        // actually changed: no node anywhere can differ outside it.
+        // (lo..hi are tile-local columns; det_lo/det_hi stay global.)
+        let cols = blocks.start - base..blocks.end - base;
         let mut lo = usize::MAX;
-        let mut hi = blocks.start;
-        for b in blocks.clone() {
-            if rows[root_off + b] ^ self.good_nm[root_off + b] != 0 {
-                if lo == usize::MAX {
-                    lo = b;
+        let mut hi = cols.start;
+        {
+            let faulty = &rows.row(root.index())[cols.clone()];
+            let good = &good_rows.row(root.index())[cols.clone()];
+            for (k, (&a, &b)) in faulty.iter().zip(good).enumerate() {
+                if a ^ b != 0 {
+                    if lo == usize::MAX {
+                        lo = cols.start + k;
+                    }
+                    hi = cols.start + k + 1;
                 }
-                hi = b + 1;
             }
         }
         if lo == usize::MAX {
-            // Fault inactive on this whole tile: empty detection range.
+            // Fault inactive on this whole range: empty detection range.
             *det_lo = blocks.start;
             *det_hi = blocks.start;
             return;
         }
-        *det_lo = lo;
-        *det_hi = hi;
+        *det_lo = base + lo;
+        *det_hi = base + hi;
         let w = hi - lo;
         det[lo..hi].fill(0);
 
         frontier[root.index()] = epoch;
         if self.observed[root.index()] {
-            for b in lo..hi {
-                det[b] |= rows[root_off + b] ^ self.good_nm[root_off + b];
-            }
+            rowops::or_diff_into(
+                &mut det[lo..hi],
+                &rows.row(root.index())[lo..hi],
+                &good_rows.row(root.index())[lo..hi],
+            );
         }
 
         for &g in self.cone(root) {
@@ -529,41 +697,31 @@ impl FaultSimulator {
                 continue;
             }
             let kind = node.kind();
-            let g_off = g.index() * nb;
             let any = if num_changed == 1 && (has_others_rows(kind) || fanins.len() == 1) {
                 // Fast path: exactly one fanin changed — one fused pass
                 // combining the precomputed "all other fanins" row with
                 // the changed row (for 1-fanin gates the row is the
                 // changed fanin itself).
-                let f_off = fanins[changed_pin].index() * nb;
-                let (changed, dst) = row_pair(rows, f_off + lo..f_off + hi, g_off + lo..g_off + hi);
+                let (changed, dst) =
+                    rows.row_window_pair(fanins[changed_pin].index(), g.index(), lo..hi);
                 let others = if has_others_rows(kind) {
                     let row = self.edge_offsets[g.index()] as usize + changed_pin;
-                    &self.others[row * nb + lo..row * nb + hi]
+                    &others_rows.row(row)[lo..hi]
                 } else {
                     changed
                 };
-                let good_g = &self.good_nm[g_off + lo..g_off + hi];
+                let good_g = &good_rows.row(g.index())[lo..hi];
                 let det_g = self.observed[g.index()].then_some(&mut det[lo..hi]);
+                use rowops::fused_gate_update as fused;
                 match kind {
-                    GateKind::And => {
-                        fused_update(others, changed, good_g, dst, det_g, |e, v| e & v)
-                    }
-                    GateKind::Nand => {
-                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e & v))
-                    }
-                    GateKind::Or => fused_update(others, changed, good_g, dst, det_g, |e, v| e | v),
-                    GateKind::Nor => {
-                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e | v))
-                    }
-                    GateKind::Xor => {
-                        fused_update(others, changed, good_g, dst, det_g, |e, v| e ^ v)
-                    }
-                    GateKind::Xnor => {
-                        fused_update(others, changed, good_g, dst, det_g, |e, v| !(e ^ v))
-                    }
-                    GateKind::Buf => fused_update(others, changed, good_g, dst, det_g, |_, v| v),
-                    GateKind::Not => fused_update(others, changed, good_g, dst, det_g, |_, v| !v),
+                    GateKind::And => fused(others, changed, good_g, dst, det_g, |e, v| e & v),
+                    GateKind::Nand => fused(others, changed, good_g, dst, det_g, |e, v| !(e & v)),
+                    GateKind::Or => fused(others, changed, good_g, dst, det_g, |e, v| e | v),
+                    GateKind::Nor => fused(others, changed, good_g, dst, det_g, |e, v| !(e | v)),
+                    GateKind::Xor => fused(others, changed, good_g, dst, det_g, |e, v| e ^ v),
+                    GateKind::Xnor => fused(others, changed, good_g, dst, det_g, |e, v| !(e ^ v)),
+                    GateKind::Buf => fused(others, changed, good_g, dst, det_g, |_, v| v),
+                    GateKind::Not => fused(others, changed, good_g, dst, det_g, |_, v| !v),
                     GateKind::Const0 | GateKind::Const1 | GateKind::Input => {
                         unreachable!("no fanins, so never on the frontier")
                     }
@@ -572,30 +730,23 @@ impl FaultSimulator {
                 // General path: several fanins changed — fold every
                 // operand into the accumulator, then diff.
                 {
-                    let rows_r: &[u64] = rows;
+                    let rows_r: &RowMatrix = rows;
                     let frontier_r: &[u64] = frontier;
                     let op = |_pin: usize, f: NodeId| -> &[u64] {
-                        let off = f.index() * nb;
                         if frontier_r[f.index()] == epoch {
-                            &rows_r[off + lo..off + hi]
+                            &rows_r.row(f.index())[lo..hi]
                         } else {
-                            &self.good_nm[off + lo..off + hi]
+                            &good_rows.row(f.index())[lo..hi]
                         }
                     };
                     eval_gate_rows(kind, fanins, op, &mut acc[..w]);
                 }
-                let good_g = &self.good_nm[g_off + lo..g_off + hi];
-                let mut any = 0u64;
-                for (a, &b) in acc[..w].iter().zip(good_g) {
-                    any |= a ^ b;
-                }
+                let good_g = &good_rows.row(g.index())[lo..hi];
+                let any = rowops::diff_any(&acc[..w], good_g);
                 if any != 0 {
-                    rows[g_off + lo..g_off + hi].copy_from_slice(&acc[..w]);
+                    rows.row_mut(g.index())[lo..hi].copy_from_slice(&acc[..w]);
                     if self.observed[g.index()] {
-                        for ((d, &a), &b) in det[lo..hi].iter_mut().zip(acc[..w].iter()).zip(good_g)
-                        {
-                            *d |= a ^ b;
-                        }
+                        rowops::or_diff_into(&mut det[lo..hi], &acc[..w], good_g);
                     }
                 }
                 any
@@ -609,112 +760,192 @@ impl FaultSimulator {
         }
     }
 
-    /// Copies the detection row back out as per-block words (masked to
+    /// Appends the detection row back out as per-block words (masked to
     /// the space; blocks outside the fault's active range read as zero).
-    fn collect_det(&self, blocks: Range<usize>, scratch: &SimScratch) -> Vec<u64> {
-        blocks
-            .map(|b| {
-                if b >= scratch.det_lo && b < scratch.det_hi {
-                    scratch.det[b] & self.space.block_mask(b)
-                } else {
-                    0
-                }
-            })
-            .collect()
+    fn collect_det_into(&self, blocks: Range<usize>, scratch: &SimScratch, out: &mut Vec<u64>) {
+        let base = Self::scratch_base(scratch);
+        out.extend(blocks.map(|b| {
+            if b >= scratch.det_lo && b < scratch.det_hi {
+                scratch.det[b - base] & self.space.block_mask(b)
+            } else {
+                0
+            }
+        }));
     }
 
-    /// Detection words of a stuck-at fault over a contiguous block range.
-    /// Blocks are independent, so any partition of the range concatenates
-    /// back to the full-range result.
-    fn stuck_words(
+    /// Splits a block range at tile boundaries and runs `body` on each
+    /// tile-resident sub-range with the tile loaded. Blocks are
+    /// independent, so any partition of the range concatenates back to
+    /// the full-range result; in full-width mode this degenerates to a
+    /// single call with no gathering.
+    fn for_each_tile_span(
+        &self,
+        netlist: &Netlist,
+        blocks: Range<usize>,
+        scratch: &mut SimScratch,
+        mut body: impl FnMut(&Self, Range<usize>, &mut SimScratch),
+    ) {
+        let mut start = blocks.start;
+        while start < blocks.end {
+            let tile_base = start - start % self.tile_width;
+            let end = blocks.end.min(tile_base + self.tile_width);
+            self.prepare_tile(netlist, tile_base, scratch);
+            body(self, start..end, scratch);
+            start = end;
+        }
+    }
+
+    /// Detection words of a stuck-at fault over a contiguous block
+    /// range (streamed tile by tile under a bounded budget).
+    pub(crate) fn stuck_words(
         &self,
         netlist: &Netlist,
         fault: StuckAtFault,
         blocks: Range<usize>,
         scratch: &mut SimScratch,
     ) -> Vec<u64> {
+        let line = netlist.lines().line(fault.line);
+        // Output-slot branch faults never touch the kernel at all:
+        // detected exactly where the good driver differs from the stuck
+        // value (only that output observation is faulty).
+        if let LineKind::Branch {
+            node,
+            sink: Sink::OutputSlot { .. },
+        } = *line.kind()
+        {
+            let vword = stuck_word(fault.value);
+            return blocks
+                .map(|b| (self.good.node_word(b, node) ^ vword) & self.space.block_mask(b))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(blocks.len());
+        self.for_each_tile_span(netlist, blocks, scratch, |sim, span, scratch| {
+            sim.stuck_words_span(netlist, fault, span, scratch, &mut out);
+        });
+        out
+    }
+
+    /// One tile-resident span of [`Self::stuck_words`]: writes the root
+    /// row, propagates, and appends the masked detection words.
+    fn stuck_words_span(
+        &self,
+        netlist: &Netlist,
+        fault: StuckAtFault,
+        span: Range<usize>,
+        scratch: &mut SimScratch,
+        out: &mut Vec<u64>,
+    ) {
         let vword = stuck_word(fault.value);
         let line = netlist.lines().line(fault.line);
-        let nb = self.num_blocks;
+        let base = Self::scratch_base(scratch);
+        let cols = span.start - base..span.end - base;
 
         match *line.kind() {
             LineKind::Stem { node } => {
-                let off = node.index() * nb;
-                scratch.rows[off + blocks.start..off + blocks.end].fill(vword);
-                self.propagate(netlist, node, blocks.clone(), scratch);
-                self.collect_det(blocks, scratch)
+                scratch.rows.row_mut(node.index())[cols].fill(vword);
+                self.propagate(netlist, node, span.clone(), scratch);
+                self.collect_det_into(span, scratch, out);
             }
-            LineKind::Branch { node, sink } => match sink {
+            LineKind::Branch { node: _, sink } => match sink {
                 Sink::GatePin { gate, pin } => {
                     // Root row: the sink gate evaluated with the
                     // overridden operand (a constant row), all other
                     // operands fault-free.
                     let gnode = netlist.node(gate);
-                    let w = blocks.end - blocks.start;
-                    scratch.acc[..w].fill(vword);
+                    let w = cols.len();
                     {
-                        let acc_r: &[u64] = &scratch.acc;
+                        let SimScratch {
+                            rows,
+                            acc,
+                            tile_good,
+                            ..
+                        } = scratch;
+                        let good_rows: &RowMatrix = if tile_good.is_empty() {
+                            &self.good_nm
+                        } else {
+                            tile_good
+                        };
+                        acc[..w].fill(vword);
+                        let acc_r: &[u64] = &acc[..w];
                         let op = |i: usize, f: NodeId| -> &[u64] {
                             if i == pin {
-                                &acc_r[..w]
+                                acc_r
                             } else {
-                                let off = f.index() * nb;
-                                &self.good_nm[off + blocks.start..off + blocks.end]
+                                &good_rows.row(f.index())[cols.clone()]
                             }
                         };
-                        let off = gate.index() * nb;
                         eval_gate_rows(
                             gnode.kind(),
                             gnode.fanins(),
                             op,
-                            &mut scratch.rows[off + blocks.start..off + blocks.end],
+                            &mut rows.row_mut(gate.index())[cols.clone()],
                         );
                     }
-                    self.propagate(netlist, gate, blocks.clone(), scratch);
-                    self.collect_det(blocks, scratch)
+                    self.propagate(netlist, gate, span.clone(), scratch);
+                    self.collect_det_into(span, scratch, out);
                 }
                 Sink::OutputSlot { slot: _ } => {
-                    // Only this output observation is faulty: detected where
-                    // the good driver value differs from the stuck value.
-                    let off = node.index() * nb;
-                    blocks
-                        .map(|block| {
-                            (self.good_nm[off + block] ^ vword) & self.space.block_mask(block)
-                        })
-                        .collect()
+                    unreachable!("handled without the kernel in stuck_words")
                 }
             },
         }
     }
 
-    /// Detection words of a bridging fault over a contiguous block range.
-    fn bridge_words(
+    /// Detection words of a bridging fault over a contiguous block
+    /// range (streamed tile by tile under a bounded budget).
+    pub(crate) fn bridge_words(
         &self,
         netlist: &Netlist,
         fault: &BridgingFault,
         blocks: Range<usize>,
         scratch: &mut SimScratch,
     ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(blocks.len());
+        self.for_each_tile_span(netlist, blocks, scratch, |sim, span, scratch| {
+            sim.bridge_words_span(netlist, fault, span, scratch, &mut out);
+        });
+        out
+    }
+
+    /// One tile-resident span of [`Self::bridge_words`].
+    fn bridge_words_span(
+        &self,
+        netlist: &Netlist,
+        fault: &BridgingFault,
+        span: Range<usize>,
+        scratch: &mut SimScratch,
+        out: &mut Vec<u64>,
+    ) {
         let victim = netlist.lines().line(fault.victim).driver();
         let aggressor = netlist.lines().line(fault.aggressor).driver();
-        let nb = self.num_blocks;
-        let v_off = victim.index() * nb;
-        let a_off = aggressor.index() * nb;
+        let base = Self::scratch_base(scratch);
 
         // Root row: the victim flips exactly on the activated vectors
         // (fault-free victim == a1 and aggressor == a2) — one streaming
         // pass over two contiguous node rows. Blocks with an empty
         // activation never enter propagation.
-        for b in blocks.clone() {
-            let gv = self.good_nm[v_off + b];
-            let ga = self.good_nm[a_off + b];
-            let cond = (if fault.victim_value { gv } else { !gv })
-                & (if fault.aggressor_value { ga } else { !ga })
-                & self.space.block_mask(b);
-            scratch.rows[v_off + b] = gv ^ cond;
+        {
+            let SimScratch {
+                rows, tile_good, ..
+            } = scratch;
+            let good_rows: &RowMatrix = if tile_good.is_empty() {
+                &self.good_nm
+            } else {
+                tile_good
+            };
+            let vrow = rows.row_mut(victim.index());
+            for b in span.clone() {
+                let c = b - base;
+                let gv = good_rows.row(victim.index())[c];
+                let ga = good_rows.row(aggressor.index())[c];
+                let cond = (if fault.victim_value { gv } else { !gv })
+                    & (if fault.aggressor_value { ga } else { !ga })
+                    & self.space.block_mask(b);
+                vrow[c] = gv ^ cond;
+            }
         }
-        self.propagate(netlist, victim, blocks.clone(), scratch);
-        self.collect_det(blocks, scratch)
+        self.propagate(netlist, victim, span.clone(), scratch);
+        self.collect_det_into(span, scratch, out);
     }
 
     /// Computes `T(f)` for a stuck-at fault (stem or branch).
@@ -861,12 +1092,14 @@ impl FaultSimulator {
     /// blocks.
     fn cone_buffers(&self, netlist: &Netlist, root: NodeId) -> (Vec<NodeId>, Vec<u64>, Vec<bool>) {
         let outputs = self.observable_outputs_of(netlist, root);
+        // Reference oracle, off the budgeted data plane by design.
+        #[allow(clippy::disallowed_methods)]
         let mut in_cone = vec![false; self.num_nodes];
         in_cone[root.index()] = true;
         for &g in self.cone(root) {
             in_cone[g.index()] = true;
         }
-        (outputs, vec![0u64; self.num_nodes], in_cone)
+        (outputs, zeroed_words(self.num_nodes), in_cone)
     }
 
     /// Re-evaluates every gate of `root`'s cone for one block. `fv`
@@ -1080,7 +1313,9 @@ pub fn threeval_detects_stuck(
     let line = netlist.lines().line(fault.line);
     let fault_trit = Trit::from_bool(fault.value);
 
-    // Faulty levelized pass with injection.
+    // Faulty levelized pass with injection (cold three-valued path,
+    // not a word buffer).
+    #[allow(clippy::disallowed_methods)]
     let mut faulty = vec![Trit::X; netlist.num_nodes()];
     for (&pi, &v) in netlist.inputs().iter().zip(&inputs) {
         faulty[pi.index()] = v;
@@ -1143,6 +1378,7 @@ pub fn threeval_detects_stuck(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::stuck_at::all_stuck_at_faults;

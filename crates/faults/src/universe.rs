@@ -1,6 +1,10 @@
 //! The complete fault picture of one circuit: targets `F` and untargeted
 //! faults `G` with their detection sets.
 
+// Hot module: universe building drives the budgeted data plane; any word
+// buffer it allocates must come from `ndetect_sim::rows`.
+#![deny(clippy::disallowed_methods)]
+
 use crate::artifact::{universe_key, UniverseArtifact, UniverseArtifactRef, KIND_UNIVERSE};
 use crate::bridging::{enumerate_bridges, BridgeModel, BridgingFault};
 use crate::collapse::CollapsedFaults;
@@ -8,9 +12,10 @@ use crate::error::FaultError;
 use crate::sim::FaultSimulator;
 use crate::stuck_at::{all_stuck_at_faults, StuckAtFault};
 use ndetect_netlist::Netlist;
-use ndetect_sim::{parallel, PatternSpace, VectorSet};
+use ndetect_sim::{parallel, MemoryBudget, PatternSpace, SimScratch, VectorSet};
 use ndetect_store::{decode_from_slice, encode_to_vec, ArtifactKey, Store};
 use std::fmt;
+use std::ops::Range;
 
 /// Configuration for [`FaultUniverse::build_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,6 +39,13 @@ pub struct UniverseOptions {
     /// view of the simulator and producing its own slice of detection
     /// sets, so results are bit-identical for every thread count.
     pub threads: usize,
+    /// Per-worker kernel memory budget. Bounds the simulator's working
+    /// set (good/others tables + faulty rows) by streaming block tiles
+    /// through the kernel; like [`Self::threads`] it is a performance
+    /// knob — detection sets are bit-identical for every budget, so it
+    /// is excluded from the store key. `Auto` consults
+    /// `NDETECT_MEM_BUDGET` and defaults to unbounded.
+    pub mem_budget: MemoryBudget,
 }
 
 impl Default for UniverseOptions {
@@ -43,6 +55,7 @@ impl Default for UniverseOptions {
             include_bridges: true,
             bridge_model: BridgeModel::FourWay,
             threads: 0,
+            mem_budget: MemoryBudget::Auto,
         }
     }
 }
@@ -106,7 +119,7 @@ impl FaultUniverse {
     /// exhaustive simulation.
     pub fn build_with(netlist: &Netlist, options: UniverseOptions) -> Result<Self, FaultError> {
         let threads = parallel::resolve_threads(options.threads);
-        let simulator = FaultSimulator::with_threads(netlist, threads)?;
+        let simulator = FaultSimulator::with_budget(netlist, threads, options.mem_budget)?;
         let collapsed = CollapsedFaults::compute(netlist);
 
         let targets: Vec<StuckAtFault> = if options.collapse_targets {
@@ -118,13 +131,21 @@ impl FaultUniverse {
         // fault list against the shared read-only simulator, reusing one
         // event-propagation scratch for its whole tile; tiles are
         // reassembled in fault order, so the sets are bit-identical to a
-        // serial pass.
-        let target_sets: Vec<VectorSet> = parallel::parallel_map_with(
-            threads,
-            &targets,
-            || simulator.new_scratch(),
-            |scratch, _, &f| simulator.detection_set_stuck_with(netlist, f, scratch),
-        );
+        // serial pass. Under a bounded budget the sweep is additionally
+        // tile-major over blocks (see [`build_sets_tiled`]).
+        let target_sets: Vec<VectorSet> = if simulator.tile_width() < simulator.space().num_blocks()
+        {
+            build_sets_tiled(netlist, &simulator, threads, &targets, |n, s, &f, b, sc| {
+                s.stuck_words(n, f, b, sc)
+            })
+        } else {
+            parallel::parallel_map_with(
+                threads,
+                &targets,
+                || simulator.new_scratch(),
+                |scratch, _, &f| simulator.detection_set_stuck_with(netlist, f, scratch),
+            )
+        };
 
         let mut bridges = Vec::new();
         let mut bridge_sets = Vec::new();
@@ -132,12 +153,24 @@ impl FaultUniverse {
         if options.include_bridges {
             let enumerated =
                 enumerate_bridges(netlist, simulator.reachability(), options.bridge_model);
-            let sets = parallel::parallel_map_with(
-                threads,
-                &enumerated,
-                || simulator.new_scratch(),
-                |scratch, _, fault| simulator.detection_set_bridge_with(netlist, fault, scratch),
-            );
+            let sets = if simulator.tile_width() < simulator.space().num_blocks() {
+                build_sets_tiled(
+                    netlist,
+                    &simulator,
+                    threads,
+                    &enumerated,
+                    |n, s, f, b, sc| s.bridge_words(n, f, b, sc),
+                )
+            } else {
+                parallel::parallel_map_with(
+                    threads,
+                    &enumerated,
+                    || simulator.new_scratch(),
+                    |scratch, _, fault| {
+                        simulator.detection_set_bridge_with(netlist, fault, scratch)
+                    },
+                )
+            };
             for (fault, set) in enumerated.into_iter().zip(sets) {
                 if set.is_empty() {
                     num_undetectable_bridges += 1;
@@ -233,7 +266,9 @@ impl FaultUniverse {
         if !artifact.is_consistent_with(netlist, options) {
             return None;
         }
-        let simulator = FaultSimulator::with_good_values(netlist, artifact.good).ok()?;
+        let simulator =
+            FaultSimulator::with_good_values_budget(netlist, artifact.good, options.mem_budget)
+                .ok()?;
         let collapsed = CollapsedFaults::compute(netlist);
         Some(FaultUniverse {
             netlist: netlist.clone(),
@@ -369,6 +404,55 @@ impl FaultUniverse {
     }
 }
 
+/// Builds detection sets for a fault list under a bounded memory budget
+/// with a **tile-major** sweep: the outer loop walks budget-sized block
+/// tiles in order, and the inner [`parallel::parallel_map_with`] fans
+/// the whole fault list across workers, so each worker gathers its
+/// private tile of the good/others tables **once per tile** and then
+/// streams its entire fault chunk through it. (A fault-major sweep would
+/// regather the tile tables for every fault — `O(|F| · nodes · blocks)`
+/// instead of `O(workers · nodes · blocks)`.)
+///
+/// Tiles are visited in block order and per-fault words are appended in
+/// fault order, so the resulting sets are bit-identical to the
+/// full-width single-pass build for every budget and thread count.
+fn build_sets_tiled<T: Sync, F>(
+    netlist: &Netlist,
+    simulator: &FaultSimulator,
+    threads: usize,
+    faults: &[T],
+    sim_words: F,
+) -> Vec<VectorSet>
+where
+    F: Fn(&Netlist, &FaultSimulator, &T, Range<usize>, &mut SimScratch) -> Vec<u64> + Sync,
+{
+    let num_blocks = simulator.space().num_blocks();
+    let num_patterns = simulator.space().num_patterns();
+    let tile = simulator.tile_width();
+    let mut words: Vec<Vec<u64>> = faults
+        .iter()
+        .map(|_| Vec::with_capacity(num_blocks))
+        .collect();
+    let mut start = 0;
+    while start < num_blocks {
+        let end = num_blocks.min(start + tile);
+        let spans = parallel::parallel_map_with(
+            threads,
+            faults,
+            || simulator.new_scratch(),
+            |scratch, _, fault| sim_words(netlist, simulator, fault, start..end, scratch),
+        );
+        for (buf, span) in words.iter_mut().zip(spans) {
+            buf.extend_from_slice(&span);
+        }
+        start = end;
+    }
+    words
+        .into_iter()
+        .map(|w| VectorSet::from_block_words(num_patterns, w))
+        .collect()
+}
+
 impl fmt::Debug for FaultUniverse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FaultUniverse")
@@ -396,6 +480,7 @@ impl fmt::Display for FaultUniverse {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may use raw vec! freely
 mod tests {
     use super::*;
     use ndetect_netlist::NetlistBuilder;
@@ -478,6 +563,51 @@ mod tests {
         assert_eq!(u.num_detectable_targets(), manual);
         // Every collapsed figure1 target is detectable.
         assert_eq!(u.num_detectable_targets(), u.targets().len());
+    }
+
+    #[test]
+    fn bounded_budget_builds_identical_universe() {
+        // 8 inputs -> 256 patterns -> 4 blocks; a tiny budget forces the
+        // tile-major sweep with several tiles, which must reproduce the
+        // unbounded universe bit for bit (targets and bridges alike).
+        let mut b = NetlistBuilder::new("wide8");
+        let inputs: Vec<_> = (0..8).map(|i| b.input(format!("i{i}"))).collect();
+        let a0 = b.and("a0", &inputs[0..4]).unwrap();
+        let o0 = b.or("o0", &inputs[4..8]).unwrap();
+        let x0 = b.xor("x0", &[a0, o0]).unwrap();
+        let n0 = b.nand("n0", &[inputs[1], inputs[6]]).unwrap();
+        let top = b.or("top", &[x0, n0]).unwrap();
+        b.output(top);
+        b.output(a0);
+        let n = b.build().unwrap();
+
+        let full = FaultUniverse::build(&n).unwrap();
+        assert_eq!(full.simulator().kernel_mode(), "full");
+        // Half the full working set -> a two-block tile (two tiles).
+        let half = MemoryBudget::Bytes(full.simulator().data_plane_bytes() / 2);
+        for (budget, threads) in [
+            (MemoryBudget::Bytes(1), 1),
+            (MemoryBudget::Bytes(1), 4),
+            (half, 2),
+        ] {
+            let tiled = FaultUniverse::build_with(
+                &n,
+                UniverseOptions {
+                    threads,
+                    mem_budget: budget,
+                    ..UniverseOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(full.targets(), tiled.targets());
+            assert_eq!(full.bridges(), tiled.bridges());
+            for (a, b) in full.target_sets().iter().zip(tiled.target_sets()) {
+                assert_eq!(a.words(), b.words(), "budget {budget}");
+            }
+            for (a, b) in full.bridge_sets().iter().zip(tiled.bridge_sets()) {
+                assert_eq!(a.words(), b.words(), "budget {budget}");
+            }
+        }
     }
 
     #[test]

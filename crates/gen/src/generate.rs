@@ -1,11 +1,16 @@
 //! The greedy set-cover n-detection generator.
 
+// Hot module: per-round gain rows are the generator's bulk memory and
+// must come from the budgeted data plane (`ndetect_sim::rows`).
+#![deny(clippy::disallowed_methods)]
+
 use crate::artifact::{generated_key, KIND_GENERATED_SET};
 use crate::compact::compact;
 use ndetect_faults::FaultUniverse;
-use ndetect_sim::{parallel, VectorSet};
+use ndetect_sim::{parallel, rows, MemoryBudget, VectorSet};
 use ndetect_store::{decode_from_slice, encode_to_vec, Store};
 use std::fmt;
+use std::ops::Range;
 
 /// Configuration for [`generate`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -26,6 +31,13 @@ pub struct GenOptions {
     /// (`NDETECT_THREADS`, then the machine's available parallelism).
     /// Results are bit-identical for every thread count.
     pub threads: usize,
+    /// Per-worker memory budget for the gain pass: gain rows are
+    /// accumulated over budget-sized spans of the pattern space instead
+    /// of one full-width row per worker. A performance knob like
+    /// [`Self::threads`] — generated sets are bit-identical for every
+    /// budget, so it is excluded from the store key. `Auto` consults
+    /// `NDETECT_MEM_BUDGET` and defaults to unbounded.
+    pub mem_budget: MemoryBudget,
 }
 
 impl Default for GenOptions {
@@ -35,6 +47,7 @@ impl Default for GenOptions {
             compact: false,
             seed: None,
             threads: 0,
+            mem_budget: MemoryBudget::Auto,
         }
     }
 }
@@ -182,23 +195,97 @@ fn mix(seed: u64, v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Picks the highest-gain vector; ties go to the smallest index
-/// (`seed = None`) or the smallest seeded hash rank.
-fn pick_best(gain: &[u32], seed: Option<u64>) -> usize {
+/// Running argmax of the gain scan: `(vector, gain, tie-break rank)`.
+type Argmax = (usize, u32, u64);
+
+/// Folds one span of gain values (vector indices `base..base + len`)
+/// into the running argmax. Spans must be folded in ascending vector
+/// order; the result is then identical to a single scan of the
+/// concatenated row — the highest gain wins, ties go to the smallest
+/// index (`seed = None`) or the smallest seeded hash rank.
+fn pick_best_span(gain: &[u32], base: usize, seed: Option<u64>, best: &mut Option<Argmax>) {
     let rank = |v: usize| seed.map_or(v as u64, |s| mix(s, v as u64));
-    let mut best = 0usize;
-    let mut best_rank = rank(0);
-    for (v, &g) in gain.iter().enumerate().skip(1) {
-        if g < gain[best] {
-            continue;
-        }
-        let r = rank(v);
-        if g > gain[best] || r < best_rank {
-            best = v;
-            best_rank = r;
+    let mut it = gain.iter().enumerate();
+    if best.is_none() {
+        if let Some((v, &g)) = it.next() {
+            *best = Some((base + v, g, rank(base + v)));
         }
     }
-    best
+    let Some((best_v, best_gain, best_rank)) = best.as_mut() else {
+        return;
+    };
+    for (v, &g) in it {
+        if g < *best_gain {
+            continue;
+        }
+        let r = rank(base + v);
+        if g > *best_gain || r < *best_rank {
+            *best_v = base + v;
+            *best_gain = g;
+            *best_rank = r;
+        }
+    }
+}
+
+/// One 64-vector block's worth of gain counters (64 × `u32`) in u64
+/// words — the unit the memory budget meters the gain pass in: a
+/// worker's span row costs `8 · GAIN_WORDS_PER_BLOCK · span_blocks`
+/// bytes.
+const GAIN_WORDS_PER_BLOCK: usize = 32;
+
+/// Accumulates the gain of every candidate vector in one span of
+/// 64-vector blocks: each worker chunk of the active fault list walks
+/// its targets' remaining detection words (`T(f) \ chosen`) restricted
+/// to the span and scores them into a span-local gain row. Per-fault
+/// cost is uniform (every set spans the same block count), so one
+/// static chunk per worker balances fine and keeps the per-span
+/// allocation at `workers` rows. Partial rows are summed in chunk
+/// order, so the totals are identical for any thread count.
+fn gain_for_span(
+    targets: &[VectorSet],
+    active: &[u32],
+    members: &VectorSet,
+    threads: usize,
+    span: Range<usize>,
+) -> Vec<u32> {
+    let len = span.len() * 64;
+    let base = span.start * 64;
+    let workers = threads.min(active.len()).max(1);
+    let chunk = active.len().div_ceil(workers);
+    let partials: Vec<Vec<u32>> = parallel::run_tiled(workers, workers, |chunks| {
+        chunks
+            .map(|w| {
+                let mut gain = rows::zeroed_counts(len);
+                // Ceil chunking can leave trailing chunks empty
+                // (e.g. 5 faults over 4 workers): clamp both ends.
+                let start = (w * chunk).min(active.len());
+                let end = ((w + 1) * chunk).min(active.len());
+                for &fi in &active[start..end] {
+                    let t_words = targets[fi as usize].words();
+                    let m_words = members.words();
+                    for b in span.clone() {
+                        // Tail bits past |U| are zero by the VectorSet
+                        // invariant, so they never score.
+                        let mut word = t_words[b] & !m_words[b];
+                        while word != 0 {
+                            gain[b * 64 + word.trailing_zeros() as usize - base] += 1;
+                            word &= word - 1;
+                        }
+                    }
+                }
+                gain
+            })
+            .collect()
+    });
+    partials
+        .into_iter()
+        .reduce(|mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += p;
+            }
+            acc
+        })
+        .expect("at least one chunk")
 }
 
 /// Builds a compact n-detection test set for the universe's target
@@ -208,11 +295,15 @@ fn pick_best(gain: &[u32], seed: Option<u64>) -> usize {
 /// the **gain** of every candidate vector — how many still-deficient
 /// targets it would push one detection closer to `min(n, |T(f)|)` — by
 /// walking `T(f) \ chosen` word-parallel on the detection bitsets; the
-/// highest-gain vector joins the set. The construction is deterministic
-/// for every thread count (tiles are reassembled in index order and the
-/// argmax scan is serial), and seeded tie-breaking yields deterministic
-/// *diverse* sets. With `options.compact` the reverse-order
-/// redundant-vector elimination passes run before returning.
+/// highest-gain vector joins the set. Under a bounded
+/// [`GenOptions::mem_budget`] the gain rows are streamed over
+/// budget-sized spans of the pattern space instead of held full-width
+/// per worker. The construction is deterministic for every thread count
+/// and budget (tiles are reassembled in index order, spans are folded
+/// into the argmax in ascending vector order, and the argmax scan is
+/// serial), and seeded tie-breaking yields deterministic *diverse*
+/// sets. With `options.compact` the reverse-order redundant-vector
+/// elimination passes run before returning.
 ///
 /// Undetectable targets (empty `T(f)`) impose no requirement. The
 /// greedy invariant guarantees termination: while any target is
@@ -247,49 +338,30 @@ pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet 
     let mut members = VectorSet::new(num_patterns);
     let mut vectors: Vec<u32> = Vec::new();
 
+    // Budget-sized block spans for the gain rows: unbounded budgets get
+    // one full-width span per round (the fast path); bounded budgets
+    // stream the pattern space through span-local rows, folding each
+    // span into the running argmax — bit-identical either way, since
+    // spans are visited in ascending vector order.
+    let num_blocks = universe.space().num_blocks();
+    let span_blocks = options
+        .mem_budget
+        .tile_width(GAIN_WORDS_PER_BLOCK, num_blocks);
+
     while !active.is_empty() {
-        // Fault-tiled gain accumulation: each worker chunk walks its
-        // targets' remaining detection words (T(f) \ chosen) and scores
-        // every still-available vector into one gain row. Per-fault
-        // cost is uniform (every set spans the same block count), so
-        // one static chunk per worker balances fine and keeps the
-        // per-round allocation at `workers` rows rather than one per
-        // load-balancing tile. Partial rows are summed in chunk order,
-        // so the totals are identical for any thread count.
-        let workers = threads.min(active.len()).max(1);
-        let chunk = active.len().div_ceil(workers);
-        let partials: Vec<Vec<u32>> = parallel::run_tiled(workers, workers, |chunks| {
-            chunks
-                .map(|w| {
-                    let mut gain = vec![0u32; num_patterns];
-                    // Ceil chunking can leave trailing chunks empty
-                    // (e.g. 5 faults over 4 workers): clamp both ends.
-                    let start = (w * chunk).min(active.len());
-                    let end = ((w + 1) * chunk).min(active.len());
-                    let faults = &active[start..end];
-                    for &fi in faults {
-                        for v in targets[fi as usize].iter_difference(&members) {
-                            gain[v] += 1;
-                        }
-                    }
-                    gain
-                })
-                .collect()
-        });
-        let gain = partials
-            .into_iter()
-            .reduce(|mut acc, part| {
-                for (a, p) in acc.iter_mut().zip(part) {
-                    *a += p;
-                }
-                acc
-            })
-            .expect("at least one chunk");
-        // Vectors already chosen contribute nothing by construction
-        // (iter_difference masks them), so the argmax scans `gain`
-        // directly.
-        let best = pick_best(&gain, options.seed);
-        if gain[best] == 0 {
+        let mut running: Option<Argmax> = None;
+        let mut start = 0;
+        while start < num_blocks {
+            let end = num_blocks.min(start + span_blocks);
+            let gain = gain_for_span(targets, &active, &members, threads, start..end);
+            // Vectors already chosen contribute nothing by construction
+            // (chosen words are masked out), so the argmax folds `gain`
+            // directly.
+            pick_best_span(&gain, start * 64, options.seed, &mut running);
+            start = end;
+        }
+        let (best, best_gain, _) = running.expect("at least one block");
+        if best_gain == 0 {
             // Defensively unreachable: a deficient target always has an
             // unchosen vector left in T(f).
             break;
@@ -354,6 +426,7 @@ pub fn generate_stored(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may use raw vec! freely
 mod tests {
     use super::*;
     use ndetect_circuits::figure1;
@@ -385,6 +458,34 @@ mod tests {
         for threads in [2, 4, 7] {
             let multi = generate(&u, &GenOptions { threads, ..base });
             assert_eq!(one, multi, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_memory_budgets() {
+        // ripple_adder(3) has 7 inputs -> 128 patterns -> 2 blocks, so a
+        // 1-byte budget genuinely splits the gain rows into spans.
+        let u = FaultUniverse::build(&ndetect_circuits::extra::ripple_adder(3)).unwrap();
+        for (n, seed) in [(1, None), (3, None), (3, Some(17))] {
+            let base = GenOptions {
+                n,
+                seed,
+                ..GenOptions::default()
+            };
+            let unbounded = generate(&u, &base);
+            // 1 byte forces single-block gain spans; 2 threads crosses
+            // the tiling with the fault chunking.
+            for (budget, threads) in [(MemoryBudget::Bytes(1), 1), (MemoryBudget::Bytes(1), 2)] {
+                let tiled = generate(
+                    &u,
+                    &GenOptions {
+                        threads,
+                        mem_budget: budget,
+                        ..base
+                    },
+                );
+                assert_eq!(unbounded, tiled, "n={n} seed={seed:?} threads={threads}");
+            }
         }
     }
 

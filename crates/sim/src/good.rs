@@ -1,5 +1,9 @@
 //! Fault-free circuit values over the whole pattern space.
 
+// Hot module: every word buffer comes from the `rows` data plane.
+#![deny(clippy::disallowed_methods)]
+
+use crate::rows::zeroed_words;
 use crate::space::PatternSpace;
 use crate::twoval::eval_gate_word;
 use ndetect_netlist::{GateKind, Netlist, NodeId};
@@ -71,7 +75,7 @@ impl GoodValues {
         // Block-major layout: a worker's tile of blocks is one contiguous
         // run of words, so tiles concatenate back in block order.
         let words = crate::parallel::run_tiled(num_threads, num_blocks, |blocks| {
-            let mut tile = vec![0u64; num_nodes * blocks.len()];
+            let mut tile = zeroed_words(num_nodes * blocks.len());
             for (bi, block) in blocks.enumerate() {
                 let buf = &mut tile[bi * num_nodes..(bi + 1) * num_nodes];
                 for (i, &pi) in netlist.inputs().iter().enumerate() {
@@ -164,6 +168,7 @@ impl GoodValues {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may use raw vec! freely
 mod tests {
     use super::*;
     use ndetect_netlist::NetlistBuilder;

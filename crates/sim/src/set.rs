@@ -1,5 +1,9 @@
 //! Dense bitsets over the vectors of a pattern space.
 
+// Hot module: every word buffer comes from the `rows` data plane.
+#![deny(clippy::disallowed_methods)]
+
+use crate::rows;
 use std::fmt;
 
 /// A set of input vectors, stored as a dense bitset over a
@@ -37,7 +41,7 @@ impl VectorSet {
     pub fn new(num_patterns: usize) -> Self {
         VectorSet {
             num_patterns,
-            words: vec![0; num_patterns.div_ceil(64).max(1)],
+            words: rows::zeroed_words(num_patterns.div_ceil(64).max(1)),
         }
     }
 
@@ -105,7 +109,7 @@ impl VectorSet {
     /// Cardinality (the paper's `N(f)` when the set is `T(f)`).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        rows::popcount(&self.words) as usize
     }
 
     /// Returns `true` if the set is empty.
@@ -122,11 +126,7 @@ impl VectorSet {
     #[must_use]
     pub fn intersection_count(&self, other: &VectorSet) -> usize {
         assert_eq!(self.num_patterns, other.num_patterns);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        rows::and_popcount(&self.words, &other.words) as usize
     }
 
     /// Whether the sets share any vector (early-exits on the first hit).
@@ -147,9 +147,7 @@ impl VectorSet {
     /// Panics if the sets are over different spaces.
     pub fn union_with(&mut self, other: &VectorSet) {
         assert_eq!(self.num_patterns, other.num_patterns);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= *b;
-        }
+        rows::or_into(&mut self.words, &other.words);
     }
 
     /// Removes every vector present in `other`.
@@ -159,9 +157,7 @@ impl VectorSet {
     /// Panics if the sets are over different spaces.
     pub fn subtract(&mut self, other: &VectorSet) {
         assert_eq!(self.num_patterns, other.num_patterns);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !*b;
-        }
+        rows::andnot_into(&mut self.words, &other.words);
     }
 
     /// Clears the set.
@@ -228,11 +224,7 @@ impl VectorSet {
     #[must_use]
     pub fn difference_count(&self, other: &VectorSet) -> usize {
         assert_eq!(self.num_patterns, other.num_patterns);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        rows::andnot_popcount(&self.words, &other.words) as usize
     }
 
     /// The vectors of `self` not present in `other`, ascending (the
@@ -374,6 +366,7 @@ impl FromIterator<usize> for VectorSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may use raw vec! freely
 mod tests {
     use super::*;
 
