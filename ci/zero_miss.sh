@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Shared helpers for the CI cold/warm cache assertions. Source this
+# after building the release CLI:
+#
+#   source ci/zero_miss.sh
+#   CACHE="$(mktemp -d)"
+#   ...cold run...
+#   COLD="$(cache_stat misses "$CACHE")"
+#   ...warm run...
+#   assert_zero_miss "$CACHE" "$COLD" 2
+#
+# The warm run of a fully cached workload must add zero store misses
+# (i.e. perform zero expensive rebuilds) and must have loaded at least
+# the expected number of artifacts back from disk.
+
+# Path to the release `ndet` binary (override with NDET=...).
+NDET="${NDET:-./target/release/ndet}"
+
+# cache_stat <key> <cache-dir>: one numeric field from `ndet cache
+# stats` (entries, bytes, hits, misses, writes, shards...).
+cache_stat() {
+  "$NDET" cache stats --cache-dir "$2" | awk -v k="$1" '$1 == k":" {print $2}'
+}
+
+# assert_zero_miss <cache-dir> <cold-misses> [min-hits]: the warm pass
+# added no misses, served at least min-hits (default 1) loads from
+# disk, and the store verifies clean.
+assert_zero_miss() {
+  local cache="$1" cold="$2" min_hits="${3:-1}" warm hits
+  warm="$(cache_stat misses "$cache")"
+  hits="$(cache_stat hits "$cache")"
+  if [ "$cold" != "$warm" ]; then
+    echo "zero-miss violated: cold=$cold misses, warm=$warm" >&2
+    return 1
+  fi
+  if [ "$hits" -lt "$min_hits" ]; then
+    echo "warm pass served only $hits hits (expected >= $min_hits)" >&2
+    return 1
+  fi
+  "$NDET" cache verify --cache-dir "$cache"
+}

@@ -2,26 +2,18 @@
 
 use ndetect_core::atpg::{bridge_coverage, greedy_n_detection};
 use ndetect_core::partition::analyze_output_cones_budget;
-use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{
-    estimate_detection_probabilities_stored, DetectionDefinition, NminDistribution,
-    Procedure1Config, WorstCaseAnalysis,
+    estimate_detection_probabilities_stored, DetectionDefinition, Procedure1Config,
+    WorstCaseAnalysis,
 };
-use ndetect_faults::{FaultUniverse, UniverseOptions};
-use ndetect_gen::{generate_stored, GenOptions};
-use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+use ndetect_faults::FaultUniverse;
+use ndetect_netlist::{bench_format, Netlist};
+use ndetect_serve::render::{CorpusRequest, Knobs, StoreProvider};
 use ndetect_sim::MemoryBudget;
 use ndetect_store::Store;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-/// Simulation knobs shared by every analysis command: worker threads
-/// and the per-worker kernel memory budget. Both are performance knobs
-/// — results are identical for every combination.
-#[derive(Clone, Copy)]
-struct Knobs {
-    threads: usize,
-    mem_budget: MemoryBudget,
-}
+mod serve_cmd;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
@@ -38,8 +30,23 @@ pub const USAGE: &str = "usage:
   ndet cones <circuit> [--max-inputs N]
   ndet corpus <dir> [--format csv|json] [--max-inputs N] [--recursive]
   ndet cache <stats|verify|clear|gc> [--max-bytes N]
+  ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
+             [--hot-universes N] [--hot-sets N]
+  ndet request <addr> <verb> [args...]
 
 <circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
+
+`ndet serve` keeps an analysis process resident: it binds a TCP socket
+(default 127.0.0.1:0; the chosen address is printed on stdout and, with
+--addr-file, written to a file) and answers newline-delimited requests
+(`stats <circuit>`, `worst <circuit> [floor=N]`, `gen <circuit> [n=N]
+[compact] [seed=S]`, `corpus <dir> [format=csv|json] [max_inputs=N]
+[recursive]`, `counters`, `ping`) with exactly the bytes the matching
+one-shot command prints. Hot artifacts stay in an in-memory LRU,
+identical concurrent requests coalesce into a single build, and
+SIGTERM/ctrl-c drains in-flight work before exiting 0. `ndet request`
+is the matching one-shot client: it sends one request line and prints
+the reply payload.
 
 Every analysis command accepts `--threads N` (worker threads for fault
 simulation; default: the NDETECT_THREADS environment variable, then all
@@ -142,6 +149,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "corpus" => corpus(&rest, knobs, open_store(&rest)?.as_ref()),
         "cache" => cache(&rest, open_store(&rest)?.as_ref()),
+        "serve" => serve_cmd::serve(&rest, open_store(&rest)?),
+        "request" => serve_cmd::request(&rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -252,24 +261,17 @@ fn universe_of(
     knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<FaultUniverse, String> {
-    let options = UniverseOptions {
-        threads: knobs.threads,
-        mem_budget: knobs.mem_budget,
-        ..UniverseOptions::default()
-    };
-    FaultUniverse::build_stored(netlist, options, store).map_err(|e| e.to_string())
+    FaultUniverse::build_stored(netlist, knobs.universe_options(), store).map_err(|e| e.to_string())
 }
 
+/// The one-shot analysis commands delegate to `ndetect_serve::render`,
+/// the render layer shared with `ndet serve` — this is what guarantees
+/// a serve reply is byte-identical to the one-shot stdout.
 fn stats(netlist: &Netlist, knobs: Knobs, store: Option<&Store>) -> Result<(), String> {
-    println!("{netlist}");
-    println!("{}", NetlistStats::compute(netlist));
-    let universe = universe_of(netlist, knobs, store)?;
-    println!("{universe}");
-    println!(
-        "kernel: {} ({} bytes/worker data plane, budget {})",
-        universe.simulator().kernel_mode(),
-        universe.simulator().data_plane_bytes(),
-        universe.simulator().mem_budget(),
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_stats(netlist, knobs, &provider)?
     );
     Ok(())
 }
@@ -280,19 +282,11 @@ fn worst(
     knobs: Knobs,
     store: Option<&Store>,
 ) -> Result<(), String> {
-    let universe = universe_of(netlist, knobs, store)?;
-    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
-    println!("{universe}");
-    println!("{wc}");
-    println!();
-    print!("{}", render_table2(&[table2_row(netlist.name(), &wc)]));
-    println!();
-    print!("{}", render_table3(&[table3_row(netlist.name(), &wc)]));
-    let dist = NminDistribution::collect(&wc, floor as u32);
-    if !dist.is_empty() {
-        println!("\nnmin distribution (nmin >= {floor}):");
-        print!("{}", dist.render_ascii(24));
-    }
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_worst(netlist, floor, knobs, &provider)?
+    );
     Ok(())
 }
 
@@ -378,46 +372,11 @@ fn gen_set(
     if n == 0 {
         return Err("--n must be at least 1".into());
     }
-    let universe = universe_of(netlist, knobs, store)?;
-    let options = GenOptions {
-        n,
-        compact,
-        seed,
-        threads: knobs.threads,
-        mem_budget: knobs.mem_budget,
-    };
-    let set = generate_stored(&universe, &options, store);
-    let space = universe.space().num_patterns();
-    println!(
-        "generated {n}-detection set: {} tests ({:.2}% of the {space}-vector space{})",
-        set.len(),
-        100.0 * set.len() as f64 / space as f64,
-        if set.is_compacted() {
-            ", compacted"
-        } else {
-            ""
-        },
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_gen(netlist, n, compact, seed, knobs, &provider)?
     );
-    println!(
-        "targets: {} detectable of {}; every one detected min(n, |T(f)|) times",
-        universe.num_detectable_targets(),
-        universe.targets().len()
-    );
-    let covered = universe
-        .bridge_sets()
-        .iter()
-        .filter(|t_g| t_g.intersects(set.as_vector_set()))
-        .count();
-    let coverage = if universe.bridges().is_empty() {
-        100.0
-    } else {
-        100.0 * covered as f64 / universe.bridges().len() as f64
-    };
-    println!(
-        "bridging coverage: {coverage:.2}% ({covered} of {})",
-        universe.bridges().len()
-    );
-    println!("{set}");
     Ok(())
 }
 
@@ -514,6 +473,13 @@ fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
             println!("hits: {}", s.hits);
             println!("misses: {}", s.misses);
             println!("writes: {}", s.writes);
+            println!("shards: {}", s.shards);
+            println!("flat entries: {}", s.flat_entries);
+            // Per-shard entry histogram (occupied fan-out dirs only).
+            let histogram = store.shard_histogram().map_err(|e| e.to_string())?;
+            for (shard, count) in &histogram.shards {
+                println!("shard {shard}: {count}");
+            }
             Ok(())
         }
         "verify" => {
@@ -550,63 +516,6 @@ fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
     }
 }
 
-/// One row of the `ndet corpus` summary.
-struct CorpusRow {
-    circuit: String,
-    /// `full` (exhaustive universe), `cones` (per-output partitioned
-    /// fallback for circuits wider than `--max-inputs`), `skipped`
-    /// (every cone was too wide — nothing was analysed), or `error`
-    /// (the file failed to read/parse/analyse; details on stderr).
-    mode: &'static str,
-    inputs: usize,
-    outputs: usize,
-    gates: usize,
-    targets: usize,
-    bridges: usize,
-    /// `None` when nothing was analysed (`mode = skipped`) — an empty
-    /// CSV cell / JSON null, never a fabricated percentage.
-    cov1: Option<f64>,
-    cov10: Option<f64>,
-    tail11: usize,
-    max_nmin: Option<u32>,
-    /// The exhaustive baseline `|U| = 2^I` (`None` outside `full` mode,
-    /// where no exhaustive universe exists).
-    space: Option<usize>,
-    /// Compacted generated-set sizes `|T|` at n = 1, 5, 10 (`None`
-    /// outside `full` mode).
-    gen1: Option<usize>,
-    gen5: Option<usize>,
-    gen10: Option<usize>,
-    /// Kernel mode the circuit's simulation ran in: `full` or `tiled`
-    /// (`tiled` as soon as any cone tiled, in `cones` mode); `None` when
-    /// nothing was simulated.
-    kernel: Option<&'static str>,
-    /// Peak per-worker kernel working-set bytes (the maximum across
-    /// cones in `cones` mode); `None` when nothing was simulated.
-    peak_bytes: Option<u64>,
-}
-
-/// Collects the `.bench` files under `dir` — its direct children, plus
-/// every subdirectory when `recursive` (symlinked directories are not
-/// followed). The caller sorts the full path list, so the walk order
-/// never leaks into the output.
-fn collect_bench_files(dir: &Path, recursive: bool, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
-    for entry in entries.filter_map(Result::ok) {
-        let path = entry.path();
-        let is_dir = entry.file_type().is_ok_and(|t| t.is_dir());
-        if is_dir {
-            if recursive {
-                collect_bench_files(&path, true, out)?;
-            }
-        } else if path.extension().is_some_and(|ext| ext == "bench") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
 /// `ndet corpus <dir>`: walks a directory of ISCAS-style `.bench` files
 /// (`--recursive` descends into subdirectories; order is the sorted
 /// full path list either way, so results are deterministic), runs the
@@ -624,258 +533,26 @@ fn corpus(rest: &[&String], knobs: Knobs, store: Option<&Store>) -> Result<(), S
     if format != "csv" && format != "json" {
         return Err(format!("--format must be csv or json, got `{format}`"));
     }
-    let max_inputs = flag_value(rest, "--max-inputs")?.unwrap_or(14);
-    let recursive = flag_present(rest, "--recursive");
-
-    let mut paths: Vec<PathBuf> = Vec::new();
-    collect_bench_files(Path::new(dir), recursive, &mut paths)?;
-    paths.sort();
-    if paths.is_empty() {
-        return Err(format!("no .bench files in {dir}"));
+    let request = CorpusRequest {
+        dir: PathBuf::from(dir),
+        format: format.to_string(),
+        max_inputs: flag_value(rest, "--max-inputs")?.unwrap_or(14),
+        recursive: flag_present(rest, "--recursive"),
+    };
+    let provider = StoreProvider::new(store);
+    let output = ndetect_serve::render_corpus(&request, knobs, &provider)?;
+    print!("{}", output.body);
+    for message in &output.errors {
+        eprintln!("# corpus error: {message}");
     }
-
-    let mut rows = Vec::new();
-    let mut num_errors = 0usize;
-    for path in &paths {
-        // Per-file fault tolerance: one malformed file is reported as
-        // an `error` row instead of aborting the whole corpus run.
-        match corpus_row(path, max_inputs, knobs, store) {
-            Ok(row) => rows.push(row),
-            Err(message) => {
-                num_errors += 1;
-                eprintln!("# corpus error: {message}");
-                let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
-                rows.push(CorpusRow {
-                    circuit: name.to_string(),
-                    mode: "error",
-                    inputs: 0,
-                    outputs: 0,
-                    gates: 0,
-                    targets: 0,
-                    bridges: 0,
-                    cov1: None,
-                    cov10: None,
-                    tail11: 0,
-                    max_nmin: None,
-                    space: None,
-                    gen1: None,
-                    gen5: None,
-                    gen10: None,
-                    kernel: None,
-                    peak_bytes: None,
-                });
-            }
-        }
-    }
-
-    match format {
-        "csv" => render_corpus_csv(&rows),
-        _ => render_corpus_json(&rows),
-    }
-    if num_errors > 0 {
+    if !output.errors.is_empty() {
         eprintln!(
-            "# corpus: {num_errors} of {} files failed (rows marked `error`)",
-            paths.len()
+            "# corpus: {} of {} files failed (rows marked `error`)",
+            output.errors.len(),
+            output.files
         );
     }
     Ok(())
-}
-
-/// Analyses one corpus circuit: exhaustively when it fits, otherwise
-/// via the per-output-cone partition (conservative aggregates).
-fn corpus_row(
-    path: &Path,
-    max_inputs: usize,
-    knobs: Knobs,
-    store: Option<&Store>,
-) -> Result<CorpusRow, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
-    let netlist =
-        bench_format::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
-
-    if netlist.num_inputs() <= max_inputs {
-        let universe = universe_of(&netlist, knobs, store)?;
-        let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
-        // Compact generated-set sizes vs the exhaustive baseline |U|:
-        // how much smaller than the whole space an n-detection set is.
-        let gen_size = |n: u32| {
-            let options = GenOptions {
-                n,
-                compact: true,
-                seed: None,
-                threads: knobs.threads,
-                mem_budget: knobs.mem_budget,
-            };
-            Some(generate_stored(&universe, &options, store).len())
-        };
-        Ok(CorpusRow {
-            circuit: name.to_string(),
-            mode: "full",
-            inputs: netlist.num_inputs(),
-            outputs: netlist.num_outputs(),
-            gates: netlist.num_gates(),
-            targets: universe.targets().len(),
-            bridges: universe.bridges().len(),
-            cov1: Some(wc.coverage_percent(1)),
-            cov10: Some(wc.coverage_percent(10)),
-            tail11: wc.tail_count(11),
-            max_nmin: wc.max_finite(),
-            space: Some(universe.space().num_patterns()),
-            gen1: gen_size(1),
-            gen5: gen_size(5),
-            gen10: gen_size(10),
-            kernel: Some(universe.simulator().kernel_mode()),
-            peak_bytes: Some(universe.simulator().data_plane_bytes()),
-        })
-    } else {
-        let reports = analyze_output_cones_budget(
-            &netlist,
-            max_inputs,
-            knobs.threads,
-            knobs.mem_budget,
-            store,
-        )
-        .map_err(|e| e.to_string())?;
-        if reports.is_empty() {
-            // Every cone was wider than --max-inputs: nothing was
-            // simulated, so report no coverage rather than a vacuous
-            // 100%.
-            return Ok(CorpusRow {
-                circuit: name.to_string(),
-                mode: "skipped",
-                inputs: netlist.num_inputs(),
-                outputs: netlist.num_outputs(),
-                gates: netlist.num_gates(),
-                targets: 0,
-                bridges: 0,
-                cov1: None,
-                cov10: None,
-                tail11: 0,
-                max_nmin: None,
-                space: None,
-                gen1: None,
-                gen5: None,
-                gen10: None,
-                kernel: None,
-                peak_bytes: None,
-            });
-        }
-        let total_bridges: usize = reports.iter().map(|r| r.num_bridges).sum();
-        // Bridge-weighted coverage across cones (conservative: each cone
-        // only observes its own output).
-        let weighted = |n: u32| -> f64 {
-            if total_bridges == 0 {
-                return 100.0;
-            }
-            reports
-                .iter()
-                .map(|r| {
-                    let cov = r
-                        .coverage
-                        .iter()
-                        .find(|(t, _)| *t == n)
-                        .map_or(100.0, |(_, pct)| *pct);
-                    cov * r.num_bridges as f64
-                })
-                .sum::<f64>()
-                / total_bridges as f64
-        };
-        Ok(CorpusRow {
-            circuit: name.to_string(),
-            mode: "cones",
-            inputs: netlist.num_inputs(),
-            outputs: netlist.num_outputs(),
-            gates: netlist.num_gates(),
-            targets: reports.iter().map(|r| r.num_targets).sum(),
-            bridges: total_bridges,
-            cov1: Some(weighted(1)),
-            cov10: Some(weighted(10)),
-            tail11: reports.iter().map(|r| r.tail_11).sum(),
-            max_nmin: None,
-            space: None,
-            gen1: None,
-            gen5: None,
-            gen10: None,
-            // Peak over cones: the widest cone dominates the working
-            // set; `tiled` as soon as any cone had to tile.
-            kernel: Some(if reports.iter().any(|r| r.kernel == "tiled") {
-                "tiled"
-            } else {
-                "full"
-            }),
-            peak_bytes: reports.iter().map(|r| r.data_plane_bytes).max(),
-        })
-    }
-}
-
-fn render_corpus_csv(rows: &[CorpusRow]) {
-    println!(
-        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes"
-    );
-    let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
-    let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
-    for r in rows {
-        println!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.circuit,
-            r.mode,
-            r.inputs,
-            r.outputs,
-            r.gates,
-            r.targets,
-            r.bridges,
-            pct(r.cov1),
-            pct(r.cov10),
-            r.tail11,
-            r.max_nmin.map_or(String::new(), |v| v.to_string()),
-            opt(r.space),
-            opt(r.gen1),
-            opt(r.gen5),
-            opt(r.gen10),
-            r.kernel.unwrap_or(""),
-            r.peak_bytes.map_or(String::new(), |v| v.to_string()),
-        );
-    }
-}
-
-fn render_corpus_json(rows: &[CorpusRow]) {
-    // Hand-rolled JSON (no serde offline); circuit names come from file
-    // stems and are escaped minimally.
-    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-    let pct = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.2}"));
-    let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
-    println!("[");
-    for (i, r) in rows.iter().enumerate() {
-        let max_nmin = r.max_nmin.map_or("null".to_string(), |v| v.to_string());
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        println!(
-            "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
-             \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
-             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
-             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}, \"kernel\": {}, \
-             \"peak_bytes\": {}}}{comma}",
-            escape(&r.circuit),
-            r.mode,
-            r.inputs,
-            r.outputs,
-            r.gates,
-            r.targets,
-            r.bridges,
-            pct(r.cov1),
-            pct(r.cov10),
-            r.tail11,
-            max_nmin,
-            opt(r.space),
-            opt(r.gen1),
-            opt(r.gen5),
-            opt(r.gen10),
-            r.kernel.map_or("null".to_string(), |k| format!("\"{k}\"")),
-            r.peak_bytes.map_or("null".to_string(), |v| v.to_string()),
-        );
-    }
-    println!("]");
 }
 
 #[cfg(test)]

@@ -1,0 +1,77 @@
+//! `ndet serve` / `ndet request`: the persistent analysis service and
+//! its one-shot client.
+
+use ndetect_serve::protocol::{read_reply, Reply};
+use ndetect_serve::{signal, Engine, Server, ServerConfig};
+use ndetect_store::Store;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use super::{flag_str, flag_value, positionals};
+
+/// `ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
+/// [--hot-universes N] [--hot-sets N]`: bind, announce, serve until
+/// SIGTERM/ctrl-c, then drain and exit cleanly.
+pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: flag_str(rest, "--addr")?
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        request_timeout: Duration::from_millis(
+            flag_value(rest, "--request-timeout-ms")?.unwrap_or(60_000) as u64,
+        ),
+        hot_universes: flag_value(rest, "--hot-universes")?.unwrap_or(32),
+        hot_sets: flag_value(rest, "--hot-sets")?.unwrap_or(32),
+    };
+    let addr_file = flag_str(rest, "--addr-file")?.map(str::to_string);
+
+    signal::install();
+    let engine = Engine::new(store, config.hot_universes, config.hot_sets);
+    let server = Server::bind(config, engine)?;
+    let addr = server.local_addr()?;
+    // Announce before accepting so a supervisor can connect as soon as
+    // the line appears.
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = addr_file {
+        // Temp-plus-rename so a polling client never reads a torn file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot write --addr-file {path}: {e}"))?;
+    }
+    server.run()
+}
+
+/// `ndet request <addr> <verb> [args...]`: send one request line and
+/// print the reply payload (the exact bytes the matching one-shot
+/// command would print). Server-side errors come back as an `Err` with
+/// the structured code, so the process exits nonzero.
+pub fn request(rest: &[&String]) -> Result<(), String> {
+    let pos = positionals(rest);
+    let addr = *pos.first().ok_or("missing server address")?;
+    if pos.len() < 2 {
+        return Err("missing request (e.g. `ndet request 127.0.0.1:PORT worst figure1`)".into());
+    }
+    let line = pos[1..].join(" ");
+    let timeout =
+        Duration::from_millis(flag_value(rest, "--timeout-ms")?.unwrap_or(120_000) as u64);
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    match read_reply(&mut reader).map_err(|e| format!("bad reply from {addr}: {e}"))? {
+        Reply::Ok(payload) => {
+            print!("{payload}");
+            Ok(())
+        }
+        Reply::Err { code, message } => Err(format!("server error ({code}): {message}")),
+    }
+}

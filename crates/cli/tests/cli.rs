@@ -431,14 +431,28 @@ fn cache_verify_reports_corruption_and_analysis_still_succeeds() {
     let (ok, cold, _) = run_binary(&["worst", "c17", "--cache-dir", dirs]);
     assert!(ok);
 
-    // Flip a byte in the middle of every cached entry.
+    // Flip a byte in the middle of every cached entry (entries live in
+    // fan-out shard subdirectories of objects/).
+    let mut corrupted = 0;
     for entry in std::fs::read_dir(dir.join("objects")).expect("objects dir") {
         let path = entry.expect("entry").path();
-        let mut bytes = std::fs::read(&path).expect("entry bytes");
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xff;
-        std::fs::write(&path, &bytes).expect("rewrite entry");
+        let files: Vec<_> = if path.is_dir() {
+            std::fs::read_dir(&path)
+                .expect("shard dir")
+                .map(|e| e.expect("shard entry").path())
+                .collect()
+        } else {
+            vec![path]
+        };
+        for file in files {
+            let mut bytes = std::fs::read(&file).expect("entry bytes");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&file, &bytes).expect("rewrite entry");
+            corrupted += 1;
+        }
     }
+    assert!(corrupted > 0, "no cache entries found to corrupt");
 
     let (ok, _, _) = run_binary(&["cache", "verify", "--cache-dir", dirs]);
     assert!(!ok, "verify must flag corrupt entries");
@@ -492,5 +506,64 @@ fn cache_dir_flag_does_not_shadow_the_circuit_name() {
         commands::dispatch(&args(&["stats", "figure1", "--cache-dir", dirs])),
         Ok(())
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end service lifecycle: spawn `ndet serve`, discover the bound
+/// address via --addr-file, drive it with `ndet request`, check the
+/// reply matches the one-shot output byte for byte, then SIGTERM and
+/// require a clean exit 0 (the graceful drain path).
+#[cfg(unix)]
+#[test]
+fn serve_binary_answers_requests_and_drains_on_sigterm() {
+    let dir = temp_cache("serve-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let addr_file = dir.join("addr");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_ndet"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().expect("utf8 path"),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+
+    // Wait for the server to announce its address.
+    let addr = {
+        let mut addr = None;
+        for _ in 0..100 {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                addr = Some(text.trim().to_string());
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        addr.expect("server wrote --addr-file")
+    };
+
+    let (ok, served, stderr) = run_binary(&["request", &addr, "worst", "figure1"]);
+    assert!(ok, "request failed: {stderr}");
+    let (ok, oneshot, _) = run_binary(&["worst", "figure1"]);
+    assert!(ok);
+    assert_eq!(served, oneshot, "serve reply must match one-shot stdout");
+
+    // Structured errors surface as a nonzero client exit.
+    let (ok, _, stderr) = run_binary(&["request", &addr, "stats", "no-such-circuit"]);
+    assert!(!ok, "analysis error must fail the client");
+    assert!(stderr.contains("analysis"), "{stderr}");
+
+    // SIGTERM → drain → exit 0.
+    let pid = server.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown must exit 0: {status}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }

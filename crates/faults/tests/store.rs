@@ -18,6 +18,22 @@ fn temp_store(tag: &str) -> (Store, PathBuf) {
     (Store::open(&dir).unwrap(), dir)
 }
 
+/// The lone artifact file in a store directory, descending into the
+/// first-key-byte shard subdirectories under `objects/`.
+fn sole_entry(dir: &std::path::Path) -> PathBuf {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir.join("objects")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            files.extend(std::fs::read_dir(&path).unwrap().map(|e| e.unwrap().path()));
+        } else {
+            files.push(path);
+        }
+    }
+    assert_eq!(files.len(), 1, "expected exactly one cache entry");
+    files.pop().unwrap()
+}
+
 fn figure1() -> Netlist {
     let mut b = NetlistBuilder::new("figure1");
     let i1 = b.input("1");
@@ -146,11 +162,7 @@ fn memory_budget_shares_one_entry_with_identical_bytes() {
     assert_eq!(universe_key(&n, unbounded), universe_key(&n, tiny));
 
     let entry_bytes = |dir: &PathBuf| -> (PathBuf, Vec<u8>) {
-        let path = std::fs::read_dir(dir.join("objects"))
-            .unwrap()
-            .map(|e| e.unwrap().path())
-            .next()
-            .expect("one cache entry");
+        let path = sole_entry(dir);
         let bytes = std::fs::read(&path).unwrap();
         (path, bytes)
     };
@@ -188,15 +200,6 @@ fn every_corruption_mode_degrades_to_a_correct_rebuild() {
 
     // Seed the cache, then corrupt the entry in several ways; each time
     // the build must silently fall back to a fresh (identical) result.
-    let entry_of = |dir: &PathBuf| -> PathBuf {
-        let objects = dir.join("objects");
-        std::fs::read_dir(objects)
-            .unwrap()
-            .map(|e| e.unwrap().path())
-            .next()
-            .expect("one cache entry")
-    };
-
     type Corruption = fn(&[u8]) -> Vec<u8>;
     let corruptions: &[(&str, Corruption)] = &[
         ("truncated header", |b| b[..10].to_vec()),
@@ -222,7 +225,7 @@ fn every_corruption_mode_degrades_to_a_correct_rebuild() {
 
     for (label, corrupt) in corruptions {
         let _ = FaultUniverse::build_stored(&n, options, Some(&store)).unwrap();
-        let path = entry_of(&dir);
+        let path = sole_entry(&dir);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, corrupt(&bytes)).unwrap();
 
@@ -234,7 +237,7 @@ fn every_corruption_mode_degrades_to_a_correct_rebuild() {
         assert_universes_identical(&reference, &rebuilt);
         // The rebuild repopulated the store; remove so the next round
         // starts from a fresh valid entry.
-        let _ = std::fs::remove_file(entry_of(&dir));
+        let _ = std::fs::remove_file(sole_entry(&dir));
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,292 @@
+//! The serving engine: one shared, thread-safe analysis core layered
+//! above `ndetect-store`.
+//!
+//! Request handling composes three layers, hottest first:
+//!
+//! 1. the in-memory hot LRU ([`crate::hot::Lru`]) of deserialized
+//!    artifacts — repeated requests skip disk entirely;
+//! 2. single-flight dedup ([`crate::SingleFlight`]) — a thundering
+//!    herd of identical requests triggers exactly one build;
+//! 3. the on-disk content-addressed store — cold artifacts are read
+//!    through (or built and published) exactly as in one-shot mode.
+//!
+//! Build counters ([`Counters`]) count *actual* expensive builds (cache
+//! misses that ran the fault simulator or the generator), which is what
+//! the serve-smoke CI job asserts on: N identical concurrent requests
+//! must report exactly one build per distinct artifact.
+
+use crate::hot::Lru;
+use crate::render::UniverseProvider;
+use crate::SingleFlight;
+use ndetect_faults::{universe_key, FaultUniverse, UniverseOptions};
+use ndetect_gen::{generated_key, GenOptions, GeneratedSet};
+use ndetect_netlist::Netlist;
+use ndetect_store::{ArtifactKey, Store};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counters exposed by the `counters` request; the CI
+/// serve-smoke job asserts `universe_builds`/`gen_builds` stay equal to
+/// the number of *distinct* artifacts requested, however many identical
+/// requests raced.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests accepted (parsed and executed, whatever the outcome).
+    pub requests: AtomicU64,
+    /// Fault-universe builds that actually ran (hot-LRU and store
+    /// misses that executed the fault simulator).
+    pub universe_builds: AtomicU64,
+    /// Generated-set builds that actually ran.
+    pub gen_builds: AtomicU64,
+    /// Lookups served from the in-memory hot LRU.
+    pub hot_hits: AtomicU64,
+    /// Calls coalesced onto another caller's in-flight build.
+    pub coalesced: AtomicU64,
+    /// Requests that failed (parse errors, analysis errors, timeouts).
+    pub errors: AtomicU64,
+}
+
+impl Counters {
+    /// Renders the counters as stable `key value` lines (the `counters`
+    /// request payload; CI greps these).
+    #[must_use]
+    pub fn render(&self, store: Option<&Store>) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "requests {}", self.requests.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "universe_builds {}",
+            self.universe_builds.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "gen_builds {}",
+            self.gen_builds.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "hot_hits {}", self.hot_hits.load(Ordering::Relaxed));
+        let _ = writeln!(out, "coalesced {}", self.coalesced.load(Ordering::Relaxed));
+        let _ = writeln!(out, "errors {}", self.errors.load(Ordering::Relaxed));
+        if let Some(store) = store {
+            let _ = writeln!(out, "store_hits {}", store.session_hits());
+            let _ = writeln!(out, "store_misses {}", store.session_misses());
+            let _ = writeln!(out, "store_writes {}", store.session_writes());
+        }
+        out
+    }
+}
+
+/// The hot-cache key: the content key of the artifact plus its kind tag
+/// (a universe and a generated set can never collide anyway, but the
+/// tag keeps the two populations separate and greppable in debug
+/// output).
+type HotKey = (u8, ArtifactKey);
+
+const HOT_UNIVERSE: u8 = 1;
+const HOT_GENERATED: u8 = 3;
+
+/// The shared serving engine; see the module docs. One instance is
+/// shared (via `Arc`) by every connection thread.
+pub struct Engine {
+    store: Option<Store>,
+    hot_universes: Mutex<Lru<HotKey, Arc<FaultUniverse>>>,
+    hot_sets: Mutex<Lru<HotKey, Arc<GeneratedSet>>>,
+    universe_flights: SingleFlight<ArtifactKey, Result<Arc<FaultUniverse>, String>>,
+    gen_flights: SingleFlight<ArtifactKey, Arc<GeneratedSet>>,
+    counters: Counters,
+}
+
+impl Engine {
+    /// Creates an engine over an optional on-disk store with the given
+    /// hot-cache capacities (entries, not bytes; zero disables a
+    /// layer).
+    #[must_use]
+    pub fn new(store: Option<Store>, hot_universes: usize, hot_sets: usize) -> Self {
+        Engine {
+            store,
+            hot_universes: Mutex::new(Lru::new(hot_universes)),
+            hot_sets: Mutex::new(Lru::new(hot_sets)),
+            universe_flights: SingleFlight::new(),
+            gen_flights: SingleFlight::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The engine's build/traffic counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Renders the counters (including store session counters when a
+    /// store is configured).
+    #[must_use]
+    pub fn render_counters(&self) -> String {
+        self.counters.render(self.store.as_ref())
+    }
+
+    fn hot_universe_get(&self, key: ArtifactKey) -> Option<Arc<FaultUniverse>> {
+        self.hot_universes
+            .lock()
+            .expect("hot universe lru")
+            .get(&(HOT_UNIVERSE, key))
+    }
+
+    fn hot_set_get(&self, key: ArtifactKey) -> Option<Arc<GeneratedSet>> {
+        self.hot_sets
+            .lock()
+            .expect("hot set lru")
+            .get(&(HOT_GENERATED, key))
+    }
+}
+
+impl UniverseProvider for Engine {
+    fn universe(
+        &self,
+        netlist: &Netlist,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String> {
+        let key = universe_key(netlist, options);
+        if let Some(hit) = self.hot_universe_get(key) {
+            self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let before = self.universe_flights.coalesced();
+        let result = self.universe_flights.run(key, || {
+            // Re-check the hot LRU inside the flight: a caller that
+            // lost the race to a just-finished leader must not count a
+            // second build.
+            if let Some(hit) = self.hot_universe_get(key) {
+                self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            let store = self.store.as_ref();
+            let misses = store.map_or(0, Store::session_misses);
+            let universe = FaultUniverse::build_stored(netlist, options, store)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())?;
+            // A store hit deserializes instead of simulating; only a
+            // store miss (or no store at all) is an actual build.
+            if store.is_none_or(|s| s.session_misses() > misses) {
+                self.counters
+                    .universe_builds
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.hot_universes
+                .lock()
+                .expect("hot universe lru")
+                .insert((HOT_UNIVERSE, key), Arc::clone(&universe));
+            Ok(universe)
+        });
+        let joined = self.universe_flights.coalesced() - before;
+        self.counters.coalesced.fetch_add(joined, Ordering::Relaxed);
+        result
+    }
+
+    fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet> {
+        let key = generated_key(universe, options);
+        if let Some(hit) = self.hot_set_get(key) {
+            self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let before = self.gen_flights.coalesced();
+        let set = self.gen_flights.run(key, || {
+            if let Some(hit) = self.hot_set_get(key) {
+                self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+            let store = self.store.as_ref();
+            let misses = store.map_or(0, Store::session_misses);
+            let set = Arc::new(ndetect_gen::generate_stored(universe, options, store));
+            if store.is_none_or(|s| s.session_misses() > misses) {
+                self.counters.gen_builds.fetch_add(1, Ordering::Relaxed);
+            }
+            self.hot_sets
+                .lock()
+                .expect("hot set lru")
+                .insert((HOT_GENERATED, key), Arc::clone(&set));
+            set
+        });
+        let joined = self.gen_flights.coalesced() - before;
+        self.counters.coalesced.fetch_add(joined, Ordering::Relaxed);
+        set
+    }
+
+    fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::Knobs;
+    use ndetect_circuits::figure1;
+    use std::sync::Barrier;
+
+    fn options() -> UniverseOptions {
+        Knobs::default().universe_options()
+    }
+
+    #[test]
+    fn repeated_requests_build_once_and_hit_the_hot_cache() {
+        let engine = Engine::new(None, 8, 8);
+        let netlist = figure1::netlist();
+        let a = engine.universe(&netlist, options()).unwrap();
+        let b = engine.universe(&netlist, options()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request must share the Arc");
+        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters().hot_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_build_exactly_once() {
+        let engine = Engine::new(None, 8, 8);
+        let netlist = figure1::netlist();
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let engine = &engine;
+                let netlist = &netlist;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.universe(netlist, options()).unwrap();
+                });
+            }
+        });
+        assert_eq!(
+            engine.counters().universe_builds.load(Ordering::Relaxed),
+            1,
+            "8 racing identical requests must run one build"
+        );
+    }
+
+    #[test]
+    fn generated_sets_dedup_like_universes() {
+        let engine = Engine::new(None, 8, 8);
+        let netlist = figure1::netlist();
+        let universe = engine.universe(&netlist, options()).unwrap();
+        let gen_options = GenOptions {
+            n: 2,
+            compact: true,
+            ..GenOptions::default()
+        };
+        let a = engine.generated(&universe, &gen_options);
+        let b = engine.generated(&universe, &gen_options);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.counters().gen_builds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_capacity_hot_cache_still_dedups_in_flight() {
+        let engine = Engine::new(None, 0, 0);
+        let netlist = figure1::netlist();
+        let a = engine.universe(&netlist, options()).unwrap();
+        let b = engine.universe(&netlist, options()).unwrap();
+        // No hot layer: serial requests rebuild (no store either), but
+        // results are still correct.
+        assert_eq!(a.targets().len(), b.targets().len());
+        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! The in-memory hot layer above `ndetect-store`: a small LRU of
+//! deserialized artifacts (`Arc<FaultUniverse>`, `Arc<GeneratedSet>`)
+//! so repeated requests skip not just the fault simulation but also the
+//! disk read and decode.
+//!
+//! Entry count (not bytes) bounds the cache: universes for the suite
+//! circuits are a few hundred KiB each, so a few dozen entries is the
+//! expected working set of a hot serving loop, and the on-disk store
+//! remains the capacity layer underneath.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A capacity-bounded least-recently-used map. Values are cheap clones
+/// (`Arc`s) shared with every borrower; eviction only drops the cache's
+/// own reference, never invalidates a request mid-flight.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    /// Monotonic use counter; the entry with the smallest stamp is the
+    /// least recently used.
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// Creates an LRU holding at most `capacity` entries (a capacity of
+    /// zero disables the cache: every insert is dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry if the cache would exceed its capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, value));
+        if self.map.len() > self.capacity {
+            // O(n) scan — capacities are tens of entries, and insert
+            // only runs on build completion, never on the hit path.
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.get(&1), Some("a")); // 1 is now hotter than 2
+        lru.insert(3, "c"); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some("a"));
+        assert_eq!(lru.get(&3), Some("c"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(1, "a2");
+        lru.insert(2, "b");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some("a2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = Lru::new(0);
+        lru.insert(1, "a");
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+    }
+}

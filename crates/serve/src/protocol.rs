@@ -1,0 +1,479 @@
+//! The newline-delimited request protocol spoken by `ndet serve`.
+//!
+//! A request is one text line: a verb, then positional and `key=value`
+//! tokens. A reply is either
+//!
+//! ```text
+//! ok <nbytes>\n<nbytes of payload>
+//! ```
+//!
+//! — the payload being exactly the bytes the matching one-shot `ndet`
+//! command prints on stdout — or a one-line structured error
+//!
+//! ```text
+//! err <code> <message>\n
+//! ```
+//!
+//! where `<code>` is a stable machine-readable token (`parse`,
+//! `analysis`, `timeout`, `shutdown`) and `<message>` is human-readable
+//! (newlines stripped so the reply stays one line). Connections are
+//! persistent: a client may pipeline any number of request lines;
+//! closing the write side ends the conversation.
+//!
+//! Verbs:
+//!
+//! ```text
+//! stats <circuit>
+//! worst <circuit> [floor=N]
+//! gen <circuit> [n=N] [compact] [seed=S]
+//! corpus <dir> [format=csv|json] [max_inputs=N] [recursive]
+//! counters
+//! ping
+//! sleep [ms=N]
+//! ```
+//!
+//! Every analysis verb also accepts `threads=N` and `mem_budget=B`
+//! (same semantics as the CLI flags — pure performance knobs).
+
+use crate::render::{CorpusRequest, Knobs};
+use ndetect_sim::MemoryBudget;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `stats <circuit>`: structure + fault population + kernel report.
+    Stats {
+        /// Suite circuit name (`ndet list`).
+        circuit: String,
+        /// Performance knobs (`threads=`, `mem_budget=`).
+        knobs: Knobs,
+    },
+    /// `worst <circuit> [floor=N]`: worst-case nmin analysis.
+    Worst {
+        /// Suite circuit name.
+        circuit: String,
+        /// Distribution floor (default 100, like `--floor`).
+        floor: usize,
+        /// Performance knobs.
+        knobs: Knobs,
+    },
+    /// `gen <circuit> [n=N] [compact] [seed=S]`: n-detection set
+    /// generation.
+    Gen {
+        /// Suite circuit name.
+        circuit: String,
+        /// Detection multiplicity (default 10, like `--n`).
+        n: u32,
+        /// Whether to reverse-order compact the set.
+        compact: bool,
+        /// Tie-breaking seed.
+        seed: Option<u64>,
+        /// Performance knobs.
+        knobs: Knobs,
+    },
+    /// `corpus <dir> [format=csv|json] [max_inputs=N] [recursive]`.
+    Corpus {
+        /// The corpus request (directory, format, cone threshold).
+        request: CorpusRequest,
+        /// Performance knobs.
+        knobs: Knobs,
+    },
+    /// `counters`: the engine's build/traffic counters.
+    Counters,
+    /// `ping`: liveness probe (replies `ok` with payload `pong\n`).
+    Ping,
+    /// `sleep [ms=N]`: a deterministic slow job (test/CI aid for the
+    /// timeout and drain paths; default 100ms).
+    Sleep {
+        /// How long the job holds its worker.
+        ms: u64,
+    },
+}
+
+/// A structured error reply: a stable code plus a human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Stable machine-readable token: `parse`, `analysis`, `timeout`,
+    /// `shutdown`.
+    pub code: &'static str,
+    /// Human-readable detail (newlines are stripped on the wire).
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// A `parse` error (malformed request line).
+    #[must_use]
+    pub fn parse(message: impl Into<String>) -> Self {
+        ErrorReply {
+            code: "parse",
+            message: message.into(),
+        }
+    }
+
+    /// An `analysis` error (the request was well-formed but the
+    /// analysis failed — unknown circuit, too wide, bad directory...).
+    #[must_use]
+    pub fn analysis(message: impl Into<String>) -> Self {
+        ErrorReply {
+            code: "analysis",
+            message: message.into(),
+        }
+    }
+}
+
+/// Splits a `key=value` token; `None` for bare (positional) tokens.
+fn split_kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+/// Parses `threads=` / `mem_budget=` off a token; `Ok(true)` when the
+/// token was consumed as a knob.
+fn parse_knob(knobs: &mut Knobs, key: &str, value: &str) -> Result<bool, ErrorReply> {
+    match key {
+        "threads" => {
+            knobs.threads = value
+                .parse()
+                .map_err(|_| ErrorReply::parse(format!("bad threads value `{value}`")))?;
+            Ok(true)
+        }
+        "mem_budget" => {
+            knobs.mem_budget = MemoryBudget::parse(value)
+                .map_err(|e| ErrorReply::parse(format!("bad mem_budget value: {e}")))?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ErrorReply> {
+    value
+        .parse()
+        .map_err(|_| ErrorReply::parse(format!("bad {key} value `{value}`")))
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `parse` [`ErrorReply`] on unknown verbs, missing
+    /// positionals, or malformed `key=value` tokens.
+    pub fn parse(line: &str) -> Result<Self, ErrorReply> {
+        let mut tokens = line.split_whitespace();
+        let verb = tokens
+            .next()
+            .ok_or_else(|| ErrorReply::parse("empty request"))?;
+        let rest: Vec<&str> = tokens.collect();
+
+        // Shared scan: one positional (the circuit/dir), plus knobs,
+        // plus verb-specific key=value and bare tokens handed back to
+        // the caller.
+        let mut positional: Option<&str> = None;
+        let mut knobs = Knobs::default();
+        let mut extras: Vec<(&str, Option<&str>)> = Vec::new();
+        for token in &rest {
+            if let Some((key, value)) = split_kv(token) {
+                if !parse_knob(&mut knobs, key, value)? {
+                    extras.push((key, Some(value)));
+                }
+            } else if positional.is_none() {
+                positional = Some(token);
+            } else {
+                extras.push((token, None));
+            }
+        }
+        let positional_required = |what: &str| {
+            positional
+                .map(str::to_string)
+                .ok_or_else(|| ErrorReply::parse(format!("missing {what}")))
+        };
+        let reject_extras = |verb: &str, extras: &[(&str, Option<&str>)]| {
+            if let Some((key, _)) = extras.first() {
+                return Err(ErrorReply::parse(format!(
+                    "unknown token `{key}` for `{verb}`"
+                )));
+            }
+            Ok(())
+        };
+
+        match verb {
+            "stats" => {
+                reject_extras("stats", &extras)?;
+                Ok(Request::Stats {
+                    circuit: positional_required("circuit name")?,
+                    knobs,
+                })
+            }
+            "worst" => {
+                let mut floor = 100usize;
+                for (key, value) in &extras {
+                    match (*key, value) {
+                        ("floor", Some(v)) => floor = parse_num("floor", v)?,
+                        _ => {
+                            return Err(ErrorReply::parse(format!(
+                                "unknown token `{key}` for `worst`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Request::Worst {
+                    circuit: positional_required("circuit name")?,
+                    floor,
+                    knobs,
+                })
+            }
+            "gen" => {
+                let mut n = 10u32;
+                let mut compact = false;
+                let mut seed = None;
+                for (key, value) in &extras {
+                    match (*key, value) {
+                        ("n", Some(v)) => n = parse_num("n", v)?,
+                        ("seed", Some(v)) => seed = Some(parse_num("seed", v)?),
+                        ("compact", None) => compact = true,
+                        _ => {
+                            return Err(ErrorReply::parse(format!(
+                                "unknown token `{key}` for `gen`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Request::Gen {
+                    circuit: positional_required("circuit name")?,
+                    n,
+                    compact,
+                    seed,
+                    knobs,
+                })
+            }
+            "corpus" => {
+                let mut format = "csv".to_string();
+                let mut max_inputs = 14usize;
+                let mut recursive = false;
+                for (key, value) in &extras {
+                    match (*key, value) {
+                        ("format", Some(v)) => format = (*v).to_string(),
+                        ("max_inputs", Some(v)) => max_inputs = parse_num("max_inputs", v)?,
+                        ("recursive", None) => recursive = true,
+                        _ => {
+                            return Err(ErrorReply::parse(format!(
+                                "unknown token `{key}` for `corpus`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Request::Corpus {
+                    request: CorpusRequest {
+                        dir: PathBuf::from(positional_required("corpus directory")?),
+                        format,
+                        max_inputs,
+                        recursive,
+                    },
+                    knobs,
+                })
+            }
+            "counters" => {
+                reject_extras("counters", &extras)?;
+                if positional.is_some() {
+                    return Err(ErrorReply::parse("`counters` takes no arguments"));
+                }
+                Ok(Request::Counters)
+            }
+            "ping" => {
+                reject_extras("ping", &extras)?;
+                if positional.is_some() {
+                    return Err(ErrorReply::parse("`ping` takes no arguments"));
+                }
+                Ok(Request::Ping)
+            }
+            "sleep" => {
+                let mut ms = 100u64;
+                for (key, value) in &extras {
+                    match (*key, value) {
+                        ("ms", Some(v)) => ms = parse_num("ms", v)?,
+                        _ => {
+                            return Err(ErrorReply::parse(format!(
+                                "unknown token `{key}` for `sleep`"
+                            )))
+                        }
+                    }
+                }
+                if positional.is_some() {
+                    return Err(ErrorReply::parse("`sleep` takes only ms=N"));
+                }
+                Ok(Request::Sleep { ms })
+            }
+            other => Err(ErrorReply::parse(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+/// Writes an `ok` reply: header line with the payload byte count, then
+/// the payload verbatim.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ok(writer: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(writer, "ok {}\n{payload}", payload.len())?;
+    writer.flush()
+}
+
+/// Writes an `err` reply (one line; embedded newlines in the message
+/// are flattened to spaces so the framing survives).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_err(writer: &mut impl Write, error: &ErrorReply) -> io::Result<()> {
+    let message = error.message.replace('\n', " ");
+    writeln!(writer, "err {} {}", error.code, message.trim_end())?;
+    writer.flush()
+}
+
+/// A reply read back by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `ok`: the payload bytes (exactly what one-shot `ndet` prints).
+    Ok(String),
+    /// `err`: structured code + message.
+    Err {
+        /// The stable error code.
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+/// Reads one reply (header line, then a counted payload for `ok`).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed headers, `UnexpectedEof` when the
+/// server closed mid-reply.
+pub fn read_reply(reader: &mut impl BufRead) -> io::Result<Reply> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before reply",
+        ));
+    }
+    let header = header.trim_end_matches('\n');
+    if let Some(rest) = header.strip_prefix("ok ") {
+        let nbytes: usize = rest.trim().parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad ok header `{header}`"),
+            )
+        })?;
+        let mut payload = vec![0u8; nbytes];
+        reader.read_exact(&mut payload)?;
+        let payload = String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "payload is not UTF-8"))?;
+        Ok(Reply::Ok(payload))
+    } else if let Some(rest) = header.strip_prefix("err ") {
+        let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+        Ok(Reply::Err {
+            code: code.to_string(),
+            message: message.to_string(),
+        })
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad reply header `{header}`"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_verbs() {
+        assert_eq!(Request::parse("ping").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("counters").unwrap(), Request::Counters);
+        let stats = Request::parse("stats figure1").unwrap();
+        assert!(matches!(stats, Request::Stats { ref circuit, .. } if circuit == "figure1"));
+        let worst = Request::parse("worst c17 floor=2").unwrap();
+        assert!(matches!(worst, Request::Worst { floor: 2, .. }));
+        let gen = Request::parse("gen figure1 n=3 compact seed=7").unwrap();
+        assert!(matches!(
+            gen,
+            Request::Gen {
+                n: 3,
+                compact: true,
+                seed: Some(7),
+                ..
+            }
+        ));
+        let corpus = Request::parse("corpus /tmp/benches format=json recursive").unwrap();
+        assert!(
+            matches!(corpus, Request::Corpus { ref request, .. } if request.format == "json"
+                && request.recursive)
+        );
+    }
+
+    #[test]
+    fn parses_knobs_on_any_analysis_verb() {
+        let stats = Request::parse("stats figure1 threads=2 mem_budget=16MiB").unwrap();
+        let Request::Stats { knobs, .. } = stats else {
+            panic!("not stats");
+        };
+        assert_eq!(knobs.threads, 2);
+        assert_eq!(knobs.mem_budget, MemoryBudget::parse("16MiB").unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(Request::parse("").unwrap_err().code, "parse");
+        assert_eq!(Request::parse("frobnicate x").unwrap_err().code, "parse");
+        assert_eq!(Request::parse("stats").unwrap_err().code, "parse");
+        assert_eq!(
+            Request::parse("worst c17 floor=zebra").unwrap_err().code,
+            "parse"
+        );
+        assert_eq!(
+            Request::parse("gen figure1 bogus=1").unwrap_err().code,
+            "parse"
+        );
+        assert_eq!(Request::parse("ping extra").unwrap_err().code, "parse");
+        assert_eq!(
+            Request::parse("stats figure1 threads=zebra")
+                .unwrap_err()
+                .code,
+            "parse"
+        );
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let mut wire = Vec::new();
+        write_ok(&mut wire, "hello\nworld\n").unwrap();
+        write_err(&mut wire, &ErrorReply::analysis("bad\nthing")).unwrap();
+        let mut reader = io::BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            Reply::Ok("hello\nworld\n".to_string())
+        );
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            Reply::Err {
+                code: "analysis".to_string(),
+                message: "bad thing".to_string(),
+            }
+        );
+        assert!(read_reply(&mut reader).is_err(), "EOF");
+    }
+
+    #[test]
+    fn empty_ok_payload_round_trips() {
+        let mut wire = Vec::new();
+        write_ok(&mut wire, "").unwrap();
+        let mut reader = io::BufReader::new(wire.as_slice());
+        assert_eq!(read_reply(&mut reader).unwrap(), Reply::Ok(String::new()));
+    }
+}

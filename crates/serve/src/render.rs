@@ -1,0 +1,619 @@
+//! Render-to-string analysis front ends shared by the one-shot `ndet`
+//! CLI and the persistent server.
+//!
+//! Both paths must produce **byte-identical** output for the same
+//! request (the serve-smoke CI job diffs them), so the rendering lives
+//! here once and the callers differ only in how they obtain artifacts:
+//! the CLI builds straight through the on-disk store
+//! ([`StoreProvider`]), the server layers its hot LRU and single-flight
+//! dedup on top ([`crate::Engine`]).
+
+use ndetect_core::partition::analyze_output_cones_budget;
+use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
+use ndetect_core::{NminDistribution, WorstCaseAnalysis};
+use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_gen::{GenOptions, GeneratedSet};
+use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+use ndetect_sim::MemoryBudget;
+use ndetect_store::Store;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Simulation knobs shared by every analysis request: worker threads
+/// and the per-worker kernel memory budget. Both are performance knobs
+/// — results are identical for every combination.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Knobs {
+    /// Worker threads (0 = auto: `NDETECT_THREADS`, then all cores).
+    pub threads: usize,
+    /// Per-worker kernel memory budget.
+    pub mem_budget: MemoryBudget,
+}
+
+impl Knobs {
+    /// The universe options these knobs select (semantic defaults).
+    #[must_use]
+    pub fn universe_options(self) -> UniverseOptions {
+        UniverseOptions {
+            threads: self.threads,
+            mem_budget: self.mem_budget,
+            ..UniverseOptions::default()
+        }
+    }
+}
+
+/// Where analyses get their expensive artifacts from. The one-shot CLI
+/// reads through the on-disk store; the server adds an in-memory LRU
+/// and single-flight dedup. Rendering code only sees this trait.
+pub trait UniverseProvider: Sync {
+    /// A fault universe for `netlist` under `options`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when the circuit cannot be
+    /// simulated exhaustively (e.g. too many inputs).
+    fn universe(
+        &self,
+        netlist: &Netlist,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String>;
+
+    /// A generated n-detection set for `universe` under `options`.
+    fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet>;
+
+    /// The on-disk store backing derived artifacts (nmin vectors,
+    /// Procedure-1 estimates), if one is configured.
+    fn store(&self) -> Option<&Store>;
+}
+
+/// The plain store-backed provider used by one-shot CLI invocations:
+/// no in-memory layer, every artifact read through `ndetect-store`.
+pub struct StoreProvider<'a> {
+    store: Option<&'a Store>,
+}
+
+impl<'a> StoreProvider<'a> {
+    /// Wraps an optional store handle.
+    #[must_use]
+    pub fn new(store: Option<&'a Store>) -> Self {
+        StoreProvider { store }
+    }
+}
+
+impl UniverseProvider for StoreProvider<'_> {
+    fn universe(
+        &self,
+        netlist: &Netlist,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String> {
+        FaultUniverse::build_stored(netlist, options, self.store)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())
+    }
+
+    fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet> {
+        Arc::new(ndetect_gen::generate_stored(universe, options, self.store))
+    }
+
+    fn store(&self) -> Option<&Store> {
+        self.store
+    }
+}
+
+/// `ndet stats` / serve `stats`: structure, fault population, kernel.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the universe cannot be built.
+pub fn render_stats(
+    netlist: &Netlist,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    let universe = provider.universe(netlist, knobs.universe_options())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{netlist}");
+    let _ = writeln!(out, "{}", NetlistStats::compute(netlist));
+    let _ = writeln!(out, "{universe}");
+    let _ = writeln!(
+        out,
+        "kernel: {} ({} bytes/worker data plane, budget {})",
+        universe.simulator().kernel_mode(),
+        universe.simulator().data_plane_bytes(),
+        universe.simulator().mem_budget(),
+    );
+    Ok(out)
+}
+
+/// `ndet worst` / serve `worst`: the worst-case nmin analysis with the
+/// paper's Table 2/3 rows and the nmin tail distribution.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the universe cannot be built.
+pub fn render_worst(
+    netlist: &Netlist,
+    floor: usize,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    let universe = provider.universe(netlist, knobs.universe_options())?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, provider.store());
+    let mut out = String::new();
+    let _ = writeln!(out, "{universe}");
+    let _ = writeln!(out, "{wc}");
+    let _ = writeln!(out);
+    let _ = write!(out, "{}", render_table2(&[table2_row(netlist.name(), &wc)]));
+    let _ = writeln!(out);
+    let _ = write!(out, "{}", render_table3(&[table3_row(netlist.name(), &wc)]));
+    let dist = NminDistribution::collect(&wc, floor as u32);
+    if !dist.is_empty() {
+        let _ = writeln!(out, "\nnmin distribution (nmin >= {floor}):");
+        let _ = write!(out, "{}", dist.render_ascii(24));
+    }
+    Ok(out)
+}
+
+/// `ndet gen` / serve `gen`: the set-cover generation engine with
+/// compaction and seeded tie-breaking.
+///
+/// # Errors
+///
+/// Returns a user-facing message when `n` is zero or the universe
+/// cannot be built.
+pub fn render_gen(
+    netlist: &Netlist,
+    n: u32,
+    compact: bool,
+    seed: Option<u64>,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    if n == 0 {
+        return Err("n must be at least 1".into());
+    }
+    let universe = provider.universe(netlist, knobs.universe_options())?;
+    let options = GenOptions {
+        n,
+        compact,
+        seed,
+        threads: knobs.threads,
+        mem_budget: knobs.mem_budget,
+    };
+    let set = provider.generated(&universe, &options);
+    let space = universe.space().num_patterns();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "generated {n}-detection set: {} tests ({:.2}% of the {space}-vector space{})",
+        set.len(),
+        100.0 * set.len() as f64 / space as f64,
+        if set.is_compacted() {
+            ", compacted"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "targets: {} detectable of {}; every one detected min(n, |T(f)|) times",
+        universe.num_detectable_targets(),
+        universe.targets().len()
+    );
+    let covered = universe
+        .bridge_sets()
+        .iter()
+        .filter(|t_g| t_g.intersects(set.as_vector_set()))
+        .count();
+    let coverage = if universe.bridges().is_empty() {
+        100.0
+    } else {
+        100.0 * covered as f64 / universe.bridges().len() as f64
+    };
+    let _ = writeln!(
+        out,
+        "bridging coverage: {coverage:.2}% ({covered} of {})",
+        universe.bridges().len()
+    );
+    let _ = writeln!(out, "{set}");
+    Ok(out)
+}
+
+/// Parameters of a corpus run (`ndet corpus` / serve `corpus`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusRequest {
+    /// Directory holding `.bench` files.
+    pub dir: PathBuf,
+    /// `csv` or `json`.
+    pub format: String,
+    /// Cone-fallback threshold: circuits wider than this are analysed
+    /// per output cone.
+    pub max_inputs: usize,
+    /// Whether to descend into subdirectories.
+    pub recursive: bool,
+}
+
+/// Output of a corpus run: the machine-readable summary plus any
+/// per-file error diagnostics (the run tolerates malformed files).
+#[derive(Clone, Debug)]
+pub struct CorpusOutput {
+    /// The CSV or JSON summary (what `ndet corpus` prints on stdout).
+    pub body: String,
+    /// Human-readable per-file failure messages (stderr material).
+    pub errors: Vec<String>,
+    /// Total `.bench` files walked (for the failure summary line).
+    pub files: usize,
+}
+
+/// One row of the corpus summary.
+struct CorpusRow {
+    circuit: String,
+    /// `full` (exhaustive universe), `cones` (per-output partitioned
+    /// fallback for circuits wider than `max_inputs`), `skipped`
+    /// (every cone was too wide — nothing was analysed), or `error`
+    /// (the file failed to read/parse/analyse).
+    mode: &'static str,
+    inputs: usize,
+    outputs: usize,
+    gates: usize,
+    targets: usize,
+    bridges: usize,
+    /// `None` when nothing was analysed (`mode = skipped`) — an empty
+    /// CSV cell / JSON null, never a fabricated percentage.
+    cov1: Option<f64>,
+    cov10: Option<f64>,
+    tail11: usize,
+    max_nmin: Option<u32>,
+    /// The exhaustive baseline `|U| = 2^I` (`None` outside `full` mode,
+    /// where no exhaustive universe exists).
+    space: Option<usize>,
+    /// Compacted generated-set sizes `|T|` at n = 1, 5, 10 (`None`
+    /// outside `full` mode).
+    gen1: Option<usize>,
+    gen5: Option<usize>,
+    gen10: Option<usize>,
+    /// Kernel mode the circuit's simulation ran in: `full` or `tiled`
+    /// (`tiled` as soon as any cone tiled, in `cones` mode); `None` when
+    /// nothing was simulated.
+    kernel: Option<&'static str>,
+    /// Peak per-worker kernel working-set bytes (the maximum across
+    /// cones in `cones` mode); `None` when nothing was simulated.
+    peak_bytes: Option<u64>,
+}
+
+impl CorpusRow {
+    fn empty(name: &str, mode: &'static str) -> Self {
+        CorpusRow {
+            circuit: name.to_string(),
+            mode,
+            inputs: 0,
+            outputs: 0,
+            gates: 0,
+            targets: 0,
+            bridges: 0,
+            cov1: None,
+            cov10: None,
+            tail11: 0,
+            max_nmin: None,
+            space: None,
+            gen1: None,
+            gen5: None,
+            gen10: None,
+            kernel: None,
+            peak_bytes: None,
+        }
+    }
+}
+
+/// Collects the `.bench` files under `dir` — its direct children, plus
+/// every subdirectory when `recursive` (symlinked directories are not
+/// followed). The caller sorts the full path list, so the walk order
+/// never leaks into the output.
+fn collect_bench_files(dir: &Path, recursive: bool, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let is_dir = entry.file_type().is_ok_and(|t| t.is_dir());
+        if is_dir {
+            if recursive {
+                collect_bench_files(&path, true, out)?;
+            }
+        } else if path.extension().is_some_and(|ext| ext == "bench") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `ndet corpus` / serve `corpus`: walks a directory of ISCAS-style
+/// `.bench` files (sorted full path list, so results are
+/// deterministic), runs the stats/worst-case analysis per circuit
+/// through the provider (with the output-cone partitioned fallback for
+/// circuits too wide for exhaustive simulation), generates compact
+/// n-detection sets at n = 1, 5, 10 for exhaustively analysed
+/// circuits, and emits a machine-readable CSV or JSON summary.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the directory cannot be walked,
+/// holds no `.bench` files, or the format is unknown. Individual
+/// malformed files become `error` rows instead.
+pub fn render_corpus(
+    request: &CorpusRequest,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<CorpusOutput, String> {
+    if request.format != "csv" && request.format != "json" {
+        return Err(format!(
+            "format must be csv or json, got `{}`",
+            request.format
+        ));
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_bench_files(&request.dir, request.recursive, &mut paths)?;
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .bench files in {}", request.dir.display()));
+    }
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for path in &paths {
+        // Per-file fault tolerance: one malformed file is reported as
+        // an `error` row instead of aborting the whole corpus run.
+        match corpus_row(path, request.max_inputs, knobs, provider) {
+            Ok(row) => rows.push(row),
+            Err(message) => {
+                errors.push(message);
+                let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+                rows.push(CorpusRow::empty(name, "error"));
+            }
+        }
+    }
+
+    let body = match request.format.as_str() {
+        "csv" => render_corpus_csv(&rows),
+        _ => render_corpus_json(&rows),
+    };
+    Ok(CorpusOutput {
+        body,
+        errors,
+        files: paths.len(),
+    })
+}
+
+/// Analyses one corpus circuit: exhaustively when it fits, otherwise
+/// via the per-output-cone partition (conservative aggregates).
+fn corpus_row(
+    path: &Path,
+    max_inputs: usize,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<CorpusRow, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+    let netlist =
+        bench_format::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    if netlist.num_inputs() <= max_inputs {
+        let universe = provider.universe(&netlist, knobs.universe_options())?;
+        let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, provider.store());
+        // Compact generated-set sizes vs the exhaustive baseline |U|:
+        // how much smaller than the whole space an n-detection set is.
+        let gen_size = |n: u32| {
+            let options = GenOptions {
+                n,
+                compact: true,
+                seed: None,
+                threads: knobs.threads,
+                mem_budget: knobs.mem_budget,
+            };
+            Some(provider.generated(&universe, &options).len())
+        };
+        Ok(CorpusRow {
+            circuit: name.to_string(),
+            mode: "full",
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            gates: netlist.num_gates(),
+            targets: universe.targets().len(),
+            bridges: universe.bridges().len(),
+            cov1: Some(wc.coverage_percent(1)),
+            cov10: Some(wc.coverage_percent(10)),
+            tail11: wc.tail_count(11),
+            max_nmin: wc.max_finite(),
+            space: Some(universe.space().num_patterns()),
+            gen1: gen_size(1),
+            gen5: gen_size(5),
+            gen10: gen_size(10),
+            kernel: Some(universe.simulator().kernel_mode()),
+            peak_bytes: Some(universe.simulator().data_plane_bytes()),
+        })
+    } else {
+        let reports = analyze_output_cones_budget(
+            &netlist,
+            max_inputs,
+            knobs.threads,
+            knobs.mem_budget,
+            provider.store(),
+        )
+        .map_err(|e| e.to_string())?;
+        if reports.is_empty() {
+            // Every cone was wider than max_inputs: nothing was
+            // simulated, so report no coverage rather than a vacuous
+            // 100%.
+            let mut row = CorpusRow::empty(name, "skipped");
+            row.inputs = netlist.num_inputs();
+            row.outputs = netlist.num_outputs();
+            row.gates = netlist.num_gates();
+            return Ok(row);
+        }
+        let total_bridges: usize = reports.iter().map(|r| r.num_bridges).sum();
+        // Bridge-weighted coverage across cones (conservative: each cone
+        // only observes its own output).
+        let weighted = |n: u32| -> f64 {
+            if total_bridges == 0 {
+                return 100.0;
+            }
+            reports
+                .iter()
+                .map(|r| {
+                    let cov = r
+                        .coverage
+                        .iter()
+                        .find(|(t, _)| *t == n)
+                        .map_or(100.0, |(_, pct)| *pct);
+                    cov * r.num_bridges as f64
+                })
+                .sum::<f64>()
+                / total_bridges as f64
+        };
+        Ok(CorpusRow {
+            circuit: name.to_string(),
+            mode: "cones",
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            gates: netlist.num_gates(),
+            targets: reports.iter().map(|r| r.num_targets).sum(),
+            bridges: total_bridges,
+            cov1: Some(weighted(1)),
+            cov10: Some(weighted(10)),
+            tail11: reports.iter().map(|r| r.tail_11).sum(),
+            max_nmin: None,
+            space: None,
+            gen1: None,
+            gen5: None,
+            gen10: None,
+            // Peak over cones: the widest cone dominates the working
+            // set; `tiled` as soon as any cone had to tile.
+            kernel: Some(if reports.iter().any(|r| r.kernel == "tiled") {
+                "tiled"
+            } else {
+                "full"
+            }),
+            peak_bytes: reports.iter().map(|r| r.data_plane_bytes).max(),
+        })
+    }
+}
+
+fn render_corpus_csv(rows: &[CorpusRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes"
+    );
+    let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
+    let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.circuit,
+            r.mode,
+            r.inputs,
+            r.outputs,
+            r.gates,
+            r.targets,
+            r.bridges,
+            pct(r.cov1),
+            pct(r.cov10),
+            r.tail11,
+            r.max_nmin.map_or(String::new(), |v| v.to_string()),
+            opt(r.space),
+            opt(r.gen1),
+            opt(r.gen5),
+            opt(r.gen10),
+            r.kernel.unwrap_or(""),
+            r.peak_bytes.map_or(String::new(), |v| v.to_string()),
+        );
+    }
+    out
+}
+
+fn render_corpus_json(rows: &[CorpusRow]) -> String {
+    // Hand-rolled JSON (no serde offline); circuit names come from file
+    // stems and are escaped minimally.
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let pct = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.2}"));
+    let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
+    let mut out = String::new();
+    let _ = writeln!(out, "[");
+    for (i, r) in rows.iter().enumerate() {
+        let max_nmin = r.max_nmin.map_or("null".to_string(), |v| v.to_string());
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
+             \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
+             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
+             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}, \"kernel\": {}, \
+             \"peak_bytes\": {}}}{comma}",
+            escape(&r.circuit),
+            r.mode,
+            r.inputs,
+            r.outputs,
+            r.gates,
+            r.targets,
+            r.bridges,
+            pct(r.cov1),
+            pct(r.cov10),
+            r.tail11,
+            max_nmin,
+            opt(r.space),
+            opt(r.gen1),
+            opt(r.gen5),
+            opt(r.gen10),
+            r.kernel.map_or("null".to_string(), |k| format!("\"{k}\"")),
+            r.peak_bytes.map_or("null".to_string(), |v| v.to_string()),
+        );
+    }
+    let _ = writeln!(out, "]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndetect_circuits::figure1;
+
+    #[test]
+    fn stats_and_worst_render_the_paper_numbers() {
+        let provider = StoreProvider::new(None);
+        let netlist = figure1::netlist();
+        let stats = render_stats(&netlist, Knobs::default(), &provider).unwrap();
+        assert!(stats.contains("figure1: 4 inputs, 3 outputs, 3 gates, 11 lines"));
+        assert!(stats.contains("kernel: "));
+        let worst = render_worst(&netlist, 100, Knobs::default(), &provider).unwrap();
+        assert!(worst.contains("40.00% at n=1"), "{worst}");
+    }
+
+    #[test]
+    fn gen_rejects_n_zero_and_renders_a_set() {
+        let provider = StoreProvider::new(None);
+        let netlist = figure1::netlist();
+        assert!(render_gen(&netlist, 0, false, None, Knobs::default(), &provider).is_err());
+        let out = render_gen(&netlist, 1, true, None, Knobs::default(), &provider).unwrap();
+        assert!(out.contains("generated 1-detection set:"), "{out}");
+        assert!(out.contains(", compacted"), "{out}");
+    }
+
+    #[test]
+    fn corpus_rejects_unknown_formats_and_missing_dirs() {
+        let provider = StoreProvider::new(None);
+        let request = CorpusRequest {
+            dir: PathBuf::from("/nonexistent-dir"),
+            format: "yaml".into(),
+            max_inputs: 14,
+            recursive: false,
+        };
+        assert!(render_corpus(&request, Knobs::default(), &provider).is_err());
+        let request = CorpusRequest {
+            format: "csv".into(),
+            ..request
+        };
+        assert!(render_corpus(&request, Knobs::default(), &provider).is_err());
+    }
+}

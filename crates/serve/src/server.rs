@@ -1,0 +1,461 @@
+//! The TCP serving loop for `ndet serve`.
+//!
+//! One thread accepts connections (polling the shutdown flag between
+//! nonblocking `accept` attempts); each connection gets a thread that
+//! reads request lines and executes them through the shared
+//! [`Engine`]. Each request runs on its own job thread bounded by a
+//! deadline: a request that overruns gets an `err timeout` reply and
+//! its job thread is left to finish in the background (the engine's
+//! single-flight layer means a retry joins the still-running build
+//! rather than starting another).
+//!
+//! Shutdown (SIGINT/SIGTERM or [`crate::signal::request_shutdown`]) is
+//! a drain, not an abort: the accept loop stops taking new
+//! connections, in-progress connections finish their current request
+//! (new requests on them get `err shutdown`), and the server joins
+//! every connection thread plus any stragglers before returning — so a
+//! supervisor sending SIGTERM observes a clean exit 0 with no truncated
+//! replies.
+
+use crate::engine::Engine;
+use crate::protocol::{self, ErrorReply, Request};
+use crate::render;
+use crate::signal;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag. Bounds shutdown latency, not correctness.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server configuration (`ndet serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Per-request deadline; an overrunning job gets `err timeout`.
+    pub request_timeout: Duration,
+    /// Hot-LRU capacity for fault universes (entries).
+    pub hot_universes: usize,
+    /// Hot-LRU capacity for generated sets (entries).
+    pub hot_sets: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            request_timeout: Duration::from_secs(60),
+            hot_universes: 32,
+            hot_sets: 32,
+        }
+    }
+}
+
+/// Counts detached job threads (timed-out requests still running) so
+/// shutdown can wait for them instead of racing process exit.
+#[derive(Default)]
+struct WaitGroup {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    fn add(&self) {
+        *self.count.lock().expect("waitgroup") += 1;
+    }
+
+    fn done(&self) {
+        let mut count = self.count.lock().expect("waitgroup");
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut count = self.count.lock().expect("waitgroup");
+        while *count > 0 {
+            count = self.zero.wait(count).expect("waitgroup");
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    /// Per-server drain flag; the process-wide signal flag
+    /// ([`signal::requested`]) ORs into it, so tests can stop one
+    /// server without stopping every server in the process.
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Requests a drain of one specific server (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Asks the server to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when the address cannot be bound.
+    pub fn bind(config: ServerConfig, engine: Engine) -> Result<Self, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(engine),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// A handle that drains this server (and only this server).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// The actually-bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's `local_addr` failure as a message.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// A handle to the shared engine (tests inspect counters).
+    #[must_use]
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains:
+    /// joins every connection thread and every detached job thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message on socket configuration failures;
+    /// per-connection I/O errors only end that connection.
+    pub fn run(self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        let stragglers = Arc::new(WaitGroup::default());
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+        while !self.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&self.engine);
+                    let config = self.config.clone();
+                    let stragglers = Arc::clone(&stragglers);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    connections.push(std::thread::spawn(move || {
+                        // A broken peer only ends this connection.
+                        let _ = serve_connection(&stream, &engine, &config, &stragglers, &shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+            // Reap finished connection threads so a long-lived server
+            // does not accumulate handles.
+            connections.retain(|h| !h.is_finished());
+        }
+
+        // Drain: connections notice the flag via their read timeouts
+        // and return after at most one in-flight request each.
+        for handle in connections {
+            let _ = handle.join();
+        }
+        stragglers.wait();
+        Ok(())
+    }
+
+    fn draining(&self) -> bool {
+        signal::requested() || self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Reads request lines off one connection until EOF or shutdown.
+fn serve_connection(
+    stream: &TcpStream,
+    engine: &Arc<Engine>,
+    config: &ServerConfig,
+    stragglers: &Arc<WaitGroup>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let draining = || signal::requested() || shutdown.load(Ordering::SeqCst);
+    // Short read timeouts double as the shutdown poll: a blocked
+    // `read_line` wakes every POLL_INTERVAL to check the flag.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        // A timed-out read may leave a partial line in `line`; keep
+        // appending until the newline arrives.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // EOF: client closed
+                Ok(_) if line.ends_with('\n') => break,
+                Ok(_) => {} // partial line, keep reading
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if draining() {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if line.trim().is_empty() {
+            continue; // blank lines keep the connection alive
+        }
+        if draining() {
+            protocol::write_err(
+                &mut writer,
+                &ErrorReply {
+                    code: "shutdown",
+                    message: "server is draining".to_string(),
+                },
+            )?;
+            return Ok(());
+        }
+        execute_line(&line, engine, config, stragglers, &mut writer)?;
+    }
+}
+
+/// Parses and executes one request line, writing exactly one reply.
+fn execute_line(
+    line: &str,
+    engine: &Arc<Engine>,
+    config: &ServerConfig,
+    stragglers: &Arc<WaitGroup>,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    engine.counters().requests.fetch_add(1, Ordering::Relaxed);
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(error) => {
+            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::write_err(writer, &error);
+        }
+    };
+
+    // Instant requests answer inline; analysis requests get a bounded
+    // job thread.
+    match request {
+        Request::Ping => return protocol::write_ok(writer, "pong\n"),
+        Request::Counters => {
+            let payload = engine.render_counters();
+            return protocol::write_ok(writer, &payload);
+        }
+        _ => {}
+    }
+
+    let (sender, receiver) = mpsc::channel::<Result<String, String>>();
+    let job_engine = Arc::clone(engine);
+    let job_stragglers = Arc::clone(stragglers);
+    stragglers.add();
+    std::thread::spawn(move || {
+        let result = execute_request(&request, &job_engine);
+        let _ = sender.send(result); // receiver may have timed out
+        job_stragglers.done();
+    });
+
+    match receiver.recv_timeout(config.request_timeout) {
+        Ok(Ok(payload)) => protocol::write_ok(writer, &payload),
+        Ok(Err(message)) => {
+            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            protocol::write_err(writer, &ErrorReply::analysis(message))
+        }
+        Err(_) => {
+            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            protocol::write_err(
+                writer,
+                &ErrorReply {
+                    code: "timeout",
+                    message: format!(
+                        "request exceeded {}ms (still building; retry joins it)",
+                        config.request_timeout.as_millis()
+                    ),
+                },
+            )
+        }
+    }
+}
+
+/// Executes a parsed analysis request against the engine, returning the
+/// reply payload (byte-identical to the one-shot CLI's stdout).
+fn execute_request(request: &Request, engine: &Arc<Engine>) -> Result<String, String> {
+    match request {
+        Request::Stats { circuit, knobs } => {
+            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
+            render::render_stats(&netlist, *knobs, engine.as_ref())
+        }
+        Request::Worst {
+            circuit,
+            floor,
+            knobs,
+        } => {
+            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
+            render::render_worst(&netlist, *floor, *knobs, engine.as_ref())
+        }
+        Request::Gen {
+            circuit,
+            n,
+            compact,
+            seed,
+            knobs,
+        } => {
+            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
+            render::render_gen(&netlist, *n, *compact, *seed, *knobs, engine.as_ref())
+        }
+        Request::Corpus { request, knobs } => {
+            let output = render::render_corpus(request, *knobs, engine.as_ref())?;
+            // Serve mode has no stderr channel back to the client;
+            // per-file diagnostics ride along as trailing comment lines
+            // (both CSV and JSON consumers already skip `#` lines).
+            let mut payload = output.body;
+            for error in &output.errors {
+                payload.push_str(&format!("# corpus error: {error}\n"));
+            }
+            Ok(payload)
+        }
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            Ok(format!("slept {ms}ms\n"))
+        }
+        Request::Ping | Request::Counters => unreachable!("answered inline"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_reply, Reply};
+    use std::net::TcpStream;
+
+    type Running = (
+        std::net::SocketAddr,
+        Arc<Engine>,
+        ShutdownHandle,
+        std::thread::JoinHandle<Result<(), String>>,
+    );
+
+    fn start(config: ServerConfig) -> Running {
+        let server = Server::bind(config, Engine::new(None, 8, 8)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let engine = server.engine();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, engine, shutdown, handle)
+    }
+
+    fn request_line(addr: std::net::SocketAddr, line: &str) -> Reply {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        read_reply(&mut reader).unwrap()
+    }
+
+    #[test]
+    fn ping_counters_and_errors_round_trip() {
+        let (addr, _engine, shutdown, handle) = start(ServerConfig::default());
+        assert_eq!(request_line(addr, "ping"), Reply::Ok("pong\n".to_string()));
+        assert!(matches!(request_line(addr, "counters"), Reply::Ok(_)));
+        let Reply::Err { code, .. } = request_line(addr, "frobnicate") else {
+            panic!("expected parse error");
+        };
+        assert_eq!(code, "parse");
+        let Reply::Err { code, .. } = request_line(addr, "stats not-a-circuit") else {
+            panic!("expected analysis error");
+        };
+        assert_eq!(code, "analysis");
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn analysis_replies_and_drain_are_clean() {
+        let (addr, engine, shutdown, handle) = start(ServerConfig::default());
+        let Reply::Ok(payload) = request_line(addr, "worst figure1") else {
+            panic!("expected ok");
+        };
+        assert!(payload.contains("40.00% at n=1"), "{payload}");
+        // Identical repeat: hot LRU answers, still exactly one build.
+        let Reply::Ok(second) = request_line(addr, "worst figure1") else {
+            panic!("expected ok");
+        };
+        assert_eq!(payload, second, "replies must be byte-identical");
+        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 1);
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn timeout_yields_structured_error_and_drain_waits() {
+        let config = ServerConfig {
+            request_timeout: Duration::from_millis(20),
+            ..ServerConfig::default()
+        };
+        let (addr, engine, shutdown, handle) = start(config);
+        let Reply::Err { code, .. } = request_line(addr, "sleep ms=400") else {
+            panic!("expected timeout");
+        };
+        assert_eq!(code, "timeout");
+        let started = std::time::Instant::now();
+        shutdown.shutdown();
+        // Drain must wait for the detached sleep job before returning.
+        handle.join().unwrap().unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "drain returned before the straggler finished"
+        );
+        assert_eq!(engine.counters().errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection() {
+        let (addr, _engine, shutdown, handle) = start(ServerConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        write!(writer, "ping\nsleep ms=1\nping\n").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        assert_eq!(read_reply(&mut reader).unwrap(), Reply::Ok("pong\n".into()));
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            Reply::Ok("slept 1ms\n".into())
+        );
+        assert_eq!(read_reply(&mut reader).unwrap(), Reply::Ok("pong\n".into()));
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,259 @@
+//! Single-flight deduplication: N concurrent callers asking for the
+//! same key trigger exactly one execution of the builder; everyone else
+//! blocks until the leader publishes and then shares the result.
+//!
+//! This is the serving-side answer to a thundering herd of identical
+//! analysis requests: universe and generated-set builds are
+//! deterministic and content-keyed ([`ndetect_store::ArtifactKey`]), so
+//! two in-flight builds of the same key would produce bit-identical
+//! artifacts — running both is pure waste. The pattern (and the name)
+//! come from inference-serving and CDN front ends.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight build: followers wait on the condvar until the leader
+/// publishes its result.
+struct Flight<V> {
+    result: Mutex<Option<V>>,
+    done: Condvar,
+    /// Set when the leader panicked instead of publishing, so followers
+    /// fail loudly instead of hanging.
+    poisoned: Mutex<bool>,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            poisoned: Mutex::new(false),
+        }
+    }
+}
+
+/// A map of in-flight builds keyed by `K`; see the module docs.
+///
+/// `V` must be `Clone` because every coalesced caller receives the same
+/// result — in practice an `Arc` (or a `Result<Arc<_>, String>`).
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    /// Builder executions (leaders) since construction.
+    executions: AtomicU64,
+    /// Calls that joined an existing flight instead of building.
+    coalesced: AtomicU64,
+}
+
+impl<K, V> Default for SingleFlight<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> SingleFlight<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// Creates an empty flight map.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `build` for `key`, coalescing with any concurrent call for
+    /// the same key: exactly one caller (the leader) executes `build`;
+    /// the rest block and receive a clone of the leader's result.
+    ///
+    /// The flight is removed once the leader publishes, so a *later*
+    /// call (no overlap) runs `build` again — layering a cache above
+    /// this (the hot LRU, the on-disk store) is the caller's job, and
+    /// the leader's `build` should re-check that cache first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leader for this key panicked inside `build`
+    /// (followers must not hang or silently observe a missing result).
+    pub fn run<F>(&self, key: K, build: F) -> V
+    where
+        F: FnOnce() -> V,
+    {
+        let flight = {
+            let mut map = self.inflight.lock().expect("singleflight map poisoned");
+            if let Some(existing) = map.get(&key) {
+                let flight = Arc::clone(existing);
+                drop(map);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Self::wait(&flight);
+            }
+            let flight = Arc::new(Flight::new());
+            map.insert(key.clone(), Arc::clone(&flight));
+            flight
+        };
+
+        // Leader: make sure followers are woken even if `build` panics.
+        struct Guard<'a, K: Eq + Hash, V> {
+            sf: &'a SingleFlight<K, V>,
+            key: &'a K,
+            flight: &'a Flight<V>,
+            published: bool,
+        }
+        impl<K: Eq + Hash, V> Drop for Guard<'_, K, V> {
+            fn drop(&mut self) {
+                if !self.published {
+                    *self.flight.poisoned.lock().expect("flight lock") = true;
+                    self.flight.done.notify_all();
+                }
+                if let Ok(mut map) = self.sf.inflight.lock() {
+                    map.remove(self.key);
+                }
+            }
+        }
+
+        let mut guard = Guard {
+            sf: self,
+            key: &key,
+            flight: &flight,
+            published: false,
+        };
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let value = build();
+        *flight.result.lock().expect("flight lock") = Some(value.clone());
+        guard.published = true;
+        flight.done.notify_all();
+        drop(guard); // removes the flight from the map
+        value
+    }
+
+    fn wait(flight: &Flight<V>) -> V {
+        let mut result = flight.result.lock().expect("flight lock");
+        loop {
+            if let Some(value) = result.as_ref() {
+                return value.clone();
+            }
+            assert!(
+                !*flight.poisoned.lock().expect("flight lock"),
+                "single-flight leader panicked"
+            );
+            result = flight.done.wait(result).expect("flight lock");
+        }
+    }
+
+    /// How many times a builder actually executed (leaders).
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// How many calls were coalesced onto another caller's build.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn serial_calls_each_execute() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        assert_eq!(sf.run(1, || 10), 10);
+        assert_eq!(sf.run(1, || 20), 20); // no overlap: builds again
+        assert_eq!(sf.executions(), 2);
+        assert_eq!(sf.coalesced(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_calls_build_exactly_once() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        let builds = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        let results: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        sf.run(42, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            // Hold the flight open long enough that the
+                            // herd piles onto it.
+                            std::thread::sleep(Duration::from_millis(50));
+                            7
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&r| r == 7));
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "single-flight");
+        assert_eq!(sf.executions(), 1);
+        assert_eq!(sf.coalesced(), 7);
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        let barrier = Barrier::new(4);
+        std::thread::scope(|scope| {
+            for k in 0..4u64 {
+                let sf = &sf;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    assert_eq!(sf.run(k, || k * 10), k * 10);
+                });
+            }
+        });
+        assert_eq!(sf.executions(), 4);
+    }
+
+    #[test]
+    fn leader_panic_poisons_followers_not_the_map() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run(9, || {
+                        barrier.wait();
+                        std::thread::sleep(Duration::from_millis(50));
+                        panic!("leader died");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        barrier.wait(); // leader is inside its build
+        let follower = {
+            let sf = Arc::clone(&sf);
+            std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sf.run(9, || 1))).is_err()
+            })
+        };
+        leader.join().unwrap();
+        let follower_panicked = follower.join().unwrap();
+        // The follower either joined the poisoned flight (and panicked)
+        // or arrived after cleanup and built fresh; both are sound.
+        let rebuilt = sf.run(9, || 5);
+        assert_eq!(rebuilt, 5, "map must not stay poisoned");
+        let _ = follower_panicked;
+    }
+}

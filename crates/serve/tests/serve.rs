@@ -1,0 +1,153 @@
+//! End-to-end tests of the serving loop over real TCP connections:
+//! the single-flight guarantee under a concurrent herd, byte-identical
+//! replies, store-backed warm starts, and the drain path.
+
+use ndetect_serve::protocol::{read_reply, Reply};
+use ndetect_serve::{Engine, Server, ServerConfig, UniverseProvider};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn start(
+    engine: Engine,
+) -> (
+    SocketAddr,
+    Arc<Engine>,
+    ndetect_serve::ShutdownHandle,
+    std::thread::JoinHandle<Result<(), String>>,
+) {
+    let server = Server::bind(ServerConfig::default(), engine).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let engine = server.engine();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, engine, shutdown, handle)
+}
+
+fn request(addr: SocketAddr, line: &str) -> Reply {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    writeln!(writer, "{line}").expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    read_reply(&mut reader).expect("reply")
+}
+
+#[test]
+fn concurrent_identical_requests_over_tcp_build_once() {
+    let (addr, engine, shutdown, handle) = start(Engine::new(None, 8, 8));
+    let barrier = Barrier::new(8);
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    request(addr, "worst figure1")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let Reply::Ok(first) = &replies[0] else {
+        panic!("expected ok, got {:?}", replies[0]);
+    };
+    assert!(first.contains("40.00% at n=1"), "{first}");
+    for reply in &replies {
+        assert_eq!(reply, &replies[0], "all replies must be byte-identical");
+    }
+    assert_eq!(
+        engine.counters().universe_builds.load(Ordering::Relaxed),
+        1,
+        "8 racing identical requests must run exactly one universe build"
+    );
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn distinct_requests_build_independently_and_serve_from_hot_cache() {
+    let (addr, engine, shutdown, handle) = start(Engine::new(None, 8, 8));
+    for circuit in ["figure1", "c17", "lion"] {
+        let Reply::Ok(_) = request(addr, &format!("stats {circuit}")) else {
+            panic!("stats {circuit} failed");
+        };
+    }
+    assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 3);
+    // Warm repeats: zero additional builds.
+    for circuit in ["figure1", "c17", "lion"] {
+        let Reply::Ok(_) = request(addr, &format!("stats {circuit}")) else {
+            panic!("warm stats {circuit} failed");
+        };
+    }
+    assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 3);
+    assert!(engine.counters().hot_hits.load(Ordering::Relaxed) >= 3);
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn warm_serve_requests_over_a_store_take_zero_store_misses() {
+    let dir = std::env::temp_dir().join(format!("ndet-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ndetect_store::Store::open(&dir).expect("open store");
+
+    // Cold pass warms the on-disk store.
+    {
+        let (addr, _engine, shutdown, handle) = start(Engine::new(Some(store), 8, 8));
+        let Reply::Ok(_) = request(addr, "gen figure1 n=2 compact") else {
+            panic!("cold gen failed");
+        };
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+    }
+
+    // Fresh engine, same store: everything loads from disk (store
+    // hits), and repeats inside the process touch nothing but the LRU.
+    let store = ndetect_store::Store::open(&dir).expect("reopen store");
+    let (addr, engine, shutdown, handle) = start(Engine::new(Some(store), 8, 8));
+    let Reply::Ok(first) = request(addr, "gen figure1 n=2 compact") else {
+        panic!("warm gen failed");
+    };
+    assert_eq!(
+        engine.counters().universe_builds.load(Ordering::Relaxed),
+        0,
+        "a store hit is not a build"
+    );
+    let store_misses_after_warm = engine
+        .store()
+        .map(ndetect_store::Store::session_misses)
+        .unwrap();
+    let Reply::Ok(second) = request(addr, "gen figure1 n=2 compact") else {
+        panic!("hot gen failed");
+    };
+    assert_eq!(first, second);
+    assert_eq!(
+        engine
+            .store()
+            .map(ndetect_store::Store::session_misses)
+            .unwrap(),
+        store_misses_after_warm,
+        "hot repeats must take zero store misses"
+    );
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_instead_of_dropping_them() {
+    let (addr, _engine, shutdown, handle) = start(Engine::new(None, 8, 8));
+    // Start a slow request, then request shutdown while it runs.
+    let worker = std::thread::spawn(move || request(addr, "sleep ms=600"));
+    std::thread::sleep(Duration::from_millis(150)); // request is in flight
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap(); // drain must not hang or abort
+    assert_eq!(
+        worker.join().unwrap(),
+        Reply::Ok("slept 600ms\n".to_string()),
+        "the in-flight request must complete through the drain"
+    );
+}

@@ -27,7 +27,7 @@
 //!
 //! When `std::simd` stabilizes, the `*_lanes` bodies are the single
 //! place to swap `[u64; L]` chunks for `Simd<u64, L>` — see
-//! [`portable_simd`].
+//! the `portable_simd` feature.
 //!
 //! Hot modules are forbidden (by the `hot_path_lint` gate and a
 //! `#![deny(clippy::disallowed_methods)]` opt-in) from allocating raw

@@ -82,7 +82,7 @@ pub struct SimScratch {
     /// table (`num_other_rows × width`). Empty in full-width mode.
     pub tile_others: RowMatrix,
     /// First global block of the tile currently loaded into
-    /// `tile_good`/`tile_others`, or [`NO_TILE`] when none is.
+    /// `tile_good`/`tile_others`, or `NO_TILE` when none is.
     pub tile_start: usize,
 }
 

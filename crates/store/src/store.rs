@@ -2,7 +2,6 @@
 
 use crate::codec::CODEC_VERSION;
 use crate::hash::{fnv1a64, ArtifactKey};
-use std::cell::Cell;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -33,12 +32,29 @@ pub struct StoreStats {
     pub entries: u64,
     /// Total size of entry files in bytes.
     pub total_bytes: u64,
+    /// Number of fan-out shard subdirectories holding at least one
+    /// entry (entries still in the legacy flat layout are not shards).
+    pub shards: u64,
+    /// Entries still sitting in the legacy flat `objects/` layout.
+    pub flat_entries: u64,
     /// Cumulative successful loads.
     pub hits: u64,
     /// Cumulative failed loads (absent, corrupt, or version-mismatched).
     pub misses: u64,
     /// Cumulative stores.
     pub writes: u64,
+}
+
+/// Per-shard occupancy of the fan-out `objects/` layout
+/// ([`Store::shard_histogram`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardHistogram {
+    /// Entries still in the legacy flat layout (directly under
+    /// `objects/`).
+    pub flat: u64,
+    /// `(shard name, entry count)` for every shard directory holding at
+    /// least one entry, sorted by shard name.
+    pub shards: Vec<(String, u64)>,
 }
 
 /// Result of a full-store integrity scan ([`Store::verify`]).
@@ -68,10 +84,22 @@ pub struct GcReport {
 /// Layout:
 ///
 /// ```text
-/// <root>/objects/<key-hex16>-k<kind>.art   one file per artifact
-/// <root>/tmp/                              staging for atomic writes
-/// <root>/counters.bin                      cumulative hit/miss/write counters
+/// <root>/objects/<hh>/<key-hex16>-k<kind>.art  one file per artifact,
+///                                              fanned out over 256 shard
+///                                              dirs by the first key byte
+/// <root>/objects/<key-hex16>-k<kind>.art       legacy flat layout, still
+///                                              read (and migrated on hit)
+/// <root>/tmp/                                  staging for atomic writes
+/// <root>/counters.bin                          cumulative hit/miss/write counters
 /// ```
+///
+/// Entries are sharded into 256 fan-out subdirectories (the first two
+/// hex digits of the key) so directories stay short even for
+/// ~10^5-entry corpora. Stores written before sharding are read
+/// transparently: a load probes the shard first and falls back to the
+/// flat path, migrating the entry into its shard on a hit (an atomic
+/// rename, so concurrent readers see one layout or the other, never a
+/// torn entry).
 ///
 /// Every entry carries a `NDST` magic, the codec version, an artifact
 /// kind tag, the payload length, and an FNV-1a checksum; anything that
@@ -80,17 +108,19 @@ pub struct GcReport {
 /// with an atomic rename, so concurrent `ndet` processes sharing one
 /// cache directory can only ever observe complete entries.
 ///
-/// Hit/miss counters are tracked per process and merged into
-/// `counters.bin` on drop (or [`Store::flush_counters`]); the merge is a
-/// read-modify-rename, so concurrent writers may lose increments — the
-/// counters are diagnostics, not ledger data.
+/// The store is `Sync`: session counters are atomics, so one `Store`
+/// can be shared across server worker threads. Hit/miss counters are
+/// tracked per process and merged into `counters.bin` on drop (or
+/// [`Store::flush_counters`]); the merge is a read-modify-rename, so
+/// concurrent writers may lose increments — the counters are
+/// diagnostics, not ledger data.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     tmp_tag: u64,
-    session_hits: Cell<u64>,
-    session_misses: Cell<u64>,
-    session_writes: Cell<u64>,
+    session_hits: AtomicU64,
+    session_misses: AtomicU64,
+    session_writes: AtomicU64,
 }
 
 impl Store {
@@ -106,9 +136,9 @@ impl Store {
         Ok(Store {
             root,
             tmp_tag: TMP_SEQ.fetch_add(1, Ordering::Relaxed),
-            session_hits: Cell::new(0),
-            session_misses: Cell::new(0),
-            session_writes: Cell::new(0),
+            session_hits: AtomicU64::new(0),
+            session_misses: AtomicU64::new(0),
+            session_writes: AtomicU64::new(0),
         })
     }
 
@@ -118,10 +148,26 @@ impl Store {
         &self.root
     }
 
+    /// The entry file name shared by both layouts.
+    fn entry_file_name(key: ArtifactKey, kind: ArtifactKind) -> String {
+        format!("{}-k{kind}.art", key.to_hex())
+    }
+
+    /// The sharded (current) location of an entry: fanned out by the
+    /// first key byte, i.e. the first two hex digits of the key.
     fn entry_path(&self, key: ArtifactKey, kind: ArtifactKind) -> PathBuf {
         self.root
             .join("objects")
-            .join(format!("{}-k{kind}.art", key.to_hex()))
+            .join(&key.to_hex()[..2])
+            .join(Self::entry_file_name(key, kind))
+    }
+
+    /// The legacy flat location of an entry (stores written before
+    /// sharding). Still read, never written.
+    fn flat_entry_path(&self, key: ArtifactKey, kind: ArtifactKind) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(Self::entry_file_name(key, kind))
     }
 
     /// Loads an artifact payload, or `None` on any kind of miss: entry
@@ -129,24 +175,50 @@ impl Store {
     /// under a different codec version. Never fails loudly — a corrupt
     /// cache degrades to recomputation.
     ///
-    /// A hit refreshes the entry's mtime (best effort) so that
+    /// The sharded location is probed first; a hit on the legacy flat
+    /// location migrates the entry into its shard (atomic rename, best
+    /// effort). A hit refreshes the entry's mtime (best effort) so that
     /// [`Store::gc`]'s least-recently-used eviction sees real usage.
     #[must_use]
     pub fn load(&self, key: ArtifactKey, kind: ArtifactKind) -> Option<Vec<u8>> {
-        let path = self.entry_path(key, kind);
-        match read_entry(&path, Some(kind)) {
-            Ok(payload) => {
-                self.session_hits.set(self.session_hits.get() + 1);
-                // LRU recency: touch the entry. Failure is harmless.
-                if let Ok(f) = fs::File::open(&path) {
-                    let _ = f.set_modified(SystemTime::now());
-                }
-                Some(payload)
-            }
+        let sharded = self.entry_path(key, kind);
+        let (payload, path) = match read_entry(&sharded, Some(kind)) {
+            Ok(payload) => (payload, sharded),
             Err(_) => {
-                self.session_misses.set(self.session_misses.get() + 1);
-                None
+                // Flat-layout fallback for stores written before
+                // sharding.
+                let flat = self.flat_entry_path(key, kind);
+                match read_entry(&flat, Some(kind)) {
+                    Ok(payload) => {
+                        // Migrate into the shard so the old layout
+                        // drains incrementally; losing the race to a
+                        // concurrent writer is harmless.
+                        if let Some(dir) = sharded.parent() {
+                            if fs::create_dir_all(dir).is_ok()
+                                && fs::rename(&flat, &sharded).is_ok()
+                            {
+                                self.record_hit(&sharded);
+                                return Some(payload);
+                            }
+                        }
+                        (payload, flat)
+                    }
+                    Err(_) => {
+                        self.session_misses.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
             }
+        };
+        self.record_hit(&path);
+        Some(payload)
+    }
+
+    /// Counts a hit and refreshes the entry's LRU recency (best effort).
+    fn record_hit(&self, path: &Path) {
+        self.session_hits.fetch_add(1, Ordering::Relaxed);
+        if let Ok(f) = fs::File::open(path) {
+            let _ = f.set_modified(SystemTime::now());
         }
     }
 
@@ -178,34 +250,49 @@ impl Store {
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        let result = fs::rename(&tmp, self.entry_path(key, kind));
+        let dest = self.entry_path(key, kind);
+        if let Some(dir) = dest.parent() {
+            // Shard dirs are created on demand; create_dir_all is safe
+            // under concurrent writers racing into the same shard.
+            fs::create_dir_all(dir)?;
+        }
+        let result = fs::rename(&tmp, &dest);
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
         }
         result?;
-        self.session_writes.set(self.session_writes.get() + 1);
+        // A replaced flat-layout duplicate would shadow future loads'
+        // shard probe — sharded wins, but remove the stale twin anyway.
+        let _ = fs::remove_file(self.flat_entry_path(key, kind));
+        self.session_writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Hits recorded by this process since the store was opened.
     #[must_use]
     pub fn session_hits(&self) -> u64 {
-        self.session_hits.get()
+        self.session_hits.load(Ordering::Relaxed)
     }
 
     /// Misses recorded by this process since the store was opened.
     #[must_use]
     pub fn session_misses(&self) -> u64 {
-        self.session_misses.get()
+        self.session_misses.load(Ordering::Relaxed)
+    }
+
+    /// Writes recorded by this process since the store was opened.
+    #[must_use]
+    pub fn session_writes(&self) -> u64 {
+        self.session_writes.load(Ordering::Relaxed)
     }
 
     /// Merges this process's counters into `counters.bin` and resets
     /// them. Called automatically on drop.
     pub fn flush_counters(&self) {
         let (h, m, w) = (
-            self.session_hits.replace(0),
-            self.session_misses.replace(0),
-            self.session_writes.replace(0),
+            self.session_hits.swap(0, Ordering::Relaxed),
+            self.session_misses.swap(0, Ordering::Relaxed),
+            self.session_writes.swap(0, Ordering::Relaxed),
         );
         if h == 0 && m == 0 && w == 0 {
             return;
@@ -242,16 +329,27 @@ impl Store {
         (word(0), word(1), word(2))
     }
 
+    /// Walks both layouts: flat entry files directly under `objects/`
+    /// plus every file one level down inside the fan-out shard dirs.
     fn entry_files(&self) -> io::Result<Vec<(PathBuf, u64, SystemTime)>> {
         let mut files = Vec::new();
         for entry in fs::read_dir(self.root.join("objects"))? {
             let entry = entry?;
             let meta = entry.metadata()?;
-            if !meta.is_file() {
-                continue;
+            if meta.is_dir() {
+                for sub in fs::read_dir(entry.path())? {
+                    let sub = sub?;
+                    let meta = sub.metadata()?;
+                    if !meta.is_file() {
+                        continue;
+                    }
+                    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                    files.push((sub.path(), meta.len(), mtime));
+                }
+            } else if meta.is_file() {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                files.push((entry.path(), meta.len(), mtime));
             }
-            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-            files.push((entry.path(), meta.len(), mtime));
         }
         Ok(files)
     }
@@ -264,14 +362,44 @@ impl Store {
     /// Returns the I/O error if the objects directory cannot be scanned.
     pub fn stats(&self) -> io::Result<StoreStats> {
         let files = self.entry_files()?;
+        let histogram = self.shard_histogram()?;
         let (hits, misses, writes) = self.read_persisted_counters();
         Ok(StoreStats {
             entries: files.len() as u64,
             total_bytes: files.iter().map(|(_, len, _)| len).sum(),
-            hits: hits + self.session_hits.get(),
-            misses: misses + self.session_misses.get(),
-            writes: writes + self.session_writes.get(),
+            shards: histogram.shards.len() as u64,
+            flat_entries: histogram.flat,
+            hits: hits + self.session_hits(),
+            misses: misses + self.session_misses(),
+            writes: writes + self.session_writes(),
         })
+    }
+
+    /// Per-shard entry counts: how the fan-out layout is filling up.
+    /// Only shards holding at least one entry are listed (sorted by
+    /// shard name); entries still in the legacy flat layout are counted
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the objects directory cannot be scanned.
+    pub fn shard_histogram(&self) -> io::Result<ShardHistogram> {
+        let mut histogram = ShardHistogram::default();
+        for (path, _, _) in self.entry_files()? {
+            let shard = path
+                .parent()
+                .filter(|dir| dir.file_name().is_some_and(|n| n != "objects"))
+                .and_then(|dir| dir.file_name()?.to_str())
+                .map(str::to_string);
+            match shard {
+                Some(name) => match histogram.shards.binary_search_by(|(s, _)| s.cmp(&name)) {
+                    Ok(i) => histogram.shards[i].1 += 1,
+                    Err(i) => histogram.shards.insert(i, (name, 1)),
+                },
+                None => histogram.flat += 1,
+            }
+        }
+        Ok(histogram)
     }
 
     /// Validates every entry's header and checksum.
@@ -304,12 +432,26 @@ impl Store {
         for (path, _, _) in self.entry_files()? {
             fs::remove_file(path)?;
         }
+        self.prune_empty_shards();
         let _ = fs::remove_file(self.root.join(COUNTERS_FILE));
         self.sweep_tmp(std::time::Duration::ZERO);
-        self.session_hits.set(0);
-        self.session_misses.set(0);
-        self.session_writes.set(0);
+        self.session_hits.store(0, Ordering::Relaxed);
+        self.session_misses.store(0, Ordering::Relaxed);
+        self.session_writes.store(0, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Removes shard directories left empty by eviction (best effort —
+    /// `remove_dir` refuses non-empty dirs, so racing writers are safe).
+    fn prune_empty_shards(&self) {
+        let Ok(entries) = fs::read_dir(self.root.join("objects")) else {
+            return;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            if entry.file_type().is_ok_and(|t| t.is_dir()) {
+                let _ = fs::remove_dir(entry.path());
+            }
+        }
     }
 
     /// Removes staging files older than `min_age` (best effort). Live
@@ -357,6 +499,9 @@ impl Store {
             total -= len;
             report.evicted += 1;
             report.freed_bytes += len;
+        }
+        if report.evicted > 0 {
+            self.prune_empty_shards();
         }
         Ok(report)
     }
@@ -610,6 +755,139 @@ mod tests {
         fs::write(&orphan, b"partial").unwrap();
         store.clear().unwrap();
         assert!(!orphan.exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn entries_land_in_fanout_shards() {
+        let store = temp_store("shards");
+        // 0x00.. and 0xff.. land in different shards; same first byte
+        // shares one.
+        store
+            .save(ArtifactKey(0x00ab_0000_0000_0001), 1, b"a")
+            .unwrap();
+        store
+            .save(ArtifactKey(0x00cd_0000_0000_0002), 1, b"b")
+            .unwrap();
+        store
+            .save(ArtifactKey(0xff00_0000_0000_0003), 1, b"c")
+            .unwrap();
+        assert!(store.root().join("objects/00").is_dir());
+        assert!(store.root().join("objects/ff").is_dir());
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.flat_entries, 0);
+        let histogram = store.shard_histogram().unwrap();
+        assert_eq!(
+            histogram.shards,
+            vec![("00".to_string(), 2), ("ff".to_string(), 1)]
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    /// Plants an entry in the legacy flat layout by writing it sharded
+    /// and moving the file up — byte-identical to what a pre-sharding
+    /// store produced.
+    fn plant_flat_entry(store: &Store, key: ArtifactKey, kind: ArtifactKind, payload: &[u8]) {
+        store.save(key, kind, payload).unwrap();
+        fs::rename(
+            store.entry_path(key, kind),
+            store.flat_entry_path(key, kind),
+        )
+        .unwrap();
+        store.prune_empty_shards();
+    }
+
+    #[test]
+    fn flat_layout_entries_read_through_and_migrate_on_hit() {
+        let store = temp_store("flat-readthrough");
+        let key = ArtifactKey(0xaa00_0000_0000_0042);
+        plant_flat_entry(&store, key, 1, b"legacy payload");
+        let stats = store.stats().unwrap();
+        assert_eq!((stats.entries, stats.flat_entries, stats.shards), (1, 1, 0));
+        // verify sees the flat entry too.
+        let report = store.verify().unwrap();
+        assert_eq!(report.valid, 1);
+        assert!(report.corrupt.is_empty());
+        // The load hits — and migrates the entry into its shard.
+        assert_eq!(store.load(key, 1).unwrap(), b"legacy payload");
+        assert!(store.entry_path(key, 1).is_file());
+        assert!(!store.flat_entry_path(key, 1).exists());
+        let stats = store.stats().unwrap();
+        assert_eq!((stats.entries, stats.flat_entries, stats.shards), (1, 0, 1));
+        // Still a hit from the shard.
+        assert_eq!(store.load(key, 1).unwrap(), b"legacy payload");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn save_replaces_a_stale_flat_twin() {
+        let store = temp_store("flat-twin");
+        let key = ArtifactKey(0xbb00_0000_0000_0007);
+        plant_flat_entry(&store, key, 1, b"old");
+        store.save(key, 1, b"new").unwrap();
+        assert!(!store.flat_entry_path(key, 1).exists());
+        assert_eq!(store.load(key, 1).unwrap(), b"new");
+        assert_eq!(store.stats().unwrap().entries, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_orders_lru_across_shards_and_the_flat_layout() {
+        // LRU eviction must interleave entries from different shard
+        // dirs and the legacy flat layout purely by recency.
+        let store = temp_store("gc-across-shards");
+        let payload = vec![0u8; 100];
+        let keys = [
+            ArtifactKey(0x1100_0000_0000_0001), // shard 11, oldest
+            ArtifactKey(0x2200_0000_0000_0002), // shard 22
+            ArtifactKey(0x3300_0000_0000_0003), // flat, newest but one
+            ArtifactKey(0x4400_0000_0000_0004), // shard 44, newest
+        ];
+        for (i, &key) in keys.iter().enumerate() {
+            store.save(key, 1, &payload).unwrap();
+            if i == 2 {
+                fs::rename(store.entry_path(key, 1), store.flat_entry_path(key, 1)).unwrap();
+            }
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            let path = if i == 2 {
+                store.flat_entry_path(key, 1)
+            } else {
+                store.entry_path(key, 1)
+            };
+            let age = std::time::Duration::from_secs(1000 - 100 * i as u64);
+            let f = fs::File::open(path).unwrap();
+            f.set_modified(SystemTime::now() - age).unwrap();
+        }
+        let per_entry = (HEADER_LEN + payload.len()) as u64;
+        let report = store.gc(2 * per_entry).unwrap();
+        assert_eq!(report.evicted, 2);
+        // The two oldest (shards 11 and 22) are gone; the flat entry and
+        // shard 44 survive. Emptied shard dirs are pruned.
+        assert!(store.load(keys[0], 1).is_none());
+        assert!(store.load(keys[1], 1).is_none());
+        assert!(store.load(keys[2], 1).is_some());
+        assert!(store.load(keys[3], 1).is_some());
+        assert!(!store.root().join("objects/11").exists());
+        assert!(!store.root().join("objects/22").exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn clear_prunes_shard_directories() {
+        let store = temp_store("clear-shards");
+        store
+            .save(ArtifactKey(0x0500_0000_0000_0001), 1, b"a")
+            .unwrap();
+        store
+            .save(ArtifactKey(0x9900_0000_0000_0002), 1, b"b")
+            .unwrap();
+        store.clear().unwrap();
+        assert_eq!(store.stats().unwrap().entries, 0);
+        assert!(!store.root().join("objects/05").exists());
+        assert!(!store.root().join("objects/99").exists());
         let _ = fs::remove_dir_all(store.root());
     }
 

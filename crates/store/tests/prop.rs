@@ -86,6 +86,58 @@ proptest! {
     }
 }
 
+proptest! {
+    // Shrunk case budget: each case spins up threads and touches disk.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two writers sharing one store directory (the CI stress harness
+    /// in miniature): overlapping key ranges, concurrent publishes via
+    /// temp-plus-rename. Afterwards every entry must verify clean and
+    /// load back as one of the two writers' payloads, never a torn mix.
+    #[test]
+    fn two_concurrent_writers_leave_the_store_consistent(seed in any::<u64>()) {
+        let dir = std::env::temp_dir().join(format!(
+            "ndetect-store-race-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two handles on one directory — the same sharing mode as two
+        // `ndet` processes pointed at a common --cache-dir.
+        let writer_a = Store::open(&dir).unwrap();
+        let writer_b = Store::open(&dir).unwrap();
+
+        let payload_of = |writer: u64, key: u64| -> Vec<u8> {
+            let mut rng = StdRng::seed_from_u64(seed ^ (writer << 32) ^ key);
+            (0..64 + (key as usize % 512)).map(|_| rng.gen_range(0..=255)).collect()
+        };
+        std::thread::scope(|scope| {
+            for (tag, store) in [(0u64, &writer_a), (1u64, &writer_b)] {
+                scope.spawn(move || {
+                    // Keys 0..12 overlap fully between the writers;
+                    // first-byte spread exercises distinct shards.
+                    for i in 0..12u64 {
+                        let key = ArtifactKey(seed.wrapping_add(i.wrapping_mul(0x0101_0101)));
+                        store.save(key, 7, &payload_of(tag, i)).unwrap();
+                    }
+                });
+            }
+        });
+
+        let fresh = Store::open(&dir).unwrap();
+        let report = fresh.verify().unwrap();
+        prop_assert!(report.corrupt.is_empty(), "torn entries: {:?}", report.corrupt);
+        prop_assert_eq!(report.valid, 12);
+        for i in 0..12u64 {
+            let key = ArtifactKey(seed.wrapping_add(i.wrapping_mul(0x0101_0101)));
+            let loaded = fresh.load(key, 7).expect("entry must exist");
+            let wins_a = loaded == payload_of(0, i);
+            let wins_b = loaded == payload_of(1, i);
+            prop_assert!(wins_a || wins_b, "entry {i} is neither writer's payload");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn store_round_trips_payloads_through_disk() {
     let dir = std::env::temp_dir().join(format!("ndetect-store-proptest-{}", std::process::id()));

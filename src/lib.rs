@@ -15,6 +15,7 @@
 //! | [`analysis`] | worst-case `nmin` and average-case (Procedure 1) analyses |
 //! | [`gen`] | greedy set-cover n-detection test-set generation + compaction |
 //! | [`store`] | content-addressed on-disk artifact cache (universes, nmin vectors, generated sets) |
+//! | [`serve`] | persistent analysis service: TCP line protocol, hot LRU, single-flight dedup |
 //!
 //! # Quickstart
 //!
@@ -44,5 +45,6 @@ pub use ndetect_faults as faults;
 pub use ndetect_fsm as fsm;
 pub use ndetect_gen as gen;
 pub use ndetect_netlist as netlist;
+pub use ndetect_serve as serve;
 pub use ndetect_sim as sim;
 pub use ndetect_store as store;
