@@ -31,8 +31,9 @@ pub const USAGE: &str = "usage:
   ndet corpus <dir> [--format csv|json] [--max-inputs N] [--recursive]
   ndet cache <stats|verify|clear|gc> [--max-bytes N]
   ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
-             [--hot-universes N] [--hot-sets N]
-  ndet request <addr> <verb> [args...]
+             [--hot-universes N] [--hot-sets N] [--max-conns N]
+  ndet request <addr> <verb> [args...] [--retry N]
+  ndet trace report <file>
 
 <circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
 
@@ -41,12 +42,24 @@ pub const USAGE: &str = "usage:
 --addr-file, written to a file) and answers newline-delimited requests
 (`stats <circuit>`, `worst <circuit> [floor=N]`, `gen <circuit> [n=N]
 [compact] [seed=S]`, `corpus <dir> [format=csv|json] [max_inputs=N]
-[recursive]`, `counters`, `ping`) with exactly the bytes the matching
-one-shot command prints. Hot artifacts stay in an in-memory LRU,
-identical concurrent requests coalesce into a single build, and
+[recursive]`, `counters`, `metrics`, `ping`) with exactly the bytes the
+matching one-shot command prints. Hot artifacts stay in an in-memory
+LRU, identical concurrent requests coalesce into a single build,
+connections beyond --max-conns get a one-line `err busy` reply, and
 SIGTERM/ctrl-c drains in-flight work before exiting 0. `ndet request`
 is the matching one-shot client: it sends one request line and prints
-the reply payload.
+the reply payload; `--retry N` retries a refused connection up to N
+times with exponential backoff (for supervisors racing server
+startup).
+
+Every command accepts `--trace-out FILE` (or the NDETECT_TRACE
+environment variable): spans covering the analysis hot paths — universe
+build phases, kernel selection, store load/save, generator rounds,
+serve request lifecycle — are appended to FILE as JSONL. `ndet trace
+report <file>` aggregates such a file into a per-span time table.
+`metrics` (over `ndet request`) returns a Prometheus-style text
+exposition of the serve counters, store session counters, and request
+latency histogram.
 
 Every analysis command accepts `--threads N` (worker threads for fault
 simulation; default: the NDETECT_THREADS environment variable, then all
@@ -71,6 +84,23 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     let command = it.next().ok_or("missing command")?;
     let rest: Vec<&String> = it.collect();
+    // Tracing: an explicit --trace-out wins over NDETECT_TRACE; either
+    // way the sink is flushed after the command so the JSONL is
+    // complete even for buffered writers.
+    match flag_str(&rest, "--trace-out")? {
+        Some(path) => ndetect_obs::trace::init_file(path)
+            .map_err(|e| format!("cannot open --trace-out file `{path}`: {e}"))?,
+        None => {
+            let _ = ndetect_obs::trace::init_from_env();
+        }
+    }
+    let result = dispatch_command(command, &rest);
+    ndetect_obs::trace::flush();
+    result
+}
+
+fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
+    let rest: Vec<&String> = rest.to_vec();
     // Worker threads for fault simulation and analysis; 0 = auto
     // (NDETECT_THREADS, then the machine's available parallelism).
     let threads = flag_value(&rest, "--threads")?.unwrap_or(0);
@@ -86,7 +116,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         threads,
         mem_budget,
     };
-    match command.as_str() {
+    match command {
         "list" => list(),
         "stats" => {
             let store = open_store(&rest)?;
@@ -151,7 +181,26 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "cache" => cache(&rest, open_store(&rest)?.as_ref()),
         "serve" => serve_cmd::serve(&rest, open_store(&rest)?),
         "request" => serve_cmd::request(&rest),
+        "trace" => trace_cmd(&rest),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// `ndet trace report <file>`: aggregate a JSONL trace (as written by
+/// `--trace-out` / `NDETECT_TRACE`) into a per-span time table.
+fn trace_cmd(rest: &[&String]) -> Result<(), String> {
+    let pos = positionals(rest);
+    match pos.first().copied() {
+        Some("report") => {
+            let path = pos.get(1).copied().ok_or("missing trace file path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let report = ndetect_obs::TraceReport::from_jsonl(&text)?;
+            print!("{}", ndetect_obs::render_report(&report));
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown trace subcommand `{other}`")),
+        None => Err("missing trace subcommand (expected `report <file>`)".into()),
     }
 }
 
@@ -644,5 +693,30 @@ mod tests {
     fn file_commands_validate_paths() {
         assert!(run(&["bench-file", "/nonexistent/x.bench"]).is_err());
         assert!(run(&["pla-file", "/nonexistent/x.pla"]).is_err());
+    }
+
+    #[test]
+    fn trace_out_produces_a_reportable_jsonl_file() {
+        let path =
+            std::env::temp_dir().join(format!("ndet-trace-test-{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        assert!(run(&["worst", "figure1", "--trace-out", &path]).is_ok());
+        ndetect_obs::trace::disable();
+        assert!(run(&["trace", "report", &path]).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_subcommand_validation() {
+        assert!(run(&["trace"]).is_err());
+        assert!(run(&["trace", "frobnicate"]).is_err());
+        assert!(run(&["trace", "report"]).is_err());
+        assert!(run(&["trace", "report", "/nonexistent/trace.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn request_retry_flag_validation() {
+        assert!(run(&["request", "127.0.0.1:1", "ping", "--retry", "zebra"]).is_err());
+        assert!(run(&["request", "127.0.0.1:1", "ping", "--retry"]).is_err());
     }
 }

@@ -4,15 +4,15 @@
 use ndetect_serve::protocol::{read_reply, Reply};
 use ndetect_serve::{signal, Engine, Server, ServerConfig};
 use ndetect_store::Store;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use super::{flag_str, flag_value, positionals};
 
 /// `ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
-/// [--hot-universes N] [--hot-sets N]`: bind, announce, serve until
-/// SIGTERM/ctrl-c, then drain and exit cleanly.
+/// [--hot-universes N] [--hot-sets N] [--max-conns N]`: bind, announce,
+/// serve until SIGTERM/ctrl-c, then drain and exit cleanly.
 pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
     let config = ServerConfig {
         addr: flag_str(rest, "--addr")?
@@ -23,6 +23,7 @@ pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
         ),
         hot_universes: flag_value(rest, "--hot-universes")?.unwrap_or(32),
         hot_sets: flag_value(rest, "--hot-sets")?.unwrap_or(32),
+        max_conns: flag_value(rest, "--max-conns")?.unwrap_or(256),
     };
     let addr_file = flag_str(rest, "--addr-file")?.map(str::to_string);
 
@@ -44,10 +45,12 @@ pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
     server.run()
 }
 
-/// `ndet request <addr> <verb> [args...]`: send one request line and
-/// print the reply payload (the exact bytes the matching one-shot
-/// command would print). Server-side errors come back as an `Err` with
-/// the structured code, so the process exits nonzero.
+/// `ndet request <addr> <verb> [args...] [--retry N]`: send one request
+/// line and print the reply payload (the exact bytes the matching
+/// one-shot command would print). Server-side errors come back as an
+/// `Err` with the structured code, so the process exits nonzero.
+/// `--retry N` retries a refused connection up to N times with
+/// exponential backoff — for supervisors that race server startup.
 pub fn request(rest: &[&String]) -> Result<(), String> {
     let pos = positionals(rest);
     let addr = *pos.first().ok_or("missing server address")?;
@@ -57,8 +60,9 @@ pub fn request(rest: &[&String]) -> Result<(), String> {
     let line = pos[1..].join(" ");
     let timeout =
         Duration::from_millis(flag_value(rest, "--timeout-ms")?.unwrap_or(120_000) as u64);
+    let retries = flag_value(rest, "--retry")?.unwrap_or(0);
 
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let stream = connect_with_retry(addr, retries)?;
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| e.to_string())?;
@@ -73,5 +77,32 @@ pub fn request(rest: &[&String]) -> Result<(), String> {
             Ok(())
         }
         Reply::Err { code, message } => Err(format!("server error ({code}): {message}")),
+    }
+}
+
+/// Connects to `addr`, retrying a refused connection up to `retries`
+/// times with exponential backoff (50ms doubling, capped at 3.2s). Only
+/// `ConnectionRefused` retries — it means "the server is not up yet";
+/// any other error (unresolvable address, unreachable network) is
+/// permanent and fails immediately.
+fn connect_with_retry(addr: &str, retries: usize) -> Result<TcpStream, String> {
+    let mut attempt = 0;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && attempt < retries => {
+                let backoff = Duration::from_millis(50 << attempt.min(6));
+                std::thread::sleep(backoff);
+                attempt += 1;
+            }
+            Err(e) => {
+                let tried = if attempt > 0 {
+                    format!(" after {} attempts", attempt + 1)
+                } else {
+                    String::new()
+                };
+                return Err(format!("cannot connect to {addr}{tried}: {e}"));
+            }
+        }
     }
 }

@@ -30,6 +30,7 @@
 use crate::bridging::BridgingFault;
 use crate::stuck_at::StuckAtFault;
 use ndetect_netlist::{GateKind, LineKind, Netlist, NodeId, ReachabilityMatrix, Sink};
+use ndetect_obs::trace;
 use ndetect_sim::rows as rowops;
 use ndetect_sim::rows::{zeroed_words, RowMatrix};
 use ndetect_sim::{
@@ -329,7 +330,11 @@ impl FaultSimulator {
         budget: MemoryBudget,
     ) -> Result<Self, ndetect_sim::SimError> {
         let space = PatternSpace::new(netlist.num_inputs())?;
-        let good = GoodValues::compute_with(netlist, &space, num_threads);
+        let good = {
+            let mut span = trace::span("sim.good_values");
+            span.field("blocks", space.num_blocks());
+            GoodValues::compute_with(netlist, &space, num_threads)
+        };
         Self::assemble(netlist, space, good, budget)
     }
 
@@ -384,6 +389,9 @@ impl FaultSimulator {
         good: GoodValues,
         budget: MemoryBudget,
     ) -> Result<Self, ndetect_sim::SimError> {
+        // Cone arena + transpose + others-table setup: the structural
+        // (non-simulating) half of simulator construction.
+        let mut span = trace::span("sim.assemble");
         let reach = ReachabilityMatrix::compute(netlist);
         let n = netlist.num_nodes();
         let nb = space.num_blocks();
@@ -424,6 +432,15 @@ impl FaultSimulator {
         // zero-overhead full-width mode.
         let words_per_block = 2 * n + num_other_rows + 2;
         let tile_width = budget.tile_width(words_per_block, nb);
+        let kernel = if tile_width == nb { "full" } else { "tiled" };
+        span.field("kernel", kernel);
+        span.field("nodes", n);
+        span.field("blocks", nb);
+        // Library-level metric: which kernel the budget selected, across
+        // every simulator built in this process.
+        ndetect_obs::global()
+            .counter(&format!("kernel_{kernel}_selected_total"))
+            .inc();
 
         let (good_nm, others) = if tile_width == nb {
             // Full mode: materialize the node-major transpose (the

@@ -12,6 +12,7 @@ use crate::error::FaultError;
 use crate::sim::FaultSimulator;
 use crate::stuck_at::{all_stuck_at_faults, StuckAtFault};
 use ndetect_netlist::Netlist;
+use ndetect_obs::trace;
 use ndetect_sim::{parallel, MemoryBudget, PatternSpace, SimScratch, VectorSet};
 use ndetect_store::{decode_from_slice, encode_to_vec, ArtifactKey, Store};
 use std::fmt;
@@ -118,9 +119,16 @@ impl FaultUniverse {
     /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
     /// exhaustive simulation.
     pub fn build_with(netlist: &Netlist, options: UniverseOptions) -> Result<Self, FaultError> {
+        let mut build_span = trace::span("universe.build");
+        build_span.field("circuit", netlist.name());
+        let started = std::time::Instant::now();
         let threads = parallel::resolve_threads(options.threads);
         let simulator = FaultSimulator::with_budget(netlist, threads, options.mem_budget)?;
-        let collapsed = CollapsedFaults::compute(netlist);
+        build_span.field("kernel", simulator.kernel_mode());
+        let collapsed = {
+            let _span = trace::span("universe.collapse");
+            CollapsedFaults::compute(netlist)
+        };
 
         let targets: Vec<StuckAtFault> = if options.collapse_targets {
             collapsed.representatives().to_vec()
@@ -133,26 +141,31 @@ impl FaultUniverse {
         // reassembled in fault order, so the sets are bit-identical to a
         // serial pass. Under a bounded budget the sweep is additionally
         // tile-major over blocks (see [`build_sets_tiled`]).
-        let target_sets: Vec<VectorSet> = if simulator.tile_width() < simulator.space().num_blocks()
-        {
-            build_sets_tiled(netlist, &simulator, threads, &targets, |n, s, &f, b, sc| {
-                s.stuck_words(n, f, b, sc)
-            })
-        } else {
-            parallel::parallel_map_with(
-                threads,
-                &targets,
-                || simulator.new_scratch(),
-                |scratch, _, &f| simulator.detection_set_stuck_with(netlist, f, scratch),
-            )
+        let target_sets: Vec<VectorSet> = {
+            let mut span = trace::span("universe.target_sweep");
+            span.field("faults", targets.len());
+            if simulator.tile_width() < simulator.space().num_blocks() {
+                build_sets_tiled(netlist, &simulator, threads, &targets, |n, s, &f, b, sc| {
+                    s.stuck_words(n, f, b, sc)
+                })
+            } else {
+                parallel::parallel_map_with(
+                    threads,
+                    &targets,
+                    || simulator.new_scratch(),
+                    |scratch, _, &f| simulator.detection_set_stuck_with(netlist, f, scratch),
+                )
+            }
         };
 
         let mut bridges = Vec::new();
         let mut bridge_sets = Vec::new();
         let mut num_undetectable_bridges = 0;
         if options.include_bridges {
+            let mut span = trace::span("universe.bridge_sweep");
             let enumerated =
                 enumerate_bridges(netlist, simulator.reachability(), options.bridge_model);
+            span.field("faults", enumerated.len());
             let sets = if simulator.tile_width() < simulator.space().num_blocks() {
                 build_sets_tiled(
                     netlist,
@@ -181,6 +194,14 @@ impl FaultUniverse {
             }
         }
 
+        build_span.field("targets", targets.len());
+        build_span.field("bridges", bridges.len());
+        // Library-level metrics: builds across the whole process (the
+        // serve engine separately counts *its* builds per instance).
+        ndetect_obs::global().counter("universe_builds_total").inc();
+        ndetect_obs::global()
+            .histogram("universe_build_us")
+            .record(started.elapsed().as_micros() as u64);
         Ok(FaultUniverse {
             netlist: netlist.clone(),
             simulator,
@@ -436,6 +457,9 @@ where
     let mut start = 0;
     while start < num_blocks {
         let end = num_blocks.min(start + tile);
+        let mut tile_span = trace::span("universe.tile_gather");
+        tile_span.field("blocks", end - start);
+        tile_span.field("faults", faults.len());
         let spans = parallel::parallel_map_with(
             threads,
             faults,

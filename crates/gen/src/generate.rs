@@ -7,6 +7,7 @@
 use crate::artifact::{generated_key, KIND_GENERATED_SET};
 use crate::compact::compact;
 use ndetect_faults::FaultUniverse;
+use ndetect_obs::trace;
 use ndetect_sim::{parallel, rows, MemoryBudget, VectorSet};
 use ndetect_store::{decode_from_slice, encode_to_vec, Store};
 use std::fmt;
@@ -348,7 +349,15 @@ pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet 
         .mem_budget
         .tile_width(GAIN_WORDS_PER_BLOCK, num_blocks);
 
+    let mut gen_span = trace::span("gen.generate");
+    gen_span.field("n", options.n);
+    gen_span.field("targets", targets.len());
     while !active.is_empty() {
+        // Per-round span: gain-pass time, candidates scanned, and the
+        // gain of the vector the round chose — the per-round cost data
+        // the set-cover analysis (PAPERS.md, Cui) predicts shifts in.
+        let mut round_span = trace::span("gen.round");
+        round_span.field("active", active.len());
         let mut running: Option<Argmax> = None;
         let mut start = 0;
         while start < num_blocks {
@@ -366,6 +375,7 @@ pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet 
             // unchosen vector left in T(f).
             break;
         }
+        round_span.field("gain", best_gain);
         members.insert(best);
         vectors.push(best as u32);
         active.retain(|&fi| {
@@ -375,7 +385,11 @@ pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet 
             }
             deficit[fi] > 0
         });
+        ndetect_obs::global().counter("gen_rounds_total").inc();
     }
+    gen_span.field("vectors", vectors.len());
+    drop(gen_span);
+    ndetect_obs::global().counter("gen_sets_total").inc();
 
     let mut set = GeneratedSet {
         n: options.n,
@@ -387,6 +401,7 @@ pub fn generate(universe: &FaultUniverse, options: &GenOptions) -> GeneratedSet 
     };
     set.recount(universe);
     if options.compact {
+        let _span = trace::span("gen.compact");
         compact(&mut set, universe);
     }
     debug_assert!(set.satisfies(universe));

@@ -1,0 +1,248 @@
+//! Prometheus-style text exposition of a [`Registry`], plus a strict
+//! parser used by tests and CI to assert the exposition stays
+//! well-formed.
+//!
+//! The format is the Prometheus text format restricted to what this
+//! workspace emits: `# TYPE` comments, bare `name value` samples for
+//! counters and gauges, and cumulative `name_bucket{le="..."}` series
+//! (with `_sum` / `_count`) for histograms. Histogram bucket bounds are
+//! the log₂ bounds from [`crate::metrics::Histogram`]; empty buckets
+//! are elided (cumulative counts make that lossless for quantile
+//! queries, and a 64-bucket histogram would otherwise be mostly
+//! zeros).
+
+use crate::metrics::{Histogram, Metric, Registry, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// Renders every metric in `registry` as Prometheus text exposition.
+#[must_use]
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, metric) in registry.snapshot() {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let counts = h.bucket_counts();
+                let mut cumulative = 0u64;
+                for (i, &c) in counts.iter().enumerate() {
+                    cumulative += c;
+                    if c == 0 {
+                        continue;
+                    }
+                    if i >= HISTOGRAM_BUCKETS {
+                        // Overflow lands in the +Inf bucket below.
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        Histogram::bucket_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name, including any `_bucket` / `_sum` / `_count` suffix.
+    pub name: String,
+    /// The `le` label for `_bucket` samples (`None` otherwise); `+Inf`
+    /// is represented as `u64::MAX`.
+    pub le: Option<u64>,
+    /// The sample value.
+    pub value: u64,
+}
+
+/// Parses Prometheus text exposition as written by [`render`].
+///
+/// Strict on purpose: every line must be a well-formed `# TYPE`
+/// comment or a sample whose value parses, histogram `_bucket` series
+/// must be cumulative (non-decreasing) and end at `+Inf`, and names
+/// must match `[a-zA-Z_][a-zA-Z0-9_]*`. CI scrapes the serve `metrics`
+/// verb through this parser, so any formatting regression fails fast.
+///
+/// # Errors
+///
+/// Returns `Err(description)` naming the first offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    // (name, last cumulative value, saw +Inf) for the open bucket run.
+    let mut open_bucket: Option<(String, u64, bool)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        let err = |msg: &str| format!("line {}: {msg}: `{line}`", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() != Some("TYPE") {
+                return Err(err("only # TYPE comments are emitted"));
+            }
+            let name = parts.next().ok_or_else(|| err("# TYPE missing name"))?;
+            check_name(name).map_err(|m| err(&m))?;
+            match parts.next() {
+                Some("counter" | "gauge" | "histogram") => {}
+                _ => return Err(err("bad metric kind")),
+            }
+            if parts.next().is_some() {
+                return Err(err("trailing tokens after # TYPE"));
+            }
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample line has no value"))?;
+        let value: u64 = value_part
+            .parse()
+            .map_err(|_| err("sample value is not a u64"))?;
+        let (name, le) = match name_part.split_once('{') {
+            None => {
+                check_name(name_part).map_err(|m| err(&m))?;
+                (name_part.to_string(), None)
+            }
+            Some((name, labels)) => {
+                check_name(name).map_err(|m| err(&m))?;
+                if !name.ends_with("_bucket") {
+                    return Err(err("only _bucket samples carry labels"));
+                }
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .ok_or_else(|| err("expected le=\"...\" label"))?;
+                let bound = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse().map_err(|_| err("le bound is not a u64"))?
+                };
+                (name.to_string(), Some(bound))
+            }
+        };
+        match (&mut open_bucket, &le) {
+            (Some((open, last, saw_inf)), Some(bound)) if *open == name => {
+                if value < *last {
+                    return Err(err("histogram buckets are not cumulative"));
+                }
+                *last = value;
+                *saw_inf = *bound == u64::MAX;
+            }
+            (open, Some(bound)) => {
+                if let Some((name, _, saw_inf)) = open.take() {
+                    if !saw_inf {
+                        return Err(err(&format!("`{name}` series ended before +Inf")));
+                    }
+                }
+                *open = Some((name.clone(), value, *bound == u64::MAX));
+            }
+            (open, None) => {
+                if let Some((bname, _, saw_inf)) = open.take() {
+                    // A _sum/_count line legitimately follows +Inf.
+                    if !saw_inf {
+                        return Err(err(&format!("`{bname}` series ended before +Inf")));
+                    }
+                }
+            }
+        }
+        samples.push(Sample { name, le, value });
+    }
+    if let Some((name, _, saw_inf)) = open_bucket {
+        if !saw_inf {
+            return Err(format!("`{name}` series ended before +Inf"));
+        }
+    }
+    Ok(samples)
+}
+
+/// The value of the sample named `name` (first match), if present.
+#[must_use]
+pub fn sample_value(samples: &[Sample], name: &str) -> Option<u64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.le.is_none())
+        .map(|s| s.value)
+}
+
+fn check_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if ok_first && chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(())
+    } else {
+        Err(format!("bad metric name `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let r = Registry::new();
+        r.counter("store_hits").add(42);
+        r.gauge("open_conns").set(3);
+        let h = r.histogram("request_latency_us");
+        for v in [1u64, 3, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        let text = render(&r);
+        let samples = parse_exposition(&text).expect("own exposition parses");
+        assert_eq!(sample_value(&samples, "store_hits"), Some(42));
+        assert_eq!(sample_value(&samples, "open_conns"), Some(3));
+        assert_eq!(sample_value(&samples, "request_latency_us_count"), Some(5));
+        // Cumulative buckets: le=1 holds 1 sample, le=4 holds 3,
+        // le=1024 holds 4, +Inf holds all 5 (one overflowed).
+        let buckets: Vec<(u64, u64)> = samples
+            .iter()
+            .filter(|s| s.name == "request_latency_us_bucket")
+            .map(|s| (s.le.unwrap(), s.value))
+            .collect();
+        assert_eq!(buckets, vec![(1, 1), (4, 3), (1024, 4), (u64::MAX, 5)]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_exposition() {
+        assert!(parse_exposition("name").is_err(), "no value");
+        assert!(parse_exposition("name x").is_err(), "bad value");
+        assert!(parse_exposition("1bad 3").is_err(), "bad name");
+        assert!(parse_exposition("# HELP x y").is_err(), "non-TYPE comment");
+        assert!(parse_exposition("# TYPE x widget").is_err(), "bad kind");
+        assert!(
+            parse_exposition("x_bucket{le=\"2\"} 5\nx_bucket{le=\"4\"} 3\nx_bucket{le=\"+Inf\"} 5")
+                .is_err(),
+            "non-cumulative buckets"
+        );
+        assert!(
+            parse_exposition("x_bucket{le=\"2\"} 5").is_err(),
+            "bucket series without +Inf"
+        );
+        assert!(
+            parse_exposition("x{le=\"2\"} 5").is_err(),
+            "labels on a non-bucket sample"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(render(&r), "");
+        assert_eq!(parse_exposition("").unwrap(), vec![]);
+    }
+}

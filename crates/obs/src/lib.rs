@@ -1,0 +1,39 @@
+//! `ndetect-obs`: the workspace's observability substrate.
+//!
+//! Every layer of the analysis pipeline — fault simulation, the
+//! on-disk store, the generator, the serving loop — used to grow its
+//! own ad-hoc counters with no shared vocabulary and no way to answer
+//! "where did this request's time go?". This crate is the one layer
+//! they all report through instead:
+//!
+//! * **Metrics** ([`metrics`]): atomic counters, gauges, and
+//!   log-bucketed histograms in a [`Registry`]. Cheap enough to stay on
+//!   in release builds (one relaxed atomic RMW per event); p50/p90/p99
+//!   are derivable from the histogram buckets. A process-wide
+//!   [`global`] registry carries library-level metrics; components with
+//!   per-instance populations (a serving engine, a store) keep their
+//!   own registries and expose both.
+//! * **Tracing** ([`trace`]): RAII span guards with per-thread
+//!   parent/child nesting, written as JSONL when tracing is enabled
+//!   (`NDETECT_TRACE` / `--trace-out`) and a few nanoseconds of
+//!   overhead when it is not (one relaxed atomic load).
+//! * **Exposition** ([`expose`]): Prometheus-style text rendering of a
+//!   registry (the serve `metrics` verb) plus a strict parser used by
+//!   tests and CI to assert the exposition stays well-formed.
+//! * **Reports** ([`report`]): offline aggregation of a JSONL trace
+//!   into a per-span time table (`ndet trace report`).
+//!
+//! The crate is dependency-free (std only) and every hot-path
+//! operation is wait-free on the happy path.
+
+#![forbid(unsafe_code)]
+
+pub mod expose;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use expose::{parse_exposition, Sample};
+pub use metrics::{global, Counter, Gauge, Histogram, Metric, Registry};
+pub use report::{render_report, TraceReport};
+pub use trace::{Span, SpanRecord};

@@ -1,0 +1,242 @@
+//! Offline aggregation of a JSONL trace into a per-span time table
+//! (the `ndet trace report <file>` subcommand).
+//!
+//! Wall time is the envelope of the trace (`max(start+dur) −
+//! min(start)`); per-name totals can exceed it when spans of the same
+//! name overlap across threads, which the `% wall` column makes
+//! visible rather than hiding.
+
+use crate::trace::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStats {
+    /// The span name.
+    pub name: String,
+    /// How many spans closed under this name.
+    pub count: u64,
+    /// Total nanoseconds across all spans of this name.
+    pub total_ns: u64,
+    /// Shortest single span.
+    pub min_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean span duration in nanoseconds (0 when `count` is 0).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A parsed-and-aggregated trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Per-name statistics, sorted by descending total time.
+    pub spans: Vec<SpanStats>,
+    /// Total spans in the trace.
+    pub records: u64,
+    /// Trace envelope: `max(start + dur) − min(start)` over all spans.
+    pub wall_ns: u64,
+    /// Total time in spans with no recorded parent (the coverage
+    /// numerator: roots partition the instrumented wall time).
+    pub root_ns: u64,
+}
+
+impl TraceReport {
+    /// Parses and aggregates a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` naming the first malformed line —
+    /// the CI obs-smoke step relies on this doubling as a validator.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut by_name: BTreeMap<String, SpanStats> = BTreeMap::new();
+        let mut records = 0u64;
+        let mut root_ns = 0u64;
+        let mut first_start = u64::MAX;
+        let mut last_end = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record =
+                SpanRecord::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            records += 1;
+            first_start = first_start.min(record.start_ns);
+            last_end = last_end.max(record.start_ns.saturating_add(record.dur_ns));
+            if record.parent == 0 {
+                root_ns += record.dur_ns;
+            }
+            let stats = by_name
+                .entry(record.name.clone())
+                .or_insert_with(|| SpanStats {
+                    name: record.name.clone(),
+                    count: 0,
+                    total_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                });
+            stats.count += 1;
+            stats.total_ns += record.dur_ns;
+            stats.min_ns = stats.min_ns.min(record.dur_ns);
+            stats.max_ns = stats.max_ns.max(record.dur_ns);
+        }
+        let mut spans: Vec<SpanStats> = by_name.into_values().collect();
+        // Descending total; BTreeMap order breaks ties by name.
+        spans.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+        Ok(TraceReport {
+            spans,
+            records,
+            wall_ns: last_end.saturating_sub(first_start),
+            root_ns,
+        })
+    }
+
+    /// Fraction of the wall envelope covered by root spans, in percent
+    /// (how much of the run the instrumentation accounts for).
+    #[must_use]
+    pub fn root_coverage_pct(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * self.root_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+#[must_use]
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the report as an aligned text table, one row per span name,
+/// sorted by total time descending.
+#[must_use]
+pub fn render_report(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} spans, wall {}, root-span coverage {:.1}%",
+        report.records,
+        format_ns(report.wall_ns),
+        report.root_coverage_pct()
+    );
+    if report.spans.is_empty() {
+        return out;
+    }
+    let name_w = report
+        .spans
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(
+        out,
+        "{:name_w$}  {:>7}  {:>10}  {:>7}  {:>10}  {:>10}  {:>10}",
+        "span", "count", "total", "% wall", "mean", "min", "max"
+    );
+    for s in &report.spans {
+        let pct = if report.wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * s.total_ns as f64 / report.wall_ns as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:>7}  {:>10}  {:>6.1}%  {:>10}  {:>10}  {:>10}",
+            s.name,
+            s.count,
+            format_ns(s.total_ns),
+            pct,
+            format_ns(s.mean_ns()),
+            format_ns(s.min_ns),
+            format_ns(s.max_ns)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, id: u64, parent: u64, start: u64, dur: u64) -> String {
+        SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            thread: 1,
+            start_ns: start,
+            dur_ns: dur,
+            fields: Vec::new(),
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn aggregates_per_name_and_computes_wall() {
+        let trace = [
+            record("request", 1, 0, 0, 1000),
+            record("build", 2, 1, 100, 600),
+            record("build", 3, 1, 700, 200),
+            record("render", 4, 1, 900, 50),
+        ]
+        .join("\n");
+        let report = TraceReport::from_jsonl(&trace).unwrap();
+        assert_eq!(report.records, 4);
+        assert_eq!(report.wall_ns, 1000);
+        assert_eq!(report.root_ns, 1000);
+        assert!((report.root_coverage_pct() - 100.0).abs() < 1e-9);
+        assert_eq!(report.spans[0].name, "request");
+        let build = report.spans.iter().find(|s| s.name == "build").unwrap();
+        assert_eq!(build.count, 2);
+        assert_eq!(build.total_ns, 800);
+        assert_eq!(build.mean_ns(), 400);
+        assert_eq!(build.min_ns, 200);
+        assert_eq!(build.max_ns, 600);
+        let table = render_report(&report);
+        assert!(table.contains("request"), "table lists spans: {table}");
+        assert!(table.contains("coverage 100.0%"), "coverage in: {table}");
+    }
+
+    #[test]
+    fn rejects_malformed_trace() {
+        let err = TraceReport::from_jsonl("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let trace = format!("{}\n{{bad", record("a", 1, 0, 0, 1));
+        assert!(TraceReport::from_jsonl(&trace)
+            .unwrap_err()
+            .starts_with("line 2:"));
+    }
+
+    #[test]
+    fn empty_trace_reports_zero() {
+        let report = TraceReport::from_jsonl("\n\n").unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.wall_ns, 0);
+        assert_eq!(report.root_coverage_pct(), 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(17), "17ns");
+        assert_eq!(format_ns(1_700), "1.7µs");
+        assert_eq!(format_ns(155_000_000), "155.00ms");
+        assert_eq!(format_ns(2_500_000_000), "2.50s");
+    }
+}

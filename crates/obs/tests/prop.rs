@@ -1,0 +1,114 @@
+//! Property tests: trace JSONL round-trips for arbitrary span shapes
+//! (adversarial names, field keys/values, extreme numeric fields), and
+//! the exposition parser accepts everything the renderer emits.
+
+use ndetect_obs::{parse_exposition, Registry, SpanRecord};
+use proptest::prelude::*;
+
+/// Maps raw code points into `char`s, keeping the adversarial ones
+/// (quotes, backslashes, control characters, non-ASCII) likely.
+fn chars_from(raw: &[u32]) -> String {
+    raw.iter()
+        .map(|&c| match c % 12 {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '\t',
+            4 => '\r',
+            5 => '\u{1}',
+            6 => 'π',
+            7 => '😀',
+            _ => char::from_u32(0x20 + (c % 0x5f)).unwrap_or('?'),
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn span_records_round_trip_through_jsonl(
+        name_raw in prop::collection::vec(any::<u32>(), 0..24),
+        id in any::<u64>(),
+        parent in any::<u64>(),
+        thread in any::<u64>(),
+        start_ns in any::<u64>(),
+        dur_ns in any::<u64>(),
+        fields_raw in prop::collection::vec(
+            (prop::collection::vec(any::<u32>(), 0..12),
+             prop::collection::vec(any::<u32>(), 0..12)),
+            0..6),
+    ) {
+        let record = SpanRecord {
+            name: chars_from(&name_raw),
+            id: id.max(1),
+            parent,
+            thread,
+            start_ns,
+            dur_ns,
+            fields: fields_raw
+                .iter()
+                .map(|(k, v)| (chars_from(k), chars_from(v)))
+                .collect(),
+        };
+        let json = record.to_json();
+        prop_assert!(!json.contains('\n'), "JSONL must be one line: {json}");
+        let back = SpanRecord::parse(&json);
+        prop_assert_eq!(back, Ok(record));
+    }
+
+    #[test]
+    fn parsing_mangled_trace_lines_never_panics(
+        raw in prop::collection::vec(any::<u32>(), 0..64),
+        flip in any::<u64>(),
+    ) {
+        // Arbitrary garbage, and single-byte corruptions of a valid
+        // line, must produce Ok or Err — never a panic.
+        let garbage = chars_from(&raw);
+        let _ = SpanRecord::parse(&garbage);
+        let valid = SpanRecord {
+            name: "serve.request".into(),
+            id: 1,
+            parent: 0,
+            thread: 1,
+            start_ns: 2,
+            dur_ns: 3,
+            fields: vec![("verb".into(), "worst".into())],
+        }
+        .to_json();
+        let mut bytes = valid.into_bytes();
+        let pos = (flip as usize) % bytes.len();
+        bytes[pos] ^= 1 << (flip % 8);
+        if let Ok(mangled) = String::from_utf8(bytes) {
+            let _ = SpanRecord::parse(&mangled);
+        }
+    }
+
+    #[test]
+    fn rendered_exposition_always_parses(
+        counters in prop::collection::vec(any::<u64>(), 0..4),
+        samples in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let registry = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            registry.counter(&format!("c{i}")).add(*v);
+            registry.gauge(&format!("g{i}")).set(*v);
+        }
+        let h = registry.histogram("latency_us");
+        for v in &samples {
+            h.record(*v);
+        }
+        let text = registry.render();
+        let parsed = parse_exposition(&text);
+        prop_assert!(parsed.is_ok(), "exposition failed to parse: {:?}\n{text}", parsed);
+        let parsed = parsed.unwrap();
+        for (i, v) in counters.iter().enumerate() {
+            let name = format!("c{i}");
+            let got = parsed.iter().find(|s| s.name == name).map(|s| s.value);
+            prop_assert_eq!(got, Some(*v));
+        }
+        let count = parsed
+            .iter()
+            .find(|s| s.name == "latency_us_count")
+            .map(|s| s.value);
+        prop_assert_eq!(count, Some(samples.len() as u64));
+    }
+}

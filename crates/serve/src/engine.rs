@@ -21,29 +21,39 @@ use crate::SingleFlight;
 use ndetect_faults::{universe_key, FaultUniverse, UniverseOptions};
 use ndetect_gen::{generated_key, GenOptions, GeneratedSet};
 use ndetect_netlist::Netlist;
+use ndetect_obs::{trace, Counter, Histogram, Registry};
 use ndetect_store::{ArtifactKey, Store};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Monotonic counters exposed by the `counters` request; the CI
 /// serve-smoke job asserts `universe_builds`/`gen_builds` stay equal to
 /// the number of *distinct* artifacts requested, however many identical
 /// requests raced.
+///
+/// Each field is an [`ndetect_obs::Counter`] cell that the engine also
+/// registers into its per-instance metrics [`Registry`], so the legacy
+/// `counters` text and the Prometheus `metrics` exposition read the
+/// same atomics — one source of truth. (Per-instance, not global: tests
+/// run several engines in one process and assert exact counts.)
 #[derive(Debug, Default)]
 pub struct Counters {
     /// Requests accepted (parsed and executed, whatever the outcome).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Fault-universe builds that actually ran (hot-LRU and store
     /// misses that executed the fault simulator).
-    pub universe_builds: AtomicU64,
+    pub universe_builds: Arc<Counter>,
     /// Generated-set builds that actually ran.
-    pub gen_builds: AtomicU64,
+    pub gen_builds: Arc<Counter>,
     /// Lookups served from the in-memory hot LRU.
-    pub hot_hits: AtomicU64,
+    pub hot_hits: Arc<Counter>,
+    /// Entries the hot LRU evicted to stay within capacity.
+    pub hot_evictions: Arc<Counter>,
     /// Calls coalesced onto another caller's in-flight build.
-    pub coalesced: AtomicU64,
+    pub coalesced: Arc<Counter>,
     /// Requests that failed (parse errors, analysis errors, timeouts).
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
+    /// Connections refused with `err busy` by the accept-loop cap.
+    pub rejected: Arc<Counter>,
 }
 
 impl Counters {
@@ -53,26 +63,33 @@ impl Counters {
     pub fn render(&self, store: Option<&Store>) -> String {
         let mut out = String::new();
         use std::fmt::Write as _;
-        let _ = writeln!(out, "requests {}", self.requests.load(Ordering::Relaxed));
-        let _ = writeln!(
-            out,
-            "universe_builds {}",
-            self.universe_builds.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "gen_builds {}",
-            self.gen_builds.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(out, "hot_hits {}", self.hot_hits.load(Ordering::Relaxed));
-        let _ = writeln!(out, "coalesced {}", self.coalesced.load(Ordering::Relaxed));
-        let _ = writeln!(out, "errors {}", self.errors.load(Ordering::Relaxed));
+        let _ = writeln!(out, "requests {}", self.requests.get());
+        let _ = writeln!(out, "universe_builds {}", self.universe_builds.get());
+        let _ = writeln!(out, "gen_builds {}", self.gen_builds.get());
+        let _ = writeln!(out, "hot_hits {}", self.hot_hits.get());
+        let _ = writeln!(out, "hot_evictions {}", self.hot_evictions.get());
+        let _ = writeln!(out, "coalesced {}", self.coalesced.get());
+        let _ = writeln!(out, "errors {}", self.errors.get());
+        let _ = writeln!(out, "rejected {}", self.rejected.get());
         if let Some(store) = store {
             let _ = writeln!(out, "store_hits {}", store.session_hits());
             let _ = writeln!(out, "store_misses {}", store.session_misses());
             let _ = writeln!(out, "store_writes {}", store.session_writes());
         }
         out
+    }
+
+    /// Registers every counter cell into `registry` under its
+    /// exposition name.
+    fn register(&self, registry: &Registry) {
+        registry.register_counter("requests", Arc::clone(&self.requests));
+        registry.register_counter("universe_builds", Arc::clone(&self.universe_builds));
+        registry.register_counter("gen_builds", Arc::clone(&self.gen_builds));
+        registry.register_counter("hot_lru_hits", Arc::clone(&self.hot_hits));
+        registry.register_counter("hot_lru_evictions", Arc::clone(&self.hot_evictions));
+        registry.register_counter("coalesced", Arc::clone(&self.coalesced));
+        registry.register_counter("errors", Arc::clone(&self.errors));
+        registry.register_counter("requests_rejected", Arc::clone(&self.rejected));
     }
 }
 
@@ -94,6 +111,8 @@ pub struct Engine {
     universe_flights: SingleFlight<ArtifactKey, Result<Arc<FaultUniverse>, String>>,
     gen_flights: SingleFlight<ArtifactKey, Arc<GeneratedSet>>,
     counters: Counters,
+    registry: Registry,
+    request_latency_us: Arc<Histogram>,
 }
 
 impl Engine {
@@ -102,13 +121,22 @@ impl Engine {
     /// layer).
     #[must_use]
     pub fn new(store: Option<Store>, hot_universes: usize, hot_sets: usize) -> Self {
+        let counters = Counters::default();
+        let registry = Registry::new();
+        counters.register(&registry);
+        if let Some(store) = &store {
+            store.register_metrics(&registry);
+        }
+        let request_latency_us = registry.histogram("request_latency_us");
         Engine {
             store,
             hot_universes: Mutex::new(Lru::new(hot_universes)),
             hot_sets: Mutex::new(Lru::new(hot_sets)),
             universe_flights: SingleFlight::new(),
             gen_flights: SingleFlight::new(),
-            counters: Counters::default(),
+            counters,
+            registry,
+            request_latency_us,
         }
     }
 
@@ -118,11 +146,34 @@ impl Engine {
         &self.counters
     }
 
+    /// This engine's metrics registry (the counters above plus the
+    /// store session counters and the request latency histogram).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one request's wall time into the latency histogram.
+    pub fn record_request_latency_us(&self, micros: u64) {
+        self.request_latency_us.record(micros);
+    }
+
     /// Renders the counters (including store session counters when a
     /// store is configured).
     #[must_use]
     pub fn render_counters(&self) -> String {
         self.counters.render(self.store.as_ref())
+    }
+
+    /// Renders the full Prometheus-style exposition: this engine's
+    /// per-instance registry followed by the process-global registry
+    /// (library-level metrics — universe builds, generator rounds,
+    /// kernel selection). Names are kept disjoint between the two.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.registry.render();
+        out.push_str(&ndetect_obs::global().render());
+        out
     }
 
     fn hot_universe_get(&self, key: ArtifactKey) -> Option<Arc<FaultUniverse>> {
@@ -148,16 +199,19 @@ impl UniverseProvider for Engine {
     ) -> Result<Arc<FaultUniverse>, String> {
         let key = universe_key(netlist, options);
         if let Some(hit) = self.hot_universe_get(key) {
-            self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hot_hits.inc();
             return Ok(hit);
         }
+        // Covers the single-flight wait (followers block here on the
+        // leader's build) and, for the leader, the build itself.
+        let flight_span = trace::span("serve.flight.universe");
         let before = self.universe_flights.coalesced();
         let result = self.universe_flights.run(key, || {
             // Re-check the hot LRU inside the flight: a caller that
             // lost the race to a just-finished leader must not count a
             // second build.
             if let Some(hit) = self.hot_universe_get(key) {
-                self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hot_hits.inc();
                 return Ok(hit);
             }
             let store = self.store.as_ref();
@@ -168,47 +222,58 @@ impl UniverseProvider for Engine {
             // A store hit deserializes instead of simulating; only a
             // store miss (or no store at all) is an actual build.
             if store.is_none_or(|s| s.session_misses() > misses) {
-                self.counters
-                    .universe_builds
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.universe_builds.inc();
             }
-            self.hot_universes
+            if self
+                .hot_universes
                 .lock()
                 .expect("hot universe lru")
-                .insert((HOT_UNIVERSE, key), Arc::clone(&universe));
+                .insert((HOT_UNIVERSE, key), Arc::clone(&universe))
+                .is_some()
+            {
+                self.counters.hot_evictions.inc();
+            }
             Ok(universe)
         });
+        drop(flight_span);
         let joined = self.universe_flights.coalesced() - before;
-        self.counters.coalesced.fetch_add(joined, Ordering::Relaxed);
+        self.counters.coalesced.add(joined);
         result
     }
 
     fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet> {
         let key = generated_key(universe, options);
         if let Some(hit) = self.hot_set_get(key) {
-            self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hot_hits.inc();
             return hit;
         }
+        let flight_span = trace::span("serve.flight.generated");
         let before = self.gen_flights.coalesced();
         let set = self.gen_flights.run(key, || {
             if let Some(hit) = self.hot_set_get(key) {
-                self.counters.hot_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hot_hits.inc();
                 return hit;
             }
             let store = self.store.as_ref();
             let misses = store.map_or(0, Store::session_misses);
             let set = Arc::new(ndetect_gen::generate_stored(universe, options, store));
             if store.is_none_or(|s| s.session_misses() > misses) {
-                self.counters.gen_builds.fetch_add(1, Ordering::Relaxed);
+                self.counters.gen_builds.inc();
             }
-            self.hot_sets
+            if self
+                .hot_sets
                 .lock()
                 .expect("hot set lru")
-                .insert((HOT_GENERATED, key), Arc::clone(&set));
+                .insert((HOT_GENERATED, key), Arc::clone(&set))
+                .is_some()
+            {
+                self.counters.hot_evictions.inc();
+            }
             set
         });
+        drop(flight_span);
         let joined = self.gen_flights.coalesced() - before;
-        self.counters.coalesced.fetch_add(joined, Ordering::Relaxed);
+        self.counters.coalesced.add(joined);
         set
     }
 
@@ -235,8 +300,8 @@ mod tests {
         let a = engine.universe(&netlist, options()).unwrap();
         let b = engine.universe(&netlist, options()).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second request must share the Arc");
-        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 1);
-        assert_eq!(engine.counters().hot_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters().universe_builds.get(), 1);
+        assert_eq!(engine.counters().hot_hits.get(), 1);
     }
 
     #[test]
@@ -256,7 +321,7 @@ mod tests {
             }
         });
         assert_eq!(
-            engine.counters().universe_builds.load(Ordering::Relaxed),
+            engine.counters().universe_builds.get(),
             1,
             "8 racing identical requests must run one build"
         );
@@ -275,7 +340,7 @@ mod tests {
         let a = engine.generated(&universe, &gen_options);
         let b = engine.generated(&universe, &gen_options);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(engine.counters().gen_builds.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters().gen_builds.get(), 1);
     }
 
     #[test]
@@ -287,6 +352,6 @@ mod tests {
         // No hot layer: serial requests rebuild (no store either), but
         // results are still correct.
         assert_eq!(a.targets().len(), b.targets().len());
-        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.counters().universe_builds.get(), 2);
     }
 }

@@ -15,7 +15,8 @@
 //! ```
 //!
 //! where `<code>` is a stable machine-readable token (`parse`,
-//! `analysis`, `timeout`, `shutdown`) and `<message>` is human-readable
+//! `analysis`, `timeout`, `busy`, `shutdown`) and `<message>` is
+//! human-readable
 //! (newlines stripped so the reply stays one line). Connections are
 //! persistent: a client may pipeline any number of request lines;
 //! closing the write side ends the conversation.
@@ -28,6 +29,7 @@
 //! gen <circuit> [n=N] [compact] [seed=S]
 //! corpus <dir> [format=csv|json] [max_inputs=N] [recursive]
 //! counters
+//! metrics
 //! ping
 //! sleep [ms=N]
 //! ```
@@ -82,6 +84,9 @@ pub enum Request {
     },
     /// `counters`: the engine's build/traffic counters.
     Counters,
+    /// `metrics`: the Prometheus-style text exposition (the engine's
+    /// registry plus the process-global library metrics).
+    Metrics,
     /// `ping`: liveness probe (replies `ok` with payload `pong\n`).
     Ping,
     /// `sleep [ms=N]`: a deterministic slow job (test/CI aid for the
@@ -96,7 +101,7 @@ pub enum Request {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorReply {
     /// Stable machine-readable token: `parse`, `analysis`, `timeout`,
-    /// `shutdown`.
+    /// `busy`, `shutdown`.
     pub code: &'static str,
     /// Human-readable detail (newlines are stripped on the wire).
     pub message: String,
@@ -281,6 +286,13 @@ impl Request {
                 }
                 Ok(Request::Counters)
             }
+            "metrics" => {
+                reject_extras("metrics", &extras)?;
+                if positional.is_some() {
+                    return Err(ErrorReply::parse("`metrics` takes no arguments"));
+                }
+                Ok(Request::Metrics)
+            }
             "ping" => {
                 reject_extras("ping", &extras)?;
                 if positional.is_some() {
@@ -396,6 +408,7 @@ mod tests {
     fn parses_the_verbs() {
         assert_eq!(Request::parse("ping").unwrap(), Request::Ping);
         assert_eq!(Request::parse("counters").unwrap(), Request::Counters);
+        assert_eq!(Request::parse("metrics").unwrap(), Request::Metrics);
         let stats = Request::parse("stats figure1").unwrap();
         assert!(matches!(stats, Request::Stats { ref circuit, .. } if circuit == "figure1"));
         let worst = Request::parse("worst c17 floor=2").unwrap();
@@ -441,6 +454,7 @@ mod tests {
             "parse"
         );
         assert_eq!(Request::parse("ping extra").unwrap_err().code, "parse");
+        assert_eq!(Request::parse("metrics now").unwrap_err().code, "parse");
         assert_eq!(
             Request::parse("stats figure1 threads=zebra")
                 .unwrap_err()

@@ -21,6 +21,7 @@ use crate::engine::Engine;
 use crate::protocol::{self, ErrorReply, Request};
 use crate::render;
 use crate::signal;
+use ndetect_obs::trace;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +44,10 @@ pub struct ServerConfig {
     pub hot_universes: usize,
     /// Hot-LRU capacity for generated sets (entries).
     pub hot_sets: usize,
+    /// Maximum concurrent connections; an accept beyond the cap gets a
+    /// one-line `err busy` reply and is closed (counted as
+    /// `requests_rejected`).
+    pub max_conns: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +57,7 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(60),
             hot_universes: 32,
             hot_sets: 32,
+            max_conns: 256,
         }
     }
 }
@@ -162,6 +168,24 @@ impl Server {
         while !self.draining() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Reap before counting so finished connections do
+                    // not hold slots against the cap.
+                    connections.retain(|h| !h.is_finished());
+                    if connections.len() >= self.config.max_conns {
+                        self.engine.counters().rejected.inc();
+                        let mut writer = BufWriter::new(&stream);
+                        let _ = protocol::write_err(
+                            &mut writer,
+                            &ErrorReply {
+                                code: "busy",
+                                message: format!(
+                                    "connection limit {} reached; retry later",
+                                    self.config.max_conns
+                                ),
+                            },
+                        );
+                        continue;
+                    }
                     let engine = Arc::clone(&self.engine);
                     let config = self.config.clone();
                     let stragglers = Arc::clone(&stragglers);
@@ -250,6 +274,9 @@ fn serve_connection(
 }
 
 /// Parses and executes one request line, writing exactly one reply.
+/// Every request is traced (`serve.request` with `serve.parse` /
+/// `serve.execute` / `serve.write` children) and its wall time recorded
+/// into the engine's `request_latency_us` histogram.
 fn execute_line(
     line: &str,
     engine: &Arc<Engine>,
@@ -257,22 +284,54 @@ fn execute_line(
     stragglers: &Arc<WaitGroup>,
     writer: &mut impl Write,
 ) -> io::Result<()> {
-    engine.counters().requests.fetch_add(1, Ordering::Relaxed);
-    let request = match Request::parse(line) {
+    let started = std::time::Instant::now();
+    let mut request_span = trace::span("serve.request");
+    let result = execute_line_traced(line, engine, config, stragglers, writer, &mut request_span);
+    drop(request_span);
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    engine.record_request_latency_us(micros);
+    result
+}
+
+fn execute_line_traced(
+    line: &str,
+    engine: &Arc<Engine>,
+    config: &ServerConfig,
+    stragglers: &Arc<WaitGroup>,
+    writer: &mut impl Write,
+    request_span: &mut trace::Span,
+) -> io::Result<()> {
+    engine.counters().requests.inc();
+    let parsed = {
+        let _parse_span = trace::span("serve.parse");
+        Request::parse(line)
+    };
+    let request = match parsed {
         Ok(request) => request,
         Err(error) => {
-            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            request_span.field("outcome", "parse_error");
+            engine.counters().errors.inc();
             return protocol::write_err(writer, &error);
         }
     };
+    request_span.field("verb", line.split_whitespace().next().unwrap_or(""));
 
     // Instant requests answer inline; analysis requests get a bounded
     // job thread.
     match request {
-        Request::Ping => return protocol::write_ok(writer, "pong\n"),
+        Request::Ping => {
+            request_span.field("outcome", "ok");
+            return write_ok_traced(writer, "pong\n");
+        }
         Request::Counters => {
             let payload = engine.render_counters();
-            return protocol::write_ok(writer, &payload);
+            request_span.field("outcome", "ok");
+            return write_ok_traced(writer, &payload);
+        }
+        Request::Metrics => {
+            let payload = engine.render_metrics();
+            request_span.field("outcome", "ok");
+            return write_ok_traced(writer, &payload);
         }
         _ => {}
     }
@@ -280,21 +339,32 @@ fn execute_line(
     let (sender, receiver) = mpsc::channel::<Result<String, String>>();
     let job_engine = Arc::clone(engine);
     let job_stragglers = Arc::clone(stragglers);
+    let parent_span = request_span.id();
     stragglers.add();
     std::thread::spawn(move || {
+        // The job runs on its own thread; parent the execute span (and
+        // transitively the engine's flight/build spans) explicitly so
+        // the trace still nests under this request.
+        let exec_span = trace::span_under("serve.execute", parent_span);
         let result = execute_request(&request, &job_engine);
+        drop(exec_span);
         let _ = sender.send(result); // receiver may have timed out
         job_stragglers.done();
     });
 
     match receiver.recv_timeout(config.request_timeout) {
-        Ok(Ok(payload)) => protocol::write_ok(writer, &payload),
+        Ok(Ok(payload)) => {
+            request_span.field("outcome", "ok");
+            write_ok_traced(writer, &payload)
+        }
         Ok(Err(message)) => {
-            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            request_span.field("outcome", "analysis_error");
+            engine.counters().errors.inc();
             protocol::write_err(writer, &ErrorReply::analysis(message))
         }
         Err(_) => {
-            engine.counters().errors.fetch_add(1, Ordering::Relaxed);
+            request_span.field("outcome", "timeout");
+            engine.counters().errors.inc();
             protocol::write_err(
                 writer,
                 &ErrorReply {
@@ -307,6 +377,14 @@ fn execute_line(
             )
         }
     }
+}
+
+/// Writes an `ok` reply under a `serve.write` span (the tail of the
+/// request lifecycle: the bytes going back out on the socket).
+fn write_ok_traced(writer: &mut impl Write, payload: &str) -> io::Result<()> {
+    let mut span = trace::span("serve.write");
+    span.field("bytes", payload.len());
+    protocol::write_ok(writer, payload)
 }
 
 /// Executes a parsed analysis request against the engine, returning the
@@ -350,7 +428,7 @@ fn execute_request(request: &Request, engine: &Arc<Engine>) -> Result<String, St
             std::thread::sleep(Duration::from_millis(*ms));
             Ok(format!("slept {ms}ms\n"))
         }
-        Request::Ping | Request::Counters => unreachable!("answered inline"),
+        Request::Ping | Request::Counters | Request::Metrics => unreachable!("answered inline"),
     }
 }
 
@@ -414,7 +492,7 @@ mod tests {
             panic!("expected ok");
         };
         assert_eq!(payload, second, "replies must be byte-identical");
-        assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters().universe_builds.get(), 1);
         shutdown.shutdown();
         handle.join().unwrap().unwrap();
     }
@@ -438,7 +516,34 @@ mod tests {
             started.elapsed() >= Duration::from_millis(100),
             "drain returned before the straggler finished"
         );
-        assert_eq!(engine.counters().errors.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.counters().errors.get(), 1);
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_busy() {
+        let config = ServerConfig {
+            max_conns: 1,
+            ..ServerConfig::default()
+        };
+        let (addr, engine, shutdown, handle) = start(config);
+        // Hold one connection (the cap) with a completed request so the
+        // server has definitely accepted it.
+        let held = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(held.try_clone().unwrap());
+        writeln!(writer, "ping").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(held.try_clone().unwrap());
+        assert_eq!(read_reply(&mut reader).unwrap(), Reply::Ok("pong\n".into()));
+        // The next connection must be turned away with `err busy`.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second);
+        let Reply::Err { code, .. } = read_reply(&mut second_reader).unwrap() else {
+            panic!("expected busy rejection");
+        };
+        assert_eq!(code, "busy");
+        assert_eq!(engine.counters().rejected.get(), 1);
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -6,7 +6,6 @@ use ndetect_serve::protocol::{read_reply, Reply};
 use ndetect_serve::{Engine, Server, ServerConfig, UniverseProvider};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -59,7 +58,7 @@ fn concurrent_identical_requests_over_tcp_build_once() {
         assert_eq!(reply, &replies[0], "all replies must be byte-identical");
     }
     assert_eq!(
-        engine.counters().universe_builds.load(Ordering::Relaxed),
+        engine.counters().universe_builds.get(),
         1,
         "8 racing identical requests must run exactly one universe build"
     );
@@ -75,15 +74,15 @@ fn distinct_requests_build_independently_and_serve_from_hot_cache() {
             panic!("stats {circuit} failed");
         };
     }
-    assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 3);
+    assert_eq!(engine.counters().universe_builds.get(), 3);
     // Warm repeats: zero additional builds.
     for circuit in ["figure1", "c17", "lion"] {
         let Reply::Ok(_) = request(addr, &format!("stats {circuit}")) else {
             panic!("warm stats {circuit} failed");
         };
     }
-    assert_eq!(engine.counters().universe_builds.load(Ordering::Relaxed), 3);
-    assert!(engine.counters().hot_hits.load(Ordering::Relaxed) >= 3);
+    assert_eq!(engine.counters().universe_builds.get(), 3);
+    assert!(engine.counters().hot_hits.get() >= 3);
     shutdown.shutdown();
     handle.join().unwrap().unwrap();
 }
@@ -112,7 +111,7 @@ fn warm_serve_requests_over_a_store_take_zero_store_misses() {
         panic!("warm gen failed");
     };
     assert_eq!(
-        engine.counters().universe_builds.load(Ordering::Relaxed),
+        engine.counters().universe_builds.get(),
         0,
         "a store hit is not a build"
     );
@@ -135,6 +134,50 @@ fn warm_serve_requests_over_a_store_take_zero_store_misses() {
     shutdown.shutdown();
     handle.join().unwrap().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_exposition_parses_and_matches_counters() {
+    let (addr, engine, shutdown, handle) = start(Engine::new(None, 8, 8));
+    for _ in 0..2 {
+        let Reply::Ok(_) = request(addr, "worst figure1") else {
+            panic!("worst figure1 failed");
+        };
+    }
+    let Reply::Ok(counters) = request(addr, "counters") else {
+        panic!("counters failed");
+    };
+    let Reply::Ok(exposition) = request(addr, "metrics") else {
+        panic!("metrics failed");
+    };
+
+    // The exposition must be strictly well-formed Prometheus text.
+    let samples = ndetect_obs::parse_exposition(&exposition).expect("exposition must parse");
+
+    // ... and agree with the legacy counters verb: both read the same
+    // atomic cells, so `universe_builds` is identical in each.
+    let from_counters: u64 = counters
+        .lines()
+        .find_map(|line| line.strip_prefix("universe_builds "))
+        .expect("counters payload lists universe_builds")
+        .parse()
+        .expect("counters value is a number");
+    let from_metrics = ndetect_obs::expose::sample_value(&samples, "universe_builds")
+        .expect("exposition lists universe_builds");
+    assert_eq!(from_counters, from_metrics);
+    assert_eq!(from_metrics, engine.counters().universe_builds.get());
+    assert_eq!(from_metrics, 1, "two identical requests build once");
+
+    // The request latency histogram saw every request so far.
+    let latency_count = ndetect_obs::expose::sample_value(&samples, "request_latency_us_count")
+        .expect("exposition lists the request latency histogram");
+    assert!(
+        latency_count >= 3,
+        "latency histogram count {latency_count}"
+    );
+
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap();
 }
 
 #[test]

@@ -190,14 +190,24 @@ impl fmt::Display for MemoryBudget {
     }
 }
 
+/// The cumulative data-plane allocation meter: every byte allocated
+/// through the sanctioned points below, exposed as
+/// `data_plane_bytes_allocated_total` in the global metrics registry.
+fn allocated_bytes() -> &'static ndetect_obs::Counter {
+    static CELL: std::sync::OnceLock<std::sync::Arc<ndetect_obs::Counter>> =
+        std::sync::OnceLock::new();
+    CELL.get_or_init(|| ndetect_obs::global().counter("data_plane_bytes_allocated_total"))
+}
+
 /// Allocates a zeroed word buffer — the **single sanctioned allocation
 /// point** for simulation word buffers. Hot modules are denied raw
 /// `vec![0u64; …]` allocation (see the `hot_path_lint` gate); routing
 /// every word buffer through here keeps the whole data plane visible in
-/// one place.
+/// one place (and metered: see `data_plane_bytes_allocated_total`).
 #[must_use]
 #[allow(clippy::disallowed_methods)]
 pub fn zeroed_words(len: usize) -> Vec<u64> {
+    allocated_bytes().add(8 * len as u64);
     vec![0u64; len]
 }
 
@@ -208,6 +218,7 @@ pub fn zeroed_words(len: usize) -> Vec<u64> {
 #[must_use]
 #[allow(clippy::disallowed_methods)]
 pub fn zeroed_counts(len: usize) -> Vec<u32> {
+    allocated_bytes().add(4 * len as u64);
     vec![0u32; len]
 }
 

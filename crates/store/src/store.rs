@@ -2,11 +2,13 @@
 
 use crate::codec::CODEC_VERSION;
 use crate::hash::{fnv1a64, ArtifactKey};
+use ndetect_obs::trace;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 /// File-format magic for artifact entries.
@@ -114,13 +116,19 @@ pub struct GcReport {
 /// [`Store::flush_counters`]); the merge is a read-modify-rename, so
 /// concurrent writers may lose increments — the counters are
 /// diagnostics, not ledger data.
+///
+/// The session counters are [`ndetect_obs::Counter`] cells, so callers
+/// can register them into a metrics registry
+/// ([`Store::register_metrics`]) and have `cache stats`, the serve
+/// `counters` verb, and Prometheus exposition all read the same
+/// atomics.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     tmp_tag: u64,
-    session_hits: AtomicU64,
-    session_misses: AtomicU64,
-    session_writes: AtomicU64,
+    session_hits: Arc<ndetect_obs::Counter>,
+    session_misses: Arc<ndetect_obs::Counter>,
+    session_writes: Arc<ndetect_obs::Counter>,
 }
 
 impl Store {
@@ -136,10 +144,20 @@ impl Store {
         Ok(Store {
             root,
             tmp_tag: TMP_SEQ.fetch_add(1, Ordering::Relaxed),
-            session_hits: AtomicU64::new(0),
-            session_misses: AtomicU64::new(0),
-            session_writes: AtomicU64::new(0),
+            session_hits: Arc::new(ndetect_obs::Counter::new()),
+            session_misses: Arc::new(ndetect_obs::Counter::new()),
+            session_writes: Arc::new(ndetect_obs::Counter::new()),
         })
+    }
+
+    /// Registers this store's session counters into `registry` under
+    /// `store_hits` / `store_misses` / `store_writes` — the exposition
+    /// then reads the very cells `cache stats` and the serve `counters`
+    /// verb already report.
+    pub fn register_metrics(&self, registry: &ndetect_obs::Registry) {
+        registry.register_counter("store_hits", Arc::clone(&self.session_hits));
+        registry.register_counter("store_misses", Arc::clone(&self.session_misses));
+        registry.register_counter("store_writes", Arc::clone(&self.session_writes));
     }
 
     /// The store's root directory.
@@ -181,6 +199,7 @@ impl Store {
     /// [`Store::gc`]'s least-recently-used eviction sees real usage.
     #[must_use]
     pub fn load(&self, key: ArtifactKey, kind: ArtifactKind) -> Option<Vec<u8>> {
+        let mut span = trace::span("store.load");
         let sharded = self.entry_path(key, kind);
         let (payload, path) = match read_entry(&sharded, Some(kind)) {
             Ok(payload) => (payload, sharded),
@@ -198,25 +217,30 @@ impl Store {
                                 && fs::rename(&flat, &sharded).is_ok()
                             {
                                 self.record_hit(&sharded);
+                                span.field("outcome", "hit");
+                                span.field("bytes", payload.len());
                                 return Some(payload);
                             }
                         }
                         (payload, flat)
                     }
                     Err(_) => {
-                        self.session_misses.fetch_add(1, Ordering::Relaxed);
+                        self.session_misses.inc();
+                        span.field("outcome", "miss");
                         return None;
                     }
                 }
             }
         };
         self.record_hit(&path);
+        span.field("outcome", "hit");
+        span.field("bytes", payload.len());
         Some(payload)
     }
 
     /// Counts a hit and refreshes the entry's LRU recency (best effort).
     fn record_hit(&self, path: &Path) {
-        self.session_hits.fetch_add(1, Ordering::Relaxed);
+        self.session_hits.inc();
         if let Ok(f) = fs::File::open(path) {
             let _ = f.set_modified(SystemTime::now());
         }
@@ -231,6 +255,8 @@ impl Store {
     /// the analysis fast path typically treat failure as best-effort
     /// (the computation already succeeded).
     pub fn save(&self, key: ArtifactKey, kind: ArtifactKind, payload: &[u8]) -> io::Result<()> {
+        let mut span = trace::span("store.save");
+        span.field("bytes", payload.len());
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&CODEC_VERSION.to_le_bytes());
@@ -264,35 +290,35 @@ impl Store {
         // A replaced flat-layout duplicate would shadow future loads'
         // shard probe — sharded wins, but remove the stale twin anyway.
         let _ = fs::remove_file(self.flat_entry_path(key, kind));
-        self.session_writes.fetch_add(1, Ordering::Relaxed);
+        self.session_writes.inc();
         Ok(())
     }
 
     /// Hits recorded by this process since the store was opened.
     #[must_use]
     pub fn session_hits(&self) -> u64 {
-        self.session_hits.load(Ordering::Relaxed)
+        self.session_hits.get()
     }
 
     /// Misses recorded by this process since the store was opened.
     #[must_use]
     pub fn session_misses(&self) -> u64 {
-        self.session_misses.load(Ordering::Relaxed)
+        self.session_misses.get()
     }
 
     /// Writes recorded by this process since the store was opened.
     #[must_use]
     pub fn session_writes(&self) -> u64 {
-        self.session_writes.load(Ordering::Relaxed)
+        self.session_writes.get()
     }
 
     /// Merges this process's counters into `counters.bin` and resets
     /// them. Called automatically on drop.
     pub fn flush_counters(&self) {
         let (h, m, w) = (
-            self.session_hits.swap(0, Ordering::Relaxed),
-            self.session_misses.swap(0, Ordering::Relaxed),
-            self.session_writes.swap(0, Ordering::Relaxed),
+            self.session_hits.take(),
+            self.session_misses.take(),
+            self.session_writes.take(),
         );
         if h == 0 && m == 0 && w == 0 {
             return;
@@ -435,9 +461,9 @@ impl Store {
         self.prune_empty_shards();
         let _ = fs::remove_file(self.root.join(COUNTERS_FILE));
         self.sweep_tmp(std::time::Duration::ZERO);
-        self.session_hits.store(0, Ordering::Relaxed);
-        self.session_misses.store(0, Ordering::Relaxed);
-        self.session_writes.store(0, Ordering::Relaxed);
+        let _ = self.session_hits.take();
+        let _ = self.session_misses.take();
+        let _ = self.session_writes.take();
         Ok(())
     }
 
