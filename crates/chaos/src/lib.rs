@@ -1,0 +1,616 @@
+//! `ndetect-chaos`: deterministic fault injection for the ndetect
+//! workspace.
+//!
+//! A **failpoint** is a named site in production code where a test, a
+//! CI job, or an operator can inject a failure without touching the
+//! code: an I/O error, a torn write, a delay, or a panic. Sites are
+//! compiled in permanently — [`failpoint!`] is a single relaxed atomic
+//! load when nothing is armed, cheap enough for the store's I/O plane
+//! and the serve request path — and armed at runtime from the
+//! `NDETECT_FAILPOINTS` environment variable or the serve `chaos` verb.
+//!
+//! Triggers are **deterministic and seeded** so a failing chaos run
+//! reproduces exactly: the only randomness is a hash of the site's own
+//! hit counter with a caller-chosen seed. The discipline (and the
+//! shape of the API) follows the `fail-rs` lineage used by TiKV: the
+//! point of a failpoint is not to crash randomly in production, it is
+//! to let CI *prove* that every degradation path — save errors ⇒
+//! uncached compute, torn bytes ⇒ checksum miss, job panic ⇒ `err
+//! internal` — actually degrades instead of corrupting or aborting.
+//!
+//! # Spec grammar
+//!
+//! A site is armed with `<trigger>:<action>` (or a bare `<action>`,
+//! meaning `always`):
+//!
+//! ```text
+//! trigger := off | always | one-shot@N | every(K) | prob(P,SEED)
+//! action  := return-err | torn-write | delay(MS) | panic
+//! ```
+//!
+//! * `one-shot@N` fires on the Nth hit of the site (1-based), once.
+//! * `every(K)` fires on hits K, 2K, 3K, ...
+//! * `prob(P,SEED)` fires on each hit independently with probability
+//!   `P` (0..=1), decided by `hash(seed, hit_index)` — deterministic
+//!   for a given seed and hit sequence.
+//!
+//! `NDETECT_FAILPOINTS` holds `;`-separated `site=spec` entries:
+//!
+//! ```text
+//! NDETECT_FAILPOINTS='store.save.rename=return-err;serve.job=one-shot@3:panic'
+//! ```
+//!
+//! # Using a site
+//!
+//! [`check`] performs `delay` and `panic` actions itself (so most call
+//! sites need no handling for them) and hands `return-err` /
+//! `torn-write` back for site-specific interpretation:
+//!
+//! ```
+//! use ndetect_chaos::{failpoint, Injected};
+//!
+//! fn publish() -> std::io::Result<()> {
+//!     if let Some(Injected::ReturnErr | Injected::TornWrite) = failpoint!("doc.publish") {
+//!         return Err(ndetect_chaos::io_error("doc.publish"));
+//!     }
+//!     Ok(())
+//! }
+//! # assert!(publish().is_ok()); // nothing armed: no-op
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of currently armed (non-`off`) sites; the [`failpoint!`]
+/// fast path is one relaxed load of this cell.
+static ARMED_SITES: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative count of injections that actually fired (all sites, all
+/// actions) since process start — a cheap "did chaos do anything"
+/// probe for tests and metrics.
+static INJECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// What a failpoint does when its trigger fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// The site reports an injected failure (an I/O error, an `Err`
+    /// string — whatever failure type the site naturally produces).
+    ReturnErr,
+    /// Write sites truncate the bytes they were about to write and
+    /// then fail, simulating a crash mid-write. Non-write sites treat
+    /// this like [`Action::ReturnErr`].
+    TornWrite,
+    /// Sleep this many milliseconds, then continue normally (latency
+    /// injection; performed inside [`check`]).
+    Delay(u64),
+    /// Panic with a recognizable message (performed inside [`check`]).
+    Panic,
+}
+
+/// When a failpoint fires. All variants are deterministic: the only
+/// state is the site's own hit counter (plus a caller-chosen seed for
+/// [`Trigger::Prob`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Never fires (registered but disarmed; keeps its hit counter).
+    Off,
+    /// Fires on every hit.
+    Always,
+    /// Fires on exactly the Nth hit (1-based), once.
+    OneShot(u64),
+    /// Fires on every Kth hit (hits K, 2K, ...).
+    Every(u64),
+    /// Fires on each hit with probability `p`, decided by
+    /// `hash(seed, hit_index)` — reproducible for a given seed.
+    Prob {
+        /// Threshold scaled to `0..=2^32` (`p * 2^32`).
+        threshold: u64,
+        /// The seed mixed into the per-hit hash.
+        seed: u64,
+    },
+}
+
+/// The injection outcome a call site must interpret itself. `delay`
+/// and `panic` never reach call sites — [`check`] performs them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injected {
+    /// Fail with the site's natural error type.
+    ReturnErr,
+    /// Truncate the pending write, then fail.
+    TornWrite,
+}
+
+/// One armed (or registered-but-off) site.
+#[derive(Clone, Debug)]
+struct Site {
+    trigger: Trigger,
+    action: Action,
+    hits: u64,
+    fired: u64,
+}
+
+/// A snapshot of one site's configuration and activity ([`list`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteStatus {
+    /// The site name as passed to [`failpoint!`].
+    pub name: String,
+    /// The spec in canonical `trigger:action` form.
+    pub spec: String,
+    /// How many times the site has been evaluated while registered.
+    pub hits: u64,
+    /// How many of those evaluations fired the action.
+    pub fired: u64,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether any site is currently armed. One relaxed atomic load — this
+/// is the cost a disarmed failpoint adds to a hot path.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ARMED_SITES.load(Ordering::Relaxed) != 0
+}
+
+/// Evaluates the named failpoint site; see the module docs.
+///
+/// Returns `None` when nothing is armed (the common case — one relaxed
+/// load), the site is unregistered, or its trigger does not fire.
+/// `delay` sleeps and returns `None`; `panic` panics; `return-err` and
+/// `torn-write` are handed back for the site to interpret.
+///
+/// # Panics
+///
+/// Panics (by design) when the site is armed with the `panic` action
+/// and the trigger fires.
+#[inline]
+pub fn check(name: &str) -> Option<Injected> {
+    if !enabled() {
+        return None;
+    }
+    check_armed(name)
+}
+
+/// The slow path of [`check`], split out so the armed-path code stays
+/// out of the inlined fast path.
+fn check_armed(name: &str) -> Option<Injected> {
+    let action = {
+        let mut sites = registry().lock().expect("chaos registry");
+        let site = sites.get_mut(name)?;
+        site.hits += 1;
+        if !fires(site.trigger, site.hits) {
+            return None;
+        }
+        site.fired += 1;
+        site.action
+    };
+    // The registry lock is released before sleeping or panicking.
+    INJECTIONS.fetch_add(1, Ordering::Relaxed);
+    match action {
+        Action::ReturnErr => Some(Injected::ReturnErr),
+        Action::TornWrite => Some(Injected::TornWrite),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Action::Panic => panic!("failpoint `{name}`: injected panic"),
+    }
+}
+
+/// Whether `trigger` fires on the `hits`-th evaluation (1-based).
+fn fires(trigger: Trigger, hits: u64) -> bool {
+    match trigger {
+        Trigger::Off => false,
+        Trigger::Always => true,
+        Trigger::OneShot(n) => hits == n,
+        Trigger::Every(k) => k != 0 && hits % k == 0,
+        Trigger::Prob { threshold, seed } => {
+            // FNV-1a over (seed, hit index): reproducible per-hit coin.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in seed.to_le_bytes().iter().chain(&hits.to_le_bytes()) {
+                h ^= u64::from(*byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            (h & 0xffff_ffff) < threshold
+        }
+    }
+}
+
+/// A consistent injected-failure `io::Error` for store-style sites, so
+/// logs and tests can grep one marker.
+#[must_use]
+pub fn io_error(name: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint `{name}`: injected error"))
+}
+
+/// Evaluates the failpoint site `$name`; expands to
+/// [`check`]`($name)`. The expansion is a function call whose fast
+/// path is a single relaxed atomic load, so sites are free to sit on
+/// hot I/O and request paths.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        $crate::check($name)
+    };
+}
+
+/// Parses one `<trigger>:<action>` (or bare `<action>`) spec.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+fn parse_spec(spec: &str) -> Result<(Trigger, Action), String> {
+    // The action never contains ':' so split on the first one only;
+    // a bare action means `always`.
+    let (trigger_str, action_str) = match spec.split_once(':') {
+        Some((t, a)) => (t.trim(), a.trim()),
+        None => ("always", spec.trim()),
+    };
+    let trigger = parse_trigger(trigger_str)?;
+    let action = parse_action(action_str)?;
+    Ok((trigger, action))
+}
+
+fn parse_trigger(s: &str) -> Result<Trigger, String> {
+    if s == "off" {
+        return Ok(Trigger::Off);
+    }
+    if s == "always" {
+        return Ok(Trigger::Always);
+    }
+    if let Some(n) = s.strip_prefix("one-shot@") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad one-shot hit number `{n}`"))?;
+        if n == 0 {
+            return Err("one-shot hit numbers are 1-based".into());
+        }
+        return Ok(Trigger::OneShot(n));
+    }
+    if let Some(k) = strip_call(s, "every") {
+        let k: u64 = k.parse().map_err(|_| format!("bad every() period `{k}`"))?;
+        if k == 0 {
+            return Err("every() period must be at least 1".into());
+        }
+        return Ok(Trigger::Every(k));
+    }
+    if let Some(args) = strip_call(s, "prob") {
+        let (p, seed) = args
+            .split_once(',')
+            .ok_or_else(|| format!("prob wants `prob(p,seed)`, got `{s}`"))?;
+        let p: f64 = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad probability `{p}`"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability {p} outside 0..=1"));
+        }
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad prob seed `{seed}`"))?;
+        return Ok(Trigger::Prob {
+            threshold: (p * f64::from(2u32.pow(31)) * 2.0) as u64,
+            seed,
+        });
+    }
+    Err(format!(
+        "unknown trigger `{s}` (expected off | always | one-shot@N | every(K) | prob(P,SEED))"
+    ))
+}
+
+fn parse_action(s: &str) -> Result<Action, String> {
+    match s {
+        "return-err" => return Ok(Action::ReturnErr),
+        "torn-write" => return Ok(Action::TornWrite),
+        "panic" => return Ok(Action::Panic),
+        _ => {}
+    }
+    if let Some(ms) = strip_call(s, "delay") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad delay() ms `{ms}`"))?;
+        return Ok(Action::Delay(ms));
+    }
+    Err(format!(
+        "unknown action `{s}` (expected return-err | torn-write | delay(MS) | panic)"
+    ))
+}
+
+/// `strip_call("every(4)", "every")` → `Some("4")`.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    s.strip_prefix(name)?
+        .strip_prefix('(')?
+        .strip_suffix(')')
+        .map(str::trim)
+}
+
+fn render_trigger(t: Trigger) -> String {
+    match t {
+        Trigger::Off => "off".into(),
+        Trigger::Always => "always".into(),
+        Trigger::OneShot(n) => format!("one-shot@{n}"),
+        Trigger::Every(k) => format!("every({k})"),
+        Trigger::Prob { threshold, seed } => {
+            format!(
+                "prob({:.3},{seed})",
+                threshold as f64 / f64::from(2u32.pow(31)) / 2.0
+            )
+        }
+    }
+}
+
+fn render_action(a: Action) -> String {
+    match a {
+        Action::ReturnErr => "return-err".into(),
+        Action::TornWrite => "torn-write".into(),
+        Action::Delay(ms) => format!("delay({ms})"),
+        Action::Panic => "panic".into(),
+    }
+}
+
+/// Recomputes the armed-site count after a registry mutation. Called
+/// with the registry lock held by value of having just mutated it.
+fn refresh_armed(sites: &BTreeMap<String, Site>) {
+    let armed = sites.values().filter(|s| s.trigger != Trigger::Off).count();
+    ARMED_SITES.store(armed, Ordering::Relaxed);
+}
+
+/// Arms (or re-arms) a site with a spec; see the module docs for the
+/// grammar. Re-arming resets the site's hit and fired counters.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed spec.
+pub fn arm(site: &str, spec: &str) -> Result<(), String> {
+    if site.is_empty() || site.contains(['=', ';', ' ']) {
+        return Err(format!("bad failpoint site name `{site}`"));
+    }
+    let (trigger, action) = parse_spec(spec).map_err(|e| format!("failpoint `{site}`: {e}"))?;
+    let mut sites = registry().lock().expect("chaos registry");
+    sites.insert(
+        site.to_string(),
+        Site {
+            trigger,
+            action,
+            hits: 0,
+            fired: 0,
+        },
+    );
+    refresh_armed(&sites);
+    Ok(())
+}
+
+/// Removes one site entirely.
+pub fn disarm(site: &str) {
+    let mut sites = registry().lock().expect("chaos registry");
+    sites.remove(site);
+    refresh_armed(&sites);
+}
+
+/// Removes every site — the state a process starts in.
+pub fn disarm_all() {
+    let mut sites = registry().lock().expect("chaos registry");
+    sites.clear();
+    refresh_armed(&sites);
+}
+
+/// Applies a `;`-separated `site=spec` configuration string
+/// (the `NDETECT_FAILPOINTS` format). Empty segments are ignored.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed entry; earlier valid
+/// entries stay armed.
+pub fn apply_config(config: &str) -> Result<(), String> {
+    for entry in config.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry `{entry}` is not site=spec"))?;
+        arm(site.trim(), spec)?;
+    }
+    Ok(())
+}
+
+/// Arms sites from the `NDETECT_FAILPOINTS` environment variable (a
+/// no-op when unset or empty).
+///
+/// # Errors
+///
+/// Returns the [`apply_config`] error for a malformed variable — a
+/// typo in a chaos run should fail loudly, not silently test nothing.
+pub fn init_from_env() -> Result<(), String> {
+    match std::env::var("NDETECT_FAILPOINTS") {
+        Ok(config) if !config.trim().is_empty() => apply_config(&config),
+        _ => Ok(()),
+    }
+}
+
+/// Snapshot of every registered site, sorted by name.
+#[must_use]
+pub fn list() -> Vec<SiteStatus> {
+    let sites = registry().lock().expect("chaos registry");
+    sites
+        .iter()
+        .map(|(name, site)| SiteStatus {
+            name: name.clone(),
+            spec: format!(
+                "{}:{}",
+                render_trigger(site.trigger),
+                render_action(site.action)
+            ),
+            hits: site.hits,
+            fired: site.fired,
+        })
+        .collect()
+}
+
+/// Cumulative injections fired process-wide since start (all sites).
+#[must_use]
+pub fn injections() -> u64 {
+    INJECTIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests serialize on one lock
+    /// and clean up after themselves.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        disarm_all();
+        guard
+    }
+
+    #[test]
+    fn disarmed_sites_are_silent_and_enabled_is_false() {
+        let _x = exclusive();
+        assert!(!enabled());
+        assert_eq!(failpoint!("nothing.armed"), None);
+        // Arming one site does not wake a different site.
+        arm("tests.a", "return-err").unwrap();
+        assert!(enabled());
+        assert_eq!(failpoint!("tests.unrelated"), None);
+        disarm_all();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn always_and_off_triggers() {
+        let _x = exclusive();
+        arm("tests.always", "always:return-err").unwrap();
+        assert_eq!(failpoint!("tests.always"), Some(Injected::ReturnErr));
+        assert_eq!(failpoint!("tests.always"), Some(Injected::ReturnErr));
+        arm("tests.always", "off:return-err").unwrap();
+        assert_eq!(failpoint!("tests.always"), None);
+        // With no armed site left, the fast path short-circuits before
+        // the registry is even consulted — off sites cost nothing and
+        // count nothing.
+        let status = list();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].hits, 0, "re-arm resets; fast path skips off");
+        disarm_all();
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once_on_the_nth_hit() {
+        let _x = exclusive();
+        arm("tests.oneshot", "one-shot@3:torn-write").unwrap();
+        assert_eq!(failpoint!("tests.oneshot"), None);
+        assert_eq!(failpoint!("tests.oneshot"), None);
+        assert_eq!(failpoint!("tests.oneshot"), Some(Injected::TornWrite));
+        assert_eq!(failpoint!("tests.oneshot"), None);
+        assert_eq!(failpoint!("tests.oneshot"), None);
+        let status = list();
+        assert_eq!((status[0].hits, status[0].fired), (5, 1));
+        disarm_all();
+    }
+
+    #[test]
+    fn every_k_fires_periodically() {
+        let _x = exclusive();
+        arm("tests.every", "every(3):return-err").unwrap();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| failpoint!("tests.every").is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        disarm_all();
+    }
+
+    #[test]
+    fn prob_is_deterministic_for_a_seed_and_roughly_calibrated() {
+        let _x = exclusive();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("tests.prob", &format!("prob(0.5,{seed}):return-err")).unwrap();
+            (0..64)
+                .map(|_| failpoint!("tests.prob").is_some())
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same hit sequence, same coin flips");
+        let c = run(43);
+        assert_ne!(a, c, "different seed flips differently");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!((8..=56).contains(&hits), "p=0.5 over 64 hits, got {hits}");
+        // Probability bounds are enforced at parse time.
+        assert!(arm("tests.prob", "prob(1.5,1):return-err").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn prob_edges_never_and_always() {
+        let _x = exclusive();
+        arm("tests.p0", "prob(0,1):return-err").unwrap();
+        arm("tests.p1", "prob(1,1):return-err").unwrap();
+        assert!((0..32).all(|_| failpoint!("tests.p0").is_none()));
+        assert!((0..32).all(|_| failpoint!("tests.p1").is_some()));
+        disarm_all();
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _x = exclusive();
+        arm("tests.delay", "delay(30)").unwrap();
+        let started = std::time::Instant::now();
+        assert_eq!(failpoint!("tests.delay"), None);
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_action_panics_with_a_greppable_message() {
+        let _x = exclusive();
+        arm("tests.panic", "one-shot@1:panic").unwrap();
+        let result = std::panic::catch_unwind(|| failpoint!("tests.panic"));
+        let err = result.expect_err("must panic");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("failpoint `tests.panic`"), "{message}");
+        // One-shot: the site is spent, later hits pass through.
+        assert_eq!(failpoint!("tests.panic"), None);
+        disarm_all();
+    }
+
+    #[test]
+    fn config_string_round_trips_and_rejects_garbage() {
+        let _x = exclusive();
+        apply_config("tests.a=return-err; tests.b=every(2):delay(1) ;;tests.c=one-shot@9:panic")
+            .unwrap();
+        let names: Vec<String> = list().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["tests.a", "tests.b", "tests.c"]);
+        assert!(apply_config("no-equals-sign").is_err());
+        assert!(apply_config("tests.x=frobnicate").is_err());
+        assert!(apply_config("tests.x=sometimes:panic").is_err());
+        assert!(apply_config("tests.x=every(0):panic").is_err());
+        assert!(apply_config("tests.x=one-shot@0:panic").is_err());
+        assert!(apply_config("bad name=panic").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn injections_counter_is_monotone() {
+        let _x = exclusive();
+        let before = injections();
+        arm("tests.count", "always:return-err").unwrap();
+        let _ = failpoint!("tests.count");
+        let _ = failpoint!("tests.count");
+        assert!(injections() >= before + 2);
+        disarm_all();
+    }
+}

@@ -29,10 +29,10 @@ pub const USAGE: &str = "usage:
   ndet dot <circuit>
   ndet cones <circuit> [--max-inputs N]
   ndet corpus <dir> [--format csv|json] [--max-inputs N] [--recursive]
-  ndet cache <stats|verify|clear|gc> [--max-bytes N]
+  ndet cache <stats|verify|repair|clear|gc> [--max-bytes N]
   ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
-             [--hot-universes N] [--hot-sets N] [--max-conns N]
-  ndet request <addr> <verb> [args...] [--retry N]
+             [--hot-universes N] [--hot-sets N] [--max-conns N] [--chaos]
+  ndet request <addr> <verb> [args...] [--retry N] [--retry-on LIST]
   ndet trace report <file>
 
 <circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
@@ -48,9 +48,23 @@ LRU, identical concurrent requests coalesce into a single build,
 connections beyond --max-conns get a one-line `err busy` reply, and
 SIGTERM/ctrl-c drains in-flight work before exiting 0. `ndet request`
 is the matching one-shot client: it sends one request line and prints
-the reply payload; `--retry N` retries a refused connection up to N
-times with exponential backoff (for supervisors racing server
-startup).
+the reply payload; `--retry N` retries up to N times with exponential
+backoff. By default a retry covers refused connections and `err busy` /
+`err timeout` replies (for supervisors racing server startup and herds
+hitting a saturated server); `--retry-on LIST` narrows or widens that
+to any comma-separated subset of refused,busy,timeout,internal,
+shutdown.
+
+Fault injection: every command honours the NDETECT_FAILPOINTS
+environment variable (`site=trigger:action` entries separated by `;`,
+e.g. `store.save.write=always:return-err`) to deterministically inject
+faults at named sites in the store, codec, engine, and serve layers —
+see README \"Fault tolerance & chaos testing\" for the site table.
+`ndet serve --chaos` additionally enables the `chaos set|list|clear`
+verb for arming failpoints over the wire; without the flag the verb
+answers `err denied`. `ndet cache repair` moves undecodable cache
+entries into a `quarantine/` directory (with a MANIFEST recording the
+original path and reason) instead of deleting them.
 
 Every command accepts `--trace-out FILE` (or the NDETECT_TRACE
 environment variable): spans covering the analysis hot paths — universe
@@ -76,7 +90,10 @@ NDETECT_CACHE_DIR environment variable): a content-addressed on-disk
 cache of fault universes and nmin vectors, making repeated analyses of
 the same circuit incremental across invocations. `ndet cache` inspects
 and maintains that directory (gc evicts least-recently-used entries
-down to --max-bytes).";
+down to --max-bytes). The cache is strictly best-effort: an unusable
+cache directory (read-only, full disk) makes analysis commands warn
+once and continue uncached — only `ndet cache` itself treats an
+unopenable store as fatal.";
 
 /// Parses and runs a command line; returns a user-facing error string on
 /// failure.
@@ -84,6 +101,10 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     let command = it.next().ok_or("missing command")?;
     let rest: Vec<&String> = it.collect();
+    // Failpoints from NDETECT_FAILPOINTS arm before anything touches
+    // the store or engine; a malformed spec is a hard error so a typo'd
+    // chaos run cannot silently test nothing.
+    ndetect_chaos::init_from_env()?;
     // Tracing: an explicit --trace-out wins over NDETECT_TRACE; either
     // way the sink is flushed after the command so the JSONL is
     // complete even for buffered writers.
@@ -119,12 +140,12 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
     match command {
         "list" => list(),
         "stats" => {
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |_, n| stats(&n, knobs, store.as_ref()))
         }
         "worst" => {
             let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |_, n| worst(&n, floor, knobs, store.as_ref()))
         }
         "average" => {
@@ -132,7 +153,7 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
             let nmax = flag_value(&rest, "--nmax")?.unwrap_or(10);
             let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
             let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax + 1);
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |name, n| {
                 average(
                     name,
@@ -148,7 +169,7 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
         }
         "greedy" => {
             let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |_, n| {
                 greedy(&n, n_det as u32, knobs, store.as_ref())
             })
@@ -157,7 +178,7 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
             let n_det = flag_value(&rest, "--n")?.unwrap_or(10);
             let do_compact = flag_present(&rest, "--compact");
             let seed = flag_value(&rest, "--seed")?.map(|s| s as u64);
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |_, n| {
                 gen_set(&n, n_det as u32, do_compact, seed, knobs, store.as_ref())
             })
@@ -166,20 +187,20 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
             print!("{}", bench_format::write(&n));
             Ok(())
         }),
-        "bench-file" => bench_file(&rest, knobs, open_store(&rest)?.as_ref()),
-        "pla-file" => pla_file(&rest, knobs, open_store(&rest)?.as_ref()),
+        "bench-file" => bench_file(&rest, knobs, open_store_degraded(&rest)?.as_ref()),
+        "pla-file" => pla_file(&rest, knobs, open_store_degraded(&rest)?.as_ref()),
         "dot" => with_circuit(&rest, |_, n| {
             print!("{}", ndetect_netlist::dot::write(&n));
             Ok(())
         }),
         "cones" => {
             let max_inputs = flag_value(&rest, "--max-inputs")?.unwrap_or(14);
-            let store = open_store(&rest)?;
+            let store = open_store_degraded(&rest)?;
             with_circuit(&rest, |_, n| cones(&n, max_inputs, knobs, store.as_ref()))
         }
-        "corpus" => corpus(&rest, knobs, open_store(&rest)?.as_ref()),
+        "corpus" => corpus(&rest, knobs, open_store_degraded(&rest)?.as_ref()),
         "cache" => cache(&rest, open_store(&rest)?.as_ref()),
-        "serve" => serve_cmd::serve(&rest, open_store(&rest)?),
+        "serve" => serve_cmd::serve(&rest, open_store_degraded(&rest)?),
         "request" => serve_cmd::request(&rest),
         "trace" => trace_cmd(&rest),
         other => Err(format!("unknown command `{other}`")),
@@ -228,7 +249,7 @@ fn flag_str<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a str>, Stri
 
 /// Flags that are pure presence toggles — they consume no value, so the
 /// positional scanner must not swallow the token after them.
-const BOOLEAN_FLAGS: &[&str] = &["--compact", "--recursive"];
+const BOOLEAN_FLAGS: &[&str] = &["--compact", "--recursive", "--chaos"];
 
 /// Whether a presence-toggle flag (one of [`BOOLEAN_FLAGS`]) was given.
 fn flag_present(rest: &[&String], flag: &str) -> bool {
@@ -236,21 +257,44 @@ fn flag_present(rest: &[&String], flag: &str) -> bool {
     rest.iter().any(|arg| arg.as_str() == flag)
 }
 
-/// Opens the artifact store selected by `--cache-dir`, falling back to
-/// the `NDETECT_CACHE_DIR` environment variable; `Ok(None)` when no
-/// cache directory is configured.
-fn open_store(rest: &[&String]) -> Result<Option<Store>, String> {
+/// The cache directory selected by `--cache-dir`, falling back to the
+/// `NDETECT_CACHE_DIR` environment variable; `None` when no cache
+/// directory is configured.
+fn cache_dir(rest: &[&String]) -> Result<Option<String>, String> {
     // An empty value (e.g. --cache-dir "$UNSET_VAR") disables caching
     // rather than rooting a store in the current directory.
-    let dir = flag_str(rest, "--cache-dir")?
+    Ok(flag_str(rest, "--cache-dir")?
         .map(str::to_string)
         .or_else(|| std::env::var("NDETECT_CACHE_DIR").ok())
-        .filter(|d| !d.is_empty());
-    match dir {
+        .filter(|d| !d.is_empty()))
+}
+
+/// Opens the configured artifact store, failing hard when it cannot be
+/// opened. Only `ndet cache` uses this: a maintenance command pointed
+/// at a broken store must report it, not shrug.
+fn open_store(rest: &[&String]) -> Result<Option<Store>, String> {
+    match cache_dir(rest)? {
         None => Ok(None),
         Some(dir) => Store::open(&dir)
             .map(Some)
             .map_err(|e| format!("cannot open cache dir `{dir}`: {e}")),
+    }
+}
+
+/// Opens the configured artifact store for an analysis command: the
+/// cache is best-effort, so an unusable directory (read-only parent,
+/// full disk) degrades to running uncached with a one-line warning
+/// rather than failing the analysis.
+fn open_store_degraded(rest: &[&String]) -> Result<Option<Store>, String> {
+    match cache_dir(rest)? {
+        None => Ok(None),
+        Some(dir) => match Store::open(&dir) {
+            Ok(store) => Ok(Some(store)),
+            Err(e) => {
+                eprintln!("ndet: cannot open cache dir `{dir}` ({e}); continuing uncached");
+                Ok(None)
+            }
+        },
     }
 }
 
@@ -507,8 +551,8 @@ fn cones(
     Ok(())
 }
 
-/// `ndet cache <stats|verify|clear|gc>`: inspection and maintenance of
-/// the on-disk artifact store.
+/// `ndet cache <stats|verify|repair|clear|gc>`: inspection and
+/// maintenance of the on-disk artifact store.
 fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
     let sub = positionals(rest).first().copied().unwrap_or("stats");
     let store = store
@@ -546,6 +590,21 @@ fn cache(rest: &[&String], store: Option<&Store>) -> Result<(), String> {
                     report.corrupt.len()
                 ))
             }
+        }
+        "repair" => {
+            let report = store.repair().map_err(|e| e.to_string())?;
+            println!("valid entries: {}", report.valid);
+            println!("quarantined: {}", report.quarantined.len());
+            for (path, reason) in &report.quarantined {
+                println!("  {}: {reason}", path.display());
+            }
+            if !report.quarantined.is_empty() {
+                println!(
+                    "quarantined entries moved under {} (see MANIFEST); they rebuild as cache misses",
+                    store.root().join("quarantine").display()
+                );
+            }
+            Ok(())
         }
         "clear" => {
             store.clear().map_err(|e| e.to_string())?;

@@ -8,11 +8,11 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use super::{flag_str, flag_value, positionals};
+use super::{flag_present, flag_str, flag_value, positionals};
 
 /// `ndet serve [--addr A] [--addr-file F] [--request-timeout-ms T]
-/// [--hot-universes N] [--hot-sets N] [--max-conns N]`: bind, announce,
-/// serve until SIGTERM/ctrl-c, then drain and exit cleanly.
+/// [--hot-universes N] [--hot-sets N] [--max-conns N] [--chaos]`: bind,
+/// announce, serve until SIGTERM/ctrl-c, then drain and exit cleanly.
 pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
     let config = ServerConfig {
         addr: flag_str(rest, "--addr")?
@@ -24,6 +24,7 @@ pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
         hot_universes: flag_value(rest, "--hot-universes")?.unwrap_or(32),
         hot_sets: flag_value(rest, "--hot-sets")?.unwrap_or(32),
         max_conns: flag_value(rest, "--max-conns")?.unwrap_or(256),
+        chaos: flag_present(rest, "--chaos"),
     };
     let addr_file = flag_str(rest, "--addr-file")?.map(str::to_string);
 
@@ -45,12 +46,32 @@ pub fn serve(rest: &[&String], store: Option<Store>) -> Result<(), String> {
     server.run()
 }
 
-/// `ndet request <addr> <verb> [args...] [--retry N]`: send one request
-/// line and print the reply payload (the exact bytes the matching
-/// one-shot command would print). Server-side errors come back as an
-/// `Err` with the structured code, so the process exits nonzero.
-/// `--retry N` retries a refused connection up to N times with
-/// exponential backoff — for supervisors that race server startup.
+/// The retry conditions `--retry-on` accepts: `refused` is a failed
+/// connect; the rest are structured reply codes. Transient by nature —
+/// `parse`/`analysis`/`denied` replies are deterministic, so retrying
+/// them only re-earns the same error and they are not listed.
+const RETRYABLE: &[&str] = &["refused", "busy", "timeout", "internal", "shutdown"];
+
+/// What `--retry N` covers when `--retry-on` is not given: the server
+/// not up yet, the connection cap, and a request deadline.
+const DEFAULT_RETRY_ON: &[&str] = &["refused", "busy", "timeout"];
+
+/// One attempt's outcome, split by what a retry could fix.
+enum Attempt {
+    /// Connected and got a structured reply (possibly `err`).
+    Replied(Reply),
+    /// The connect itself was refused — the server is not up (yet).
+    Refused(String),
+}
+
+/// `ndet request <addr> <verb> [args...] [--retry N] [--retry-on
+/// LIST]`: send one request line and print the reply payload (the
+/// exact bytes the matching one-shot command would print). Server-side
+/// errors come back as an `Err` with the structured code, so the
+/// process exits nonzero. `--retry N` re-attempts the whole
+/// request — reconnect and resend — up to N times with exponential
+/// backoff (50ms doubling, capped at 3.2s) whenever the failure is on
+/// the `--retry-on` list (default: refused,busy,timeout).
 pub fn request(rest: &[&String]) -> Result<(), String> {
     let pos = positionals(rest);
     let addr = *pos.first().ok_or("missing server address")?;
@@ -61,48 +82,78 @@ pub fn request(rest: &[&String]) -> Result<(), String> {
     let timeout =
         Duration::from_millis(flag_value(rest, "--timeout-ms")?.unwrap_or(120_000) as u64);
     let retries = flag_value(rest, "--retry")?.unwrap_or(0);
+    let retry_on = parse_retry_on(flag_str(rest, "--retry-on")?)?;
 
-    let stream = connect_with_retry(addr, retries)?;
+    let mut attempt = 0;
+    loop {
+        let may_retry = attempt < retries;
+        match attempt_once(addr, &line, timeout)? {
+            Attempt::Replied(Reply::Ok(payload)) => {
+                print!("{payload}");
+                return Ok(());
+            }
+            Attempt::Replied(Reply::Err { code, message }) => {
+                if !(may_retry && retry_on.contains(&code)) {
+                    return Err(format!("server error ({code}): {message}"));
+                }
+            }
+            Attempt::Refused(error) => {
+                if !(may_retry && retry_on.iter().any(|c| c == "refused")) {
+                    let tried = if attempt > 0 {
+                        format!(" after {} attempts", attempt + 1)
+                    } else {
+                        String::new()
+                    };
+                    return Err(format!("{error}{tried}"));
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50 << attempt.min(6)));
+        attempt += 1;
+    }
+}
+
+/// Parses the `--retry-on` comma list against [`RETRYABLE`]; `None`
+/// falls back to [`DEFAULT_RETRY_ON`].
+fn parse_retry_on(flag: Option<&str>) -> Result<Vec<String>, String> {
+    let Some(list) = flag else {
+        return Ok(DEFAULT_RETRY_ON.iter().map(ToString::to_string).collect());
+    };
+    let mut out = Vec::new();
+    for token in list.split(',').filter(|t| !t.is_empty()) {
+        if !RETRYABLE.contains(&token) {
+            return Err(format!(
+                "bad value for --retry-on: `{token}` (expected a comma list of {})",
+                RETRYABLE.join(",")
+            ));
+        }
+        if !out.iter().any(|t| t == token) {
+            out.push(token.to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// One full request attempt: connect, send the line, read one reply.
+/// A refused connect is reported as [`Attempt::Refused`] so the caller
+/// can retry it; every other transport failure is a hard `Err` (an
+/// unresolvable address or unreachable network does not get better by
+/// waiting).
+fn attempt_once(addr: &str, line: &str, timeout: Duration) -> Result<Attempt, String> {
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+            return Ok(Attempt::Refused(format!("cannot connect to {addr}: {e}")));
+        }
+        Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+    };
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| e.to_string())?;
     let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
     writeln!(writer, "{line}").map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
-
     let mut reader = BufReader::new(stream);
-    match read_reply(&mut reader).map_err(|e| format!("bad reply from {addr}: {e}"))? {
-        Reply::Ok(payload) => {
-            print!("{payload}");
-            Ok(())
-        }
-        Reply::Err { code, message } => Err(format!("server error ({code}): {message}")),
-    }
-}
-
-/// Connects to `addr`, retrying a refused connection up to `retries`
-/// times with exponential backoff (50ms doubling, capped at 3.2s). Only
-/// `ConnectionRefused` retries — it means "the server is not up yet";
-/// any other error (unresolvable address, unreachable network) is
-/// permanent and fails immediately.
-fn connect_with_retry(addr: &str, retries: usize) -> Result<TcpStream, String> {
-    let mut attempt = 0;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && attempt < retries => {
-                let backoff = Duration::from_millis(50 << attempt.min(6));
-                std::thread::sleep(backoff);
-                attempt += 1;
-            }
-            Err(e) => {
-                let tried = if attempt > 0 {
-                    format!(" after {} attempts", attempt + 1)
-                } else {
-                    String::new()
-                };
-                return Err(format!("cannot connect to {addr}{tried}: {e}"));
-            }
-        }
-    }
+    let reply = read_reply(&mut reader).map_err(|e| format!("bad reply from {addr}: {e}"))?;
+    Ok(Attempt::Replied(reply))
 }

@@ -603,7 +603,7 @@ pub fn estimate_detection_probabilities_stored(
         }
     }
     let probs = estimate_detection_probabilities(universe, tracked, config)?;
-    let _ = store.save(key, KIND_PROCEDURE1, &encode_to_vec(&probs));
+    store.save_best_effort(key, KIND_PROCEDURE1, &encode_to_vec(&probs));
     Ok(probs)
 }
 

@@ -124,7 +124,7 @@ impl WorstCaseAnalysis {
             }
         }
         let wc = Self::compute_with(universe, num_threads);
-        let _ = store.save(key, KIND_WORST_CASE, &encode_to_vec(&wc));
+        store.save_best_effort(key, KIND_WORST_CASE, &encode_to_vec(&wc));
         wc
     }
 

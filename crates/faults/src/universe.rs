@@ -246,7 +246,7 @@ impl FaultUniverse {
             // or stale shape): fall through to a fresh build.
         }
         let universe = Self::build_with(netlist, options)?;
-        let _ = store.save(key, KIND_UNIVERSE, &encode_to_vec(&universe.artifact_ref()));
+        store.save_best_effort(key, KIND_UNIVERSE, &encode_to_vec(&universe.artifact_ref()));
         Ok(universe)
     }
 

@@ -436,7 +436,7 @@ pub fn generate_stored(
         }
     }
     let set = generate(universe, options);
-    let _ = store.save(key, KIND_GENERATED_SET, &encode_to_vec(&set));
+    store.save_best_effort(key, KIND_GENERATED_SET, &encode_to_vec(&set));
     set
 }
 

@@ -83,6 +83,35 @@ proptest! {
     }
 
     #[test]
+    fn parse_exposition_never_panics_on_arbitrary_bytes(
+        raw in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The metrics scraper feeds whatever came off the wire into the
+        // parser; any byte soup must come back Ok or Err, never panic.
+        let text = String::from_utf8_lossy(&raw);
+        let _ = parse_exposition(&text);
+    }
+
+    #[test]
+    fn parse_exposition_never_panics_on_mangled_expositions(
+        flip in any::<u64>(),
+        extra in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        // Single-bit corruptions and random suffixes on a real
+        // exposition — closer to what a torn scrape produces than pure
+        // garbage.
+        let registry = Registry::new();
+        registry.counter("requests_total").add(7);
+        registry.histogram("latency_us").record(42);
+        let mut bytes = registry.render().into_bytes();
+        let pos = (flip as usize) % bytes.len();
+        bytes[pos] ^= 1 << (flip % 8);
+        bytes.extend_from_slice(&extra);
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_exposition(&text);
+    }
+
+    #[test]
     fn rendered_exposition_always_parses(
         counters in prop::collection::vec(any::<u64>(), 0..4),
         samples in prop::collection::vec(any::<u64>(), 0..32),

@@ -54,6 +54,12 @@ pub struct Counters {
     pub errors: Arc<Counter>,
     /// Connections refused with `err busy` by the accept-loop cap.
     pub rejected: Arc<Counter>,
+    /// Job panics caught and converted to `err internal` replies (the
+    /// server survived every one of these).
+    pub panics_caught: Arc<Counter>,
+    /// Single-flight waits that observed a poisoned (leader-panicked)
+    /// flight and fell through to a clean rebuild.
+    pub flights_poisoned: Arc<Counter>,
 }
 
 impl Counters {
@@ -71,10 +77,13 @@ impl Counters {
         let _ = writeln!(out, "coalesced {}", self.coalesced.get());
         let _ = writeln!(out, "errors {}", self.errors.get());
         let _ = writeln!(out, "rejected {}", self.rejected.get());
+        let _ = writeln!(out, "panics_caught {}", self.panics_caught.get());
+        let _ = writeln!(out, "flights_poisoned {}", self.flights_poisoned.get());
         if let Some(store) = store {
             let _ = writeln!(out, "store_hits {}", store.session_hits());
             let _ = writeln!(out, "store_misses {}", store.session_misses());
             let _ = writeln!(out, "store_writes {}", store.session_writes());
+            let _ = writeln!(out, "store_write_errors {}", store.session_write_errors());
         }
         out
     }
@@ -90,6 +99,8 @@ impl Counters {
         registry.register_counter("coalesced", Arc::clone(&self.coalesced));
         registry.register_counter("errors", Arc::clone(&self.errors));
         registry.register_counter("requests_rejected", Arc::clone(&self.rejected));
+        registry.register_counter("panics_caught_total", Arc::clone(&self.panics_caught));
+        registry.register_counter("flights_poisoned_total", Arc::clone(&self.flights_poisoned));
     }
 }
 
@@ -128,12 +139,18 @@ impl Engine {
             store.register_metrics(&registry);
         }
         let request_latency_us = registry.histogram("request_latency_us");
+        // Both flight maps tick the same poisoning counter: what the
+        // metric answers is "how often did a crashed build cost a
+        // waiter a retry", not which artifact family it was.
+        let universe_flights =
+            SingleFlight::with_poison_counter(Arc::clone(&counters.flights_poisoned));
+        let gen_flights = SingleFlight::with_poison_counter(Arc::clone(&counters.flights_poisoned));
         Engine {
             store,
             hot_universes: Mutex::new(Lru::new(hot_universes)),
             hot_sets: Mutex::new(Lru::new(hot_sets)),
-            universe_flights: SingleFlight::new(),
-            gen_flights: SingleFlight::new(),
+            universe_flights,
+            gen_flights,
             counters,
             registry,
             request_latency_us,
@@ -207,6 +224,11 @@ impl UniverseProvider for Engine {
         let flight_span = trace::span("serve.flight.universe");
         let before = self.universe_flights.coalesced();
         let result = self.universe_flights.run(key, || {
+            // Chaos hook inside the flight, so an injected failure (or
+            // panic) exercises the leader-death → waiter-retry path.
+            if ndetect_chaos::failpoint!("engine.universe.build").is_some() {
+                return Err("failpoint `engine.universe.build`: injected error".to_string());
+            }
             // Re-check the hot LRU inside the flight: a caller that
             // lost the race to a just-finished leader must not count a
             // second build.
@@ -250,6 +272,10 @@ impl UniverseProvider for Engine {
         let flight_span = trace::span("serve.flight.generated");
         let before = self.gen_flights.coalesced();
         let set = self.gen_flights.run(key, || {
+            // Chaos hook: generation is infallible, so only the
+            // delay/panic actions are meaningful here (return-err and
+            // torn-write pass through as no-ops).
+            let _ = ndetect_chaos::failpoint!("engine.gen.build");
             if let Some(hit) = self.hot_set_get(key) {
                 self.counters.hot_hits.inc();
                 return hit;

@@ -25,7 +25,7 @@ pub mod signal;
 pub mod singleflight;
 
 pub use engine::{Counters, Engine};
-pub use protocol::{read_reply, ErrorReply, Reply, Request};
+pub use protocol::{read_reply, ChaosCommand, ErrorReply, Reply, Request};
 pub use render::{
     render_corpus, render_gen, render_stats, render_worst, CorpusOutput, CorpusRequest, Knobs,
     StoreProvider, UniverseProvider,

@@ -15,8 +15,8 @@
 //! ```
 //!
 //! where `<code>` is a stable machine-readable token (`parse`,
-//! `analysis`, `timeout`, `busy`, `shutdown`) and `<message>` is
-//! human-readable
+//! `analysis`, `timeout`, `busy`, `shutdown`, `internal`, `denied`) and
+//! `<message>` is human-readable
 //! (newlines stripped so the reply stays one line). Connections are
 //! persistent: a client may pipeline any number of request lines;
 //! closing the write side ends the conversation.
@@ -32,7 +32,12 @@
 //! metrics
 //! ping
 //! sleep [ms=N]
+//! chaos set <site>=<spec> | chaos list | chaos clear
 //! ```
+//!
+//! The `chaos` verb (failpoint control, `ndetect-chaos` spec grammar)
+//! only works when the server was started with `--chaos`; otherwise it
+//! answers `err denied`.
 //!
 //! Every analysis verb also accepts `threads=N` and `mem_budget=B`
 //! (same semantics as the CLI flags — pure performance knobs).
@@ -95,13 +100,33 @@ pub enum Request {
         /// How long the job holds its worker.
         ms: u64,
     },
+    /// `chaos <set|list|clear>`: failpoint control (debug-gated behind
+    /// the server's `--chaos` flag).
+    Chaos(ChaosCommand),
+}
+
+/// A parsed `chaos` sub-command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosCommand {
+    /// `chaos set <site>=<spec>`: arm one failpoint (the spec uses the
+    /// `ndetect-chaos` grammar, e.g. `one-shot@2:panic`).
+    Set {
+        /// The failpoint site name.
+        site: String,
+        /// The `trigger:action` spec.
+        spec: String,
+    },
+    /// `chaos list`: every registered site with its spec and counters.
+    List,
+    /// `chaos clear`: disarm every site.
+    Clear,
 }
 
 /// A structured error reply: a stable code plus a human message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorReply {
     /// Stable machine-readable token: `parse`, `analysis`, `timeout`,
-    /// `busy`, `shutdown`.
+    /// `busy`, `shutdown`, `internal`, `denied`.
     pub code: &'static str,
     /// Human-readable detail (newlines are stripped on the wire).
     pub message: String,
@@ -123,6 +148,27 @@ impl ErrorReply {
     pub fn analysis(message: impl Into<String>) -> Self {
         ErrorReply {
             code: "analysis",
+            message: message.into(),
+        }
+    }
+
+    /// An `internal` error: the job crashed (panicked) instead of
+    /// failing cleanly. The server caught it, stayed up, and a retry is
+    /// safe — any poisoned single-flight is rebuilt fresh.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        ErrorReply {
+            code: "internal",
+            message: message.into(),
+        }
+    }
+
+    /// A `denied` error: the verb exists but is disabled on this server
+    /// (e.g. `chaos` without `--chaos`).
+    #[must_use]
+    pub fn denied(message: impl Into<String>) -> Self {
+        ErrorReply {
+            code: "denied",
             message: message.into(),
         }
     }
@@ -317,6 +363,29 @@ impl Request {
                 }
                 Ok(Request::Sleep { ms })
             }
+            "chaos" => match positional {
+                Some("set") => match extras.as_slice() {
+                    [(site, Some(spec))] => Ok(Request::Chaos(ChaosCommand::Set {
+                        site: (*site).to_string(),
+                        spec: (*spec).to_string(),
+                    })),
+                    _ => Err(ErrorReply::parse(
+                        "`chaos set` wants exactly one <site>=<spec>",
+                    )),
+                },
+                Some("list") => {
+                    reject_extras("chaos list", &extras)?;
+                    Ok(Request::Chaos(ChaosCommand::List))
+                }
+                Some("clear") => {
+                    reject_extras("chaos clear", &extras)?;
+                    Ok(Request::Chaos(ChaosCommand::Clear))
+                }
+                Some(other) => Err(ErrorReply::parse(format!(
+                    "unknown chaos sub-command `{other}` (set | list | clear)"
+                ))),
+                None => Err(ErrorReply::parse("`chaos` wants set | list | clear")),
+            },
             other => Err(ErrorReply::parse(format!("unknown verb `{other}`"))),
         }
     }
@@ -428,6 +497,39 @@ mod tests {
             matches!(corpus, Request::Corpus { ref request, .. } if request.format == "json"
                 && request.recursive)
         );
+    }
+
+    #[test]
+    fn parses_the_chaos_verb() {
+        assert_eq!(
+            Request::parse("chaos set store.save.write=one-shot@2:torn-write").unwrap(),
+            Request::Chaos(ChaosCommand::Set {
+                site: "store.save.write".to_string(),
+                spec: "one-shot@2:torn-write".to_string(),
+            })
+        );
+        assert_eq!(
+            Request::parse("chaos list").unwrap(),
+            Request::Chaos(ChaosCommand::List)
+        );
+        assert_eq!(
+            Request::parse("chaos clear").unwrap(),
+            Request::Chaos(ChaosCommand::Clear)
+        );
+        // The spec is passed through opaquely; validation happens when
+        // the server arms it, not at parse time.
+        assert!(Request::parse("chaos set x=utter:nonsense").is_ok());
+        for bad in [
+            "chaos",
+            "chaos explode",
+            "chaos set",
+            "chaos set bare-token",
+            "chaos set a=b c=d",
+            "chaos list extra",
+            "chaos clear extra",
+        ] {
+            assert_eq!(Request::parse(bad).unwrap_err().code, "parse", "{bad}");
+        }
     }
 
     #[test]

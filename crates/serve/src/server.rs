@@ -18,7 +18,7 @@
 //! replies.
 
 use crate::engine::Engine;
-use crate::protocol::{self, ErrorReply, Request};
+use crate::protocol::{self, ChaosCommand, ErrorReply, Request};
 use crate::render;
 use crate::signal;
 use ndetect_obs::trace;
@@ -48,6 +48,10 @@ pub struct ServerConfig {
     /// one-line `err busy` reply and is closed (counted as
     /// `requests_rejected`).
     pub max_conns: usize,
+    /// Whether the `chaos` verb (failpoint control) is enabled. Off by
+    /// default — fault injection over the wire is a debug facility, so
+    /// it must be opted into per server (`ndet serve --chaos`).
+    pub chaos: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             hot_universes: 32,
             hot_sets: 32,
             max_conns: 256,
+            chaos: false,
         }
     }
 }
@@ -333,10 +338,31 @@ fn execute_line_traced(
             request_span.field("outcome", "ok");
             return write_ok_traced(writer, &payload);
         }
+        Request::Chaos(ref command) => {
+            if !config.chaos {
+                request_span.field("outcome", "denied");
+                engine.counters().errors.inc();
+                return protocol::write_err(
+                    writer,
+                    &ErrorReply::denied("chaos verb disabled; start the server with --chaos"),
+                );
+            }
+            return match execute_chaos(command) {
+                Ok(payload) => {
+                    request_span.field("outcome", "ok");
+                    write_ok_traced(writer, &payload)
+                }
+                Err(error) => {
+                    request_span.field("outcome", "parse_error");
+                    engine.counters().errors.inc();
+                    protocol::write_err(writer, &error)
+                }
+            };
+        }
         _ => {}
     }
 
-    let (sender, receiver) = mpsc::channel::<Result<String, String>>();
+    let (sender, receiver) = mpsc::channel::<Result<String, ErrorReply>>();
     let job_engine = Arc::clone(engine);
     let job_stragglers = Arc::clone(stragglers);
     let parent_span = request_span.id();
@@ -346,7 +372,7 @@ fn execute_line_traced(
         // transitively the engine's flight/build spans) explicitly so
         // the trace still nests under this request.
         let exec_span = trace::span_under("serve.execute", parent_span);
-        let result = execute_request(&request, &job_engine);
+        let result = run_job(&request, &job_engine);
         drop(exec_span);
         let _ = sender.send(result); // receiver may have timed out
         job_stragglers.done();
@@ -357,10 +383,10 @@ fn execute_line_traced(
             request_span.field("outcome", "ok");
             write_ok_traced(writer, &payload)
         }
-        Ok(Err(message)) => {
-            request_span.field("outcome", "analysis_error");
+        Ok(Err(error)) => {
+            request_span.field("outcome", error.code);
             engine.counters().errors.inc();
-            protocol::write_err(writer, &ErrorReply::analysis(message))
+            protocol::write_err(writer, &error)
         }
         Err(_) => {
             request_span.field("outcome", "timeout");
@@ -385,6 +411,77 @@ fn write_ok_traced(writer: &mut impl Write, payload: &str) -> io::Result<()> {
     let mut span = trace::span("serve.write");
     span.field("bytes", payload.len());
     protocol::write_ok(writer, payload)
+}
+
+/// Executes a `chaos` sub-command (the server already checked the
+/// `--chaos` gate).
+fn execute_chaos(command: &ChaosCommand) -> Result<String, ErrorReply> {
+    match command {
+        ChaosCommand::Set { site, spec } => {
+            ndetect_chaos::arm(site, spec).map_err(ErrorReply::parse)?;
+            Ok(format!("armed {site}={spec}\n"))
+        }
+        ChaosCommand::List => {
+            let sites = ndetect_chaos::list();
+            if sites.is_empty() {
+                return Ok("no failpoints registered\n".to_string());
+            }
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            for site in sites {
+                let _ = writeln!(
+                    out,
+                    "{} {} hits={} fired={}",
+                    site.name, site.spec, site.hits, site.fired
+                );
+            }
+            Ok(out)
+        }
+        ChaosCommand::Clear => {
+            ndetect_chaos::disarm_all();
+            Ok("cleared\n".to_string())
+        }
+    }
+}
+
+/// Runs one analysis job with panic isolation: a panicking build (a
+/// bug, or an armed `panic` failpoint) is caught, counted
+/// (`panics_caught_total`), and converted to a structured `err
+/// internal` reply — the job thread, its connection, and the server all
+/// survive. The engine's single-flight layer guarantees any waiters on
+/// the panicked build observe the poisoning and rebuild fresh, so a
+/// client retry after `err internal` succeeds.
+fn run_job(request: &Request, engine: &Arc<Engine>) -> Result<String, ErrorReply> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Chaos hook inside the catch_unwind, so its `panic` action
+        // exercises exactly the isolation path a real bug would.
+        if ndetect_chaos::failpoint!("serve.job").is_some() {
+            return Err("failpoint `serve.job`: injected error".to_string());
+        }
+        execute_request(request, engine)
+    }));
+    match caught {
+        Ok(Ok(payload)) => Ok(payload),
+        Ok(Err(message)) => Err(ErrorReply::analysis(message)),
+        Err(panic) => {
+            engine.counters().panics_caught.inc();
+            Err(ErrorReply::internal(format!(
+                "job panicked: {}; the server is healthy and a retry is safe",
+                panic_message(&panic)
+            )))
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Executes a parsed analysis request against the engine, returning the
@@ -428,7 +525,9 @@ fn execute_request(request: &Request, engine: &Arc<Engine>) -> Result<String, St
             std::thread::sleep(Duration::from_millis(*ms));
             Ok(format!("slept {ms}ms\n"))
         }
-        Request::Ping | Request::Counters | Request::Metrics => unreachable!("answered inline"),
+        Request::Ping | Request::Counters | Request::Metrics | Request::Chaos(_) => {
+            unreachable!("answered inline")
+        }
     }
 }
 

@@ -8,28 +8,41 @@
 //! two in-flight builds of the same key would produce bit-identical
 //! artifacts — running both is pure waste. The pattern (and the name)
 //! come from inference-serving and CDN front ends.
+//!
+//! A leader that **panics** poisons only its own flight, never its
+//! waiters: each waiter observes the poisoned state, counts it, and
+//! falls through to a fresh build (typically becoming the next leader).
+//! One crashed build therefore costs the herd one retry, not a panic
+//! cascade — the invariant the serve layer's `catch_unwind` isolation
+//! builds on.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// What waiters on a flight eventually observe.
+enum FlightState<V> {
+    /// The leader is still building.
+    Pending,
+    /// The leader published; everyone clones this.
+    Done(V),
+    /// The leader panicked before publishing; waiters must rebuild.
+    Poisoned,
+}
+
 /// One in-flight build: followers wait on the condvar until the leader
-/// publishes its result.
+/// publishes its result or poisons the flight.
 struct Flight<V> {
-    result: Mutex<Option<V>>,
+    state: Mutex<FlightState<V>>,
     done: Condvar,
-    /// Set when the leader panicked instead of publishing, so followers
-    /// fail loudly instead of hanging.
-    poisoned: Mutex<bool>,
 }
 
 impl<V> Flight<V> {
     fn new() -> Self {
         Flight {
-            result: Mutex::new(None),
+            state: Mutex::new(FlightState::Pending),
             done: Condvar::new(),
-            poisoned: Mutex::new(false),
         }
     }
 }
@@ -44,6 +57,12 @@ pub struct SingleFlight<K, V> {
     executions: AtomicU64,
     /// Calls that joined an existing flight instead of building.
     coalesced: AtomicU64,
+    /// Waits that observed a poisoned flight and fell through to a
+    /// fresh build.
+    poisoned: AtomicU64,
+    /// Optional externally owned counter ticked alongside `poisoned`,
+    /// so a metrics registry can watch flight poisonings live.
+    poison_counter: Option<Arc<ndetect_obs::Counter>>,
 }
 
 impl<K, V> Default for SingleFlight<K, V>
@@ -68,6 +87,18 @@ where
             inflight: Mutex::new(HashMap::new()),
             executions: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            poison_counter: None,
+        }
+    }
+
+    /// Like [`SingleFlight::new`], but also ticks `counter` every time
+    /// a waiter observes a poisoned flight (for metrics exposition).
+    #[must_use]
+    pub fn with_poison_counter(counter: Arc<ndetect_obs::Counter>) -> Self {
+        SingleFlight {
+            poison_counter: Some(counter),
+            ..Self::new()
         }
     }
 
@@ -80,72 +111,104 @@ where
     /// this (the hot LRU, the on-disk store) is the caller's job, and
     /// the leader's `build` should re-check that cache first.
     ///
-    /// # Panics
-    ///
-    /// Panics if the leader for this key panicked inside `build`
-    /// (followers must not hang or silently observe a missing result).
+    /// If the leader panics, its waiters do **not** panic: each counts
+    /// the poisoning and retries — replacing the dead flight and
+    /// building fresh (one of them becomes the new leader; the rest
+    /// coalesce onto it). The panic propagates only out of the leader's
+    /// own call, so a `catch_unwind` around the leader contains the
+    /// blast radius entirely.
     pub fn run<F>(&self, key: K, build: F) -> V
     where
         F: FnOnce() -> V,
     {
-        let flight = {
-            let mut map = self.inflight.lock().expect("singleflight map poisoned");
-            if let Some(existing) = map.get(&key) {
-                let flight = Arc::clone(existing);
-                drop(map);
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
-                return Self::wait(&flight);
-            }
-            let flight = Arc::new(Flight::new());
-            map.insert(key.clone(), Arc::clone(&flight));
-            flight
-        };
-
-        // Leader: make sure followers are woken even if `build` panics.
-        struct Guard<'a, K: Eq + Hash, V> {
-            sf: &'a SingleFlight<K, V>,
-            key: &'a K,
-            flight: &'a Flight<V>,
-            published: bool,
-        }
-        impl<K: Eq + Hash, V> Drop for Guard<'_, K, V> {
-            fn drop(&mut self) {
-                if !self.published {
-                    *self.flight.poisoned.lock().expect("flight lock") = true;
-                    self.flight.done.notify_all();
+        loop {
+            let flight = {
+                let mut map = self.inflight.lock().expect("singleflight map");
+                match map.get(&key) {
+                    // Join the live flight; a poisoned leftover (its
+                    // leader's cleanup hasn't run yet) is replaced so
+                    // retrying waiters can't spin on a dead flight.
+                    Some(existing) if !poisoned(existing) => {
+                        let flight = Arc::clone(existing);
+                        drop(map);
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        match Self::wait(&flight) {
+                            Some(value) => return value,
+                            None => {
+                                self.record_poisoned();
+                                continue;
+                            }
+                        }
+                    }
+                    _ => {
+                        let flight = Arc::new(Flight::new());
+                        map.insert(key.clone(), Arc::clone(&flight));
+                        flight
+                    }
                 }
-                if let Ok(mut map) = self.sf.inflight.lock() {
-                    map.remove(self.key);
+            };
+
+            // Leader: wake followers even if `build` panics, and remove
+            // the flight from the map — but only *this* flight (a
+            // retrying waiter may already have replaced it).
+            struct Guard<'a, K: Eq + Hash, V> {
+                sf: &'a SingleFlight<K, V>,
+                key: &'a K,
+                flight: &'a Arc<Flight<V>>,
+                published: bool,
+            }
+            impl<K: Eq + Hash, V> Drop for Guard<'_, K, V> {
+                fn drop(&mut self) {
+                    if !self.published {
+                        *self.flight.state.lock().expect("flight lock") = FlightState::Poisoned;
+                        self.flight.done.notify_all();
+                    }
+                    if let Ok(mut map) = self.sf.inflight.lock() {
+                        if map
+                            .get(self.key)
+                            .is_some_and(|f| Arc::ptr_eq(f, self.flight))
+                        {
+                            map.remove(self.key);
+                        }
+                    }
                 }
             }
-        }
 
-        let mut guard = Guard {
-            sf: self,
-            key: &key,
-            flight: &flight,
-            published: false,
-        };
-        self.executions.fetch_add(1, Ordering::Relaxed);
-        let value = build();
-        *flight.result.lock().expect("flight lock") = Some(value.clone());
-        guard.published = true;
-        flight.done.notify_all();
-        drop(guard); // removes the flight from the map
-        value
+            let mut guard = Guard {
+                sf: self,
+                key: &key,
+                flight: &flight,
+                published: false,
+            };
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            let value = build();
+            *flight.state.lock().expect("flight lock") = FlightState::Done(value.clone());
+            guard.published = true;
+            flight.done.notify_all();
+            drop(guard); // removes the flight from the map
+            return value;
+        }
     }
 
-    fn wait(flight: &Flight<V>) -> V {
-        let mut result = flight.result.lock().expect("flight lock");
+    /// Blocks until the flight resolves; `None` means the leader
+    /// poisoned it and the caller should rebuild.
+    fn wait(flight: &Flight<V>) -> Option<V> {
+        let mut state = flight.state.lock().expect("flight lock");
         loop {
-            if let Some(value) = result.as_ref() {
-                return value.clone();
+            match &*state {
+                FlightState::Done(value) => return Some(value.clone()),
+                FlightState::Poisoned => return None,
+                FlightState::Pending => {
+                    state = flight.done.wait(state).expect("flight lock");
+                }
             }
-            assert!(
-                !*flight.poisoned.lock().expect("flight lock"),
-                "single-flight leader panicked"
-            );
-            result = flight.done.wait(result).expect("flight lock");
+        }
+    }
+
+    fn record_poisoned(&self) {
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = &self.poison_counter {
+            counter.inc();
         }
     }
 
@@ -160,6 +223,21 @@ where
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
     }
+
+    /// How many waits observed a poisoned flight (and retried).
+    #[must_use]
+    pub fn poisoned(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether a flight is already poisoned (non-blocking probe used when
+/// deciding to join vs. replace it).
+fn poisoned<V>(flight: &Flight<V>) -> bool {
+    matches!(
+        &*flight.state.lock().expect("flight lock"),
+        FlightState::Poisoned
+    )
 }
 
 #[cfg(test)]
@@ -224,36 +302,66 @@ mod tests {
     }
 
     #[test]
-    fn leader_panic_poisons_followers_not_the_map() {
+    fn waiters_on_a_panicked_leader_rebuild_instead_of_panicking() {
         let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
-        let barrier = Arc::new(Barrier::new(2));
+        let inside_build = Arc::new(Barrier::new(2));
         let leader = {
             let sf = Arc::clone(&sf);
-            let barrier = Arc::clone(&barrier);
+            let inside_build = Arc::clone(&inside_build);
             std::thread::spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     sf.run(9, || {
-                        barrier.wait();
+                        inside_build.wait();
                         std::thread::sleep(Duration::from_millis(50));
                         panic!("leader died");
                     })
                 }));
-                assert!(result.is_err());
+                assert!(result.is_err(), "the leader itself still panics");
             })
         };
-        barrier.wait(); // leader is inside its build
-        let follower = {
-            let sf = Arc::clone(&sf);
-            std::thread::spawn(move || {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sf.run(9, || 1))).is_err()
+        inside_build.wait(); // leader is inside its build
+        let followers: Vec<_> = (0..4)
+            .map(|i| {
+                let sf = Arc::clone(&sf);
+                std::thread::spawn(move || sf.run(9, move || 100 + i))
             })
-        };
+            .collect();
         leader.join().unwrap();
-        let follower_panicked = follower.join().unwrap();
-        // The follower either joined the poisoned flight (and panicked)
-        // or arrived after cleanup and built fresh; both are sound.
-        let rebuilt = sf.run(9, || 5);
-        assert_eq!(rebuilt, 5, "map must not stay poisoned");
-        let _ = follower_panicked;
+        // Every follower gets a real value — one of the retry builds —
+        // and nobody propagates the leader's panic.
+        for follower in followers {
+            let value = follower.join().expect("follower must not panic");
+            assert!((100..104).contains(&value), "got {value}");
+        }
+        assert!(sf.poisoned() >= 1, "the poisoning was observed and counted");
+        // The map is clean: a later call builds fresh.
+        assert_eq!(sf.run(9, || 5), 5);
+    }
+
+    #[test]
+    fn poison_counter_hook_ticks_an_external_counter() {
+        let counter = Arc::new(ndetect_obs::Counter::new());
+        let sf: Arc<SingleFlight<u64, u64>> =
+            Arc::new(SingleFlight::with_poison_counter(Arc::clone(&counter)));
+        let inside_build = Arc::new(Barrier::new(2));
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let inside_build = Arc::clone(&inside_build);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run(1, || {
+                        inside_build.wait();
+                        std::thread::sleep(Duration::from_millis(30));
+                        panic!("boom");
+                    })
+                }));
+            })
+        };
+        inside_build.wait();
+        let value = sf.run(1, || 77);
+        leader.join().unwrap();
+        assert_eq!(value, 77);
+        assert_eq!(counter.get(), sf.poisoned());
+        assert!(counter.get() >= 1);
     }
 }

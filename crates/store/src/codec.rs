@@ -252,6 +252,13 @@ pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
 ///
 /// Returns [`CodecError`] on truncated, trailing, or inconsistent input.
 pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
+    // Chaos hook: an injected decode failure must degrade exactly like
+    // real corruption (callers already treat decode errors as misses).
+    if ndetect_chaos::failpoint!("store.codec.decode").is_some() {
+        return Err(CodecError::new(
+            "failpoint `store.codec.decode`: injected error",
+        ));
+    }
     let mut d = Decoder::new(bytes);
     let value = T::decode(&mut d)?;
     d.expect_end()?;

@@ -2,13 +2,14 @@
 
 use crate::codec::CODEC_VERSION;
 use crate::hash::{fnv1a64, ArtifactKey};
+use ndetect_chaos::{failpoint, Injected};
 use ndetect_obs::trace;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::SystemTime;
 
 /// File-format magic for artifact entries.
@@ -17,6 +18,9 @@ const MAGIC: [u8; 4] = *b"NDST";
 const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8;
 /// Name of the persisted hit/miss counter file in the store root.
 const COUNTERS_FILE: &str = "counters.bin";
+/// Directory (under the store root) where [`Store::repair`] moves
+/// undecodable entries, next to its `MANIFEST` log.
+const QUARANTINE_DIR: &str = "quarantine";
 /// Distinguishes temp names when one process opens several stores.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -45,6 +49,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Cumulative stores.
     pub writes: u64,
+    /// Cumulative failed writes that were absorbed (computation
+    /// proceeded uncached instead of failing the request).
+    pub write_errors: u64,
 }
 
 /// Per-shard occupancy of the fan-out `objects/` layout
@@ -66,6 +73,16 @@ pub struct VerifyReport {
     pub valid: u64,
     /// Files that failed validation, with the reason.
     pub corrupt: Vec<(PathBuf, String)>,
+}
+
+/// Result of a quarantine pass ([`Store::repair`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Entries whose header and checksum validated (left in place).
+    pub valid: u64,
+    /// Entries moved into `quarantine/`, with their original path and
+    /// the validation failure that condemned them.
+    pub quarantined: Vec<(PathBuf, String)>,
 }
 
 /// Result of a garbage-collection pass ([`Store::gc`]).
@@ -129,6 +146,7 @@ pub struct Store {
     session_hits: Arc<ndetect_obs::Counter>,
     session_misses: Arc<ndetect_obs::Counter>,
     session_writes: Arc<ndetect_obs::Counter>,
+    session_write_errors: Arc<ndetect_obs::Counter>,
 }
 
 impl Store {
@@ -147,6 +165,7 @@ impl Store {
             session_hits: Arc::new(ndetect_obs::Counter::new()),
             session_misses: Arc::new(ndetect_obs::Counter::new()),
             session_writes: Arc::new(ndetect_obs::Counter::new()),
+            session_write_errors: Arc::new(ndetect_obs::Counter::new()),
         })
     }
 
@@ -158,6 +177,10 @@ impl Store {
         registry.register_counter("store_hits", Arc::clone(&self.session_hits));
         registry.register_counter("store_misses", Arc::clone(&self.session_misses));
         registry.register_counter("store_writes", Arc::clone(&self.session_writes));
+        registry.register_counter(
+            "store_write_errors_total",
+            Arc::clone(&self.session_write_errors),
+        );
     }
 
     /// The store's root directory.
@@ -200,6 +223,13 @@ impl Store {
     #[must_use]
     pub fn load(&self, key: ArtifactKey, kind: ArtifactKind) -> Option<Vec<u8>> {
         let mut span = trace::span("store.load");
+        // Chaos hook: an injected read failure is just a miss, like any
+        // real unreadable entry.
+        if failpoint!("store.load").is_some() {
+            self.session_misses.inc();
+            span.field("outcome", "miss");
+            return None;
+        }
         let sharded = self.entry_path(key, kind);
         let (payload, path) = match read_entry(&sharded, Some(kind)) {
             Ok(payload) => (payload, sharded),
@@ -213,7 +243,10 @@ impl Store {
                         // drains incrementally; losing the race to a
                         // concurrent writer is harmless.
                         if let Some(dir) = sharded.parent() {
-                            if fs::create_dir_all(dir).is_ok()
+                            // Chaos hook: a failed migration must not
+                            // cost the caller its hit — skip it.
+                            if failpoint!("store.migrate").is_none()
+                                && fs::create_dir_all(dir).is_ok()
                                 && fs::rename(&flat, &sharded).is_ok()
                             {
                                 self.record_hit(&sharded);
@@ -271,8 +304,27 @@ impl Store {
             self.tmp_tag,
             key.to_hex()
         ));
+        if failpoint!("store.save.create").is_some() {
+            return Err(ndetect_chaos::io_error("store.save.create"));
+        }
         {
             let mut f = fs::File::create(&tmp)?;
+            match failpoint!("store.save.write") {
+                // Torn write: persist a truncated prefix of the staged
+                // bytes and fail — the crash-mid-write shape. The torn
+                // file stays in `tmp/` (it was never renamed into
+                // `objects/`, so no reader can ever see it) until
+                // `sweep_tmp` collects it.
+                Some(Injected::TornWrite) => {
+                    f.write_all(&bytes[..bytes.len() / 2])?;
+                    f.sync_all()?;
+                    return Err(ndetect_chaos::io_error("store.save.write"));
+                }
+                Some(Injected::ReturnErr) => {
+                    return Err(ndetect_chaos::io_error("store.save.write"));
+                }
+                None => {}
+            }
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
@@ -282,7 +334,11 @@ impl Store {
             // under concurrent writers racing into the same shard.
             fs::create_dir_all(dir)?;
         }
-        let result = fs::rename(&tmp, &dest);
+        let result = if failpoint!("store.save.rename").is_some() {
+            Err(ndetect_chaos::io_error("store.save.rename"))
+        } else {
+            fs::rename(&tmp, &dest)
+        };
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
         }
@@ -292,6 +348,31 @@ impl Store {
         let _ = fs::remove_file(self.flat_entry_path(key, kind));
         self.session_writes.inc();
         Ok(())
+    }
+
+    /// Stores an artifact, absorbing any failure: the error is counted
+    /// (`store_write_errors_total`), logged once per process, and the
+    /// caller proceeds uncached. This is the analysis fast path's
+    /// contract — a full or read-only cache directory can slow requests
+    /// down (everything recomputes) but can never fail one.
+    pub fn save_best_effort(&self, key: ArtifactKey, kind: ArtifactKind, payload: &[u8]) {
+        if let Err(err) = self.save(key, kind, payload) {
+            self.record_write_error("save", &err);
+        }
+    }
+
+    /// Counts an absorbed write failure and logs the first one per
+    /// process (later ones only tick the counter — a dead disk would
+    /// otherwise flood stderr once per request).
+    fn record_write_error(&self, what: &str, err: &io::Error) {
+        self.session_write_errors.inc();
+        static LOGGED: Once = Once::new();
+        LOGGED.call_once(|| {
+            eprintln!(
+                "ndet: cache {what} failed ({err}); continuing uncached \
+                 (further cache write errors are counted, not logged)"
+            );
+        });
     }
 
     /// Hits recorded by this process since the store was opened.
@@ -312,47 +393,77 @@ impl Store {
         self.session_writes.get()
     }
 
+    /// Absorbed write failures recorded by this process since the store
+    /// was opened.
+    #[must_use]
+    pub fn session_write_errors(&self) -> u64 {
+        self.session_write_errors.get()
+    }
+
     /// Merges this process's counters into `counters.bin` and resets
-    /// them. Called automatically on drop.
+    /// them. Called automatically on drop. A flush failure is itself
+    /// absorbed (counted and logged once) — dropping a store on a
+    /// read-only cache directory must stay silent-but-observable, never
+    /// fatal.
     pub fn flush_counters(&self) {
-        let (h, m, w) = (
+        let (h, m, w, e) = (
             self.session_hits.take(),
             self.session_misses.take(),
             self.session_writes.take(),
+            self.session_write_errors.take(),
         );
-        if h == 0 && m == 0 && w == 0 {
+        if h == 0 && m == 0 && w == 0 && e == 0 {
             return;
         }
-        let (ph, pm, pw) = self.read_persisted_counters();
-        let mut payload = Vec::with_capacity(24);
+        let (ph, pm, pw, pe) = self.read_persisted_counters();
+        let mut payload = Vec::with_capacity(32);
         payload.extend_from_slice(&(ph + h).to_le_bytes());
         payload.extend_from_slice(&(pm + m).to_le_bytes());
         payload.extend_from_slice(&(pw + w).to_le_bytes());
+        payload.extend_from_slice(&(pe + e).to_le_bytes());
         // Same atomic-rename discipline as entries; losing a race just
         // loses counter increments, never corrupts the file.
         let tmp =
             self.root
                 .join("tmp")
                 .join(format!("{}-{}-counters.part", process::id(), self.tmp_tag));
-        let write = fs::write(&tmp, &payload).and_then(|()| {
-            let res = fs::rename(&tmp, self.root.join(COUNTERS_FILE));
-            if res.is_err() {
-                let _ = fs::remove_file(&tmp);
-            }
-            res
-        });
-        let _ = write;
+        let write = if failpoint!("store.counters.flush").is_some() {
+            Err(ndetect_chaos::io_error("store.counters.flush"))
+        } else {
+            fs::write(&tmp, &payload).and_then(|()| {
+                let res = fs::rename(&tmp, self.root.join(COUNTERS_FILE));
+                if res.is_err() {
+                    let _ = fs::remove_file(&tmp);
+                }
+                res
+            })
+        };
+        if let Err(err) = write {
+            // Put the taken counts back so a later flush (or the drop
+            // flush) can retry; only increments raced away by another
+            // process are ever truly lost.
+            self.session_hits.add(h);
+            self.session_misses.add(m);
+            self.session_writes.add(w);
+            self.session_write_errors.add(e);
+            self.record_write_error("counter flush", &err);
+        }
     }
 
-    fn read_persisted_counters(&self) -> (u64, u64, u64) {
+    /// Reads `(hits, misses, writes, write_errors)` from `counters.bin`.
+    /// The file grew from three to four words when write-error tracking
+    /// landed; three-word files from older builds still read (their
+    /// write-error count is zero).
+    fn read_persisted_counters(&self) -> (u64, u64, u64, u64) {
         let Ok(bytes) = fs::read(self.root.join(COUNTERS_FILE)) else {
-            return (0, 0, 0);
+            return (0, 0, 0, 0);
         };
-        if bytes.len() != 24 {
-            return (0, 0, 0);
+        if bytes.len() != 24 && bytes.len() != 32 {
+            return (0, 0, 0, 0);
         }
         let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8"));
-        (word(0), word(1), word(2))
+        let errors = if bytes.len() == 32 { word(3) } else { 0 };
+        (word(0), word(1), word(2), errors)
     }
 
     /// Walks both layouts: flat entry files directly under `objects/`
@@ -389,7 +500,7 @@ impl Store {
     pub fn stats(&self) -> io::Result<StoreStats> {
         let files = self.entry_files()?;
         let histogram = self.shard_histogram()?;
-        let (hits, misses, writes) = self.read_persisted_counters();
+        let (hits, misses, writes, write_errors) = self.read_persisted_counters();
         Ok(StoreStats {
             entries: files.len() as u64,
             total_bytes: files.iter().map(|(_, len, _)| len).sum(),
@@ -398,6 +509,7 @@ impl Store {
             hits: hits + self.session_hits(),
             misses: misses + self.session_misses(),
             writes: writes + self.session_writes(),
+            write_errors: write_errors + self.session_write_errors(),
         })
     }
 
@@ -448,6 +560,72 @@ impl Store {
         Ok(report)
     }
 
+    /// Quarantines every entry that fails validation. Where
+    /// [`Store::verify`] only reports, repair *moves* each corrupt file
+    /// into `<root>/quarantine/` (disambiguating name collisions
+    /// between the flat and sharded layouts) and appends a
+    /// tab-separated line to `quarantine/MANIFEST` — quarantined name,
+    /// original path, failure reason — so the bytes stay inspectable
+    /// for debugging while the store itself ends the pass holding only
+    /// valid entries.
+    ///
+    /// Note a repaired store is not necessarily a *smaller* failure
+    /// domain: corrupt entries were already misses. Repair exists so
+    /// operators can distinguish "cache churn" from "disk eating
+    /// bytes", with the evidence preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the scan, a move, or a manifest append
+    /// fails.
+    pub fn repair(&self) -> io::Result<RepairReport> {
+        let mut report = RepairReport::default();
+        for (path, _, _) in self.entry_files()? {
+            match read_entry(&path, kind_from_file_name(&path)) {
+                Ok(_) => report.valid += 1,
+                Err(reason) => {
+                    let dest = self.quarantine_dest(&path)?;
+                    fs::rename(&path, &dest)?;
+                    let mut manifest = fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(self.root.join(QUARANTINE_DIR).join("MANIFEST"))?;
+                    writeln!(
+                        manifest,
+                        "{}\t{}\t{reason}",
+                        dest.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+                        path.display()
+                    )?;
+                    report.quarantined.push((path, reason));
+                }
+            }
+        }
+        if !report.quarantined.is_empty() {
+            self.prune_empty_shards();
+        }
+        Ok(report)
+    }
+
+    /// Picks a free file name inside `quarantine/` for `path`, creating
+    /// the directory on first use. A flat entry and its sharded twin
+    /// share a file name, so collisions get a numeric prefix.
+    fn quarantine_dest(&self, path: &Path) -> io::Result<PathBuf> {
+        let dir = self.root.join(QUARANTINE_DIR);
+        fs::create_dir_all(&dir)?;
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("entry")
+            .to_string();
+        let mut dest = dir.join(&name);
+        let mut n = 1u32;
+        while dest.exists() {
+            dest = dir.join(format!("{n}-{name}"));
+            n += 1;
+        }
+        Ok(dest)
+    }
+
     /// Removes every entry, the counters file, and all staging files
     /// (including partial writes left behind by crashed processes).
     ///
@@ -464,6 +642,7 @@ impl Store {
         let _ = self.session_hits.take();
         let _ = self.session_misses.take();
         let _ = self.session_writes.take();
+        let _ = self.session_write_errors.take();
         Ok(())
     }
 
@@ -914,6 +1093,86 @@ mod tests {
         assert_eq!(store.stats().unwrap().entries, 0);
         assert!(!store.root().join("objects/05").exists());
         assert!(!store.root().join("objects/99").exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn repair_quarantines_corrupt_entries_with_a_manifest() {
+        let store = temp_store("repair");
+        let good = ArtifactKey(0x1100_0000_0000_0001);
+        let bad = ArtifactKey(0x2200_0000_0000_0002);
+        store.save(good, 1, b"intact").unwrap();
+        store.save(bad, 1, b"doomed").unwrap();
+        let bad_path = store.entry_path(bad, 1);
+        let mut bytes = fs::read(&bad_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&bad_path, &bytes).unwrap();
+
+        let report = store.repair().unwrap();
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, bad_path);
+        assert!(report.quarantined[0].1.contains("checksum"));
+        // The corrupt file left the data path but not the disk.
+        assert!(!bad_path.exists());
+        let qdir = store.root().join(QUARANTINE_DIR);
+        assert!(qdir.join(Store::entry_file_name(bad, 1)).is_file());
+        let manifest = fs::read_to_string(qdir.join("MANIFEST")).unwrap();
+        assert!(manifest.contains("checksum mismatch"), "{manifest}");
+        // After repair the store verifies clean and a second repair is
+        // a no-op; the good entry still loads.
+        assert!(store.verify().unwrap().corrupt.is_empty());
+        assert!(store.repair().unwrap().quarantined.is_empty());
+        assert_eq!(store.load(good, 1).unwrap(), b"intact");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn repair_disambiguates_flat_and_sharded_twins() {
+        // A corrupt flat entry and a corrupt sharded entry share a file
+        // name; both must land in quarantine under distinct names.
+        let store = temp_store("repair-twins");
+        let key = ArtifactKey(0x3300_0000_0000_0009);
+        store.save(key, 1, b"sharded").unwrap();
+        fs::copy(store.entry_path(key, 1), store.flat_entry_path(key, 1)).unwrap();
+        for path in [store.entry_path(key, 1), store.flat_entry_path(key, 1)] {
+            fs::write(&path, b"garbage").unwrap();
+        }
+        let report = store.repair().unwrap();
+        assert_eq!(report.quarantined.len(), 2);
+        let quarantined: Vec<_> = fs::read_dir(store.root().join(QUARANTINE_DIR))
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name() != "MANIFEST")
+            .collect();
+        assert_eq!(quarantined.len(), 2, "no silent overwrite");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn three_word_counters_files_from_older_builds_still_read() {
+        let store = temp_store("counters-compat");
+        let mut legacy = Vec::new();
+        for word in [7u64, 5, 3] {
+            legacy.extend_from_slice(&word.to_le_bytes());
+        }
+        fs::write(store.root().join(COUNTERS_FILE), &legacy).unwrap();
+        let stats = store.stats().unwrap();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.writes, stats.write_errors),
+            (7, 5, 3, 0)
+        );
+        // A flush upgrades the file to four words in place.
+        store.session_write_errors.inc();
+        store.flush_counters();
+        assert_eq!(
+            fs::read(store.root().join(COUNTERS_FILE)).unwrap().len(),
+            32
+        );
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.write_errors, 1);
+        assert_eq!(stats.hits, 7);
         let _ = fs::remove_dir_all(store.root());
     }
 

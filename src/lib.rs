@@ -16,6 +16,7 @@
 //! | [`gen`] | greedy set-cover n-detection test-set generation + compaction |
 //! | [`store`] | content-addressed on-disk artifact cache (universes, nmin vectors, generated sets) |
 //! | [`serve`] | persistent analysis service: TCP line protocol, hot LRU, single-flight dedup |
+//! | [`chaos`] | deterministic fault-injection failpoints (`NDETECT_FAILPOINTS`) |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ndetect_chaos as chaos;
 pub use ndetect_circuits as circuits;
 pub use ndetect_core as analysis;
 pub use ndetect_faults as faults;
