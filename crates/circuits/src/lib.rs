@@ -13,6 +13,9 @@
 //!   cycle trackers, modulo counters).
 //! * [`extra`] — small combinational circuits (c17, adders, parity,
 //!   multiplexer trees) used by tests and examples.
+//! * [`sequential`] — bundled sequential circuits for time-frame
+//!   expansion: ISCAS-89 `s27` plus shift-register and counter
+//!   generators.
 //!
 //! # Example
 //!
@@ -33,5 +36,7 @@ pub mod extra;
 pub mod figure1;
 pub mod generators;
 mod registry;
+pub mod sequential;
 
 pub use registry::{build, spec, suite, CircuitSource, CircuitSpec};
+pub use sequential::{build_seq, seq_suite};

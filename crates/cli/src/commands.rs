@@ -7,7 +7,8 @@ use ndetect_core::{
     WorstCaseAnalysis,
 };
 use ndetect_faults::FaultUniverse;
-use ndetect_netlist::{bench_format, Netlist};
+use ndetect_netlist::{bench_format, Netlist, NetlistError, SeqNetlist};
+use ndetect_seq::{expand_stored, FaultModel};
 use ndetect_serve::render::{CorpusRequest, Knobs, StoreProvider};
 use ndetect_sim::MemoryBudget;
 use ndetect_store::Store;
@@ -18,13 +19,15 @@ mod serve_cmd;
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
   ndet list
-  ndet stats <circuit>
-  ndet worst <circuit> [--floor N]
+  ndet stats <circuit> [--seq] [--fault-model M]
+  ndet worst <circuit> [--floor N] [--seq] [--fault-model M]
   ndet average <circuit> [--k K] [--nmax N] [--def 1|2] [--tail T]
+              [--seq] [--fault-model M]
   ndet greedy <circuit> [--n N]
-  ndet gen <circuit> [--n N] [--compact] [--seed S]
+  ndet gen <circuit> [--n N] [--compact] [--seed S] [--seq]
+          [--fault-model M]
   ndet synth <circuit>
-  ndet bench-file <path> <stats|worst|cones>
+  ndet bench-file <path> <stats|worst|cones> [--seq] [--fault-model M]
   ndet pla-file <path> <stats|worst|synth>
   ndet dot <circuit>
   ndet cones <circuit> [--max-inputs N]
@@ -35,7 +38,19 @@ pub const USAGE: &str = "usage:
   ndet request <addr> <verb> [args...] [--retry N] [--retry-on LIST]
   ndet trace report <file>
 
-<circuit>: a suite name (`ndet list`), `figure1`, or `c17`.
+<circuit>: a suite name (`ndet list`), `figure1`, `c17`, or a bundled
+sequential circuit (`s27`, `shift4`, `cnt3`). Sequential circuits are
+analysed through deterministic two-frame broadside time-frame
+expansion: flip-flop outputs become free pseudo-inputs of frame 1 and
+the frame-2 flip-flop inputs are observed alongside the primary
+outputs. `--fault-model M` picks the lowered fault model — `transition`
+(default: slow-to-rise/slow-to-fall delay faults launched by frame 1
+and captured in frame 2) or `stuck-at` (collapsed stuck-at faults of
+the expanded netlist). `--seq` forces sequential interpretation
+(registry lookup for named circuits, DFF-accepting parse for
+`bench-file`); files containing DFFs are auto-detected either way.
+`ndet corpus` classifies sequential `.bench` files as `seq` rows
+analysed under the transition model.
 
 `ndet serve` keeps an analysis process resident: it binds a TCP socket
 (default 127.0.0.1:0; the chosen address is printed on stdout and, with
@@ -141,12 +156,18 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
         "list" => list(),
         "stats" => {
             let store = open_store_degraded(&rest)?;
-            with_circuit(&rest, |_, n| stats(&n, knobs, store.as_ref()))
+            with_any_circuit(&rest, |_, kind| match kind {
+                CircuitKind::Comb(n) => stats(&n, knobs, store.as_ref()),
+                CircuitKind::Seq(s, m) => seq_stats(&s, m, knobs, store.as_ref()),
+            })
         }
         "worst" => {
             let floor = flag_value(&rest, "--floor")?.unwrap_or(100);
             let store = open_store_degraded(&rest)?;
-            with_circuit(&rest, |_, n| worst(&n, floor, knobs, store.as_ref()))
+            with_any_circuit(&rest, |_, kind| match kind {
+                CircuitKind::Comb(n) => worst(&n, floor, knobs, store.as_ref()),
+                CircuitKind::Seq(s, m) => seq_worst(&s, m, floor, knobs, store.as_ref()),
+            })
         }
         "average" => {
             let k = flag_value(&rest, "--k")?.unwrap_or(200);
@@ -154,10 +175,14 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
             let def = flag_value(&rest, "--def")?.unwrap_or(1) as u32;
             let tail = flag_value(&rest, "--tail")?.unwrap_or(nmax + 1);
             let store = open_store_degraded(&rest)?;
-            with_circuit(&rest, |name, n| {
+            with_any_circuit(&rest, |name, kind| {
+                let universe = match kind {
+                    CircuitKind::Comb(n) => universe_of(&n, knobs, store.as_ref())?,
+                    CircuitKind::Seq(s, m) => seq_universe_of(&s, m, knobs, store.as_ref())?,
+                };
                 average(
                     name,
-                    &n,
+                    &universe,
                     k,
                     nmax as u32,
                     def,
@@ -179,8 +204,13 @@ fn dispatch_command(command: &str, rest: &[&String]) -> Result<(), String> {
             let do_compact = flag_present(&rest, "--compact");
             let seed = flag_value(&rest, "--seed")?.map(|s| s as u64);
             let store = open_store_degraded(&rest)?;
-            with_circuit(&rest, |_, n| {
-                gen_set(&n, n_det as u32, do_compact, seed, knobs, store.as_ref())
+            with_any_circuit(&rest, |_, kind| match kind {
+                CircuitKind::Comb(n) => {
+                    gen_set(&n, n_det as u32, do_compact, seed, knobs, store.as_ref())
+                }
+                CircuitKind::Seq(s, m) => {
+                    seq_gen_set(&s, m, n_det as u32, do_compact, seed, knobs, store.as_ref())
+                }
             })
         }
         "synth" => with_circuit(&rest, |_, n| {
@@ -249,7 +279,7 @@ fn flag_str<'a>(rest: &[&'a String], flag: &str) -> Result<Option<&'a str>, Stri
 
 /// Flags that are pure presence toggles — they consume no value, so the
 /// positional scanner must not swallow the token after them.
-const BOOLEAN_FLAGS: &[&str] = &["--compact", "--recursive", "--chaos"];
+const BOOLEAN_FLAGS: &[&str] = &["--compact", "--recursive", "--chaos", "--seq"];
 
 /// Whether a presence-toggle flag (one of [`BOOLEAN_FLAGS`]) was given.
 fn flag_present(rest: &[&String], flag: &str) -> bool {
@@ -329,6 +359,62 @@ fn with_circuit(
     f(name, netlist)
 }
 
+/// A resolved circuit argument: combinational, or sequential paired
+/// with the fault model its time-frame expansion lowers to.
+enum CircuitKind {
+    Comb(Netlist),
+    Seq(SeqNetlist, FaultModel),
+}
+
+/// The `--fault-model` flag, parsed; `None` when absent.
+fn fault_model_flag(rest: &[&String]) -> Result<Option<FaultModel>, String> {
+    match flag_str(rest, "--fault-model")? {
+        None => Ok(None),
+        Some(v) => FaultModel::parse(v).map(Some).ok_or_else(|| {
+            format!("bad value for --fault-model: `{v}` (expected transition or stuck-at)")
+        }),
+    }
+}
+
+/// Resolves a circuit name to combinational or sequential. The
+/// combinational suite is tried first so existing names keep their
+/// meaning; unknown names fall back to the sequential registry
+/// (`s27`, `shift4`, `cnt3`). `--seq` skips the combinational lookup,
+/// and `--fault-model` on a combinational circuit is an error —
+/// fault-model selection only exists for time-frame expansion.
+fn with_any_circuit(
+    rest: &[&String],
+    f: impl FnOnce(&str, CircuitKind) -> Result<(), String>,
+) -> Result<(), String> {
+    let name = positionals(rest)
+        .into_iter()
+        .find(|a| !a.chars().all(|c| c.is_ascii_digit()))
+        .ok_or("missing circuit name")?;
+    let model = fault_model_flag(rest)?;
+    if !flag_present(rest, "--seq") {
+        if let Ok(netlist) = ndetect_circuits::build(name) {
+            if let Some(m) = model {
+                return Err(format!(
+                    "--fault-model {} selects a sequential fault model; `{name}` is combinational",
+                    m.label()
+                ));
+            }
+            return f(name, CircuitKind::Comb(netlist));
+        }
+    }
+    match ndetect_circuits::build_seq(name) {
+        Ok(seq) => f(name, CircuitKind::Seq(seq, model.unwrap_or_default())),
+        Err(_) => match ndetect_circuits::build(name) {
+            // Only reachable under --seq: the name exists, but in the
+            // combinational suite.
+            Ok(_) => Err(format!("`{name}` is not a sequential circuit (drop --seq)")),
+            // Report through the combinational error so the message
+            // lists the suite the user most likely wanted.
+            Err(e) => Err(e.to_string()),
+        },
+    }
+}
+
 fn list() -> Result<(), String> {
     println!(
         "{:<10} {:>6} {:>7} {:>7} {:>10} {:<14}",
@@ -357,6 +443,25 @@ fn universe_of(
     FaultUniverse::build_stored(netlist, knobs.universe_options(), store).map_err(|e| e.to_string())
 }
 
+/// Expands a sequential circuit and builds the explicit-target fault
+/// universe of its two-frame model, both store-backed so a warm run
+/// does neither expansion nor simulation.
+fn seq_universe_of(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    knobs: Knobs,
+    store: Option<&Store>,
+) -> Result<FaultUniverse, String> {
+    let expanded = expand_stored(seq, model, store).map_err(|e| e.to_string())?;
+    FaultUniverse::build_stored_explicit(
+        expanded.netlist(),
+        &expanded.explicit_targets(),
+        knobs.universe_options(),
+        store,
+    )
+    .map_err(|e| e.to_string())
+}
+
 /// The one-shot analysis commands delegate to `ndetect_serve::render`,
 /// the render layer shared with `ndet serve` — this is what guarantees
 /// a serve reply is byte-identical to the one-shot stdout.
@@ -383,10 +488,60 @@ fn worst(
     Ok(())
 }
 
+fn seq_stats(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    knobs: Knobs,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_seq_stats(seq, model, knobs, &provider)?
+    );
+    Ok(())
+}
+
+fn seq_worst(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    floor: usize,
+    knobs: Knobs,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_seq_worst(seq, model, floor, knobs, &provider)?
+    );
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seq_gen_set(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    n: u32,
+    compact: bool,
+    seed: Option<u64>,
+    knobs: Knobs,
+    store: Option<&Store>,
+) -> Result<(), String> {
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let provider = StoreProvider::new(store);
+    print!(
+        "{}",
+        ndetect_serve::render_seq_gen(seq, model, n, compact, seed, knobs, &provider)?
+    );
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn average(
     name: &str,
-    netlist: &Netlist,
+    universe: &FaultUniverse,
     k: usize,
     nmax: u32,
     def: u32,
@@ -399,8 +554,7 @@ fn average(
         2 => DetectionDefinition::SufficientlyDifferent,
         other => return Err(format!("--def must be 1 or 2, got {other}")),
     };
-    let universe = universe_of(netlist, knobs, store)?;
-    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, store);
+    let wc = WorstCaseAnalysis::compute_stored(universe, knobs.threads, store);
     let tracked = wc.tail_indices(tail);
     if tracked.is_empty() {
         println!("{name}: no untargeted faults with nmin >= {tail}; nothing to estimate");
@@ -415,7 +569,7 @@ fn average(
     };
     // Procedure 1 is seeded, so the whole K-set construction is
     // cacheable: warm re-runs load the estimate from the store.
-    let probs = estimate_detection_probabilities_stored(&universe, &tracked, &config, store)
+    let probs = estimate_detection_probabilities_stored(universe, &tracked, &config, store)
         .map_err(|e| e.to_string())?;
     println!(
         "{name}: {} tracked faults (nmin >= {tail}), K = {k}, definition {def}",
@@ -504,12 +658,45 @@ fn bench_file(rest: &[&String], knobs: Knobs, store: Option<&Store>) -> Result<(
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("bench");
-    let netlist = bench_format::parse(name, &text).map_err(|e| e.to_string())?;
-    match sub {
-        "stats" => stats(&netlist, knobs, store),
-        "worst" => worst(&netlist, 100, knobs, store),
-        "cones" => cones(&netlist, 14, knobs, store),
-        other => Err(format!("unknown bench-file subcommand `{other}`")),
+    let model = fault_model_flag(rest)?;
+    // Sequential files are recognised two ways: `--seq` forces the
+    // DFF-accepting parser, and a plain parse that fails specifically
+    // because the file contains flip-flops auto-upgrades to it.
+    let netlist = if flag_present(rest, "--seq") {
+        None
+    } else {
+        match bench_format::parse(name, &text) {
+            Ok(n) => Some(n),
+            Err(NetlistError::Sequential { .. }) => None,
+            Err(e) => return Err(e.to_string()),
+        }
+    };
+    match netlist {
+        Some(netlist) => {
+            if let Some(m) = model {
+                return Err(format!(
+                    "--fault-model {} selects a sequential fault model; `{name}` is combinational",
+                    m.label()
+                ));
+            }
+            match sub {
+                "stats" => stats(&netlist, knobs, store),
+                "worst" => worst(&netlist, 100, knobs, store),
+                "cones" => cones(&netlist, 14, knobs, store),
+                other => Err(format!("unknown bench-file subcommand `{other}`")),
+            }
+        }
+        None => {
+            let seq = bench_format::parse_seq(name, &text).map_err(|e| e.to_string())?;
+            let model = model.unwrap_or_default();
+            match sub {
+                "stats" => seq_stats(&seq, model, knobs, store),
+                "worst" => seq_worst(&seq, model, 100, knobs, store),
+                other => Err(format!(
+                    "unknown bench-file subcommand `{other}` for a sequential circuit (expected stats or worst)"
+                )),
+            }
+        }
     }
 }
 
@@ -777,5 +964,34 @@ mod tests {
     fn request_retry_flag_validation() {
         assert!(run(&["request", "127.0.0.1:1", "ping", "--retry", "zebra"]).is_err());
         assert!(run(&["request", "127.0.0.1:1", "ping", "--retry"]).is_err());
+    }
+
+    #[test]
+    fn sequential_circuits_run_end_to_end() {
+        assert!(run(&["worst", "s27"]).is_ok());
+        assert!(run(&["stats", "shift4", "--fault-model", "stuck-at"]).is_ok());
+        assert!(run(&["gen", "cnt3", "--n", "2", "--seq"]).is_ok());
+        assert!(run(&["average", "s27", "--k", "5", "--nmax", "2"]).is_ok());
+    }
+
+    #[test]
+    fn sequential_flag_validation() {
+        // --fault-model only makes sense for time-frame expansion.
+        assert!(run(&["worst", "figure1", "--fault-model", "transition"]).is_err());
+        assert!(run(&["worst", "s27", "--fault-model", "zebra"]).is_err());
+        // --seq on a combinational name, and names in neither registry.
+        assert!(run(&["worst", "figure1", "--seq"]).is_err());
+        assert!(run(&["worst", "not-a-circuit", "--seq"]).is_err());
+    }
+
+    #[test]
+    fn bench_file_auto_detects_sequential_circuits() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/data/corpus/s27.bench"
+        );
+        assert!(run(&["bench-file", path, "worst"]).is_ok());
+        assert!(run(&["bench-file", path, "stats", "--seq"]).is_ok());
+        assert!(run(&["bench-file", path, "cones"]).is_err());
     }
 }

@@ -115,15 +115,18 @@ fn corpus_emits_csv_and_json_summaries() {
         )
     );
     let rows: Vec<&str> = lines.collect();
-    assert_eq!(rows.len(), 3, "3 corpus circuits:\n{csv}");
-    // Sorted walk: c17 then figure1 then mux_parity; figure1's numbers
-    // are the paper's.
+    assert_eq!(rows.len(), 4, "4 corpus circuits:\n{csv}");
+    // Sorted walk: c17, figure1, mux_parity, s27; figure1's numbers
+    // are the paper's. s27 contains DFFs, so it classifies as a `seq`
+    // row analysed through its two-frame transition expansion — the
+    // structure columns describe the sequential circuit itself.
     assert!(rows[0].starts_with("c17,full,5,2,6,22,26,"), "{csv}");
     assert!(
         rows[1].starts_with("figure1,full,4,3,3,16,10,40.00,100.00,0,4,16,"),
         "{csv}"
     );
     assert!(rows[2].starts_with("mux_parity,full,"), "{csv}");
+    assert!(rows[3].starts_with("s27,seq,4,1,"), "{csv}");
     // Generated-set sizes: monotone in n, never above the exhaustive
     // baseline |U| = 2^inputs.
     for row in &rows {

@@ -63,6 +63,28 @@ pub fn universe_key(netlist: &Netlist, options: UniverseOptions) -> ArtifactKey 
     ArtifactKey(h.finish())
 }
 
+/// The content-addressed key of an **explicit-target** universe (see
+/// [`crate::FaultUniverse::build_explicit`]): instead of hashing the
+/// netlist the universe is simulated on, the caller supplies the
+/// canonical bytes of the *source* model — for time-frame-expanded
+/// circuits that is the sequential netlist's canonical bytes plus a
+/// fault-model tag, so derived artifacts (worst-case, generated sets)
+/// are keyed by the sequential circuit, not its expansion. Like
+/// [`universe_key`], threads and memory budget are excluded.
+#[must_use]
+pub fn explicit_universe_key(canonical: &[u8], options: UniverseOptions) -> ArtifactKey {
+    let mut h = Fnv64::new();
+    h.update(b"ndetect.universe.explicit");
+    h.update_u64(u64::from(CODEC_VERSION));
+    h.update(canonical);
+    h.update(&[
+        u8::from(options.collapse_targets),
+        u8::from(options.include_bridges),
+        bridge_model_tag(options.bridge_model),
+    ]);
+    ArtifactKey(h.finish())
+}
+
 impl Encode for StuckAtFault {
     fn encode(&self, e: &mut Encoder) {
         e.put_usize(self.line.index());

@@ -127,7 +127,27 @@ pub fn enumerate_bridges(
     reach: &ReachabilityMatrix,
     model: BridgeModel,
 ) -> Vec<BridgingFault> {
-    let stems = netlist.multi_input_gate_stems();
+    enumerate_bridges_among(netlist, reach, model, &netlist.multi_input_gate_stems())
+}
+
+/// Enumerates all **non-feedback** bridging faults of the given model
+/// between the given candidate stems, in stem-list order.
+///
+/// This is [`enumerate_bridges`] with the candidate population chosen by
+/// the caller instead of defaulting to every multi-input gate stem — the
+/// time-frame expansion uses it to restrict bridges to the frame copies
+/// of original circuit gates, excluding fault-gadget instrumentation.
+///
+/// # Panics
+///
+/// Panics if a stem id does not belong to `netlist`.
+#[must_use]
+pub fn enumerate_bridges_among(
+    netlist: &Netlist,
+    reach: &ReachabilityMatrix,
+    model: BridgeModel,
+    stems: &[LineId],
+) -> Vec<BridgingFault> {
     let mut faults = Vec::new();
     for (i, &x) in stems.iter().enumerate() {
         let xd = netlist.lines().line(x).driver();

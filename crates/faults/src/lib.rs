@@ -53,10 +53,12 @@ mod sim;
 mod stuck_at;
 mod universe;
 
-pub use artifact::{universe_key, KIND_UNIVERSE};
-pub use bridging::{enumerate_bridges, enumerate_four_way, BridgeModel, BridgingFault};
+pub use artifact::{explicit_universe_key, universe_key, KIND_UNIVERSE};
+pub use bridging::{
+    enumerate_bridges, enumerate_bridges_among, enumerate_four_way, BridgeModel, BridgingFault,
+};
 pub use collapse::CollapsedFaults;
 pub use error::FaultError;
 pub use sim::{threeval_detects_stuck, FaultSimulator};
 pub use stuck_at::{all_stuck_at_faults, input_line_of_pin, StuckAtFault};
-pub use universe::{FaultUniverse, UniverseOptions};
+pub use universe::{ExplicitTargets, FaultUniverse, UniverseOptions};

@@ -5,8 +5,10 @@
 // buffer it allocates must come from `ndetect_sim::rows`.
 #![deny(clippy::disallowed_methods)]
 
-use crate::artifact::{universe_key, UniverseArtifact, UniverseArtifactRef, KIND_UNIVERSE};
-use crate::bridging::{enumerate_bridges, BridgeModel, BridgingFault};
+use crate::artifact::{
+    explicit_universe_key, universe_key, UniverseArtifact, UniverseArtifactRef, KIND_UNIVERSE,
+};
+use crate::bridging::{enumerate_bridges_among, BridgeModel, BridgingFault};
 use crate::collapse::CollapsedFaults;
 use crate::error::FaultError;
 use crate::sim::FaultSimulator;
@@ -73,6 +75,28 @@ impl UniverseOptions {
     }
 }
 
+/// An explicitly chosen fault population for [`FaultUniverse::build_explicit`]:
+/// the caller names the exact stuck-at targets and the candidate stems for
+/// bridging enumeration, plus the canonical bytes that identify the *source*
+/// model for store keying.
+///
+/// This is how lowered fault models ride the stuck-at machinery: time-frame
+/// expansion lowers transition-delay faults to stuck-at faults on gadget
+/// lines of the expanded netlist, and those gadget lines are meaningful
+/// targets while the gadget instrumentation itself must stay out of the
+/// bridging population.
+#[derive(Clone, Debug)]
+pub struct ExplicitTargets {
+    /// The target stuck-at faults `F`, in the caller's order.
+    pub targets: Vec<StuckAtFault>,
+    /// Candidate stems for bridging-fault enumeration (the untargeted
+    /// population `G`); pass an empty slice for no bridges.
+    pub bridge_stems: Vec<ndetect_netlist::LineId>,
+    /// Canonical bytes identifying the source model; the store key hashes
+    /// these instead of the simulated netlist's canonical bytes.
+    pub canonical: Vec<u8>,
+}
+
 /// The target fault set `F` (collapsed single stuck-at), the untargeted
 /// fault set `G` (detectable non-feedback four-way bridging), and every
 /// detection set `T(h) ⊆ U`, for one circuit.
@@ -98,6 +122,10 @@ pub struct FaultUniverse {
     bridges: Vec<BridgingFault>,
     bridge_sets: Vec<VectorSet>,
     num_undetectable_bridges: usize,
+    /// `Some` for explicit-target universes: overrides [`Self::store_key`]
+    /// so derived artifacts are keyed by the source model's canonical
+    /// bytes, not the simulated netlist's.
+    explicit_key: Option<ArtifactKey>,
 }
 
 impl FaultUniverse {
@@ -119,6 +147,49 @@ impl FaultUniverse {
     /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
     /// exhaustive simulation.
     pub fn build_with(netlist: &Netlist, options: UniverseOptions) -> Result<Self, FaultError> {
+        Self::build_inner(netlist, options, None)
+    }
+
+    /// Builds a universe over an explicitly chosen fault population: the
+    /// targets `F` are exactly `explicit.targets` (no enumeration, no
+    /// collapsing — `options.collapse_targets` is ignored) and the bridging
+    /// candidates are `explicit.bridge_stems`. The resulting universe's
+    /// [`Self::store_key`] hashes `explicit.canonical` instead of the
+    /// netlist, so derived artifacts follow the source model's identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
+    /// exhaustive simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target line or bridge stem does not belong to `netlist`.
+    pub fn build_explicit(
+        netlist: &Netlist,
+        explicit: &ExplicitTargets,
+        options: UniverseOptions,
+    ) -> Result<Self, FaultError> {
+        Self::build_inner(netlist, options, Some(explicit))
+    }
+
+    fn build_inner(
+        netlist: &Netlist,
+        options: UniverseOptions,
+        explicit: Option<&ExplicitTargets>,
+    ) -> Result<Self, FaultError> {
+        let num_lines = netlist.lines().len();
+        if let Some(explicit) = explicit {
+            assert!(
+                explicit
+                    .targets
+                    .iter()
+                    .map(|f| f.line)
+                    .chain(explicit.bridge_stems.iter().copied())
+                    .all(|l| l.index() < num_lines),
+                "explicit fault population references lines outside the netlist"
+            );
+        }
         let mut build_span = trace::span("universe.build");
         build_span.field("circuit", netlist.name());
         let started = std::time::Instant::now();
@@ -130,10 +201,10 @@ impl FaultUniverse {
             CollapsedFaults::compute(netlist)
         };
 
-        let targets: Vec<StuckAtFault> = if options.collapse_targets {
-            collapsed.representatives().to_vec()
-        } else {
-            all_stuck_at_faults(netlist)
+        let targets: Vec<StuckAtFault> = match explicit {
+            Some(explicit) => explicit.targets.clone(),
+            None if options.collapse_targets => collapsed.representatives().to_vec(),
+            None => all_stuck_at_faults(netlist),
         };
         // Fault-parallel tiling: each worker simulates a tile of the
         // fault list against the shared read-only simulator, reusing one
@@ -163,8 +234,20 @@ impl FaultUniverse {
         let mut num_undetectable_bridges = 0;
         if options.include_bridges {
             let mut span = trace::span("universe.bridge_sweep");
-            let enumerated =
-                enumerate_bridges(netlist, simulator.reachability(), options.bridge_model);
+            let default_stems;
+            let stems: &[ndetect_netlist::LineId] = match explicit {
+                Some(explicit) => &explicit.bridge_stems,
+                None => {
+                    default_stems = netlist.multi_input_gate_stems();
+                    &default_stems
+                }
+            };
+            let enumerated = enumerate_bridges_among(
+                netlist,
+                simulator.reachability(),
+                options.bridge_model,
+                stems,
+            );
             span.field("faults", enumerated.len());
             let sets = if simulator.tile_width() < simulator.space().num_blocks() {
                 build_sets_tiled(
@@ -212,6 +295,7 @@ impl FaultUniverse {
             bridges,
             bridge_sets,
             num_undetectable_bridges,
+            explicit_key: explicit.map(|x| explicit_universe_key(&x.canonical, options)),
         })
     }
 
@@ -250,12 +334,56 @@ impl FaultUniverse {
         Ok(universe)
     }
 
+    /// [`Self::build_explicit`] with the store fast path of
+    /// [`Self::build_stored`]: the cache key is
+    /// [`explicit_universe_key`]`(explicit.canonical, options)`, so warm
+    /// runs skip every fault simulation on the expanded netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Sim`] if the circuit has too many inputs for
+    /// exhaustive simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target line or bridge stem does not belong to `netlist`.
+    pub fn build_stored_explicit(
+        netlist: &Netlist,
+        explicit: &ExplicitTargets,
+        options: UniverseOptions,
+        store: Option<&Store>,
+    ) -> Result<Self, FaultError> {
+        let Some(store) = store else {
+            return Self::build_explicit(netlist, explicit, options);
+        };
+        let key = explicit_universe_key(&explicit.canonical, options);
+        if let Some(payload) = store.load(key, KIND_UNIVERSE) {
+            if let Some(mut universe) = Self::from_artifact_bytes(netlist, options, &payload) {
+                universe.explicit_key = Some(key);
+                return Ok(universe);
+            }
+        }
+        let universe = Self::build_explicit(netlist, explicit, options)?;
+        store.save_best_effort(key, KIND_UNIVERSE, &encode_to_vec(&universe.artifact_ref()));
+        Ok(universe)
+    }
+
     /// The content-addressed store key of this universe (canonical
-    /// netlist bytes + semantic options + codec version). Derived
-    /// artifacts (e.g. `nmin` vectors) mix this into their own keys.
+    /// netlist bytes + semantic options + codec version; for
+    /// explicit-target universes, the source model's canonical bytes
+    /// instead). Derived artifacts (e.g. `nmin` vectors) mix this into
+    /// their own keys.
     #[must_use]
     pub fn store_key(&self) -> ArtifactKey {
-        universe_key(&self.netlist, self.options)
+        self.explicit_key
+            .unwrap_or_else(|| universe_key(&self.netlist, self.options))
+    }
+
+    /// `true` when this universe was built over an explicitly chosen
+    /// fault population ([`Self::build_explicit`]).
+    #[must_use]
+    pub fn is_explicit(&self) -> bool {
+        self.explicit_key.is_some()
     }
 
     /// Borrowed serialization view — the save path encodes directly
@@ -301,6 +429,7 @@ impl FaultUniverse {
             bridges: artifact.bridges,
             bridge_sets: artifact.bridge_sets,
             num_undetectable_bridges: artifact.num_undetectable_bridges,
+            explicit_key: None,
         })
     }
 
@@ -491,9 +620,14 @@ impl fmt::Debug for FaultUniverse {
 
 impl fmt::Display for FaultUniverse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = if self.explicit_key.is_some() {
+            "explicit targets"
+        } else {
+            "collapsed stuck-at"
+        };
         write!(
             f,
-            "{}: |F| = {} collapsed stuck-at, |G| = {} bridging ({} undetectable excluded), |U| = {}",
+            "{}: |F| = {} {label}, |G| = {} bridging ({} undetectable excluded), |U| = {}",
             self.netlist.name(),
             self.targets.len(),
             self.bridges.len(),
@@ -632,6 +766,48 @@ mod tests {
                 assert_eq!(a.words(), b.words(), "budget {budget}");
             }
         }
+    }
+
+    #[test]
+    fn explicit_population_is_taken_verbatim() {
+        let n = figure1();
+        let baseline = FaultUniverse::build(&n).unwrap();
+        // Hand-pick two targets and restrict bridging to stems 9 and 10.
+        let stems = n.multi_input_gate_stems();
+        let explicit = ExplicitTargets {
+            targets: vec![baseline.targets()[0], baseline.targets()[3]],
+            bridge_stems: stems[..2].to_vec(),
+            canonical: b"source-model-v1".to_vec(),
+        };
+        let u = FaultUniverse::build_explicit(&n, &explicit, UniverseOptions::default()).unwrap();
+        assert!(u.is_explicit());
+        assert_eq!(u.targets(), &explicit.targets[..]);
+        // Detection sets match what the default build computed for the
+        // same faults.
+        assert_eq!(u.target_set(0).to_vec(), baseline.target_set(0).to_vec());
+        assert_eq!(u.target_set(1).to_vec(), baseline.target_set(3).to_vec());
+        // Only the {9,10} pair is enumerated: 4 four-way faults.
+        assert_eq!(u.bridges().len() + u.num_undetectable_bridges(), 4);
+        // The store key follows the caller's canonical bytes, not the
+        // simulated netlist.
+        assert_eq!(
+            u.store_key(),
+            crate::artifact::explicit_universe_key(b"source-model-v1", UniverseOptions::default())
+        );
+        assert_ne!(u.store_key(), baseline.store_key());
+        assert!(u.to_string().contains("explicit targets"));
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit fault population")]
+    fn explicit_population_validates_line_bounds() {
+        let n = figure1();
+        let explicit = ExplicitTargets {
+            targets: vec![StuckAtFault::new(ndetect_netlist::LineId::new(999), true)],
+            bridge_stems: Vec::new(),
+            canonical: Vec::new(),
+        };
+        let _ = FaultUniverse::build_explicit(&n, &explicit, UniverseOptions::default());
     }
 
     #[test]

@@ -11,16 +11,105 @@
 //! ```
 //!
 //! Gate definitions may appear in any order (forward references are
-//! resolved at build time). Sequential primitives (`DFF`) are rejected with
-//! [`NetlistError::Sequential`] — this workspace analyses the combinational
-//! logic of circuits, so sequential benchmarks must be unrolled by the
-//! caller (the `ndetect-fsm` crate does exactly that for FSM benchmarks).
+//! resolved at build time). Sequential primitives (`DFF`) are rejected by
+//! [`parse`] with [`NetlistError::Sequential`]; use [`parse_seq`] to accept
+//! them — it extracts the flip-flop boundary (FF outputs become pseudo
+//! primary inputs, FF data nets pseudo primary outputs) and returns a
+//! [`SeqNetlist`] whose core is an ordinary combinational [`Netlist`].
 
 use crate::builder::NetlistBuilder;
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::netlist::Netlist;
+use crate::seq::SeqNetlist;
 use std::fmt::Write as _;
+
+/// One classified `.bench` source line (comments and blanks removed).
+enum ScanLine<'a> {
+    Input(&'a str),
+    Output(&'a str),
+    Gate {
+        target: &'a str,
+        keyword: &'a str,
+        args: Vec<&'a str>,
+    },
+}
+
+/// Strips comments, trims, and classifies one raw source line. Returns
+/// `None` for blank/comment-only lines. Identifiers are validated here.
+fn scan_line(raw: &str, lineno: usize) -> Result<Option<ScanLine<'_>>, NetlistError> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    if let Some(rest) = strip_directive(line, "INPUT") {
+        let pin = rest.trim();
+        validate_identifier(pin, lineno)?;
+        return Ok(Some(ScanLine::Input(pin)));
+    }
+    if let Some(rest) = strip_directive(line, "OUTPUT") {
+        let pin = rest.trim();
+        validate_identifier(pin, lineno)?;
+        return Ok(Some(ScanLine::Output(pin)));
+    }
+    if let Some(eq) = line.find('=') {
+        let target = line[..eq].trim();
+        validate_identifier(target, lineno)?;
+        let rhs = line[eq + 1..].trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: format!("expected `kind(args)` after `=`, got `{rhs}`"),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: "missing closing parenthesis".into(),
+            });
+        }
+        let keyword = rhs[..open].trim();
+        let args_str = rhs[open + 1..rhs.len() - 1].trim();
+        let args: Vec<&str> = if args_str.is_empty() {
+            Vec::new()
+        } else {
+            args_str.split(',').map(str::trim).collect()
+        };
+        for a in &args {
+            validate_identifier(a, lineno)?;
+        }
+        return Ok(Some(ScanLine::Gate {
+            target,
+            keyword,
+            args,
+        }));
+    }
+    Err(NetlistError::Parse {
+        line: lineno,
+        message: format!("unrecognized line `{line}`"),
+    })
+}
+
+/// Resolves a non-FF gate keyword, rejecting `INPUT` on a right-hand side.
+fn combinational_kind(keyword: &str, lineno: usize) -> Result<GateKind, NetlistError> {
+    let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| NetlistError::Parse {
+        line: lineno,
+        message: format!("unknown gate kind `{keyword}`"),
+    })?;
+    if kind == GateKind::Input {
+        return Err(NetlistError::Parse {
+            line: lineno,
+            message: "INPUT cannot appear on the right-hand side".into(),
+        });
+    }
+    Ok(kind)
+}
+
+fn is_ff_keyword(keyword: &str) -> bool {
+    keyword.eq_ignore_ascii_case("DFF") || keyword.eq_ignore_ascii_case("DFFSR")
+}
 
 /// Parses `.bench` source text into a validated [`Netlist`].
 ///
@@ -50,68 +139,25 @@ pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
 
     for (lineno, raw) in source.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = match raw.find('#') {
-            Some(pos) => &raw[..pos],
-            None => raw,
-        }
-        .trim();
-        if line.is_empty() {
-            continue;
-        }
-
-        if let Some(rest) = strip_directive(line, "INPUT") {
-            let pin = rest.trim();
-            validate_identifier(pin, lineno)?;
-            builder.try_input(pin).map_err(|e| parse_ctx(e, lineno))?;
-        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
-            let pin = rest.trim();
-            validate_identifier(pin, lineno)?;
-            output_names.push(pin.to_string());
-        } else if let Some(eq) = line.find('=') {
-            let target = line[..eq].trim();
-            validate_identifier(target, lineno)?;
-            let rhs = line[eq + 1..].trim();
-            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
-                line: lineno,
-                message: format!("expected `kind(args)` after `=`, got `{rhs}`"),
-            })?;
-            if !rhs.ends_with(')') {
-                return Err(NetlistError::Parse {
-                    line: lineno,
-                    message: "missing closing parenthesis".into(),
-                });
+        match scan_line(raw, lineno)? {
+            None => {}
+            Some(ScanLine::Input(pin)) => {
+                builder.try_input(pin).map_err(|e| parse_ctx(e, lineno))?;
             }
-            let kw = rhs[..open].trim();
-            if kw.eq_ignore_ascii_case("DFF") || kw.eq_ignore_ascii_case("DFFSR") {
-                return Err(NetlistError::Sequential { line: lineno });
+            Some(ScanLine::Output(pin)) => output_names.push(pin.to_string()),
+            Some(ScanLine::Gate {
+                target,
+                keyword,
+                args,
+            }) => {
+                if is_ff_keyword(keyword) {
+                    return Err(NetlistError::Sequential { line: lineno });
+                }
+                let kind = combinational_kind(keyword, lineno)?;
+                builder
+                    .gate_by_name(kind, target, &args)
+                    .map_err(|e| parse_ctx(e, lineno))?;
             }
-            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::Parse {
-                line: lineno,
-                message: format!("unknown gate kind `{kw}`"),
-            })?;
-            if kind == GateKind::Input {
-                return Err(NetlistError::Parse {
-                    line: lineno,
-                    message: "INPUT cannot appear on the right-hand side".into(),
-                });
-            }
-            let args_str = rhs[open + 1..rhs.len() - 1].trim();
-            let args: Vec<&str> = if args_str.is_empty() {
-                Vec::new()
-            } else {
-                args_str.split(',').map(str::trim).collect()
-            };
-            for a in &args {
-                validate_identifier(a, lineno)?;
-            }
-            builder
-                .gate_by_name(kind, target, &args)
-                .map_err(|e| parse_ctx(e, lineno))?;
-        } else {
-            return Err(NetlistError::Parse {
-                line: lineno,
-                message: format!("unrecognized line `{line}`"),
-            });
         }
     }
 
@@ -119,6 +165,147 @@ pub fn parse(name: &str, source: &str) -> Result<Netlist, NetlistError> {
         builder.output_by_name(out);
     }
     builder.build()
+}
+
+/// Parses `.bench` source that may contain `DFF`/`DFFSR` flip-flops into a
+/// [`SeqNetlist`]: the FF boundary is extracted so that every FF output is
+/// a pseudo primary input of the combinational core and every FF data net
+/// a pseudo primary output.
+///
+/// `q = DFF(d)` declares flip-flop `q` with data net `d`. `q = DFFSR(d, s,
+/// r)` additionally has set/reset nets and is lowered at parse time to the
+/// set-dominant next-state function `s OR (d AND NOT r)` using synthesized
+/// gates `{q}.nr`, `{q}.dr`, `{q}.nxt`. True primary inputs precede FF
+/// pseudo-inputs in the core regardless of declaration order in the file;
+/// FFs keep their own declaration order.
+///
+/// Purely combinational sources parse fine (zero flip-flops).
+///
+/// # Errors
+///
+/// Same classes as [`parse`]: [`NetlistError::Parse`] for malformed lines
+/// or wrong FF arity, plus builder validation errors.
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// INPUT(en)
+/// OUTPUT(y)
+/// q = DFF(nq)
+/// nq = XOR(q, en)
+/// y = BUF(q)
+/// ";
+/// let seq = ndetect_netlist::bench_format::parse_seq("tog", src)?;
+/// assert_eq!(seq.num_ffs(), 1);
+/// let (po, next) = seq.step(&[false], &[true]);
+/// assert_eq!((po, next), (vec![false], vec![true]));
+/// # Ok::<(), ndetect_netlist::NetlistError>(())
+/// ```
+pub fn parse_seq(name: &str, source: &str) -> Result<SeqNetlist, NetlistError> {
+    struct FfDecl<'a> {
+        q: &'a str,
+        keyword: &'a str,
+        args: Vec<&'a str>,
+        lineno: usize,
+    }
+
+    // Pass 1: classify every line; register true PIs immediately (their
+    // order among themselves is the file order) and collect FF
+    // declarations so their pseudo-inputs can all be appended afterwards.
+    let mut builder = NetlistBuilder::new(name);
+    let mut output_names: Vec<&str> = Vec::new();
+    let mut ffs: Vec<FfDecl<'_>> = Vec::new();
+    let mut gates: Vec<(usize, &str, &str, Vec<&str>)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        match scan_line(raw, lineno)? {
+            None => {}
+            Some(ScanLine::Input(pin)) => {
+                builder.try_input(pin).map_err(|e| parse_ctx(e, lineno))?;
+            }
+            Some(ScanLine::Output(pin)) => output_names.push(pin),
+            Some(ScanLine::Gate {
+                target,
+                keyword,
+                args,
+            }) => {
+                if is_ff_keyword(keyword) {
+                    let want = if keyword.eq_ignore_ascii_case("DFF") {
+                        1
+                    } else {
+                        3
+                    };
+                    if args.len() != want {
+                        return Err(NetlistError::Parse {
+                            line: lineno,
+                            message: format!(
+                                "{} takes {want} argument(s), got {}",
+                                keyword.to_ascii_uppercase(),
+                                args.len()
+                            ),
+                        });
+                    }
+                    ffs.push(FfDecl {
+                        q: target,
+                        keyword,
+                        args,
+                        lineno,
+                    });
+                } else {
+                    gates.push((lineno, target, keyword, args));
+                }
+            }
+        }
+    }
+
+    let num_true_inputs = builder.len();
+    for ff in &ffs {
+        builder
+            .try_input(ff.q)
+            .map_err(|e| parse_ctx(e, ff.lineno))?;
+    }
+
+    // Pass 2: ordinary gates, then the DFFSR next-state lowering.
+    for (lineno, target, keyword, args) in gates {
+        let kind = combinational_kind(keyword, lineno)?;
+        builder
+            .gate_by_name(kind, target, &args)
+            .map_err(|e| parse_ctx(e, lineno))?;
+    }
+    let mut next_state_names: Vec<String> = Vec::with_capacity(ffs.len());
+    for ff in &ffs {
+        if ff.keyword.eq_ignore_ascii_case("DFF") {
+            next_state_names.push(ff.args[0].to_string());
+        } else {
+            // Set-dominant DFFSR: q' = s OR (d AND NOT r).
+            let (d, s, r) = (ff.args[0], ff.args[1], ff.args[2]);
+            let nr = format!("{}.nr", ff.q);
+            let dr = format!("{}.dr", ff.q);
+            let nxt = format!("{}.nxt", ff.q);
+            builder
+                .gate_by_name(GateKind::Not, nr.as_str(), &[r])
+                .and_then(|_| builder.gate_by_name(GateKind::And, dr.as_str(), &[d, &nr]))
+                .and_then(|_| builder.gate_by_name(GateKind::Or, nxt.as_str(), &[s, &dr]))
+                .map_err(|e| parse_ctx(e, ff.lineno))?;
+            next_state_names.push(nxt);
+        }
+    }
+
+    let num_true_outputs = output_names.len();
+    for out in output_names {
+        builder.output_by_name(out);
+    }
+    for nxt in &next_state_names {
+        builder.output_by_name(nxt);
+    }
+    let core = builder.build()?;
+    SeqNetlist::from_parts(
+        core,
+        num_true_inputs,
+        num_true_outputs,
+        ffs.iter().map(|ff| ff.q.to_string()).collect(),
+    )
 }
 
 fn parse_ctx(err: NetlistError, line: usize) -> NetlistError {
@@ -261,6 +448,75 @@ OUTPUT(23)
         assert!(matches!(
             parse("seq", src),
             Err(NetlistError::Sequential { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn parse_seq_extracts_ff_boundary() {
+        // FF declared before the INPUT line: true PIs must still come
+        // first in the core's input list.
+        let src = "
+q = DFF(nq)
+INPUT(en)
+OUTPUT(y)
+nq = XOR(q, en)
+y = BUF(q)
+";
+        let seq = parse_seq("tog", src).unwrap();
+        assert_eq!(seq.num_true_inputs(), 1);
+        assert_eq!(seq.num_true_outputs(), 1);
+        assert_eq!(seq.ff_names(), &["q".to_string()]);
+        assert_eq!(seq.core().node_name(seq.core().inputs()[0]), "en");
+        assert_eq!(seq.core().node_name(seq.core().inputs()[1]), "q");
+        // Toggle twice: 0 -> 1 -> 0.
+        let (po, s1) = seq.step(&[false], &[true]);
+        assert_eq!((po, s1.clone()), (vec![false], vec![true]));
+        let (po, s2) = seq.step(&s1, &[true]);
+        assert_eq!((po, s2), (vec![true], vec![false]));
+    }
+
+    #[test]
+    fn parse_seq_accepts_combinational_sources() {
+        let seq = parse_seq("c17", C17).unwrap();
+        assert_eq!(seq.num_ffs(), 0);
+        assert_eq!(seq.num_true_inputs(), 5);
+        let (po, next) = seq.step(&[], &[true; 5]);
+        assert_eq!(po, vec![true, false]);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn parse_seq_lowers_dffsr_set_dominant() {
+        let src = "
+INPUT(d)
+INPUT(s)
+INPUT(r)
+OUTPUT(y)
+q = DFFSR(d, s, r)
+y = BUF(q)
+";
+        let seq = parse_seq("sr", src).unwrap();
+        // q' = s OR (d AND NOT r) over all (d, s, r).
+        for bits in 0u8..8 {
+            let d = bits & 4 != 0;
+            let s = bits & 2 != 0;
+            let r = bits & 1 != 0;
+            let (_, next) = seq.step(&[false], &[d, s, r]);
+            assert_eq!(next, vec![s || (d && !r)], "d={d} s={s} r={r}");
+        }
+    }
+
+    #[test]
+    fn parse_seq_rejects_bad_ff_arity() {
+        let src = "INPUT(a)\nOUTPUT(a)\nq = DFF(a, a)\n";
+        assert!(matches!(
+            parse_seq("bad", src),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        let src = "INPUT(a)\nOUTPUT(a)\nq = DFFSR(a)\n";
+        assert!(matches!(
+            parse_seq("bad", src),
+            Err(NetlistError::Parse { line: 3, .. })
         ));
     }
 

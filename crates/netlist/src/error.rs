@@ -64,7 +64,9 @@ impl fmt::Display for NetlistError {
             NetlistError::Sequential { line } => {
                 write!(
                     f,
-                    "sequential element at line {line}: only combinational circuits are supported"
+                    "sequential element at line {line}: this command analyses combinational \
+                     circuits; rerun with --seq to unroll the flip-flop boundary via two-frame \
+                     time-frame expansion"
                 )
             }
         }

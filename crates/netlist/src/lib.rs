@@ -52,6 +52,7 @@ mod gate;
 mod id;
 mod line;
 mod netlist;
+mod seq;
 mod stats;
 
 pub use analysis::{fanin_cone, fanout_cone, ReachabilityMatrix};
@@ -61,4 +62,5 @@ pub use gate::GateKind;
 pub use id::{LineId, NodeId};
 pub use line::{Line, LineKind, LineTable, Sink};
 pub use netlist::{Netlist, Node};
+pub use seq::SeqNetlist;
 pub use stats::NetlistStats;

@@ -1,0 +1,262 @@
+//! Sequential netlists: a combinational core plus a flip-flop boundary.
+//!
+//! A [`SeqNetlist`] is the result of FF-boundary extraction on a sequential
+//! `.bench` circuit: every flip-flop output becomes a pseudo primary input
+//! of the combinational core, and every flip-flop data input becomes a
+//! pseudo primary output. The core is an ordinary [`Netlist`], so all
+//! combinational machinery (simulation, fault universes, line tables)
+//! applies to it unchanged; the boundary bookkeeping kept here is what a
+//! time-frame expansion needs to stitch frames together.
+//!
+//! Core I/O convention:
+//!
+//! * `core.inputs()` = true primary inputs, then FF outputs (`q`), in
+//!   declaration order;
+//! * `core.outputs()` = true primary outputs, then FF next-state drivers
+//!   (`d`), in declaration order.
+
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::NodeId;
+use std::fmt;
+
+/// A sequential circuit represented as its extracted combinational core
+/// plus the flip-flop boundary.
+///
+/// Construct one with [`crate::bench_format::parse_seq`] or
+/// [`SeqNetlist::from_parts`].
+#[derive(Clone, Debug)]
+pub struct SeqNetlist {
+    core: Netlist,
+    num_true_inputs: usize,
+    num_true_outputs: usize,
+    ffs: Vec<String>,
+}
+
+impl SeqNetlist {
+    /// Assembles a sequential netlist from an already-extracted core.
+    ///
+    /// The core must follow the I/O convention documented on the type:
+    /// its inputs are the true PIs followed by one pseudo-PI per entry of
+    /// `ffs`, and its outputs are the true POs followed by one next-state
+    /// pseudo-PO per entry of `ffs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] (line 0) when the core's I/O counts
+    /// do not match `num_true_inputs`/`num_true_outputs` plus the FF count.
+    pub fn from_parts(
+        core: Netlist,
+        num_true_inputs: usize,
+        num_true_outputs: usize,
+        ffs: Vec<String>,
+    ) -> Result<Self, NetlistError> {
+        if core.num_inputs() != num_true_inputs + ffs.len()
+            || core.num_outputs() != num_true_outputs + ffs.len()
+        {
+            return Err(NetlistError::Parse {
+                line: 0,
+                message: format!(
+                    "core I/O ({} in, {} out) inconsistent with {} true inputs, {} true \
+                     outputs, {} flip-flops",
+                    core.num_inputs(),
+                    core.num_outputs(),
+                    num_true_inputs,
+                    num_true_outputs,
+                    ffs.len()
+                ),
+            });
+        }
+        Ok(SeqNetlist {
+            core,
+            num_true_inputs,
+            num_true_outputs,
+            ffs,
+        })
+    }
+
+    /// The circuit name (the core's name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    /// The extracted combinational core.
+    #[must_use]
+    pub fn core(&self) -> &Netlist {
+        &self.core
+    }
+
+    /// Number of true (non-state) primary inputs.
+    #[must_use]
+    pub fn num_true_inputs(&self) -> usize {
+        self.num_true_inputs
+    }
+
+    /// Number of true (non-state) primary outputs.
+    #[must_use]
+    pub fn num_true_outputs(&self) -> usize {
+        self.num_true_outputs
+    }
+
+    /// Number of flip-flops (state bits).
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Flip-flop output (`q`) names, in declaration order.
+    #[must_use]
+    pub fn ff_names(&self) -> &[String] {
+        &self.ffs
+    }
+
+    /// Core node ids of the true primary inputs.
+    #[must_use]
+    pub fn true_inputs(&self) -> &[NodeId] {
+        &self.core.inputs()[..self.num_true_inputs]
+    }
+
+    /// Core node ids of the state pseudo-inputs (FF outputs), in FF order.
+    #[must_use]
+    pub fn state_inputs(&self) -> &[NodeId] {
+        &self.core.inputs()[self.num_true_inputs..]
+    }
+
+    /// Core node ids of the true primary outputs.
+    #[must_use]
+    pub fn true_outputs(&self) -> &[NodeId] {
+        &self.core.outputs()[..self.num_true_outputs]
+    }
+
+    /// Core node ids driving the FF data inputs (next state), in FF order.
+    #[must_use]
+    pub fn next_state_outputs(&self) -> &[NodeId] {
+        &self.core.outputs()[self.num_true_outputs..]
+    }
+
+    /// Simulates one clock cycle: applies `pi` with the FFs holding
+    /// `state`, and returns `(primary outputs, next state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `pi` have the wrong length.
+    #[must_use]
+    pub fn step(&self, state: &[bool], pi: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        assert_eq!(pi.len(), self.num_true_inputs, "primary input width");
+        assert_eq!(state.len(), self.ffs.len(), "state width");
+        let mut vector = Vec::with_capacity(pi.len() + state.len());
+        vector.extend_from_slice(pi);
+        vector.extend_from_slice(state);
+        let mut outs = self.core.eval_bool(&vector);
+        let next = outs.split_off(self.num_true_outputs);
+        (outs, next)
+    }
+
+    /// Structure-only canonical bytes for store keying: a format tag, the
+    /// boundary split, and the core's canonical bytes. Names are excluded,
+    /// exactly as for [`Netlist::canonical_bytes`].
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let core = self.core.canonical_bytes();
+        let mut out = Vec::with_capacity(5 + 16 + core.len());
+        out.extend_from_slice(b"ndsq1");
+        out.extend_from_slice(&(self.num_true_inputs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.ffs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&core);
+        out
+    }
+}
+
+impl fmt::Display for SeqNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} flip-flops, {} gates",
+            self.name(),
+            self.num_true_inputs,
+            self.num_true_outputs,
+            self.ffs.len(),
+            self.core.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    /// A 1-bit toggler: q' = q XOR en, out = q.
+    fn toggler() -> SeqNetlist {
+        let mut b = NetlistBuilder::new("tog");
+        let en = b.input("en");
+        let q = b.input("q");
+        let out = b.buf("out", q).unwrap();
+        let nxt = b.xor("nxt", &[q, en]).unwrap();
+        b.output(out);
+        b.output(nxt);
+        SeqNetlist::from_parts(b.build().unwrap(), 1, 1, vec!["q".into()]).unwrap()
+    }
+
+    #[test]
+    fn step_applies_ff_semantics() {
+        let seq = toggler();
+        let (po, s1) = seq.step(&[false], &[true]);
+        assert_eq!(po, vec![false]);
+        assert_eq!(s1, vec![true]);
+        let (po, s2) = seq.step(&s1, &[true]);
+        assert_eq!(po, vec![true]);
+        assert_eq!(s2, vec![false]);
+        // Disabled: state holds.
+        let (_, s3) = seq.step(&s1, &[false]);
+        assert_eq!(s3, s1);
+    }
+
+    #[test]
+    fn boundary_accessors_split_io() {
+        let seq = toggler();
+        assert_eq!(seq.true_inputs().len(), 1);
+        assert_eq!(seq.state_inputs().len(), 1);
+        assert_eq!(seq.true_outputs().len(), 1);
+        assert_eq!(seq.next_state_outputs().len(), 1);
+        assert_eq!(seq.num_ffs(), 1);
+        assert_eq!(seq.ff_names(), &["q".to_string()]);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_counts() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let g = b.not("g", a).unwrap();
+        b.output(g);
+        let core = b.build().unwrap();
+        let err = SeqNetlist::from_parts(core, 1, 1, vec!["q".into()]).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn canonical_bytes_tagged_and_stable() {
+        let a = toggler().canonical_bytes();
+        let b = toggler().canonical_bytes();
+        assert_eq!(a, b);
+        assert_eq!(&a[..5], b"ndsq1");
+        // Different boundary split over the same core differs.
+        let mut nb = NetlistBuilder::new("tog");
+        let en = nb.input("en");
+        let q = nb.input("q");
+        let out = nb.buf("out", q).unwrap();
+        let nxt = nb.xor("nxt", &[q, en]).unwrap();
+        nb.output(out);
+        nb.output(nxt);
+        let comb = nb.build().unwrap();
+        let no_ffs = SeqNetlist::from_parts(comb, 2, 2, Vec::new()).unwrap();
+        assert_ne!(a, no_ffs.canonical_bytes());
+    }
+
+    #[test]
+    fn display_summarises_boundary() {
+        let s = toggler().to_string();
+        assert!(s.contains("1 flip-flops"), "{s}");
+    }
+}

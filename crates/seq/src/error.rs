@@ -1,0 +1,55 @@
+//! Error type for sequential-circuit expansion.
+
+use ndetect_netlist::NetlistError;
+use std::fmt;
+
+/// Errors produced while extracting the flip-flop boundary or building
+/// the time-frame-expanded model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SeqError {
+    /// The underlying netlist layer rejected the circuit (parse errors,
+    /// name collisions between generated frame copies and user nodes,
+    /// combinational cycles through the expanded frames, ...).
+    Netlist(NetlistError),
+    /// The expansion itself failed; carries a human-readable reason.
+    /// This is also the variant surfaced by the `seq.expand` chaos
+    /// failpoint, so callers degrade with a structured error instead of
+    /// a panic.
+    Expand {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Netlist(e) => write!(f, "{e}"),
+            SeqError::Expand { message } => write!(f, "time-frame expansion failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Netlist(e) => Some(e),
+            SeqError::Expand { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SeqError {
+    fn from(e: NetlistError) -> Self {
+        SeqError::Netlist(e)
+    }
+}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Expand {
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Broadside two-frame time-frame expansion and fault lowering.
+//!
+//! [`expand`] turns a [`SeqNetlist`] into an [`ExpandedModel`]: a purely
+//! combinational netlist holding two copies (frames) of the sequential
+//! circuit's combinational core, plus a fault population lowered onto it
+//! that the existing exhaustive analyses consume unchanged.
+//!
+//! # Expansion semantics
+//!
+//! * **Frame 1** is a copy of the core whose state inputs (`q.s1`) are
+//!   free pseudo-primary-inputs — the circuit may start in any state.
+//! * **Frame 2** reads each flip-flop's value from the frame-1 copy of
+//!   that flip-flop's next-state function (the FF boundary), modelling
+//!   one clock edge between the two frames.
+//! * True primary inputs are **shared** between the frames (broadside /
+//!   launch-on-capture): one vector is applied and held across the
+//!   clock edge, so the expanded input count is `|PI| + |FF|` and the
+//!   exhaustive pattern space stays `2^(|PI|+|FF|)`.
+//! * **Observed outputs** are the frame-2 true primary outputs followed
+//!   by the frame-2 next-state functions (flip-flop D inputs) — what a
+//!   tester sees on the pins plus what it can unload from the scan
+//!   chain after the capture cycle. Frame-1 outputs are *not* observed;
+//!   frame 1 exists only to launch transitions and supply state.
+//!
+//! # Transition-delay lowering
+//!
+//! A naive "stuck-at on the frame-2 copy" misses the launch condition:
+//! a slow-to-rise fault at `n` is only excited when frame 1 holds `n=0`
+//! *and* frame 2 wants `n=1`. Each eligible node `n` is therefore
+//! wrapped in an enable gadget on its frame-2 value:
+//!
+//! ```text
+//! s_r = AND(NOT(n.f1), n.f2raw, en_r)    en_r = CONST0
+//! m   = XOR(n.f2raw, s_r)                 ⇒ m == n.f2raw fault-free
+//! ```
+//!
+//! With `en_r` stuck at 1 the gadget forces `m = n.f1 AND n.f2raw` —
+//! exactly the slow-to-rise behaviour (the rise never happens, the old
+//! value leaks into frame 2). A mirrored gadget with `s_f =
+//! AND(n.f1, NOT(n.f2raw), en_f)` gives slow-to-fall as `en_f`
+//! stuck-at-1. The lowered targets are ordinary [`StuckAtFault`]s on
+//! the enable stems, so `FaultUniverse`, the worst-case/average-case
+//! analyses, and the test generator work on day one.
+//!
+//! Eligible nodes are every core gate and every flip-flop output; true
+//! primary inputs are skipped (under broadside they cannot launch — the
+//! same vector feeds both frames) and constant nodes are skipped (they
+//! never transition).
+//!
+//! # Determinism
+//!
+//! Generated names are a pure function of core node names (`x.f1`,
+//! `x.f2`, `q.s1`, gadget suffixes `.tr.*`/`.tf.*`), and the expanded
+//! netlist is canonicalized through the `.bench` writer/parser round
+//! trip before fault lowering, so node and line numbering — and hence
+//! every `LineId` in the lowered fault list — is identical whether the
+//! model was expanded fresh or decoded from the artifact store.
+
+use crate::error::SeqError;
+use ndetect_chaos::{failpoint, Injected};
+use ndetect_faults::{CollapsedFaults, ExplicitTargets, StuckAtFault};
+use ndetect_netlist::{
+    bench_format, GateKind, LineId, Netlist, NetlistBuilder, NodeId, SeqNetlist,
+};
+use ndetect_obs::trace;
+use std::fmt;
+
+/// Version byte mixed into [`ExpandedModel::canonical`] — bump when the
+/// expansion construction changes shape so stale store entries miss.
+pub const EXPANSION_VERSION: u8 = 1;
+
+/// Which fault population to lower onto the expanded netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FaultModel {
+    /// Transition-delay faults (slow-to-rise / slow-to-fall) at every
+    /// FF-bounded core node, lowered via the enable gadget. The default
+    /// for sequential circuits: n-detection of transition faults is the
+    /// natural reading of the paper's metrics under time-frame
+    /// expansion.
+    #[default]
+    Transition,
+    /// Plain collapsed stuck-at faults on the expanded netlist — the
+    /// combinational model applied verbatim to the two-frame circuit.
+    StuckAt,
+}
+
+impl FaultModel {
+    /// Stable one-byte tag for canonical bytes and store keys.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            FaultModel::Transition => 1,
+            FaultModel::StuckAt => 0,
+        }
+    }
+
+    /// Human-readable label (`transition` / `stuck-at`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultModel::Transition => "transition",
+            FaultModel::StuckAt => "stuck-at",
+        }
+    }
+
+    /// Parses a CLI spelling. Accepts `transition`/`tdf` and
+    /// `stuck`/`stuck-at`/`stuckat` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "transition" | "tdf" => Some(FaultModel::Transition),
+            "stuck" | "stuck-at" | "stuckat" => Some(FaultModel::StuckAt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A transition-delay fault at a core node, named in **sequential**
+/// circuit terms so reports round-trip to the pre-expansion netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionFault {
+    /// Core node name (gate output or flip-flop output).
+    pub node: String,
+    /// `true` = slow-to-rise, `false` = slow-to-fall.
+    pub rising: bool,
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.rising {
+            "slow-to-rise"
+        } else {
+            "slow-to-fall"
+        };
+        write!(f, "{} {kind}", self.node)
+    }
+}
+
+/// The product of [`expand`]: the two-frame combinational netlist plus
+/// the fault population lowered onto it.
+///
+/// The expanded netlist's inputs are the sequential circuit's true
+/// primary inputs (original names, shared across frames) followed by
+/// one `q.s1` pseudo-input per flip-flop — so an exhaustive pattern
+/// index splits as `pi_bits = index & (2^num_true_inputs - 1)` low
+/// bits, state bits above.
+#[derive(Clone, Debug)]
+pub struct ExpandedModel {
+    seq_name: String,
+    fault_model: FaultModel,
+    netlist: Netlist,
+    targets: Vec<StuckAtFault>,
+    transition_faults: Vec<TransitionFault>,
+    bridge_stems: Vec<LineId>,
+    canonical: Vec<u8>,
+    num_true_inputs: usize,
+    num_true_outputs: usize,
+    num_state_bits: usize,
+}
+
+impl ExpandedModel {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        seq_name: String,
+        fault_model: FaultModel,
+        netlist: Netlist,
+        targets: Vec<StuckAtFault>,
+        transition_faults: Vec<TransitionFault>,
+        bridge_stems: Vec<LineId>,
+        canonical: Vec<u8>,
+        num_true_inputs: usize,
+        num_true_outputs: usize,
+        num_state_bits: usize,
+    ) -> Self {
+        ExpandedModel {
+            seq_name,
+            fault_model,
+            netlist,
+            targets,
+            transition_faults,
+            bridge_stems,
+            canonical,
+            num_true_inputs,
+            num_true_outputs,
+            num_state_bits,
+        }
+    }
+
+    /// Name of the sequential circuit this model was expanded from.
+    #[must_use]
+    pub fn seq_name(&self) -> &str {
+        &self.seq_name
+    }
+
+    /// The fault population lowered onto the expansion.
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault_model
+    }
+
+    /// The two-frame combinational netlist (named `<seq>.x2`).
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Lowered target faults, in deterministic order. Under
+    /// [`FaultModel::Transition`] entry `i` corresponds to
+    /// [`Self::transition_faults`]`[i]`.
+    #[must_use]
+    pub fn targets(&self) -> &[StuckAtFault] {
+        &self.targets
+    }
+
+    /// Sequential-level descriptors parallel to [`Self::targets`]
+    /// (empty under [`FaultModel::StuckAt`]).
+    #[must_use]
+    pub fn transition_faults(&self) -> &[TransitionFault] {
+        &self.transition_faults
+    }
+
+    /// Stems eligible for untargeted bridging faults: both frame copies
+    /// of every multi-input core gate (frame 1 first). Gadget
+    /// instrumentation is excluded.
+    #[must_use]
+    pub fn bridge_stems(&self) -> &[LineId] {
+        &self.bridge_stems
+    }
+
+    /// Canonical identity bytes: the **sequential** netlist's canonical
+    /// bytes plus the fault-model tag and [`EXPANSION_VERSION`]. All
+    /// derived store artifacts (universe, worst-case, generated sets)
+    /// key off these bytes, not the expanded netlist.
+    #[must_use]
+    pub fn canonical(&self) -> &[u8] {
+        &self.canonical
+    }
+
+    /// Number of true primary inputs (the low expanded input slots).
+    #[must_use]
+    pub fn num_true_inputs(&self) -> usize {
+        self.num_true_inputs
+    }
+
+    /// Number of true primary outputs (the low expanded output slots).
+    #[must_use]
+    pub fn num_true_outputs(&self) -> usize {
+        self.num_true_outputs
+    }
+
+    /// Number of flip-flops = number of `q.s1` pseudo-inputs.
+    #[must_use]
+    pub fn num_state_bits(&self) -> usize {
+        self.num_state_bits
+    }
+
+    /// The explicit fault population in the form
+    /// [`ndetect_faults::FaultUniverse::build_explicit`] consumes.
+    #[must_use]
+    pub fn explicit_targets(&self) -> ExplicitTargets {
+        ExplicitTargets {
+            targets: self.targets.clone(),
+            bridge_stems: self.bridge_stems.clone(),
+            canonical: self.canonical.clone(),
+        }
+    }
+
+    /// Human-readable label for target fault `index`: the sequential
+    /// transition-fault name under [`FaultModel::Transition`], the
+    /// expanded stuck-at line name otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn target_label(&self, index: usize) -> String {
+        match self.fault_model {
+            FaultModel::Transition => self.transition_faults[index].to_string(),
+            FaultModel::StuckAt => self.targets[index].name(&self.netlist),
+        }
+    }
+}
+
+impl fmt::Display for ExpandedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: 2 frames, {} inputs ({} PI + {} state), {} gates, {} target faults",
+            self.seq_name,
+            self.fault_model,
+            self.netlist.num_inputs(),
+            self.num_true_inputs,
+            self.num_state_bits,
+            self.netlist.num_gates(),
+            self.targets.len(),
+        )
+    }
+}
+
+/// Canonical identity bytes for an expansion of `seq` under `model` —
+/// shared by [`expand`] and the store layer so keys agree.
+#[must_use]
+pub fn canonical_for(seq: &SeqNetlist, model: FaultModel) -> Vec<u8> {
+    let mut bytes = seq.canonical_bytes();
+    bytes.push(model.tag());
+    bytes.push(EXPANSION_VERSION);
+    bytes
+}
+
+fn mapped(map: &[Option<NodeId>], id: NodeId) -> NodeId {
+    map[id.index()].expect("topological order guarantees fanins are mapped first")
+}
+
+/// Expands `seq` into a two-frame broadside combinational model and
+/// lowers the `model` fault population onto it. Deterministic: the same
+/// input always yields byte-identical canonical bytes, netlist text,
+/// and fault lists.
+///
+/// # Errors
+///
+/// Returns [`SeqError::Netlist`] when generated frame names collide
+/// with user node names (e.g. a core node literally named `x.f1`), and
+/// [`SeqError::Expand`] when the `seq.expand` chaos failpoint injects a
+/// failure.
+pub fn expand(seq: &SeqNetlist, model: FaultModel) -> Result<ExpandedModel, SeqError> {
+    if let Some(Injected::ReturnErr | Injected::TornWrite) = failpoint!("seq.expand") {
+        return Err(SeqError::Expand {
+            message: ndetect_chaos::io_error("seq.expand").to_string(),
+        });
+    }
+
+    let core = seq.core();
+    let n = core.num_nodes();
+
+    // --- FF-boundary extraction -------------------------------------
+    let mut span = trace::span("seq.extract");
+    span.field("circuit", seq.name());
+    span.field("ffs", seq.num_ffs());
+    span.field("true_inputs", seq.num_true_inputs());
+    let mut state_index: Vec<Option<usize>> = vec![None; n];
+    for (i, &q) in seq.state_inputs().iter().enumerate() {
+        state_index[q.index()] = Some(i);
+    }
+    let next_drivers: Vec<NodeId> = seq.next_state_outputs().to_vec();
+    drop(span);
+
+    // --- Two-frame unrolling ----------------------------------------
+    let mut span = trace::span("seq.expand");
+    span.field("circuit", seq.name());
+    let mut b = NetlistBuilder::new(format!("{}.x2", seq.name()));
+
+    // Frame 1: true PIs keep their names; state bits become free
+    // `q.s1` pseudo-inputs; every gate is copied as `x.f1`.
+    let mut f1: Vec<Option<NodeId>> = vec![None; n];
+    for &pi in seq.true_inputs() {
+        f1[pi.index()] = Some(b.try_input(core.node_name(pi))?);
+    }
+    for &q in seq.state_inputs() {
+        f1[q.index()] = Some(b.try_input(format!("{}.s1", core.node_name(q)))?);
+    }
+    for &id in core.topo_order() {
+        let node = core.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<NodeId> = node.fanins().iter().map(|&x| mapped(&f1, x)).collect();
+        let name = format!("{}.f1", core.node_name(id));
+        f1[id.index()] = Some(b.gate(node.kind(), name, &fanins)?);
+    }
+
+    // Frame 2: state inputs read the frame-1 next-state functions
+    // (the clock edge); true PIs are shared; gates are copied as
+    // `x.f2`; under the transition model each eligible node's frame-2
+    // value is routed through the enable gadget.
+    let mut f2: Vec<Option<NodeId>> = vec![None; n];
+    let mut instrumented: Vec<String> = Vec::new();
+    for &id in core.topo_order() {
+        let node = core.node(id);
+        let name = core.node_name(id);
+        let raw = match node.kind() {
+            GateKind::Input => match state_index[id.index()] {
+                Some(i) => mapped(&f1, next_drivers[i]),
+                None => {
+                    // Broadside: shared between frames, cannot launch.
+                    f2[id.index()] = f1[id.index()];
+                    continue;
+                }
+            },
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|&x| mapped(&f2, x)).collect();
+                b.gate(kind, format!("{name}.f2"), &fanins)?
+            }
+        };
+        let can_transition = !matches!(node.kind(), GateKind::Const0 | GateKind::Const1);
+        if model == FaultModel::Transition && can_transition {
+            let x1 = mapped(&f1, id);
+            let n1 = b.not(format!("{name}.tr.n1"), x1)?;
+            let en_r = b.gate(GateKind::Const0, format!("{name}.tr.en"), &[])?;
+            let s_r = b.and(format!("{name}.tr.and"), &[n1, raw, en_r])?;
+            let m1 = b.xor(format!("{name}.tr.x"), &[raw, s_r])?;
+            let n2 = b.not(format!("{name}.tf.n2"), raw)?;
+            let en_f = b.gate(GateKind::Const0, format!("{name}.tf.en"), &[])?;
+            let s_f = b.and(format!("{name}.tf.and"), &[x1, n2, en_f])?;
+            let m = b.xor(format!("{name}.tf.m"), &[m1, s_f])?;
+            f2[id.index()] = Some(m);
+            instrumented.push(name.to_string());
+        } else {
+            f2[id.index()] = Some(raw);
+        }
+    }
+
+    // Observed outputs: frame-2 true POs, then frame-2 next-state.
+    for &po in seq.true_outputs() {
+        b.output(mapped(&f2, po));
+    }
+    for &d in seq.next_state_outputs() {
+        b.output(mapped(&f2, d));
+    }
+    let built = b.build()?;
+    // Canonicalize node/line numbering through the `.bench` round trip
+    // so a fresh expansion is bit-identical to a store-decoded one.
+    let netlist = bench_format::parse(built.name(), &bench_format::write(&built))?;
+    span.field("expanded_gates", netlist.num_gates());
+    drop(span);
+
+    // --- Fault lowering ---------------------------------------------
+    let mut span = trace::span("seq.lower");
+    span.field("model", model.label());
+    let lookup = |name: &str| -> NodeId {
+        netlist
+            .node_by_name(name)
+            .expect("generated node survives the bench round trip")
+    };
+    let mut targets = Vec::new();
+    let mut transition_faults = Vec::new();
+    match model {
+        FaultModel::Transition => {
+            for name in &instrumented {
+                let en_r = lookup(&format!("{name}.tr.en"));
+                targets.push(StuckAtFault::new(netlist.lines().stem(en_r), true));
+                transition_faults.push(TransitionFault {
+                    node: name.clone(),
+                    rising: true,
+                });
+                let en_f = lookup(&format!("{name}.tf.en"));
+                targets.push(StuckAtFault::new(netlist.lines().stem(en_f), true));
+                transition_faults.push(TransitionFault {
+                    node: name.clone(),
+                    rising: false,
+                });
+            }
+        }
+        FaultModel::StuckAt => {
+            targets = CollapsedFaults::compute(&netlist)
+                .representatives()
+                .to_vec();
+        }
+    }
+    // Bridge candidates: both frame copies of every multi-input core
+    // gate, frame 1 first — never the gadget instrumentation.
+    let multi: Vec<&str> = core
+        .topo_order()
+        .iter()
+        .filter(|&&id| core.node(id).fanins().len() >= 2)
+        .map(|&id| core.node_name(id))
+        .collect();
+    let mut bridge_stems = Vec::with_capacity(2 * multi.len());
+    for frame in ["f1", "f2"] {
+        for name in &multi {
+            bridge_stems.push(netlist.lines().stem(lookup(&format!("{name}.{frame}"))));
+        }
+    }
+    span.field("targets", targets.len());
+    span.field("bridge_stems", bridge_stems.len());
+    drop(span);
+
+    ndetect_obs::global().counter("seq_expansions_total").inc();
+
+    Ok(ExpandedModel::assemble(
+        seq.name().to_string(),
+        model,
+        netlist,
+        targets,
+        transition_faults,
+        bridge_stems,
+        canonical_for(seq, model),
+        seq.num_true_inputs(),
+        seq.num_true_outputs(),
+        seq.num_ffs(),
+    ))
+}

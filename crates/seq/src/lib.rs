@@ -1,0 +1,72 @@
+//! Sequential-circuit analysis via time-frame expansion.
+//!
+//! The paper's n-detection machinery (worst-case `nmin`, Procedure-1
+//! average case, greedy generation) is defined over combinational
+//! circuits and one-vector tests. This crate extends it to sequential
+//! circuits the standard way:
+//!
+//! 1. **FF-boundary extraction** — `ndetect-netlist` parses `DFF`/
+//!    `DFFSR` elements into a [`SeqNetlist`]: a combinational core
+//!    whose flip-flop outputs are pseudo-primary-inputs and whose
+//!    next-state functions are pseudo-primary-outputs.
+//! 2. **Broadside two-frame expansion** ([`expand`]) — two copies of
+//!    the core, frame 1 feeding frame 2 through the FF boundary, true
+//!    primary inputs shared across the frames.
+//! 3. **Transition-delay lowering** — slow-to-rise/slow-to-fall faults
+//!    at every FF-bounded node become single stuck-at faults on enable
+//!    gadgets inside the expansion, so the existing
+//!    [`FaultUniverse`](ndetect_faults::FaultUniverse) and every
+//!    analysis built on it consume the sequential model unchanged.
+//!
+//! The result is an [`ExpandedModel`]; pass
+//! [`ExpandedModel::explicit_targets`] to
+//! [`ndetect_faults::FaultUniverse::build_explicit`] (or the stored
+//! variant) and run any combinational analysis. All store artifacts
+//! are keyed by the **sequential** circuit's canonical bytes, and
+//! [`expand_stored`] caches the expansion itself under
+//! [`KIND_EXPANDED`].
+//!
+//! # Example
+//!
+//! ```
+//! use ndetect_netlist::bench_format;
+//! use ndetect_faults::{FaultUniverse, UniverseOptions};
+//! use ndetect_seq::{expand, FaultModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 1-bit toggler: q' = NOT(q), observed at po.
+//! let src = "
+//! INPUT(en)
+//! OUTPUT(po)
+//! q = DFF(nq)
+//! nq = NOT(q)
+//! po = AND(en, q)
+//! ";
+//! let seq = bench_format::parse_seq("tog", src)?;
+//! let model = expand(&seq, FaultModel::Transition)?;
+//! // Expanded inputs: the shared PI `en` plus the free state bit `q.s1`.
+//! assert_eq!(model.netlist().num_inputs(), 2);
+//! // Slow-to-rise + slow-to-fall at q, nq, po.
+//! assert_eq!(model.targets().len(), 6);
+//! let universe =
+//!     FaultUniverse::build_explicit(model.netlist(), &model.explicit_targets(), UniverseOptions::default())?;
+//! assert_eq!(universe.targets().len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod error;
+mod expand;
+
+pub use artifact::{decode_expanded, encode_expanded, expand_stored, expanded_key, KIND_EXPANDED};
+pub use error::SeqError;
+pub use expand::{
+    canonical_for, expand, ExpandedModel, FaultModel, TransitionFault, EXPANSION_VERSION,
+};
+
+#[doc(no_inline)]
+pub use ndetect_netlist::SeqNetlist;

@@ -1,0 +1,49 @@
+//! Chaos coverage for the expansion path: the `seq.expand` failpoint
+//! must degrade to a structured error — no panic, and no torn store
+//! entry left behind by `expand_stored`.
+//!
+//! Lives in its own test binary because failpoints are process-global.
+
+use ndetect_netlist::bench_format;
+use ndetect_seq::{expand, expand_stored, expanded_key, FaultModel, SeqError, KIND_EXPANDED};
+use ndetect_store::Store;
+
+fn pipe1() -> ndetect_netlist::SeqNetlist {
+    bench_format::parse_seq(
+        "pipe1",
+        "
+        INPUT(a)
+        OUTPUT(po)
+        q = DFF(a)
+        po = BUF(q)
+        ",
+    )
+    .unwrap()
+}
+
+#[test]
+fn seq_expand_failpoint_degrades_without_panic_or_torn_store() {
+    let dir = std::env::temp_dir().join(format!("ndetect-seq-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let seq = pipe1();
+
+    ndetect_chaos::arm("seq.expand", "return-err").unwrap();
+    let err = expand(&seq, FaultModel::Transition).unwrap_err();
+    assert!(
+        matches!(&err, SeqError::Expand { message } if message.contains("seq.expand")),
+        "unexpected error: {err}"
+    );
+    // The stored variant fails the same way and writes nothing.
+    let err = expand_stored(&seq, FaultModel::Transition, Some(&store)).unwrap_err();
+    assert!(matches!(err, SeqError::Expand { .. }));
+    let key = expanded_key(&seq, FaultModel::Transition);
+    assert!(store.load(key, KIND_EXPANDED).is_none());
+
+    // Disarmed, the same inputs succeed and populate the store.
+    ndetect_chaos::disarm_all();
+    let model = expand_stored(&seq, FaultModel::Transition, Some(&store)).unwrap();
+    assert_eq!(model.targets().len(), 4);
+    assert!(store.load(key, KIND_EXPANDED).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,62 @@
+//! Differential property tests for time-frame expansion:
+//!
+//! * **Frame equivalence** — exhaustive fault-free simulation of the
+//!   expanded two-frame netlist equals two applications of the
+//!   sequential circuit's `step` semantics, for both fault models.
+//! * **Determinism** — expanding the same circuit twice yields
+//!   byte-identical artifacts and canonical bytes.
+
+use ndetect_netlist::SeqNetlist;
+use ndetect_seq::{encode_expanded, expand, FaultModel};
+use ndetect_testutil::arb_seq_netlist;
+use proptest::prelude::*;
+
+/// Exhaustively checks observed expanded outputs against two-step
+/// sequential semantics: frame-1 state is free, the single broadside
+/// vector is applied across both frames, and the observed outputs are
+/// the second frame's POs followed by its next-state functions.
+fn assert_frame_equivalence(seq: &SeqNetlist, model: FaultModel) {
+    let expanded = expand(seq, model).unwrap();
+    let netlist = expanded.netlist();
+    let total = netlist.num_inputs();
+    let p = expanded.num_true_inputs();
+    assert_eq!(p, seq.num_true_inputs());
+    assert_eq!(total, p + seq.num_ffs());
+    for v in 0..(1usize << total) {
+        let bits: Vec<bool> = (0..total)
+            .map(|i| (v >> (total - 1 - i)) & 1 == 1)
+            .collect();
+        let (pi, state) = bits.split_at(p);
+        let (_, s2) = seq.step(state, pi);
+        let (po2, next2) = seq.step(&s2, pi);
+        let mut expected = po2;
+        expected.extend(next2);
+        assert_eq!(
+            netlist.eval_bool(&bits),
+            expected,
+            "vector {v} under {model}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn expansion_matches_two_step_semantics(seq in arb_seq_netlist(6)) {
+        assert_frame_equivalence(&seq, FaultModel::Transition);
+        assert_frame_equivalence(&seq, FaultModel::StuckAt);
+    }
+
+    #[test]
+    fn expansion_is_deterministic(seq in arb_seq_netlist(6)) {
+        let a = expand(&seq, FaultModel::Transition).unwrap();
+        let b = expand(&seq, FaultModel::Transition).unwrap();
+        prop_assert_eq!(encode_expanded(&a), encode_expanded(&b));
+        prop_assert_eq!(a.canonical(), b.canonical());
+        prop_assert_eq!(
+            a.netlist().canonical_bytes(),
+            b.netlist().canonical_bytes()
+        );
+    }
+}

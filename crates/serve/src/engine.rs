@@ -18,7 +18,9 @@
 use crate::hot::Lru;
 use crate::render::UniverseProvider;
 use crate::SingleFlight;
-use ndetect_faults::{universe_key, FaultUniverse, UniverseOptions};
+use ndetect_faults::{
+    explicit_universe_key, universe_key, ExplicitTargets, FaultUniverse, UniverseOptions,
+};
 use ndetect_gen::{generated_key, GenOptions, GeneratedSet};
 use ndetect_netlist::Netlist;
 use ndetect_obs::{trace, Counter, Histogram, Registry};
@@ -206,15 +208,17 @@ impl Engine {
             .expect("hot set lru")
             .get(&(HOT_GENERATED, key))
     }
-}
 
-impl UniverseProvider for Engine {
-    fn universe(
+    /// The shared universe read path: hot LRU, then single-flight
+    /// around `build` (which reads through the store), counting an
+    /// actual build only on a store miss. Both the enumerated and the
+    /// explicit-target (time-frame-expanded) universes go through here;
+    /// they differ only in `key` and `build`.
+    fn universe_through_layers(
         &self,
-        netlist: &Netlist,
-        options: UniverseOptions,
+        key: ArtifactKey,
+        build: &(dyn Fn(Option<&Store>) -> Result<FaultUniverse, String> + Sync),
     ) -> Result<Arc<FaultUniverse>, String> {
-        let key = universe_key(netlist, options);
         if let Some(hit) = self.hot_universe_get(key) {
             self.counters.hot_hits.inc();
             return Ok(hit);
@@ -238,9 +242,7 @@ impl UniverseProvider for Engine {
             }
             let store = self.store.as_ref();
             let misses = store.map_or(0, Store::session_misses);
-            let universe = FaultUniverse::build_stored(netlist, options, store)
-                .map(Arc::new)
-                .map_err(|e| e.to_string())?;
+            let universe = Arc::new(build(store)?);
             // A store hit deserializes instead of simulating; only a
             // store miss (or no store at all) is an actual build.
             if store.is_none_or(|s| s.session_misses() > misses) {
@@ -261,6 +263,32 @@ impl UniverseProvider for Engine {
         let joined = self.universe_flights.coalesced() - before;
         self.counters.coalesced.add(joined);
         result
+    }
+}
+
+impl UniverseProvider for Engine {
+    fn universe(
+        &self,
+        netlist: &Netlist,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String> {
+        let key = universe_key(netlist, options);
+        self.universe_through_layers(key, &|store| {
+            FaultUniverse::build_stored(netlist, options, store).map_err(|e| e.to_string())
+        })
+    }
+
+    fn universe_explicit(
+        &self,
+        netlist: &Netlist,
+        explicit: &ExplicitTargets,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String> {
+        let key = explicit_universe_key(&explicit.canonical, options);
+        self.universe_through_layers(key, &|store| {
+            FaultUniverse::build_stored_explicit(netlist, explicit, options, store)
+                .map_err(|e| e.to_string())
+        })
     }
 
     fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet> {

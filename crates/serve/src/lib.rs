@@ -27,7 +27,8 @@ pub mod singleflight;
 pub use engine::{Counters, Engine};
 pub use protocol::{read_reply, ChaosCommand, ErrorReply, Reply, Request};
 pub use render::{
-    render_corpus, render_gen, render_stats, render_worst, CorpusOutput, CorpusRequest, Knobs,
+    render_corpus, render_corpus_stream, render_gen, render_seq_gen, render_seq_stats,
+    render_seq_worst, render_stats, render_worst, CorpusOutput, CorpusRequest, CorpusTail, Knobs,
     StoreProvider, UniverseProvider,
 };
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -21,12 +21,25 @@
 //! persistent: a client may pipeline any number of request lines;
 //! closing the write side ends the conversation.
 //!
+//! Long-running verbs (`corpus`) may precede the terminal reply with
+//! any number of incremental frames
+//!
+//! ```text
+//! row <nbytes>\n<nbytes of chunk>
+//! ```
+//!
+//! streamed as each unit of work completes; the terminal `ok` payload
+//! carries the closing bytes, and the concatenation of every `row`
+//! chunk plus the `ok` payload is byte-identical to the unstreamed
+//! reply. [`read_reply`] accumulates the frames transparently, so
+//! clients that do not care about incremental progress see one `ok`.
+//!
 //! Verbs:
 //!
 //! ```text
-//! stats <circuit>
-//! worst <circuit> [floor=N]
-//! gen <circuit> [n=N] [compact] [seed=S]
+//! stats <circuit> [model=transition|stuck-at]
+//! worst <circuit> [floor=N] [model=M]
+//! gen <circuit> [n=N] [compact] [seed=S] [model=M]
 //! corpus <dir> [format=csv|json] [max_inputs=N] [recursive]
 //! counters
 //! metrics
@@ -34,6 +47,11 @@
 //! sleep [ms=N]
 //! chaos set <site>=<spec> | chaos list | chaos clear
 //! ```
+//!
+//! `<circuit>` resolves through the combinational suite first, then the
+//! sequential registry (`s27`, `shift4`, `cnt3`); sequential circuits
+//! are analysed via two-frame broadside expansion under `model=`
+//! (default `transition`).
 //!
 //! The `chaos` verb (failpoint control, `ndetect-chaos` spec grammar)
 //! only works when the server was started with `--chaos`; otherwise it
@@ -50,26 +68,32 @@ use std::path::PathBuf;
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// `stats <circuit>`: structure + fault population + kernel report.
+    /// `stats <circuit> [model=M]`: structure + fault population +
+    /// kernel report.
     Stats {
-        /// Suite circuit name (`ndet list`).
+        /// Suite circuit name (`ndet list`) or sequential registry name.
         circuit: String,
+        /// Fault model for sequential circuits (`model=`, unresolved
+        /// until execution; `None` defaults to transition).
+        model: Option<String>,
         /// Performance knobs (`threads=`, `mem_budget=`).
         knobs: Knobs,
     },
-    /// `worst <circuit> [floor=N]`: worst-case nmin analysis.
+    /// `worst <circuit> [floor=N] [model=M]`: worst-case nmin analysis.
     Worst {
-        /// Suite circuit name.
+        /// Suite circuit name or sequential registry name.
         circuit: String,
         /// Distribution floor (default 100, like `--floor`).
         floor: usize,
+        /// Fault model for sequential circuits.
+        model: Option<String>,
         /// Performance knobs.
         knobs: Knobs,
     },
-    /// `gen <circuit> [n=N] [compact] [seed=S]`: n-detection set
-    /// generation.
+    /// `gen <circuit> [n=N] [compact] [seed=S] [model=M]`: n-detection
+    /// set generation.
     Gen {
-        /// Suite circuit name.
+        /// Suite circuit name or sequential registry name.
         circuit: String,
         /// Detection multiplicity (default 10, like `--n`).
         n: u32,
@@ -77,6 +101,8 @@ pub enum Request {
         compact: bool,
         /// Tie-breaking seed.
         seed: Option<u64>,
+        /// Fault model for sequential circuits.
+        model: Option<String>,
         /// Performance knobs.
         knobs: Knobs,
     },
@@ -251,17 +277,30 @@ impl Request {
 
         match verb {
             "stats" => {
-                reject_extras("stats", &extras)?;
+                let mut model = None;
+                for (key, value) in &extras {
+                    match (*key, value) {
+                        ("model", Some(v)) => model = Some((*v).to_string()),
+                        _ => {
+                            return Err(ErrorReply::parse(format!(
+                                "unknown token `{key}` for `stats`"
+                            )))
+                        }
+                    }
+                }
                 Ok(Request::Stats {
                     circuit: positional_required("circuit name")?,
+                    model,
                     knobs,
                 })
             }
             "worst" => {
                 let mut floor = 100usize;
+                let mut model = None;
                 for (key, value) in &extras {
                     match (*key, value) {
                         ("floor", Some(v)) => floor = parse_num("floor", v)?,
+                        ("model", Some(v)) => model = Some((*v).to_string()),
                         _ => {
                             return Err(ErrorReply::parse(format!(
                                 "unknown token `{key}` for `worst`"
@@ -272,6 +311,7 @@ impl Request {
                 Ok(Request::Worst {
                     circuit: positional_required("circuit name")?,
                     floor,
+                    model,
                     knobs,
                 })
             }
@@ -279,11 +319,13 @@ impl Request {
                 let mut n = 10u32;
                 let mut compact = false;
                 let mut seed = None;
+                let mut model = None;
                 for (key, value) in &extras {
                     match (*key, value) {
                         ("n", Some(v)) => n = parse_num("n", v)?,
                         ("seed", Some(v)) => seed = Some(parse_num("seed", v)?),
                         ("compact", None) => compact = true,
+                        ("model", Some(v)) => model = Some((*v).to_string()),
                         _ => {
                             return Err(ErrorReply::parse(format!(
                                 "unknown token `{key}` for `gen`"
@@ -296,6 +338,7 @@ impl Request {
                     n,
                     compact,
                     seed,
+                    model,
                     knobs,
                 })
             }
@@ -402,6 +445,19 @@ pub fn write_ok(writer: &mut impl Write, payload: &str) -> io::Result<()> {
     writer.flush()
 }
 
+/// Writes one incremental `row` frame: a counted chunk of the body
+/// streamed ahead of the terminal reply. The concatenation of every
+/// `row` chunk plus the terminal `ok` payload must be byte-identical to
+/// the unstreamed reply.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_row(writer: &mut impl Write, chunk: &str) -> io::Result<()> {
+    write!(writer, "row {}\n{chunk}", chunk.len())?;
+    writer.flush()
+}
+
 /// Writes an `err` reply (one line; embedded newlines in the message
 /// are flattened to spaces so the framing survives).
 ///
@@ -428,44 +484,57 @@ pub enum Reply {
     },
 }
 
-/// Reads one reply (header line, then a counted payload for `ok`).
+/// Reads one reply: any number of incremental `row` frames, then the
+/// terminal header (a counted payload for `ok`, one line for `err`).
+/// Streamed `row` chunks are accumulated in order and prepended to the
+/// `ok` payload, so callers observe exactly the unstreamed reply. Rows
+/// preceding an `err` are discarded — a partial stream that failed is
+/// not a usable body.
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` on malformed headers, `UnexpectedEof` when the
 /// server closed mid-reply.
 pub fn read_reply(reader: &mut impl BufRead) -> io::Result<Reply> {
-    let mut header = String::new();
-    if reader.read_line(&mut header)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before reply",
-        ));
-    }
-    let header = header.trim_end_matches('\n');
-    if let Some(rest) = header.strip_prefix("ok ") {
+    let read_counted = |reader: &mut dyn BufRead, header: &str, rest: &str| -> io::Result<String> {
         let nbytes: usize = rest.trim().parse().map_err(|_| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("bad ok header `{header}`"),
+                format!("bad reply header `{header}`"),
             )
         })?;
         let mut payload = vec![0u8; nbytes];
         reader.read_exact(&mut payload)?;
-        let payload = String::from_utf8(payload)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "payload is not UTF-8"))?;
-        Ok(Reply::Ok(payload))
-    } else if let Some(rest) = header.strip_prefix("err ") {
-        let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
-        Ok(Reply::Err {
-            code: code.to_string(),
-            message: message.to_string(),
-        })
-    } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad reply header `{header}`"),
-        ))
+        String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "payload is not UTF-8"))
+    };
+    let mut accumulated = String::new();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ));
+        }
+        let header = header.trim_end_matches('\n');
+        if let Some(rest) = header.strip_prefix("row ") {
+            accumulated.push_str(&read_counted(reader, header, rest)?);
+        } else if let Some(rest) = header.strip_prefix("ok ") {
+            accumulated.push_str(&read_counted(reader, header, rest)?);
+            return Ok(Reply::Ok(accumulated));
+        } else if let Some(rest) = header.strip_prefix("err ") {
+            let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Ok(Reply::Err {
+                code: code.to_string(),
+                message: message.to_string(),
+            });
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad reply header `{header}`"),
+            ));
+        }
     }
 }
 
@@ -591,5 +660,49 @@ mod tests {
         write_ok(&mut wire, "").unwrap();
         let mut reader = io::BufReader::new(wire.as_slice());
         assert_eq!(read_reply(&mut reader).unwrap(), Reply::Ok(String::new()));
+    }
+
+    #[test]
+    fn parses_the_model_token_on_analysis_verbs() {
+        let stats = Request::parse("stats s27 model=transition").unwrap();
+        assert!(matches!(stats, Request::Stats { ref model, .. }
+            if model.as_deref() == Some("transition")));
+        let worst = Request::parse("worst s27 floor=2 model=stuck-at").unwrap();
+        assert!(matches!(worst, Request::Worst { floor: 2, ref model, .. }
+            if model.as_deref() == Some("stuck-at")));
+        let gen = Request::parse("gen s27 n=3 model=transition").unwrap();
+        assert!(matches!(gen, Request::Gen { n: 3, ref model, .. }
+            if model.as_deref() == Some("transition")));
+        // Absent by default; the value is opaque at parse time.
+        let plain = Request::parse("stats figure1").unwrap();
+        assert!(matches!(plain, Request::Stats { model: None, .. }));
+        assert!(Request::parse("stats s27 model=bogus").is_ok());
+    }
+
+    #[test]
+    fn row_frames_accumulate_into_the_ok_payload() {
+        let mut wire = Vec::new();
+        write_row(&mut wire, "header\n").unwrap();
+        write_row(&mut wire, "row one\n").unwrap();
+        write_ok(&mut wire, "trailer\n").unwrap();
+        let mut reader = io::BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            Reply::Ok("header\nrow one\ntrailer\n".to_string())
+        );
+
+        // Rows before an error are discarded — a failed stream has no
+        // usable body.
+        let mut wire = Vec::new();
+        write_row(&mut wire, "partial\n").unwrap();
+        write_err(&mut wire, &ErrorReply::analysis("boom")).unwrap();
+        let mut reader = io::BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_reply(&mut reader).unwrap(),
+            Reply::Err {
+                code: "analysis".to_string(),
+                message: "boom".to_string(),
+            }
+        );
     }
 }

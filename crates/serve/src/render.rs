@@ -11,9 +11,10 @@
 use ndetect_core::partition::analyze_output_cones_budget;
 use ndetect_core::report::{render_table2, render_table3, table2_row, table3_row};
 use ndetect_core::{NminDistribution, WorstCaseAnalysis};
-use ndetect_faults::{FaultUniverse, UniverseOptions};
+use ndetect_faults::{ExplicitTargets, FaultUniverse, UniverseOptions};
 use ndetect_gen::{GenOptions, GeneratedSet};
-use ndetect_netlist::{bench_format, Netlist, NetlistStats};
+use ndetect_netlist::{bench_format, Netlist, NetlistError, NetlistStats, SeqNetlist};
+use ndetect_seq::{expand_stored, ExpandedModel, FaultModel};
 use ndetect_sim::MemoryBudget;
 use ndetect_store::Store;
 use std::fmt::Write as _;
@@ -59,6 +60,22 @@ pub trait UniverseProvider: Sync {
         options: UniverseOptions,
     ) -> Result<Arc<FaultUniverse>, String>;
 
+    /// A fault universe over an explicitly lowered fault population
+    /// (time-frame-expanded transition faults); keyed by the *source*
+    /// model's canonical bytes via
+    /// [`ndetect_faults::explicit_universe_key`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when the expanded circuit cannot
+    /// be simulated exhaustively.
+    fn universe_explicit(
+        &self,
+        netlist: &Netlist,
+        explicit: &ExplicitTargets,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String>;
+
     /// A generated n-detection set for `universe` under `options`.
     fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet>;
 
@@ -92,6 +109,17 @@ impl UniverseProvider for StoreProvider<'_> {
             .map_err(|e| e.to_string())
     }
 
+    fn universe_explicit(
+        &self,
+        netlist: &Netlist,
+        explicit: &ExplicitTargets,
+        options: UniverseOptions,
+    ) -> Result<Arc<FaultUniverse>, String> {
+        FaultUniverse::build_stored_explicit(netlist, explicit, options, self.store)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())
+    }
+
     fn generated(&self, universe: &Arc<FaultUniverse>, options: &GenOptions) -> Arc<GeneratedSet> {
         Arc::new(ndetect_gen::generate_stored(universe, options, self.store))
     }
@@ -112,6 +140,12 @@ pub fn render_stats(
     provider: &dyn UniverseProvider,
 ) -> Result<String, String> {
     let universe = provider.universe(netlist, knobs.universe_options())?;
+    Ok(stats_body(netlist, &universe))
+}
+
+/// The shared `stats` body (combinational and sequential front ends
+/// render the same universe summary).
+fn stats_body(netlist: &Netlist, universe: &FaultUniverse) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{netlist}");
     let _ = writeln!(out, "{}", NetlistStats::compute(netlist));
@@ -123,7 +157,45 @@ pub fn render_stats(
         universe.simulator().data_plane_bytes(),
         universe.simulator().mem_budget(),
     );
-    Ok(out)
+    out
+}
+
+/// Expands a sequential circuit (through the store when available) and
+/// builds the explicit-target universe over the expansion.
+fn seq_universe(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<(ExpandedModel, Arc<FaultUniverse>), String> {
+    let expanded = expand_stored(seq, model, provider.store()).map_err(|e| e.to_string())?;
+    let universe = provider.universe_explicit(
+        expanded.netlist(),
+        &expanded.explicit_targets(),
+        knobs.universe_options(),
+    )?;
+    Ok((expanded, universe))
+}
+
+/// `ndet stats --seq` / serve `stats` on a sequential circuit: the
+/// expansion summary, then the same structure/universe/kernel report
+/// over the two-frame expanded netlist.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the expansion fails or the
+/// expanded universe cannot be built.
+pub fn render_seq_stats(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    let (expanded, universe) = seq_universe(seq, model, knobs, provider)?;
+    Ok(format!(
+        "{expanded}\n{}",
+        stats_body(expanded.netlist(), &universe)
+    ))
 }
 
 /// `ndet worst` / serve `worst`: the worst-case nmin analysis with the
@@ -139,20 +211,60 @@ pub fn render_worst(
     provider: &dyn UniverseProvider,
 ) -> Result<String, String> {
     let universe = provider.universe(netlist, knobs.universe_options())?;
-    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, provider.store());
+    Ok(worst_body(
+        netlist.name(),
+        &universe,
+        floor,
+        knobs,
+        provider,
+    ))
+}
+
+/// The shared `worst` body: analysis summary, Table 2/3 rows, and the
+/// nmin tail distribution.
+fn worst_body(
+    name: &str,
+    universe: &Arc<FaultUniverse>,
+    floor: usize,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> String {
+    let wc = WorstCaseAnalysis::compute_stored(universe, knobs.threads, provider.store());
     let mut out = String::new();
     let _ = writeln!(out, "{universe}");
     let _ = writeln!(out, "{wc}");
     let _ = writeln!(out);
-    let _ = write!(out, "{}", render_table2(&[table2_row(netlist.name(), &wc)]));
+    let _ = write!(out, "{}", render_table2(&[table2_row(name, &wc)]));
     let _ = writeln!(out);
-    let _ = write!(out, "{}", render_table3(&[table3_row(netlist.name(), &wc)]));
+    let _ = write!(out, "{}", render_table3(&[table3_row(name, &wc)]));
     let dist = NminDistribution::collect(&wc, floor as u32);
     if !dist.is_empty() {
         let _ = writeln!(out, "\nnmin distribution (nmin >= {floor}):");
         let _ = write!(out, "{}", dist.render_ascii(24));
     }
-    Ok(out)
+    out
+}
+
+/// `ndet worst --seq` / serve `worst` on a sequential circuit:
+/// worst-case nmin analysis over the lowered transition (or stuck-at)
+/// fault population of the two-frame expansion.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the expansion fails or the
+/// expanded universe cannot be built.
+pub fn render_seq_worst(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    floor: usize,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    let (expanded, universe) = seq_universe(seq, model, knobs, provider)?;
+    Ok(format!(
+        "{expanded}\n{}",
+        worst_body(expanded.netlist().name(), &universe, floor, knobs, provider)
+    ))
 }
 
 /// `ndet gen` / serve `gen`: the set-cover generation engine with
@@ -174,6 +286,45 @@ pub fn render_gen(
         return Err("n must be at least 1".into());
     }
     let universe = provider.universe(netlist, knobs.universe_options())?;
+    Ok(gen_body(&universe, n, compact, seed, knobs, provider))
+}
+
+/// `ndet gen --seq` / serve `gen` on a sequential circuit: broadside
+/// n-detection set generation over the expanded fault population.
+///
+/// # Errors
+///
+/// Returns a user-facing message when `n` is zero, the expansion
+/// fails, or the expanded universe cannot be built.
+pub fn render_seq_gen(
+    seq: &SeqNetlist,
+    model: FaultModel,
+    n: u32,
+    compact: bool,
+    seed: Option<u64>,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<String, String> {
+    if n == 0 {
+        return Err("n must be at least 1".into());
+    }
+    let (expanded, universe) = seq_universe(seq, model, knobs, provider)?;
+    Ok(format!(
+        "{expanded}\n{}",
+        gen_body(&universe, n, compact, seed, knobs, provider)
+    ))
+}
+
+/// The shared `gen` body: set summary, target accounting, bridging
+/// coverage, and the set listing.
+fn gen_body(
+    universe: &Arc<FaultUniverse>,
+    n: u32,
+    compact: bool,
+    seed: Option<u64>,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> String {
     let options = GenOptions {
         n,
         compact,
@@ -181,7 +332,7 @@ pub fn render_gen(
         threads: knobs.threads,
         mem_budget: knobs.mem_budget,
     };
-    let set = provider.generated(&universe, &options);
+    let set = provider.generated(universe, &options);
     let space = universe.space().num_patterns();
     let mut out = String::new();
     let _ = writeln!(
@@ -217,7 +368,7 @@ pub fn render_gen(
         universe.bridges().len()
     );
     let _ = writeln!(out, "{set}");
-    Ok(out)
+    out
 }
 
 /// Parameters of a corpus run (`ndet corpus` / serve `corpus`).
@@ -250,9 +401,11 @@ pub struct CorpusOutput {
 struct CorpusRow {
     circuit: String,
     /// `full` (exhaustive universe), `cones` (per-output partitioned
-    /// fallback for circuits wider than `max_inputs`), `skipped`
-    /// (every cone was too wide — nothing was analysed), or `error`
-    /// (the file failed to read/parse/analyse).
+    /// fallback for circuits wider than `max_inputs`), `seq`
+    /// (sequential circuit analysed through its two-frame transition
+    /// expansion), `skipped` (every cone was too wide — nothing was
+    /// analysed), or `error` (the file failed to
+    /// read/parse/analyse).
     mode: &'static str,
     inputs: usize,
     outputs: usize,
@@ -345,12 +498,51 @@ pub fn render_corpus(
     knobs: Knobs,
     provider: &dyn UniverseProvider,
 ) -> Result<CorpusOutput, String> {
-    if request.format != "csv" && request.format != "json" {
-        return Err(format!(
-            "format must be csv or json, got `{}`",
-            request.format
-        ));
-    }
+    let mut body = String::new();
+    let tail = render_corpus_stream(request, knobs, provider, &mut |chunk| body.push_str(chunk))?;
+    body.push_str(&tail.trailer);
+    Ok(CorpusOutput {
+        body,
+        errors: tail.errors,
+        files: tail.files,
+    })
+}
+
+/// What remains of a streamed corpus run after the last row chunk: the
+/// closing bytes of the body plus the per-file diagnostics.
+/// `chunks... + trailer` is byte-identical to [`CorpusOutput::body`].
+pub struct CorpusTail {
+    /// Body bytes after the final row (`]\n` for JSON, empty for CSV).
+    pub trailer: String,
+    /// Human-readable per-file failure messages (stderr material).
+    pub errors: Vec<String>,
+    /// Total `.bench` files walked (for the failure summary line).
+    pub files: usize,
+}
+
+/// The streaming core of [`render_corpus`]: emits the body as chunks —
+/// one header chunk, then one chunk per circuit *as each analysis
+/// completes* — so a serving front end can flush rows to a client
+/// incrementally instead of buffering a long corpus run. The one-shot
+/// path is just this function with a `String`-appending sink, which is
+/// what keeps the two byte-identical.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the directory cannot be walked,
+/// holds no `.bench` files, or the format is unknown. Individual
+/// malformed files become `error` rows instead.
+pub fn render_corpus_stream(
+    request: &CorpusRequest,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+    sink: &mut dyn FnMut(&str),
+) -> Result<CorpusTail, String> {
+    let json = match request.format.as_str() {
+        "csv" => false,
+        "json" => true,
+        other => return Err(format!("format must be csv or json, got `{other}`")),
+    };
     let mut paths: Vec<PathBuf> = Vec::new();
     collect_bench_files(&request.dir, request.recursive, &mut paths)?;
     paths.sort();
@@ -358,27 +550,34 @@ pub fn render_corpus(
         return Err(format!("no .bench files in {}", request.dir.display()));
     }
 
-    let mut rows = Vec::new();
+    sink(if json { "[\n" } else { CORPUS_CSV_HEADER });
     let mut errors = Vec::new();
-    for path in &paths {
+    for (i, path) in paths.iter().enumerate() {
         // Per-file fault tolerance: one malformed file is reported as
         // an `error` row instead of aborting the whole corpus run.
-        match corpus_row(path, request.max_inputs, knobs, provider) {
-            Ok(row) => rows.push(row),
+        let row = match corpus_row(path, request.max_inputs, knobs, provider) {
+            Ok(row) => row,
             Err(message) => {
                 errors.push(message);
                 let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
-                rows.push(CorpusRow::empty(name, "error"));
+                CorpusRow::empty(name, "error")
             }
-        }
+        };
+        // One row per path, so the JSON separator is decidable without
+        // holding rows back: every row but the last gets a comma.
+        let chunk = if json {
+            corpus_json_row(&row, i + 1 < paths.len())
+        } else {
+            corpus_csv_row(&row)
+        };
+        sink(&chunk);
     }
-
-    let body = match request.format.as_str() {
-        "csv" => render_corpus_csv(&rows),
-        _ => render_corpus_json(&rows),
-    };
-    Ok(CorpusOutput {
-        body,
+    Ok(CorpusTail {
+        trailer: if json {
+            "]\n".to_string()
+        } else {
+            String::new()
+        },
         errors,
         files: paths.len(),
     })
@@ -395,8 +594,18 @@ fn corpus_row(
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
-    let netlist =
-        bench_format::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let netlist = match bench_format::parse(name, &text) {
+        Ok(netlist) => netlist,
+        Err(NetlistError::Sequential { .. }) => {
+            // A DFF is a classification, not a failure: re-parse in
+            // sequential mode and analyse the two-frame transition
+            // expansion instead.
+            let seq = bench_format::parse_seq(name, &text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            return seq_corpus_row(&seq, max_inputs, knobs, provider);
+        }
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
 
     if netlist.num_inputs() <= max_inputs {
         let universe = provider.universe(&netlist, knobs.universe_options())?;
@@ -499,79 +708,117 @@ fn corpus_row(
     }
 }
 
-fn render_corpus_csv(rows: &[CorpusRow]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes"
-    );
-    let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
-    let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
-    for r in rows {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.circuit,
-            r.mode,
-            r.inputs,
-            r.outputs,
-            r.gates,
-            r.targets,
-            r.bridges,
-            pct(r.cov1),
-            pct(r.cov10),
-            r.tail11,
-            r.max_nmin.map_or(String::new(), |v| v.to_string()),
-            opt(r.space),
-            opt(r.gen1),
-            opt(r.gen5),
-            opt(r.gen10),
-            r.kernel.unwrap_or(""),
-            r.peak_bytes.map_or(String::new(), |v| v.to_string()),
-        );
+/// Analyses one sequential corpus circuit through its two-frame
+/// transition expansion. Structure columns (inputs/outputs/gates)
+/// describe the *sequential* circuit; analysis columns (targets,
+/// coverage, space, gen sizes) come from the expanded universe.
+fn seq_corpus_row(
+    seq: &SeqNetlist,
+    max_inputs: usize,
+    knobs: Knobs,
+    provider: &dyn UniverseProvider,
+) -> Result<CorpusRow, String> {
+    let expanded =
+        expand_stored(seq, FaultModel::Transition, provider.store()).map_err(|e| e.to_string())?;
+    let mut row = CorpusRow::empty(seq.name(), "seq");
+    row.inputs = seq.num_true_inputs();
+    row.outputs = seq.num_true_outputs();
+    row.gates = seq.core().num_gates();
+    if expanded.netlist().num_inputs() > max_inputs {
+        // The broadside pattern space (PIs + state bits) is too wide
+        // for exhaustive analysis; classify without fabricating
+        // coverage, like `skipped`.
+        return Ok(row);
     }
-    out
+    let universe = provider.universe_explicit(
+        expanded.netlist(),
+        &expanded.explicit_targets(),
+        knobs.universe_options(),
+    )?;
+    let wc = WorstCaseAnalysis::compute_stored(&universe, knobs.threads, provider.store());
+    let gen_size = |n: u32| {
+        let options = GenOptions {
+            n,
+            compact: true,
+            seed: None,
+            threads: knobs.threads,
+            mem_budget: knobs.mem_budget,
+        };
+        Some(provider.generated(&universe, &options).len())
+    };
+    row.targets = universe.targets().len();
+    row.bridges = universe.bridges().len();
+    row.cov1 = Some(wc.coverage_percent(1));
+    row.cov10 = Some(wc.coverage_percent(10));
+    row.tail11 = wc.tail_count(11);
+    row.max_nmin = wc.max_finite();
+    row.space = Some(universe.space().num_patterns());
+    row.gen1 = gen_size(1);
+    row.gen5 = gen_size(5);
+    row.gen10 = gen_size(10);
+    row.kernel = Some(universe.simulator().kernel_mode());
+    row.peak_bytes = Some(universe.simulator().data_plane_bytes());
+    Ok(row)
 }
 
-fn render_corpus_json(rows: &[CorpusRow]) -> String {
+const CORPUS_CSV_HEADER: &str = "circuit,mode,inputs,outputs,gates,targets,bridges,cov1_pct,cov10_pct,tail11,max_nmin,space,gen1,gen5,gen10,kernel,peak_bytes\n";
+
+fn corpus_csv_row(r: &CorpusRow) -> String {
+    let pct = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.2}"));
+    let opt = |v: Option<usize>| v.map_or(String::new(), |v| v.to_string());
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        r.circuit,
+        r.mode,
+        r.inputs,
+        r.outputs,
+        r.gates,
+        r.targets,
+        r.bridges,
+        pct(r.cov1),
+        pct(r.cov10),
+        r.tail11,
+        r.max_nmin.map_or(String::new(), |v| v.to_string()),
+        opt(r.space),
+        opt(r.gen1),
+        opt(r.gen5),
+        opt(r.gen10),
+        r.kernel.unwrap_or(""),
+        r.peak_bytes.map_or(String::new(), |v| v.to_string()),
+    )
+}
+
+fn corpus_json_row(r: &CorpusRow, comma: bool) -> String {
     // Hand-rolled JSON (no serde offline); circuit names come from file
     // stems and are escaped minimally.
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let pct = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.2}"));
     let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
-    let mut out = String::new();
-    let _ = writeln!(out, "[");
-    for (i, r) in rows.iter().enumerate() {
-        let max_nmin = r.max_nmin.map_or("null".to_string(), |v| v.to_string());
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
-             \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
-             \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
-             \"gen1\": {}, \"gen5\": {}, \"gen10\": {}, \"kernel\": {}, \
-             \"peak_bytes\": {}}}{comma}",
-            escape(&r.circuit),
-            r.mode,
-            r.inputs,
-            r.outputs,
-            r.gates,
-            r.targets,
-            r.bridges,
-            pct(r.cov1),
-            pct(r.cov10),
-            r.tail11,
-            max_nmin,
-            opt(r.space),
-            opt(r.gen1),
-            opt(r.gen5),
-            opt(r.gen10),
-            r.kernel.map_or("null".to_string(), |k| format!("\"{k}\"")),
-            r.peak_bytes.map_or("null".to_string(), |v| v.to_string()),
-        );
-    }
-    let _ = writeln!(out, "]");
-    out
+    format!(
+        "  {{\"circuit\": \"{}\", \"mode\": \"{}\", \"inputs\": {}, \"outputs\": {}, \
+         \"gates\": {}, \"targets\": {}, \"bridges\": {}, \"cov1_pct\": {}, \
+         \"cov10_pct\": {}, \"tail11\": {}, \"max_nmin\": {}, \"space\": {}, \
+         \"gen1\": {}, \"gen5\": {}, \"gen10\": {}, \"kernel\": {}, \
+         \"peak_bytes\": {}}}{}\n",
+        escape(&r.circuit),
+        r.mode,
+        r.inputs,
+        r.outputs,
+        r.gates,
+        r.targets,
+        r.bridges,
+        pct(r.cov1),
+        pct(r.cov10),
+        r.tail11,
+        r.max_nmin.map_or("null".to_string(), |v| v.to_string()),
+        opt(r.space),
+        opt(r.gen1),
+        opt(r.gen5),
+        opt(r.gen10),
+        r.kernel.map_or("null".to_string(), |k| format!("\"{k}\"")),
+        r.peak_bytes.map_or("null".to_string(), |v| v.to_string()),
+        if comma { "," } else { "" },
+    )
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use crate::protocol::{self, ChaosCommand, ErrorReply, Request};
 use crate::render;
 use crate::signal;
 use ndetect_obs::trace;
+use ndetect_seq::FaultModel;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -362,7 +363,7 @@ fn execute_line_traced(
         _ => {}
     }
 
-    let (sender, receiver) = mpsc::channel::<Result<String, ErrorReply>>();
+    let (sender, receiver) = mpsc::channel::<JobEvent>();
     let job_engine = Arc::clone(engine);
     let job_stragglers = Arc::clone(stragglers);
     let parent_span = request_span.id();
@@ -372,37 +373,58 @@ fn execute_line_traced(
         // transitively the engine's flight/build spans) explicitly so
         // the trace still nests under this request.
         let exec_span = trace::span_under("serve.execute", parent_span);
-        let result = run_job(&request, &job_engine);
+        let rows = sender.clone();
+        let result = run_job(&request, &job_engine, &mut |chunk: &str| {
+            // The receiver may have timed out; the job keeps going
+            // (single-flight waiters want the build to finish).
+            let _ = rows.send(JobEvent::Row(chunk.to_string()));
+        });
         drop(exec_span);
-        let _ = sender.send(result); // receiver may have timed out
+        let _ = sender.send(JobEvent::Done(result));
         job_stragglers.done();
     });
 
-    match receiver.recv_timeout(config.request_timeout) {
-        Ok(Ok(payload)) => {
-            request_span.field("outcome", "ok");
-            write_ok_traced(writer, &payload)
-        }
-        Ok(Err(error)) => {
-            request_span.field("outcome", error.code);
-            engine.counters().errors.inc();
-            protocol::write_err(writer, &error)
-        }
-        Err(_) => {
-            request_span.field("outcome", "timeout");
-            engine.counters().errors.inc();
-            protocol::write_err(
-                writer,
-                &ErrorReply {
-                    code: "timeout",
-                    message: format!(
-                        "request exceeded {}ms (still building; retry joins it)",
-                        config.request_timeout.as_millis()
-                    ),
-                },
-            )
+    // One fixed deadline for the whole job: incremental rows are
+    // flushed as they arrive, but they do not extend the budget.
+    let deadline = std::time::Instant::now() + config.request_timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        match receiver.recv_timeout(remaining) {
+            Ok(JobEvent::Row(chunk)) => write_row_traced(writer, &chunk)?,
+            Ok(JobEvent::Done(Ok(payload))) => {
+                request_span.field("outcome", "ok");
+                return write_ok_traced(writer, &payload);
+            }
+            Ok(JobEvent::Done(Err(error))) => {
+                request_span.field("outcome", error.code);
+                engine.counters().errors.inc();
+                return protocol::write_err(writer, &error);
+            }
+            Err(_) => {
+                request_span.field("outcome", "timeout");
+                engine.counters().errors.inc();
+                return protocol::write_err(
+                    writer,
+                    &ErrorReply {
+                        code: "timeout",
+                        message: format!(
+                            "request exceeded {}ms (still building; retry joins it)",
+                            config.request_timeout.as_millis()
+                        ),
+                    },
+                );
+            }
         }
     }
+}
+
+/// What a job thread sends back: zero or more incremental body chunks,
+/// then exactly one terminal result.
+enum JobEvent {
+    /// An incremental chunk to stream as a `row` frame.
+    Row(String),
+    /// The job finished (the terminal reply).
+    Done(Result<String, ErrorReply>),
 }
 
 /// Writes an `ok` reply under a `serve.write` span (the tail of the
@@ -411,6 +433,13 @@ fn write_ok_traced(writer: &mut impl Write, payload: &str) -> io::Result<()> {
     let mut span = trace::span("serve.write");
     span.field("bytes", payload.len());
     protocol::write_ok(writer, payload)
+}
+
+/// Writes one incremental `row` frame under a `serve.write` span.
+fn write_row_traced(writer: &mut impl Write, chunk: &str) -> io::Result<()> {
+    let mut span = trace::span("serve.write");
+    span.field("row_bytes", chunk.len());
+    protocol::write_row(writer, chunk)
 }
 
 /// Executes a `chaos` sub-command (the server already checked the
@@ -451,14 +480,18 @@ fn execute_chaos(command: &ChaosCommand) -> Result<String, ErrorReply> {
 /// survive. The engine's single-flight layer guarantees any waiters on
 /// the panicked build observe the poisoning and rebuild fresh, so a
 /// client retry after `err internal` succeeds.
-fn run_job(request: &Request, engine: &Arc<Engine>) -> Result<String, ErrorReply> {
+fn run_job(
+    request: &Request,
+    engine: &Arc<Engine>,
+    emit: &mut (dyn FnMut(&str) + Send),
+) -> Result<String, ErrorReply> {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // Chaos hook inside the catch_unwind, so its `panic` action
         // exercises exactly the isolation path a real bug would.
         if ndetect_chaos::failpoint!("serve.job").is_some() {
             return Err("failpoint `serve.job`: injected error".to_string());
         }
-        execute_request(request, engine)
+        execute_request(request, engine, emit)
     }));
     match caught {
         Ok(Ok(payload)) => Ok(payload),
@@ -484,39 +517,100 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// A request's circuit, resolved against the combinational suite first
+/// and the sequential registry second.
+enum Resolved {
+    /// A combinational suite circuit, analysed directly.
+    Comb(ndetect_netlist::Netlist),
+    /// A sequential circuit, analysed via two-frame broadside
+    /// expansion under the given fault model.
+    Seq(ndetect_netlist::SeqNetlist, FaultModel),
+}
+
+/// Resolves a circuit name (and optional `model=` token): combinational
+/// names keep their existing behaviour (`model=` is rejected there —
+/// it selects a sequential fault model); unknown combinational names
+/// fall through to the sequential registry.
+fn resolve_circuit(circuit: &str, model: Option<&str>) -> Result<Resolved, String> {
+    let model = model
+        .map(|m| {
+            FaultModel::parse(m).ok_or_else(|| {
+                format!("unknown fault model `{m}` (expected transition or stuck-at)")
+            })
+        })
+        .transpose()?;
+    match ndetect_circuits::build(circuit) {
+        Ok(netlist) => {
+            if model.is_some() {
+                return Err(format!(
+                    "`model=` selects a sequential fault model; `{circuit}` is combinational"
+                ));
+            }
+            Ok(Resolved::Comb(netlist))
+        }
+        Err(comb_error) => match ndetect_circuits::build_seq(circuit) {
+            Ok(seq) => Ok(Resolved::Seq(seq, model.unwrap_or_default())),
+            // Unknown everywhere: report the suite error (the message
+            // clients already match on).
+            Err(_) => Err(comb_error.to_string()),
+        },
+    }
+}
+
 /// Executes a parsed analysis request against the engine, returning the
 /// reply payload (byte-identical to the one-shot CLI's stdout).
-fn execute_request(request: &Request, engine: &Arc<Engine>) -> Result<String, String> {
+/// Incremental body chunks (corpus rows) go out through `emit`.
+fn execute_request(
+    request: &Request,
+    engine: &Arc<Engine>,
+    emit: &mut dyn FnMut(&str),
+) -> Result<String, String> {
     match request {
-        Request::Stats { circuit, knobs } => {
-            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
-            render::render_stats(&netlist, *knobs, engine.as_ref())
-        }
+        Request::Stats {
+            circuit,
+            model,
+            knobs,
+        } => match resolve_circuit(circuit, model.as_deref())? {
+            Resolved::Comb(netlist) => render::render_stats(&netlist, *knobs, engine.as_ref()),
+            Resolved::Seq(seq, fm) => render::render_seq_stats(&seq, fm, *knobs, engine.as_ref()),
+        },
         Request::Worst {
             circuit,
             floor,
+            model,
             knobs,
-        } => {
-            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
-            render::render_worst(&netlist, *floor, *knobs, engine.as_ref())
-        }
+        } => match resolve_circuit(circuit, model.as_deref())? {
+            Resolved::Comb(netlist) => {
+                render::render_worst(&netlist, *floor, *knobs, engine.as_ref())
+            }
+            Resolved::Seq(seq, fm) => {
+                render::render_seq_worst(&seq, fm, *floor, *knobs, engine.as_ref())
+            }
+        },
         Request::Gen {
             circuit,
             n,
             compact,
             seed,
+            model,
             knobs,
-        } => {
-            let netlist = ndetect_circuits::build(circuit).map_err(|e| e.to_string())?;
-            render::render_gen(&netlist, *n, *compact, *seed, *knobs, engine.as_ref())
-        }
+        } => match resolve_circuit(circuit, model.as_deref())? {
+            Resolved::Comb(netlist) => {
+                render::render_gen(&netlist, *n, *compact, *seed, *knobs, engine.as_ref())
+            }
+            Resolved::Seq(seq, fm) => {
+                render::render_seq_gen(&seq, fm, *n, *compact, *seed, *knobs, engine.as_ref())
+            }
+        },
         Request::Corpus { request, knobs } => {
-            let output = render::render_corpus(request, *knobs, engine.as_ref())?;
-            // Serve mode has no stderr channel back to the client;
-            // per-file diagnostics ride along as trailing comment lines
-            // (both CSV and JSON consumers already skip `#` lines).
-            let mut payload = output.body;
-            for error in &output.errors {
+            // Stream the body incrementally: each row goes out as a
+            // `row` frame the moment its analysis completes; the
+            // terminal payload carries the closing bytes plus per-file
+            // diagnostics (serve mode has no stderr channel back to the
+            // client; both CSV and JSON consumers skip `#` lines).
+            let tail = render::render_corpus_stream(request, *knobs, engine.as_ref(), emit)?;
+            let mut payload = tail.trailer;
+            for error in &tail.errors {
                 payload.push_str(&format!("# corpus error: {error}\n"));
             }
             Ok(payload)
@@ -643,6 +737,91 @@ mod tests {
         assert_eq!(engine.counters().rejected.get(), 1);
         shutdown.shutdown();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn seq_circuits_resolve_with_byte_identical_replies() {
+        let (addr, engine, shutdown, handle) = start(ServerConfig::default());
+        let expected = render::render_seq_worst(
+            &ndetect_circuits::build_seq("s27").unwrap(),
+            FaultModel::Transition,
+            100,
+            crate::render::Knobs::default(),
+            &crate::render::StoreProvider::new(None),
+        )
+        .unwrap();
+        let Reply::Ok(payload) = request_line(addr, "worst s27") else {
+            panic!("expected ok");
+        };
+        assert_eq!(payload, expected, "serve reply must match one-shot render");
+        assert!(payload.contains("s27 [transition]"), "{payload}");
+        // An explicit model and a repeat both answer from the hot LRU.
+        let Reply::Ok(second) = request_line(addr, "worst s27 model=transition") else {
+            panic!("expected ok");
+        };
+        assert_eq!(payload, second);
+        assert_eq!(engine.counters().universe_builds.get(), 1);
+        // `model=` on a combinational circuit is a structured error.
+        let Reply::Err { code, .. } = request_line(addr, "stats figure1 model=transition") else {
+            panic!("expected analysis error");
+        };
+        assert_eq!(code, "analysis");
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn corpus_replies_stream_row_frames() {
+        let dir = std::env::temp_dir().join(format!("ndetect-serve-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("toggler.bench"),
+            "INPUT(en)\nOUTPUT(po)\nq = DFF(nq)\nnq = NOT(q)\npo = AND(en, q)\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("tiny.bench"),
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+
+        let (addr, _engine, shutdown, handle) = start(ServerConfig::default());
+        let line = format!("corpus {} format=csv", dir.display());
+        // Raw wire: the reply must arrive as incremental `row` frames
+        // before the terminal `ok`.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut first = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut first).unwrap();
+        assert!(first.starts_with("row "), "expected a row frame: {first}");
+
+        // And read through the protocol reader: the accumulated reply
+        // must equal the one-shot corpus output (body + diagnostics).
+        let Reply::Ok(payload) = request_line(addr, &line) else {
+            panic!("expected ok");
+        };
+        let expected = render::render_corpus(
+            &crate::render::CorpusRequest {
+                dir: dir.clone(),
+                format: "csv".into(),
+                max_inputs: 14,
+                recursive: false,
+            },
+            crate::render::Knobs::default(),
+            &crate::render::StoreProvider::new(None),
+        )
+        .unwrap();
+        assert!(expected.errors.is_empty(), "{:?}", expected.errors);
+        assert_eq!(payload, expected.body);
+        // The sequential file is classified, not error-rowed.
+        assert!(payload.contains("toggler,seq,"), "{payload}");
+        shutdown.shutdown();
+        handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -103,6 +103,27 @@ pub fn arb_netlist_sized(max_inputs: usize, max_gates: usize) -> impl Strategy<V
     )
 }
 
+/// Proptest strategy producing random **sequential** netlists: a random
+/// combinational core whose last `k` inputs are reinterpreted as
+/// flip-flop outputs and last `k` outputs as the matching next-state
+/// functions, for `k` drawn up to `min(inputs, outputs)`. `k = 0`
+/// (purely combinational) is included on purpose — the time-frame
+/// expansion must degrade gracefully to two shared-input frames.
+pub fn arb_seq_netlist(max_inputs: usize) -> impl Strategy<Value = ndetect_netlist::SeqNetlist> {
+    (arb_netlist(max_inputs), any::<u64>()).prop_map(|(n, ff_pick)| {
+        let max_ffs = n.num_inputs().min(n.num_outputs());
+        let num_ffs = usize::try_from(ff_pick % (max_ffs as u64 + 1)).expect("small modulus");
+        let num_true_inputs = n.num_inputs() - num_ffs;
+        let num_true_outputs = n.num_outputs() - num_ffs;
+        let ffs: Vec<String> = n.inputs()[num_true_inputs..]
+            .iter()
+            .map(|&q| n.node_name(q).to_string())
+            .collect();
+        ndetect_netlist::SeqNetlist::from_parts(n, num_true_inputs, num_true_outputs, ffs)
+            .expect("counts are consistent by construction")
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

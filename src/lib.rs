@@ -10,6 +10,7 @@
 //! | [`netlist`] | gate-level circuits, `.bench` I/O, structural analysis |
 //! | [`sim`] | bit-parallel two-valued and three-valued simulation |
 //! | [`faults`] | stuck-at + four-way bridging fault models, fault simulation |
+//! | [`seq`] | sequential circuits: FF-boundary extraction, two-frame time-frame expansion, transition faults |
 //! | [`fsm`] | KISS2 parsing, state encoding, two-level synthesis |
 //! | [`circuits`] | the paper's Figure-1 example and the benchmark suite |
 //! | [`analysis`] | worst-case `nmin` and average-case (Procedure 1) analyses |
@@ -47,6 +48,7 @@ pub use ndetect_faults as faults;
 pub use ndetect_fsm as fsm;
 pub use ndetect_gen as gen;
 pub use ndetect_netlist as netlist;
+pub use ndetect_seq as seq;
 pub use ndetect_serve as serve;
 pub use ndetect_sim as sim;
 pub use ndetect_store as store;
